@@ -1,0 +1,147 @@
+// Command blaststream runs the software BLASTN pipeline on FASTA inputs:
+// seed matching against the query's 8-mer table, seed enumeration, small
+// extension, ungapped X-drop extension, and (optionally) host-side gapped
+// extension — the full stage chain of the paper's Figure 2.
+//
+// Usage:
+//
+//	blaststream -db db.fasta -query query.fasta [-threshold 30]
+//	            [-gapped] [-gapped-threshold 40] [-chunk 1048576]
+//	            [-mercator] [-stats] [-max 20]
+//
+// With -demo, synthetic inputs with planted homologies are generated
+// instead of reading files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"streamcalc/internal/blast"
+	"streamcalc/internal/gen"
+	"streamcalc/internal/mercator"
+	"streamcalc/internal/units"
+)
+
+func main() {
+	var (
+		dbPath    = flag.String("db", "", "database FASTA file")
+		queryPath = flag.String("query", "", "query FASTA file")
+		threshold = flag.Int("threshold", 30, "ungapped-extension score threshold")
+		gapped    = flag.Bool("gapped", false, "run host-side gapped extension on the hits")
+		gappedThr = flag.Int("gapped-threshold", 40, "gapped-extension score threshold")
+		chunk     = flag.Int("chunk", 0, "stream the database in chunks of this many bases (0 = resident)")
+		useMerc   = flag.Bool("mercator", false, "execute on the Mercator-style occupancy scheduler")
+		stats     = flag.Bool("stats", false, "print per-stage measurements and job ratios")
+		maxPrint  = flag.Int("max", 20, "print at most this many hits")
+		demo      = flag.Bool("demo", false, "generate synthetic inputs with planted homologies")
+	)
+	flag.Parse()
+
+	var db, query []byte
+	switch {
+	case *demo:
+		query = gen.DNA(256, 1)
+		db, _ = gen.DNAWithPlants(1<<22, query, 1<<18, 2)
+		fmt.Println("demo mode: 4 Mbase synthetic database, 256-base query, 16 planted homologies")
+	case *dbPath != "" && *queryPath != "":
+		db = readFASTA(*dbPath)
+		query = readFASTA(*queryPath)
+	default:
+		fmt.Fprintln(os.Stderr, "blaststream: need -db and -query (or -demo)")
+		os.Exit(2)
+	}
+	fmt.Printf("database %d bases, query %d bases\n", len(db), len(query))
+
+	start := time.Now()
+	var hits []blast.Hit
+	switch {
+	case *useMerc:
+		var rep *mercator.Report
+		var err error
+		hits, rep, err = blast.RunDataflow(db, query, *threshold, blast.DataflowConfig{})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("mercator execution: %d stage firings\n", rep.Firings)
+		for _, s := range rep.Stages {
+			fmt.Printf("  %-14s in %-8d out %-8d firings %-6d occupancy %.1f%%\n",
+				s.Name, s.ItemsIn, s.ItemsOut, s.Firings, s.AvgOccupancy*100)
+		}
+	case *chunk > 0:
+		var cs *blast.ChunkStats
+		var err error
+		hits, cs, err = blast.RunChunked(db, query, *threshold, *chunk)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("streamed in %d chunks: %d positions, %d matches, %d survived small extension\n",
+			cs.Chunks, cs.Positions, cs.Matches, cs.SmallSurvived)
+	default:
+		res, err := blast.Run(db, query, *threshold)
+		if err != nil {
+			fail(err)
+		}
+		hits = res.Hits
+		fmt.Printf("cascade: %d positions -> %d matches -> %d small-ext -> %d hits\n",
+			res.Counts.SeedPositions, res.Counts.SeedMatches, res.Counts.SmallPassed, len(hits))
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%d hits in %v (%s)\n", len(hits), elapsed.Round(time.Millisecond),
+		units.Bytes(len(db)).Over(elapsed))
+
+	if *gapped {
+		qi, err := blast.NewQueryIndex(query)
+		if err != nil {
+			fail(err)
+		}
+		packed := blast.Pack2Bit(db)
+		ghits := blast.GappedExtension(qi, packed, len(db), hits, *gappedThr, nil)
+		fmt.Printf("gapped extension: %d hits above threshold %d\n", len(ghits), *gappedThr)
+		for i, g := range ghits {
+			if i >= *maxPrint {
+				fmt.Printf("  ... and %d more\n", len(ghits)-*maxPrint)
+				break
+			}
+			fmt.Printf("  %v gapped-score %d span db:%d q:%d\n", g.Hit, g.GappedScore, g.DBSpan, g.QuerySpan)
+		}
+	} else {
+		for i, h := range hits {
+			if i >= *maxPrint {
+				fmt.Printf("  ... and %d more\n", len(hits)-*maxPrint)
+				break
+			}
+			fmt.Printf("  %v\n", h)
+		}
+	}
+
+	if *stats {
+		ms, err := blast.MeasureStages(db, query, *threshold, 2)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("\nisolated stage measurements (model inputs):")
+		for _, m := range ms {
+			fmt.Printf("  %-14s rate %-12s job ratio %6.2f\n", m.Name, m.Rate, m.JobRatio())
+		}
+	}
+}
+
+func readFASTA(path string) []byte {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	_, seq := gen.ParseFASTA(data)
+	if len(seq) == 0 {
+		fail(fmt.Errorf("%s: no sequence data", path))
+	}
+	return seq
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "blaststream:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-run name] [-out dir] [-seed n] [-quick] [-list]
+//
+// With no -run flag every experiment executes in order. -out writes CSV
+// series for the figures (fig1.csv, fig4_curves.csv, fig4_sim.csv,
+// fig10_curves.csv, fig10_sim.csv).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"streamcalc/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "experiment to run (default: all)")
+		out   = flag.String("out", "", "directory for CSV figure series")
+		seed  = flag.Uint64("seed", 0, "simulation seed (0 = default)")
+		quick = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+		list  = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+	opts := experiments.Options{OutDir: *out, Seed: *seed, Quick: *quick}
+	if *run == "" {
+		if err := experiments.RunAll(os.Stdout, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	e, ok := experiments.Lookup(*run)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", *run)
+		os.Exit(2)
+	}
+	fmt.Printf("==== %s: %s ====\n", e.Name, e.Title)
+	if err := e.Run(os.Stdout, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

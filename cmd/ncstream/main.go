@@ -1,0 +1,218 @@
+// Command ncstream applies the network-calculus model to a streaming
+// pipeline described in JSON, optionally validating the bounds with the
+// discrete-event simulator and the M/M/1 queueing baseline.
+//
+// Usage:
+//
+//	ncstream -spec pipeline.json [-sim total] [-seed n] [-queueing]
+//	ncstream -example > pipeline.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"streamcalc/internal/core"
+	"streamcalc/internal/queueing"
+	"streamcalc/internal/spec"
+	"streamcalc/internal/units"
+)
+
+func main() {
+	var (
+		specPath = flag.String("spec", "", "path to the pipeline JSON description")
+		simTotal = flag.String("sim", "", "run the simulator over this much input (e.g. \"64 MiB\")")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		qt       = flag.Bool("queueing", false, "also run the M/M/1 queueing baseline")
+		subset   = flag.String("subset", "", "also analyze the node subrange i:j with the propagated arrival (e.g. \"1:4\")")
+		example  = flag.Bool("example", false, "print a sample specification and exit")
+	)
+	flag.Parse()
+
+	if *example {
+		fmt.Println(spec.Example())
+		return
+	}
+	if *specPath == "" {
+		fmt.Fprintln(os.Stderr, "ncstream: -spec is required (see -example)")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*specPath)
+	if err != nil {
+		fail(err)
+	}
+	sp, err := spec.Parse(data)
+	if err != nil {
+		fail(err)
+	}
+	if sp.IsGraph() {
+		g, err := sp.CoreGraph()
+		if err != nil {
+			fail(err)
+		}
+		ga, err := core.AnalyzeGraph(g)
+		if err != nil {
+			fail(err)
+		}
+		reportGraph(ga)
+		return
+	}
+	p, err := sp.Core()
+	if err != nil {
+		fail(err)
+	}
+	a, err := core.Analyze(p)
+	if err != nil {
+		fail(err)
+	}
+	report(a)
+
+	if *subset != "" {
+		if err := analyzeSubset(p, a, *subset); err != nil {
+			fail(err)
+		}
+	}
+
+	if *qt {
+		res, err := queueing.Analyze(sp.Queueing())
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nqueueing (M/M/1) baseline:\n")
+		fmt.Printf("  roofline prediction: %s (bottleneck: %s, stable: %v)\n",
+			res.Roofline, res.Stages[res.BottleneckIndex].Name, res.Stable)
+		if res.Stable {
+			fmt.Printf("  mean end-to-end delay: %v\n", res.MeanDelay)
+		}
+	}
+
+	if *simTotal != "" {
+		total, err := units.ParseBytes(*simTotal)
+		if err != nil {
+			fail(err)
+		}
+		simP, err := sp.Sim(total, *seed)
+		if err != nil {
+			fail(err)
+		}
+		res, err := simP.Run()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("\ndiscrete-event simulation (%s input, seed %d):\n", total, *seed)
+		fmt.Printf("  throughput (input-referred): %s\n", res.Throughput)
+		fmt.Printf("  delay min/mean/max: %v / %v / %v\n", res.DelayMin, res.DelayMean, res.DelayMax)
+		fmt.Printf("  max backlog: %s\n", res.MaxBacklog)
+		for _, st := range res.Stages {
+			fmt.Printf("  stage %-16s jobs %-8d util %5.1f%%  queue peak %-10s blocked %v\n",
+				st.Name, st.Jobs, st.Utilization*100, st.MaxQueueLocal, st.BlockedTime)
+		}
+	}
+}
+
+func report(a *core.Analysis) {
+	fmt.Printf("pipeline %q: %d nodes\n", a.Pipeline.Name, len(a.Nodes))
+	fmt.Printf("\nnetwork calculus analysis:\n")
+	fmt.Printf("  throughput lower bound: %s\n", a.ThroughputLower)
+	fmt.Printf("  throughput upper bound: %s\n", a.ThroughputUpper)
+	fmt.Printf("  bottleneck: %s\n", a.Bottleneck().Node.Name)
+	fmt.Printf("  cumulative latency T_tot: %v\n", a.TotalLatency)
+	if a.Overloaded {
+		fmt.Printf("  regime: OVERLOADED (R_alpha > R_beta); steady-state bounds infinite\n")
+		fmt.Printf("  transient delay estimate:   %v\n", a.DelayEstimate)
+		fmt.Printf("  transient backlog estimate: %s\n", a.BacklogEstimate)
+	} else {
+		fmt.Printf("  delay bound:   %v\n", a.DelayBound)
+		fmt.Printf("  backlog bound: %s\n", a.BacklogBound)
+	}
+	fmt.Printf("  output bound: burst %s, rate %s\n",
+		units.Bytes(a.OutputBound.Burst()), units.Rate(a.OutputBound.UltimateSlope()))
+	fmt.Printf("\nper-node (input-referred):\n")
+	for _, n := range a.Nodes {
+		agg := ""
+		if n.Aggregates {
+			agg = fmt.Sprintf(" aggregates(+%v)", n.AggregationDelay)
+		}
+		backlog := n.BacklogBound.String()
+		if math.IsInf(float64(n.BacklogBound), 1) {
+			backlog = "unbounded"
+		}
+		fmt.Printf("  %-16s %-7s rate %-12s gamma %-12s backlog %-12s%s\n",
+			n.Node.Name, n.Node.Kind, n.Rate, n.MaxRate, backlog, agg)
+	}
+}
+
+// analyzeSubset runs the paper's subset analysis: the node range [i, j) is
+// modeled on its own, fed by the arrival bound propagated to node i.
+func analyzeSubset(p core.Pipeline, a *core.Analysis, rangeSpec string) error {
+	var from, to int
+	if _, err := fmt.Sscanf(rangeSpec, "%d:%d", &from, &to); err != nil {
+		return fmt.Errorf("subset %q: want i:j: %w", rangeSpec, err)
+	}
+	sub, err := p.Subrange(from, to)
+	if err != nil {
+		return err
+	}
+	in := a.InputAt(from)
+	sub.Arrival = core.Arrival{
+		Rate:  units.Rate(in.UltimateSlope()),
+		Burst: units.Bytes(in.Burst()),
+	}
+	// The propagated curve is input-referred; the subrange nodes are in
+	// their local units. Scale them to the sub-pipeline's input domain.
+	gain := a.Nodes[from].GainBefore
+	for i := range sub.Nodes {
+		sub.Nodes[i].Rate = sub.Nodes[i].Rate.Mul(1 / gain)
+		if sub.Nodes[i].MaxRate > 0 {
+			sub.Nodes[i].MaxRate = sub.Nodes[i].MaxRate.Mul(1 / gain)
+		}
+		sub.Nodes[i].JobIn = sub.Nodes[i].JobIn.Mul(1 / gain)
+		sub.Nodes[i].JobOut = sub.Nodes[i].JobOut.Mul(1 / gain)
+		sub.Nodes[i].MaxPacket = sub.Nodes[i].MaxPacket.Mul(1 / gain)
+		sub.Nodes[i].CrossRate = sub.Nodes[i].CrossRate.Mul(1 / gain)
+		sub.Nodes[i].CrossBurst = sub.Nodes[i].CrossBurst.Mul(1 / gain)
+	}
+	sa, err := core.Analyze(sub)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsubset [%d:%d) with propagated arrival (rate %s, burst %s):\n",
+		from, to, sub.Arrival.Rate, sub.Arrival.Burst)
+	if sa.Overloaded {
+		fmt.Printf("  transient delay estimate %v, backlog estimate %s\n",
+			sa.DelayEstimate, sa.BacklogEstimate)
+	} else {
+		fmt.Printf("  delay bound %v, backlog bound %s\n", sa.DelayBound, sa.BacklogBound)
+	}
+	fmt.Printf("  throughput bounds %s .. %s\n", sa.ThroughputLower, sa.ThroughputUpper)
+	return nil
+}
+
+func reportGraph(a *core.GraphAnalysis) {
+	fmt.Printf("DAG %q: %d nodes, order %v\n", a.Graph.Name, len(a.Graph.Nodes), a.Order)
+	fmt.Printf("stable: %v, source-rate capacity: %s\n", a.Stable, a.MaxSourceRate)
+	fmt.Printf("\nper-node (local units):\n")
+	for _, name := range a.Order {
+		n := a.Nodes[name]
+		backlog := n.BacklogBound.String()
+		delay := fmt.Sprintf("%v", n.DelayBound)
+		if n.Overloaded {
+			backlog, delay = "unbounded", "unbounded"
+		}
+		fmt.Printf("  %-18s util %6.1f%%  delay %-14s backlog %s\n",
+			name, n.Utilization*100, delay, backlog)
+	}
+	if a.DelayBoundInfinite {
+		fmt.Printf("\ncritical path %v: unbounded (overloaded node on path)\n", a.CriticalPath)
+	} else {
+		fmt.Printf("\ncritical path %v: delay bound %v\n", a.CriticalPath, a.DelayBound)
+	}
+	fmt.Printf("total backlog bound: %s\n", a.TotalBacklog)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ncstream:", err)
+	os.Exit(1)
+}

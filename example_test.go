@@ -1,0 +1,89 @@
+package streamcalc_test
+
+import (
+	"fmt"
+	"time"
+
+	"streamcalc"
+)
+
+// Model a two-stage pipeline and read off the network-calculus bounds.
+func Example() {
+	p := streamcalc.Pipeline{
+		Name:    "etl",
+		Arrival: streamcalc.Arrival{Rate: 2 * streamcalc.MiBPerSec, Burst: 5 * streamcalc.MiB},
+		Nodes: []streamcalc.Node{
+			{Name: "parse", Rate: 10 * streamcalc.MiBPerSec, Latency: time.Second,
+				JobIn: 1, JobOut: 1},
+			{Name: "write", Rate: 4 * streamcalc.MiBPerSec, Latency: 2 * time.Second,
+				JobIn: 1, JobOut: 1},
+		},
+	}
+	a, _ := streamcalc.Analyze(p)
+	fmt.Println("lower:", a.ThroughputLower)
+	fmt.Println("delay:", a.DelayBound)
+	fmt.Println("backlog:", a.BacklogBound)
+	// Output:
+	// lower: 2 MiB/s
+	// delay: 4.25s
+	// backlog: 11 MiB
+}
+
+// The curve algebra directly: delay and backlog bounds of a leaky-bucket
+// flow through a rate-latency server.
+func ExampleDelayBound() {
+	alpha := streamcalc.LeakyBucket(2, 5) // 2 B/s, 5 B burst
+	beta := streamcalc.RateLatency(4, 3)  // 4 B/s after 3 s
+	fmt.Println("d =", streamcalc.DelayBound(alpha, beta))
+	fmt.Println("x =", streamcalc.BacklogBound(alpha, beta))
+	// Output:
+	// d = 4.25
+	// x = 11
+}
+
+// Service concatenation: two rate-latency servers in sequence.
+func ExampleConvolve() {
+	b1 := streamcalc.RateLatency(4, 3)
+	b2 := streamcalc.RateLatency(7, 2)
+	chain := streamcalc.Convolve(b1, b2)
+	fmt.Println("rate:", chain.UltimateSlope())
+	fmt.Println("latency:", chain.Latency())
+	// Output:
+	// rate: 4
+	// latency: 5
+}
+
+// Output arrival bound of a served flow: the burst grows by r*T.
+func ExampleDeconvolve() {
+	alpha := streamcalc.LeakyBucket(2, 5)
+	beta := streamcalc.RateLatency(4, 3)
+	out, ok := streamcalc.Deconvolve(alpha, beta)
+	fmt.Println(ok, out.ZeroAtOrigin().Burst())
+	// Output:
+	// true 11
+}
+
+// Fit a leaky-bucket arrival envelope to a measured cumulative trace.
+func ExampleFitArrival() {
+	trace := []streamcalc.TracePoint{
+		{T: 0, Cum: 0}, {T: 0, Cum: 100},
+		{T: 1, Cum: 100}, {T: 1, Cum: 200},
+		{T: 2, Cum: 200},
+	}
+	rate, burst, _ := streamcalc.FitArrival(trace, 0)
+	fmt.Println(rate, burst)
+	// Output:
+	// 100 B/s 100 B
+}
+
+// Residual service under blind multiplexing with cross traffic.
+func ExampleResidualService() {
+	beta := streamcalc.RateLatency(10, 2)
+	cross := streamcalc.LeakyBucket(3, 4)
+	resid, _ := streamcalc.ResidualService(beta, cross)
+	fmt.Println("rate:", resid.UltimateSlope())
+	fmt.Printf("latency: %.3f\n", resid.Latency())
+	// Output:
+	// rate: 7
+	// latency: 3.429
+}

@@ -1,0 +1,95 @@
+// BLAST example: run the real software BLASTN pipeline on a synthetic
+// database, measure each stage in isolation, build a network-calculus model
+// from those measurements, and compare it with the paper's calibrated
+// Figure 3 model (Table 1 and the §4.2 bounds).
+//
+// Run with: go run ./examples/blast
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streamcalc"
+	"streamcalc/internal/apps/blastmodel"
+	"streamcalc/internal/blast"
+	"streamcalc/internal/gen"
+	"streamcalc/internal/units"
+)
+
+func main() {
+	// 1. A real BLASTN search on synthetic DNA with planted homologies.
+	const dbLen = 1 << 22 // 4 Mbase database
+	query := gen.DNA(256, 1)
+	db, plants := gen.DNAWithPlants(dbLen, query, dbLen/16, 2)
+	res, err := blast.Run(db, query, 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== software BLASTN ==\n")
+	fmt.Printf("database %d bases, query %d bases, %d planted homologies\n",
+		dbLen, len(query), len(plants))
+	fmt.Printf("stage cascade: %d positions -> %d matches -> %d small-ext -> %d hits\n",
+		res.Counts.SeedPositions, res.Counts.SeedMatches,
+		res.Counts.SmallPassed, len(res.Hits))
+	for i, h := range res.Hits {
+		if i == 3 {
+			fmt.Printf("  ... and %d more hits\n", len(res.Hits)-3)
+			break
+		}
+		fmt.Printf("  hit %v\n", h)
+	}
+
+	// 2. Measure each stage in isolation — the models' inputs.
+	ms, err := blast.MeasureStages(db, query, 30, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== isolated stage measurements (model inputs) ==\n")
+	for _, m := range ms {
+		fmt.Printf("  %-14s rate %-12s job ratio %6.2f\n", m.Name, m.Rate, m.JobRatio())
+	}
+
+	// 3. Build a network-calculus model directly from those measurements:
+	// a chain of compute nodes with measured rates and job ratios.
+	nodes := make([]streamcalc.Node, 0, len(ms))
+	for _, m := range ms {
+		out := m.OutBytes
+		if out <= 0 {
+			out = 1
+		}
+		nodes = append(nodes, streamcalc.Node{
+			Name:  m.Name,
+			Kind:  streamcalc.Compute,
+			Rate:  m.Rate,
+			JobIn: m.InBytes, JobOut: out,
+		})
+	}
+	p := streamcalc.Pipeline{
+		Name: "software-blast",
+		Arrival: streamcalc.Arrival{
+			Rate:  ms[0].Rate.Mul(0.9), // feed just below the first stage's rate
+			Burst: 1 * units.MiB,
+		},
+		Nodes: nodes,
+	}
+	a, err := streamcalc.Analyze(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== network-calculus model of the software pipeline ==\n")
+	fmt.Printf("throughput: %s .. %s (bottleneck %s)\n",
+		a.ThroughputLower, a.ThroughputUpper, a.Bottleneck().Node.Name)
+	fmt.Printf("delay estimate %v, backlog estimate %s\n", a.DelayEstimate, a.BacklogEstimate)
+
+	// 4. The paper's calibrated heterogeneous deployment (Figure 3).
+	pa, err := blastmodel.Analyze()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== paper's Figure 3 deployment (calibrated) ==\n")
+	fmt.Printf("NC bounds: %s .. %s (paper: 350 .. 704 MiB/s)\n",
+		pa.ThroughputLower, pa.ThroughputUpper)
+	fmt.Printf("delay estimate %v (paper 46.9 ms), backlog estimate %s (paper 20.6 MiB)\n",
+		pa.DelayEstimate, pa.BacklogEstimate)
+}

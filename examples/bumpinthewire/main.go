@@ -1,0 +1,117 @@
+// Bump-in-the-wire example: run the real LZ4 + AES-256-CBC kernels over a
+// TCP loopback "wire", measure the stages, and compare the deployment
+// against the paper's Figure 9 model (Table 3 and the §5 bounds), including
+// the bump-in-the-wire vs traditional data-path comparison.
+//
+// Run with: go run ./examples/bumpinthewire
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"streamcalc"
+	"streamcalc/internal/aesstream"
+	"streamcalc/internal/apps/bitwmodel"
+	"streamcalc/internal/core"
+	"streamcalc/internal/gen"
+	"streamcalc/internal/link"
+	"streamcalc/internal/lz4"
+	"streamcalc/internal/units"
+)
+
+func main() {
+	// 1. Drive the real software kernels end to end: compress, encrypt,
+	// "send" (TCP loopback when available), decrypt, decompress.
+	const size = 8 << 20
+	data := gen.Text(size, 0.62, 7) // ~2x compressible, like the paper's average
+	key := make([]byte, aesstream.KeySize)
+
+	start := time.Now()
+	compressed := lz4.Compress(nil, data)
+	tCompress := time.Since(start)
+	ratio := float64(len(data)) / float64(len(compressed))
+
+	enc, err := aesstream.New(key, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start = time.Now()
+	ciphertext := enc.Encrypt(compressed, 4096)
+	tEncrypt := time.Since(start)
+
+	netRate, netErr := link.MeasureTCPLoopback(units.Bytes(len(ciphertext)), 64*units.KiB)
+
+	dec, _ := aesstream.New(key, 9)
+	start = time.Now()
+	plain, err := dec.Decrypt(ciphertext)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tDecrypt := time.Since(start)
+
+	start = time.Now()
+	restored, err := lz4.Decompress(nil, plain, len(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tDecompress := time.Since(start)
+	if !bytes.Equal(restored, data) {
+		log.Fatal("round trip corrupted the data")
+	}
+
+	fmt.Printf("== software kernel measurements (%d MiB corpus, LZ4 ratio %.2fx) ==\n",
+		size>>20, ratio)
+	fmt.Printf("  compress   %v (%s)\n", tCompress, units.Bytes(size).Over(tCompress))
+	fmt.Printf("  encrypt    %v (%s)\n", tEncrypt, units.Bytes(len(compressed)).Over(tEncrypt))
+	if netErr == nil {
+		fmt.Printf("  network    TCP loopback at %s\n", netRate)
+	} else {
+		fmt.Printf("  network    loopback unavailable (%v); using 10 GiB/s model\n", netErr)
+	}
+	fmt.Printf("  decrypt    %v (%s)\n", tDecrypt, units.Bytes(len(compressed)).Over(tDecrypt))
+	fmt.Printf("  decompress %v (%s)\n", tDecompress, units.Bytes(size).Over(tDecompress))
+	fmt.Println("  round trip verified ✓")
+
+	// 2. The paper's calibrated Figure 9 model.
+	a, err := bitwmodel.Analyze()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== paper's bump-in-the-wire model (Table 3, §5) ==\n")
+	fmt.Printf("NC bounds: %s .. %s (paper: 59 .. 313 MiB/s)\n",
+		a.ThroughputLower, a.ThroughputUpper)
+	fmt.Printf("delay estimate %v (paper 38 µs), backlog estimate %s (paper 3 KiB)\n",
+		a.DelayEstimate, a.BacklogEstimate)
+
+	// 3. Bump-in-the-wire vs traditional deployment (Figures 5-8).
+	trad, err := core.Analyze(bitwmodel.TraditionalPipeline())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== deployment comparison ==\n")
+	fmt.Printf("  %-22s %14s %14s\n", "", "bump", "traditional")
+	fmt.Printf("  %-22s %14v %14v\n", "pipeline latency", a.TotalLatency, trad.TotalLatency)
+	fmt.Printf("  %-22s %14v %14v\n", "delay estimate", a.DelayEstimate, trad.DelayEstimate)
+	fmt.Printf("  %-22s %14s %14s\n", "backlog estimate",
+		a.BacklogEstimate.String(), trad.BacklogEstimate.String())
+	fmt.Printf("removing the PCIe return trip saves %v of latency per traversal\n",
+		trad.TotalLatency-a.TotalLatency)
+
+	// 4. What-if: how much must the arrival be throttled to make the
+	// steady-state bounds finite? (The paper's future-work question.)
+	ov, err := streamcalc.AnalyzeOverload(bitwmodel.Pipeline())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== overload guidance ==\n")
+	fmt.Printf("arrival %s exceeds sustainable %s; a 64 KiB buffer overflows in ",
+		ov.ArrivalRate, ov.SustainableRate)
+	if d, reached := ov.TimeToFill(64 * units.KiB); reached {
+		fmt.Printf("%v\n", d)
+	} else {
+		fmt.Printf("never\n")
+	}
+}

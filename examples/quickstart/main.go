@@ -1,0 +1,93 @@
+// Quickstart: model a three-stage streaming pipeline with network calculus,
+// get throughput/delay/backlog bounds and a per-node buffer plan, then
+// validate the bounds with the discrete-event simulator.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"streamcalc"
+)
+
+func main() {
+	// A camera streams 100 MiB/s in 64 KiB frames into a preprocessing
+	// stage, a GPU inference stage that consumes 1 MiB batches, and an
+	// uplink. All rates come from isolated measurements.
+	p := streamcalc.Pipeline{
+		Name: "vision-pipeline",
+		Arrival: streamcalc.Arrival{
+			Rate:      100 * streamcalc.MiBPerSec,
+			Burst:     256 * streamcalc.KiB,
+			MaxPacket: 64 * streamcalc.KiB,
+		},
+		Nodes: []streamcalc.Node{
+			{
+				Name: "preprocess", Kind: streamcalc.Compute,
+				Rate:    400 * streamcalc.MiBPerSec,
+				Latency: 2 * time.Millisecond,
+				JobIn:   64 * streamcalc.KiB, JobOut: 64 * streamcalc.KiB,
+			},
+			{
+				Name: "gpu-inference", Kind: streamcalc.Compute,
+				Rate:    160 * streamcalc.MiBPerSec,
+				MaxRate: 320 * streamcalc.MiBPerSec,
+				Latency: 5 * time.Millisecond,
+				JobIn:   1 * streamcalc.MiB, JobOut: 64 * streamcalc.KiB, // 16:1 reduction
+			},
+			{
+				Name: "uplink", Kind: streamcalc.Link,
+				Rate:    50 * streamcalc.MiBPerSec, // local: post-reduction bytes
+				Latency: 8 * time.Millisecond,
+				JobIn:   64 * streamcalc.KiB, JobOut: 64 * streamcalc.KiB,
+				MaxPacket: 64 * streamcalc.KiB,
+			},
+		},
+	}
+
+	a, err := streamcalc.Analyze(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== network calculus bounds ==")
+	fmt.Printf("throughput: %s (guaranteed) .. %s (best case)\n",
+		a.ThroughputLower, a.ThroughputUpper)
+	fmt.Printf("bottleneck: %s\n", a.Bottleneck().Node.Name)
+	fmt.Printf("end-to-end delay bound: %v\n", a.DelayBound)
+	fmt.Printf("data in flight bound:   %s\n", a.BacklogBound)
+
+	fmt.Println("\n== buffer plan (per-node backlog attribution) ==")
+	for _, rec := range a.BufferPlan() {
+		fmt.Printf("  %-14s %s\n", rec.Name, rec.Capacity)
+	}
+
+	// Validate with the discrete-event simulator: the observed delay and
+	// backlog must stay below the analytic bounds.
+	sim := streamcalc.NewSim(streamcalc.SimSource{
+		Rate:       100 * streamcalc.MiBPerSec,
+		PacketSize: 64 * streamcalc.KiB,
+		TotalInput: 256 * streamcalc.MiB,
+	}, 42)
+	sim.Add(streamcalc.SimStageFromRate("preprocess",
+		380*streamcalc.MiBPerSec, 420*streamcalc.MiBPerSec, 64*streamcalc.KiB, 64*streamcalc.KiB))
+	sim.Add(streamcalc.SimStageFromRate("gpu-inference",
+		150*streamcalc.MiBPerSec, 170*streamcalc.MiBPerSec, streamcalc.MiB, 64*streamcalc.KiB))
+	sim.Add(streamcalc.SimStageFromRate("uplink",
+		50*streamcalc.MiBPerSec, 50*streamcalc.MiBPerSec, 64*streamcalc.KiB, 64*streamcalc.KiB))
+	res, err := sim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== discrete-event simulation ==")
+	fmt.Printf("throughput: %s\n", res.Throughput)
+	fmt.Printf("delay max:  %v (bound %v)\n", res.DelayMax, a.DelayBound)
+	fmt.Printf("backlog:    %s (bound %s)\n", res.MaxBacklog, a.BacklogBound)
+	if res.DelayMax <= a.DelayBound && res.MaxBacklog <= a.BacklogBound {
+		fmt.Println("simulation within the network-calculus bounds ✓")
+	} else {
+		fmt.Println("WARNING: simulation exceeded a bound")
+	}
+}

@@ -1,0 +1,3 @@
+module streamcalc
+
+go 1.22

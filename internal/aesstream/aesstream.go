@@ -1,0 +1,157 @@
+// Package aesstream provides chunked AES-256-CBC encryption and decryption
+// over a data stream, standing in for the Vitis 256-bit CBC AES kernel of
+// the paper's bump-in-the-wire case study. Data is processed in chunks;
+// each chunk is padded (PKCS#7), encrypted under a fresh IV derived from a
+// deterministic counter sequence, and framed as
+//
+//	[4-byte big-endian ciphertext length][16-byte IV][ciphertext]
+//
+// so the decryptor can operate chunk-by-chunk exactly as a streaming FPGA
+// kernel would.
+package aesstream
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// KeySize is the AES-256 key length in bytes.
+const KeySize = 32
+
+// Stream encrypts or decrypts a sequence of chunks under one key.
+type Stream struct {
+	block cipher.Block
+	ivSeq uint64
+	seed  [8]byte
+}
+
+// New creates a Stream for a 32-byte key. The ivSeed diversifies the
+// deterministic per-chunk IVs (a production system would use random IVs;
+// determinism keeps simulations and tests reproducible).
+func New(key []byte, ivSeed uint64) (*Stream, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("aesstream: key must be %d bytes, got %d", KeySize, len(key))
+	}
+	b, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stream{block: b}
+	binary.BigEndian.PutUint64(s.seed[:], ivSeed)
+	return s, nil
+}
+
+func (s *Stream) nextIV() [aes.BlockSize]byte {
+	var iv [aes.BlockSize]byte
+	copy(iv[:8], s.seed[:])
+	binary.BigEndian.PutUint64(iv[8:], s.ivSeq)
+	s.ivSeq++
+	// Whiten the counter through one block encryption so IVs are
+	// unpredictable given the key.
+	s.block.Encrypt(iv[:], iv[:])
+	return iv
+}
+
+// pad appends PKCS#7 padding up to the AES block size.
+func pad(dst, src []byte) []byte {
+	p := aes.BlockSize - len(src)%aes.BlockSize
+	dst = append(dst, src...)
+	for i := 0; i < p; i++ {
+		dst = append(dst, byte(p))
+	}
+	return dst
+}
+
+// unpad strips and validates PKCS#7 padding.
+func unpad(b []byte) ([]byte, error) {
+	if len(b) == 0 || len(b)%aes.BlockSize != 0 {
+		return nil, errors.New("aesstream: invalid padded length")
+	}
+	p := int(b[len(b)-1])
+	if p == 0 || p > aes.BlockSize || p > len(b) {
+		return nil, errors.New("aesstream: invalid padding")
+	}
+	for _, c := range b[len(b)-p:] {
+		if int(c) != p {
+			return nil, errors.New("aesstream: invalid padding")
+		}
+	}
+	return b[:len(b)-p], nil
+}
+
+// EncryptChunk appends one framed encrypted chunk to dst.
+func (s *Stream) EncryptChunk(dst, plaintext []byte) []byte {
+	iv := s.nextIV()
+	padded := pad(nil, plaintext)
+	ct := make([]byte, len(padded))
+	cipher.NewCBCEncrypter(s.block, iv[:]).CryptBlocks(ct, padded)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(ct)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, iv[:]...)
+	return append(dst, ct...)
+}
+
+// DecryptChunk decodes one framed chunk from src, appending the plaintext
+// to dst and returning the remaining unread bytes of src.
+func (s *Stream) DecryptChunk(dst, src []byte) (out, rest []byte, err error) {
+	if len(src) < 4+aes.BlockSize {
+		return dst, src, errors.New("aesstream: short frame header")
+	}
+	n := int(binary.BigEndian.Uint32(src))
+	if n <= 0 || n%aes.BlockSize != 0 {
+		return dst, src, errors.New("aesstream: invalid frame length")
+	}
+	if len(src) < 4+aes.BlockSize+n {
+		return dst, src, errors.New("aesstream: truncated frame")
+	}
+	iv := src[4 : 4+aes.BlockSize]
+	ct := src[4+aes.BlockSize : 4+aes.BlockSize+n]
+	pt := make([]byte, n)
+	cipher.NewCBCDecrypter(s.block, iv).CryptBlocks(pt, ct)
+	un, err := unpad(pt)
+	if err != nil {
+		return dst, src, err
+	}
+	return append(dst, un...), src[4+aes.BlockSize+n:], nil
+}
+
+// Encrypt processes a whole buffer in chunkSize pieces and returns the
+// framed ciphertext stream.
+func (s *Stream) Encrypt(src []byte, chunkSize int) []byte {
+	if chunkSize <= 0 {
+		chunkSize = 4096
+	}
+	out := make([]byte, 0, len(src)+len(src)/chunkSize*36+64)
+	for i := 0; i < len(src); i += chunkSize {
+		end := i + chunkSize
+		if end > len(src) {
+			end = len(src)
+		}
+		out = s.EncryptChunk(out, src[i:end])
+	}
+	if len(src) == 0 {
+		out = s.EncryptChunk(out, nil)
+	}
+	return out
+}
+
+// Decrypt processes a whole framed stream and returns the plaintext.
+func (s *Stream) Decrypt(src []byte) ([]byte, error) {
+	var out []byte
+	var err error
+	for len(src) > 0 {
+		out, src, err = s.DecryptChunk(out, src)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Overhead returns the framing overhead in bytes per chunk (length header,
+// IV, and worst-case padding).
+func Overhead() int { return 4 + aes.BlockSize + aes.BlockSize }

@@ -1,0 +1,236 @@
+// Package bitwmodel encodes the paper's second case study: the
+// bump-in-the-wire FPGA compression/encryption pipeline of Figure 9
+// (compress -> encrypt -> network -> decrypt -> decompress -> PCIe), with
+// the per-stage throughputs of Table 2 and the compression-ratio handling
+// of §5: the lower-bound service curves assume a compression ratio of 1.0
+// while the maximum service curves assume the largest observed ratio
+// (5.3x), which multiplies the input-referred maximum rate of every stage
+// between the compressor and the decompressor.
+//
+// Published model outputs reproduced here:
+//
+//	NC throughput upper bound   313 MiB/s   (Table 3) = 59 x 5.3
+//	NC throughput lower bound    59 MiB/s   (Table 3)
+//	virtual delay estimate       38 µs      (§5 point 1)
+//	backlog estimate              3 KiB     (§5 point 2)
+//
+// The encryption stage is the bottleneck. The paper's baseline encrypt rate
+// (59 MiB/s) sits between the Table 2 minimum (56) and average (68); we use
+// the paper's 59 so the published bounds come out exactly and note the
+// difference against Table 2. As in the BLAST study, the arrival rate
+// (compressor-limited ingest at 2662 MiB/s) far exceeds the bottleneck, so
+// the delay/backlog figures are the §3 transient per-job estimates.
+package bitwmodel
+
+import (
+	"time"
+
+	"streamcalc/internal/core"
+	"streamcalc/internal/queueing"
+	"streamcalc/internal/sim"
+	"streamcalc/internal/units"
+)
+
+// Compression ratios observed for the LZ4 kernel (paper Table 2 caption).
+const (
+	RatioMin = 1.0
+	RatioAvg = 2.2
+	RatioMax = 5.3
+)
+
+// Calibrated model parameters.
+const (
+	// ArrivalRate is the ingest rate (the compressor's sustained average —
+	// the fastest the source can push data into the bump).
+	ArrivalRate = 2662 * units.MiBPerSec
+	// Chunk is the normalized transfer granularity: the paper's simulation
+	// gathers at most 1 KiB normalized chunks for the network.
+	Chunk = 1 * units.KiB
+	// ArrivalBurst + Chunk = b' = 2334.6 B, solved from the published 38 µs
+	// delay and 3 KiB backlog figures.
+	ArrivalBurst = units.Bytes(1310.6)
+
+	// EncryptRate is the paper's baseline sustained AES rate (between the
+	// Table 2 minimum of 56 and average of 68 MiB/s).
+	EncryptRate = 59 * units.MiBPerSec
+)
+
+// SimSeed is the default deterministic seed for the validation simulations.
+const SimSeed = 2024
+
+// Pipeline returns the calibrated Figure 9 pipeline with Table 2 rates.
+// Worst-case (ratio 1.0) volume gains parameterize the lower-bound curves;
+// BestGain carries the 5.3x maximum ratio into the maximum service curves.
+func Pipeline() core.Pipeline {
+	return core.Pipeline{
+		Name: "bump-in-the-wire",
+		Arrival: core.Arrival{
+			Rate:      ArrivalRate,
+			Burst:     ArrivalBurst,
+			MaxPacket: Chunk,
+		},
+		Nodes: []core.Node{
+			{
+				Name: "compress", Kind: core.Compute,
+				Rate: 2662 * units.MiBPerSec, MaxRate: 6386 * units.MiBPerSec,
+				Latency: 60 * time.Nanosecond,
+				JobIn:   Chunk, JobOut: Chunk, // ratio 1.0 worst case
+				BestGain:  1 / RatioMax,
+				MaxPacket: Chunk,
+			},
+			{
+				// The bottleneck. The maximum service curve keeps the same
+				// baseline rate; the 5.3x best-case compression upstream is
+				// what lifts its input-referred ceiling to 313 MiB/s.
+				Name: "encrypt", Kind: core.Compute,
+				Rate: EncryptRate, MaxRate: EncryptRate,
+				Latency: 50 * time.Nanosecond,
+				JobIn:   Chunk, JobOut: Chunk,
+				MaxPacket: Chunk,
+			},
+			{
+				Name: "network", Kind: core.Link,
+				Rate:    10 * units.GiBPerSec,
+				Latency: 80 * time.Nanosecond,
+				JobIn:   Chunk, JobOut: Chunk,
+				MaxPacket: Chunk,
+			},
+			{
+				Name: "decrypt", Kind: core.Compute,
+				Rate: 90 * units.MiBPerSec, MaxRate: 113 * units.MiBPerSec,
+				Latency: 40 * time.Nanosecond,
+				JobIn:   Chunk, JobOut: Chunk,
+				MaxPacket: Chunk,
+			},
+			{
+				Name: "decompress", Kind: core.Compute,
+				Rate: 1495 * units.MiBPerSec, MaxRate: 1543 * units.MiBPerSec,
+				Latency: 20 * time.Nanosecond,
+				JobIn:   Chunk, JobOut: Chunk, // ratio 1.0 worst case
+				BestGain:  RatioMax, // restores the volume in the best case
+				MaxPacket: Chunk,
+			},
+			{
+				Name: "pcie", Kind: core.Link,
+				Rate:    11 * units.GiBPerSec,
+				Latency: 14 * time.Nanosecond,
+				JobIn:   Chunk, JobOut: Chunk,
+				MaxPacket: Chunk,
+			},
+		},
+	}
+}
+
+// Analyze runs the network-calculus model on the calibrated pipeline.
+func Analyze() (*core.Analysis, error) { return core.Analyze(Pipeline()) }
+
+// QueueingNetwork returns the M/M/1 comparison model: Table 2 average rates
+// with the average compression ratio (2.2x), whose roofline lands at the
+// paper's 151 MiB/s prediction (68 x 2.2 ~ 150).
+func QueueingNetwork() queueing.Network {
+	avgOut := units.Bytes(float64(Chunk) / RatioAvg)
+	return queueing.Network{
+		Name:        "bump-in-the-wire",
+		ArrivalRate: ArrivalRate,
+		Stages: []queueing.Stage{
+			{Name: "compress", Rate: 2662 * units.MiBPerSec, JobIn: Chunk, JobOut: avgOut},
+			{Name: "encrypt", Rate: 68 * units.MiBPerSec, JobIn: avgOut, JobOut: avgOut},
+			{Name: "network", Rate: 10 * units.GiBPerSec, JobIn: avgOut, JobOut: avgOut},
+			{Name: "decrypt", Rate: 90 * units.MiBPerSec, JobIn: avgOut, JobOut: avgOut},
+			{Name: "decompress", Rate: 1495 * units.MiBPerSec, JobIn: avgOut, JobOut: Chunk},
+			{Name: "pcie", Rate: 11 * units.GiBPerSec, JobIn: Chunk, JobOut: Chunk},
+		},
+	}
+}
+
+// simStages builds the discrete-event simulation stages. Like the paper's
+// simulator, the network gathers 1 KiB normalized chunks and the worst-case
+// compression ratio (1.0) applies, so volumes are unchanged end to end.
+// The crypto and codec kernels stream at finer granularity (AES processes
+// 16-byte blocks; the FPGA deployment overlaps kernels through stream
+// channels, which the paper notes its own simulator does not model), so
+// those stages use 256-byte jobs. The encrypt band [56, 68] has a
+// uniform-execution mean rate of ~61.4 MiB/s — the paper's simulated
+// 61 MiB/s.
+func simStages(capped bool) []sim.StageConfig {
+	mk := func(name string, minRate, maxRate units.Rate, job, cap units.Bytes) sim.StageConfig {
+		cfg := sim.StageFromRate(name, minRate, maxRate, job, job)
+		if capped && cap > 0 {
+			cfg.QueueCap = cap
+		}
+		return cfg
+	}
+	fine := units.Bytes(256)
+	return []sim.StageConfig{
+		mk("compress", 1181*units.MiBPerSec, 6386*units.MiBPerSec, Chunk, 4*units.KiB),
+		mk("encrypt", 56*units.MiBPerSec, 68*units.MiBPerSec, fine, 4*units.KiB),
+		mk("network", 10*units.GiBPerSec, 10*units.GiBPerSec, fine, 4*units.KiB),
+		mk("decrypt", 77*units.MiBPerSec, 113*units.MiBPerSec, fine, 4*units.KiB),
+		mk("decompress", 1426*units.MiBPerSec, 1543*units.MiBPerSec, fine, 4*units.KiB),
+		mk("pcie", 11*units.GiBPerSec, 11*units.GiBPerSec, fine, 4*units.KiB),
+	}
+}
+
+// SimulateThroughput runs the long-run simulation with finite queues; the
+// throughput is the paper's Table 3 simulation row (61 MiB/s).
+func SimulateThroughput(totalInput units.Bytes, seed uint64) (*sim.Result, error) {
+	p := sim.New(sim.SourceConfig{
+		Rate:       ArrivalRate,
+		PacketSize: Chunk,
+		TotalInput: totalInput,
+	}, seed)
+	for _, st := range simStages(true) {
+		p.Add(st)
+	}
+	return p.Run()
+}
+
+// SimulateJobTraversal pushes a single b'-sized burst through the pipeline
+// and reports traversal delays (paper: 25.7–36.7 µs, within the 38 µs
+// estimate) and the backlog watermark (paper: 2 KiB, within 3 KiB).
+func SimulateJobTraversal(seed uint64) (*sim.Result, error) {
+	total := ArrivalBurst + Chunk
+	p := sim.New(sim.SourceConfig{
+		Rate:       ArrivalRate,
+		PacketSize: Chunk,
+		Burst:      ArrivalBurst,
+		TotalInput: total,
+	}, seed)
+	for _, st := range simStages(false) {
+		p.Add(st)
+	}
+	return p.Run()
+}
+
+// TraditionalPipeline models the same functionality deployed the
+// traditional way (paper Figures 5 and 7): the FPGA hangs off the host
+// PCIe bus, so compressed+encrypted data must cross PCIe back to host
+// memory and then out through the host NIC — two extra data movements that
+// the bump-in-the-wire configuration eliminates.
+func TraditionalPipeline() core.Pipeline {
+	p := Pipeline()
+	extra := []core.Node{
+		{
+			Name: "pcie-fpga-to-host", Kind: core.Link,
+			Rate:    11 * units.GiBPerSec,
+			Latency: 900 * time.Nanosecond,
+			JobIn:   Chunk, JobOut: Chunk,
+			MaxPacket: Chunk,
+		},
+		{
+			Name: "host-staging", Kind: core.Compute,
+			Rate:    8 * units.GiBPerSec,
+			Latency: 500 * time.Nanosecond,
+			JobIn:   Chunk, JobOut: Chunk,
+			MaxPacket: Chunk,
+		},
+	}
+	// Insert the extra hops between encrypt and network.
+	nodes := make([]core.Node, 0, len(p.Nodes)+2)
+	nodes = append(nodes, p.Nodes[:2]...)
+	nodes = append(nodes, extra...)
+	nodes = append(nodes, p.Nodes[2:]...)
+	p.Nodes = nodes
+	p.Name = "traditional-fpga"
+	return p
+}

@@ -1,0 +1,154 @@
+package bitwmodel
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"streamcalc/internal/core"
+	"streamcalc/internal/queueing"
+	"streamcalc/internal/units"
+)
+
+func relErr(got, want float64) float64 { return math.Abs(got-want) / math.Abs(want) }
+
+// Table 3, analytic rows: upper 313 MiB/s, lower 59 MiB/s.
+func TestTable3NetworkCalculusBounds(t *testing.T) {
+	a, err := Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(a.ThroughputLower) / float64(units.MiBPerSec); relErr(got, 59) > 0.005 {
+		t.Errorf("lower bound = %.1f MiB/s, want 59", got)
+	}
+	if got := float64(a.ThroughputUpper) / float64(units.MiBPerSec); relErr(got, 313) > 0.005 {
+		t.Errorf("upper bound = %.1f MiB/s, want 313 (= 59 x 5.3)", got)
+	}
+	if a.Bottleneck().Node.Name != "encrypt" {
+		t.Errorf("bottleneck = %s", a.Bottleneck().Node.Name)
+	}
+}
+
+// §5 points 1 and 2: d = 38 µs, x = 3 KiB (transient estimates).
+func TestSection5Estimates(t *testing.T) {
+	a, err := Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Overloaded {
+		t.Error("R_alpha (2662) > R_beta (59): must flag overload")
+	}
+	if got := a.DelayEstimate.Seconds() * 1e6; relErr(got, 38) > 0.01 {
+		t.Errorf("delay estimate = %.2f µs, want 38", got)
+	}
+	if got := float64(a.BacklogEstimate) / float64(units.KiB); relErr(got, 3) > 0.01 {
+		t.Errorf("backlog estimate = %.3f KiB, want 3", got)
+	}
+}
+
+// Table 3, queueing-theory row: 151 MiB/s (we derive 68 x 2.2 ~ 150).
+func TestTable3QueueingPrediction(t *testing.T) {
+	res, err := queueing.Analyze(QueueingNetwork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(res.Roofline) / float64(units.MiBPerSec); relErr(got, 151) > 0.02 {
+		t.Errorf("queueing roofline = %.1f MiB/s, want ~151", got)
+	}
+}
+
+// Table 3, simulation row: 61 MiB/s, just above the lower bound.
+func TestTable3Simulation(t *testing.T) {
+	res, err := SimulateThroughput(32*units.MiB, SimSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(res.Throughput) / float64(units.MiBPerSec)
+	if got < 58 || got > 64 {
+		t.Errorf("simulated throughput = %.1f MiB/s, want ~61", got)
+	}
+	a, _ := Analyze()
+	lower := float64(a.ThroughputLower) / float64(units.MiBPerSec)
+	upper := float64(a.ThroughputUpper) / float64(units.MiBPerSec)
+	if got < lower-2 || got > upper {
+		t.Errorf("simulation %.1f outside NC bounds [%.1f, %.1f]", got, lower, upper)
+	}
+}
+
+// §5 corroboration: traversal delays near the 38 µs estimate, backlog
+// below 3 KiB. In the overloaded regime the closed form is the paper's §3
+// heuristic estimate rather than a hard bound, so the simulation is
+// required to land within 10% of it (the paper's own simulator observed
+// 25.7–36.7 µs).
+func TestJobTraversalWithinEstimates(t *testing.T) {
+	res, err := SimulateJobTraversal(SimSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := Analyze()
+	limit := time.Duration(float64(a.DelayEstimate) * 1.10)
+	if res.DelayMax > limit {
+		t.Errorf("sim delay max %v exceeds estimate %v by more than 10%%", res.DelayMax, a.DelayEstimate)
+	}
+	if res.DelayMax < 20*time.Microsecond {
+		t.Errorf("sim delay max %v implausibly small", res.DelayMax)
+	}
+	if res.MaxBacklog > a.BacklogEstimate {
+		t.Errorf("sim backlog %v exceeds estimate %v", res.MaxBacklog, a.BacklogEstimate)
+	}
+}
+
+// Table 3 ordering: lower <= sim <= QT <= upper.
+func TestTable3Ordering(t *testing.T) {
+	a, _ := Analyze()
+	qt, _ := queueing.Analyze(QueueingNetwork())
+	simRes, err := SimulateThroughput(32*units.MiB, SimSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower := float64(a.ThroughputLower)
+	upper := float64(a.ThroughputUpper)
+	s := float64(simRes.Throughput)
+	q := float64(qt.Roofline)
+	if !(lower <= s*1.02 && s <= q && q <= upper) {
+		t.Errorf("ordering violated: lower %.0f, sim %.0f, qt %.0f, upper %.0f MiB/s",
+			lower/float64(units.MiBPerSec), s/float64(units.MiBPerSec),
+			q/float64(units.MiBPerSec), upper/float64(units.MiBPerSec))
+	}
+}
+
+// The bump-in-the-wire advantage (Figures 5-8): same throughput bounds,
+// strictly lower latency estimate than the traditional deployment with its
+// extra PCIe + host hops.
+func TestBumpVsTraditional(t *testing.T) {
+	bump, err := Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trad, err := core.Analyze(TraditionalPipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trad.ThroughputLower != bump.ThroughputLower {
+		t.Errorf("throughput lower differs: %v vs %v", trad.ThroughputLower, bump.ThroughputLower)
+	}
+	if trad.DelayEstimate <= bump.DelayEstimate {
+		t.Errorf("traditional delay %v must exceed bump-in-the-wire %v",
+			trad.DelayEstimate, bump.DelayEstimate)
+	}
+	if trad.TotalLatency <= bump.TotalLatency {
+		t.Error("traditional latency must exceed bump-in-the-wire")
+	}
+}
+
+func TestPipelinesValidate(t *testing.T) {
+	if err := Pipeline().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := TraditionalPipeline().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(TraditionalPipeline().Nodes) != len(Pipeline().Nodes)+2 {
+		t.Error("traditional pipeline must add two hops")
+	}
+}

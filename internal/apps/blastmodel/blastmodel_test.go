@@ -1,0 +1,138 @@
+package blastmodel
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"streamcalc/internal/queueing"
+	"streamcalc/internal/units"
+)
+
+func relErr(got, want float64) float64 { return math.Abs(got-want) / math.Abs(want) }
+
+// Table 1, analytic rows: upper 704 MiB/s, lower 350 MiB/s.
+func TestTable1NetworkCalculusBounds(t *testing.T) {
+	a, err := Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(a.ThroughputUpper) / float64(units.MiBPerSec); relErr(got, 704) > 0.005 {
+		t.Errorf("upper bound = %.1f MiB/s, want 704", got)
+	}
+	if got := float64(a.ThroughputLower) / float64(units.MiBPerSec); relErr(got, 350) > 0.005 {
+		t.Errorf("lower bound = %.1f MiB/s, want 350", got)
+	}
+	if a.Bottleneck().Node.Name != "gpu-blast" {
+		t.Errorf("bottleneck = %s", a.Bottleneck().Node.Name)
+	}
+}
+
+// §4.2 points 1 and 2: d = 46.9 ms, x = 20.6 MiB (transient estimates —
+// the system is in the R_alpha > R_beta regime).
+func TestSection42Estimates(t *testing.T) {
+	a, err := Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Overloaded {
+		t.Error("BLAST operates with R_alpha > R_beta; Analyze must flag it")
+	}
+	if got := a.DelayEstimate.Seconds() * 1000; relErr(got, 46.9) > 0.01 {
+		t.Errorf("delay estimate = %.2f ms, want 46.9", got)
+	}
+	if got := float64(a.BacklogEstimate) / float64(units.MiB); relErr(got, 20.6) > 0.01 {
+		t.Errorf("backlog estimate = %.2f MiB, want 20.6", got)
+	}
+}
+
+// Table 1, queueing-theory row: 500 MiB/s.
+func TestTable1QueueingPrediction(t *testing.T) {
+	res, err := queueing.Analyze(QueueingNetwork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(res.Roofline) / float64(units.MiBPerSec); relErr(got, 500) > 0.005 {
+		t.Errorf("queueing roofline = %.1f MiB/s, want 500", got)
+	}
+}
+
+// Table 1, simulation row: 353 MiB/s (paper), just above the lower bound.
+func TestTable1Simulation(t *testing.T) {
+	res, err := SimulateThroughput(512*units.MiB, SimSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(res.Throughput) / float64(units.MiBPerSec)
+	if got < 348 || got > 360 {
+		t.Errorf("simulated throughput = %.1f MiB/s, want ~353", got)
+	}
+	// The key shape property: the simulation lands between the NC bounds,
+	// just above the lower one.
+	a, _ := Analyze()
+	lower := float64(a.ThroughputLower) / float64(units.MiBPerSec)
+	upper := float64(a.ThroughputUpper) / float64(units.MiBPerSec)
+	if got < lower-5 || got > upper {
+		t.Errorf("simulation %.1f outside NC bounds [%.1f, %.1f]", got, lower, upper)
+	}
+}
+
+// §4.2 corroboration: simulated job-traversal delays land below (and near)
+// the 46.9 ms estimate, and the backlog watermark stays below 20.6 MiB.
+func TestJobTraversalWithinEstimates(t *testing.T) {
+	res, err := SimulateJobTraversal(SimSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := Analyze()
+	if res.DelayMax > a.DelayEstimate {
+		t.Errorf("sim delay max %v exceeds estimate %v", res.DelayMax, a.DelayEstimate)
+	}
+	if res.DelayMax < 38*time.Millisecond {
+		t.Errorf("sim delay max %v implausibly far below the estimate", res.DelayMax)
+	}
+	if res.MaxBacklog > a.BacklogEstimate {
+		t.Errorf("sim backlog %v exceeds estimate %v", res.MaxBacklog, a.BacklogEstimate)
+	}
+	if res.MaxBacklog < 10*units.MiB {
+		t.Errorf("sim backlog %v should be near the burst size", res.MaxBacklog)
+	}
+}
+
+// The ordering of Table 1 must hold: lower <= sim <= QT <= upper.
+func TestTable1Ordering(t *testing.T) {
+	a, _ := Analyze()
+	qt, _ := queueing.Analyze(QueueingNetwork())
+	simRes, err := SimulateThroughput(256*units.MiB, SimSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower := float64(a.ThroughputLower)
+	upper := float64(a.ThroughputUpper)
+	s := float64(simRes.Throughput)
+	q := float64(qt.Roofline)
+	if !(lower <= s*1.01 && s <= q && q <= upper) {
+		t.Errorf("ordering violated: lower %.0f, sim %.0f, qt %.0f, upper %.0f",
+			lower/1e6, s/1e6, q/1e6, upper/1e6)
+	}
+}
+
+func TestPipelineValidates(t *testing.T) {
+	if err := Pipeline().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulationDeterminism(t *testing.T) {
+	a, err := SimulateThroughput(64*units.MiB, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateThroughput(64*units.MiB, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Throughput != b.Throughput || a.DelayMax != b.DelayMax {
+		t.Error("same seed must reproduce")
+	}
+}

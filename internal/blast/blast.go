@@ -1,0 +1,150 @@
+// Package blast implements the BLASTN biosequence-alignment pipeline of the
+// paper's first case study as real, runnable software: the fa2bit packing
+// pre-processing step (implemented on an FPGA in the paper), seed matching
+// against a query 8-mer hash table, seed enumeration, small extension, and
+// ungapped (X-drop) extension in a bounded window. Each stage can run in
+// isolation so its throughput and job ratio can be measured the way the
+// paper parameterizes its models from isolated measurements.
+//
+// Stage chain (paper Figure 2):
+//
+//	FASTA -> fa2bit -> seed match -> seed enumeration -> small extension
+//	      -> ungapped extension -> hits
+package blast
+
+import (
+	"errors"
+	"fmt"
+)
+
+// K is the seed length in bases (8-mers, as NCBI BLASTN uses by default for
+// its lookup table in the paper's implementation).
+const K = 8
+
+// Window is the maximum ungapped-extension window in bases, centered on the
+// seed match (the paper's implementation limits extension to a fixed
+// 128-base window).
+const Window = 128
+
+// Scoring used by ungapped extension: BLASTN-style match reward and
+// mismatch penalty with an X-drop cutoff.
+const (
+	MatchScore    = 1
+	MismatchScore = -3
+	XDrop         = 10
+)
+
+// code maps a nucleotide to its 2-bit encoding (A=0, C=1, G=2, T=3).
+// Ambiguous bases (N etc.) map to A, matching common packed-database
+// behaviour of treating unknowns as an arbitrary base.
+func code(b byte) uint16 {
+	switch b {
+	case 'A', 'a':
+		return 0
+	case 'C', 'c':
+		return 1
+	case 'G', 'g':
+		return 2
+	case 'T', 't':
+		return 3
+	default:
+		return 0
+	}
+}
+
+// Pack2Bit converts an ASCII base sequence to its 2-bit packed form (the
+// DIBS fa2bit data-integration task): four bases per byte, first base in
+// the low-order bits. The trailing partial byte (if any) is zero-padded.
+func Pack2Bit(seq []byte) []byte {
+	out := make([]byte, (len(seq)+3)/4)
+	for i, b := range seq {
+		out[i/4] |= byte(code(b)) << (2 * (i % 4))
+	}
+	return out
+}
+
+// Unpack2Bit reverses Pack2Bit for n bases.
+func Unpack2Bit(packed []byte, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		out[i] = "ACGT"[(packed[i/4]>>(2*(i%4)))&3]
+	}
+	return out
+}
+
+// baseAt returns the 2-bit code of base i in a packed sequence.
+func baseAt(packed []byte, i int) uint16 {
+	return uint16(packed[i/4]>>(2*(i%4))) & 3
+}
+
+// kmerAt returns the 16-bit 8-mer code starting at base position i of a
+// packed sequence (positions need not be byte aligned).
+func kmerAt(packed []byte, i int) uint16 {
+	var v uint16
+	for k := 0; k < K; k++ {
+		v |= baseAt(packed, i+k) << (2 * k)
+	}
+	return v
+}
+
+// kmerAtAligned returns the 8-mer at byte-aligned base position i (i%4==0)
+// using a direct 2-byte load — the fast path the seed-match stage scans
+// with.
+func kmerAtAligned(packed []byte, i int) uint16 {
+	j := i / 4
+	return uint16(packed[j]) | uint16(packed[j+1])<<8
+}
+
+// QueryIndex is the hash table over all 8-mers of the query sequence,
+// stored in GPU DRAM in the paper's implementation.
+type QueryIndex struct {
+	// table maps each possible 8-mer to the query positions where it
+	// occurs.
+	table [1 << (2 * K)][]uint32
+	// packed is the 2-bit query; n its length in bases.
+	packed []byte
+	n      int
+}
+
+// NewQueryIndex builds the index for a query sequence (ASCII bases).
+// Queries shorter than K are rejected.
+func NewQueryIndex(query []byte) (*QueryIndex, error) {
+	if len(query) < K {
+		return nil, errors.New("blast: query shorter than seed length")
+	}
+	if len(query) >= 1<<31 {
+		return nil, errors.New("blast: query too long for 32-bit positions")
+	}
+	qi := &QueryIndex{packed: Pack2Bit(query), n: len(query)}
+	for i := 0; i+K <= len(query); i++ {
+		km := kmerAt(qi.packed, i)
+		qi.table[km] = append(qi.table[km], uint32(i))
+	}
+	return qi, nil
+}
+
+// QueryLen returns the query length in bases.
+func (qi *QueryIndex) QueryLen() int { return qi.n }
+
+// Positions returns the query positions of an 8-mer code.
+func (qi *QueryIndex) Positions(kmer uint16) []uint32 { return qi.table[kmer] }
+
+// Match is a seed match: database position P and query position Q.
+type Match struct {
+	P, Q uint32
+}
+
+// Hit is an ungapped-extension result above threshold.
+type Hit struct {
+	// P and Q are the positions of the original seed match.
+	P, Q uint32
+	// Score is the best ungapped extension score.
+	Score int
+	// Len is the extended match length in bases.
+	Len int
+}
+
+// String renders a hit compactly.
+func (h Hit) String() string {
+	return fmt.Sprintf("db:%d query:%d score:%d len:%d", h.P, h.Q, h.Score, h.Len)
+}

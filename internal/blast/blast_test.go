@@ -1,0 +1,272 @@
+package blast
+
+import (
+	"bytes"
+	"testing"
+
+	"streamcalc/internal/gen"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 4, 5, 100, 1001} {
+		seq := gen.DNA(n, uint64(n))
+		packed := Pack2Bit(seq)
+		if len(packed) != (n+3)/4 {
+			t.Errorf("n=%d: packed len %d", n, len(packed))
+		}
+		back := Unpack2Bit(packed, n)
+		if !bytes.Equal(back, seq) {
+			t.Errorf("n=%d: round trip failed", n)
+		}
+	}
+}
+
+func TestPackHandlesAmbiguityAndCase(t *testing.T) {
+	packed := Pack2Bit([]byte("acgtN"))
+	if got := Unpack2Bit(packed, 5); string(got) != "ACGTA" {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestKmerConsistency(t *testing.T) {
+	seq := gen.DNA(64, 3)
+	packed := Pack2Bit(seq)
+	for p := 0; p+K <= 64; p += 4 {
+		if kmerAt(packed, p) != kmerAtAligned(packed, p) {
+			t.Fatalf("aligned/general kmer mismatch at %d", p)
+		}
+	}
+}
+
+func TestQueryIndexPositions(t *testing.T) {
+	query := []byte("ACGTACGTACGT") // 8-mers at 0..4, with repeats
+	qi, err := NewQueryIndex(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	km := kmerAt(Pack2Bit(query), 0)
+	pos := qi.Positions(km)
+	// "ACGTACGT" occurs at positions 0 and 4.
+	if len(pos) != 2 || pos[0] != 0 || pos[1] != 4 {
+		t.Errorf("positions = %v", pos)
+	}
+	if qi.QueryLen() != 12 {
+		t.Errorf("query len = %d", qi.QueryLen())
+	}
+}
+
+func TestQueryIndexErrors(t *testing.T) {
+	if _, err := NewQueryIndex([]byte("ACGT")); err == nil {
+		t.Error("short query must fail")
+	}
+}
+
+func TestSeedMatchFindsPlantedQuery(t *testing.T) {
+	query := gen.DNA(64, 5)
+	// Plant at byte-aligned positions so the aligned scan sees the exact
+	// 8-mers.
+	db, plants := gen.DNAWithPlants(1<<16, query, 4096, 6)
+	qi, _ := NewQueryIndex(query)
+	packed := Pack2Bit(db)
+	positions := SeedMatch(qi, packed, len(db), nil)
+	found := map[int]bool{}
+	for _, p := range positions {
+		found[int(p)] = true
+	}
+	for _, plant := range plants {
+		if plant%4 != 0 {
+			continue
+		}
+		if !found[plant] {
+			t.Errorf("planted query at %d not seed-matched", plant)
+		}
+	}
+	if len(positions) == 0 {
+		t.Fatal("no seed matches at all")
+	}
+}
+
+func TestSeedMatchSelectivity(t *testing.T) {
+	// Random database vs short query: expected hit rate per byte-aligned
+	// 8-mer is ~(#query 8-mers)/65536 — strongly filtering.
+	query := gen.DNA(128, 7)
+	db := gen.DNA(1<<18, 8)
+	qi, _ := NewQueryIndex(query)
+	packed := Pack2Bit(db)
+	positions := SeedMatch(qi, packed, len(db), nil)
+	scanned := len(db) / 4
+	rate := float64(len(positions)) / float64(scanned)
+	if rate > 0.02 {
+		t.Errorf("selectivity too weak: %.4f", rate)
+	}
+}
+
+func TestEndToEndFindsPlants(t *testing.T) {
+	query := gen.DNA(256, 9)
+	db, plants := gen.DNAWithPlants(1<<17, query, 8192, 10)
+	res, err := Run(db, query, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) == 0 {
+		t.Fatal("no hits for planted queries")
+	}
+	// Every byte-aligned plant must yield at least one high-scoring hit
+	// near its position.
+	for _, plant := range plants {
+		if plant%4 != 0 {
+			continue
+		}
+		ok := false
+		for _, h := range res.Hits {
+			if int(h.P) >= plant && int(h.P) < plant+256 && h.Score >= 30 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("no hit covering plant at %d", plant)
+		}
+	}
+}
+
+func TestEndToEndMutatedQueryStillHits(t *testing.T) {
+	target := gen.DNA(200, 11)
+	db, _ := gen.DNAWithPlants(1<<16, target, 1<<15, 12)
+	query := gen.MutatedCopy(target, 0.03, 13) // 3% mutations
+	res, err := Run(db, query, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) == 0 {
+		t.Error("homologous query should still hit")
+	}
+}
+
+func TestRandomDBFewHits(t *testing.T) {
+	query := gen.DNA(128, 14)
+	db := gen.DNA(1<<17, 15)
+	res, err := Run(db, query, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With threshold 28 on random data, hits should be rare (expected
+	// extension score stays near the seed score of 8).
+	if res.Counts.Hits > res.Counts.SeedMatches/10+5 {
+		t.Errorf("too many hits on random data: %+v", res.Counts)
+	}
+	// Filter cascade: each stage reduces or modestly expands volume.
+	if res.Counts.SeedPositions == 0 {
+		t.Skip("no seed positions on this seed (extremely unlikely)")
+	}
+	if res.Counts.SeedMatches < res.Counts.SeedPositions {
+		t.Errorf("enumeration can only expand: %+v", res.Counts)
+	}
+	if res.Counts.SmallPassed > res.Counts.SeedMatches {
+		t.Errorf("small extension can only filter: %+v", res.Counts)
+	}
+}
+
+func TestSmallExtensionFilters(t *testing.T) {
+	// A seed match with mismatches on both flanks must be rejected
+	// (8 < 11), while a planted long identity passes.
+	query := gen.DNA(64, 16)
+	db, _ := gen.DNAWithPlants(1<<14, query, 1<<13, 17)
+	qi, _ := NewQueryIndex(query)
+	packed := Pack2Bit(db)
+	positions := SeedMatch(qi, packed, len(db), nil)
+	matches := SeedEnumerate(qi, packed, positions, nil)
+	passed := SmallExtension(qi, packed, len(db), matches, nil)
+	if len(passed) > len(matches) {
+		t.Error("small extension must filter")
+	}
+	if len(passed) == 0 {
+		t.Error("planted identities must pass small extension")
+	}
+}
+
+func TestUngappedExtensionScoresPlant(t *testing.T) {
+	query := gen.DNA(100, 18)
+	db, plants := gen.DNAWithPlants(1<<14, query, 1<<13, 19)
+	qi, _ := NewQueryIndex(query)
+	packed := Pack2Bit(db)
+	positions := SeedMatch(qi, packed, len(db), nil)
+	matches := SeedEnumerate(qi, packed, positions, nil)
+	passed := SmallExtension(qi, packed, len(db), matches, nil)
+	hits := UngappedExtension(qi, packed, len(db), passed, 40, nil)
+	if len(plants) > 0 && len(hits) == 0 {
+		t.Fatal("planted 100-base identity must score >= 40")
+	}
+	for _, h := range hits {
+		if h.Len < K || h.Len > Window {
+			t.Errorf("hit length %d outside [K, Window]", h.Len)
+		}
+		if h.Score < 40 {
+			t.Errorf("hit below threshold: %v", h)
+		}
+	}
+}
+
+func TestHitString(t *testing.T) {
+	h := Hit{P: 1, Q: 2, Score: 3, Len: 4}
+	if h.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestMeasureStages(t *testing.T) {
+	query := gen.DNA(256, 20)
+	db, _ := gen.DNAWithPlants(1<<18, query, 1<<14, 21)
+	ms, err := MeasureStages(db, query, 30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 5 {
+		t.Fatalf("stages = %d", len(ms))
+	}
+	names := []string{"fa2bit", "seed-match", "seed-enum", "small-ext", "ungapped-ext"}
+	for i, m := range ms {
+		if m.Name != names[i] {
+			t.Errorf("stage %d name %q", i, m.Name)
+		}
+		if m.Rate <= 0 {
+			t.Errorf("stage %s rate %v", m.Name, m.Rate)
+		}
+	}
+	// fa2bit has a fixed 4:1 job ratio.
+	if r := ms[0].JobRatio(); r < 3.9 || r > 4.2 {
+		t.Errorf("fa2bit job ratio = %v, want ~4", r)
+	}
+	// seed-match is strongly filtering: job ratio >> 1.
+	if r := ms[1].JobRatio(); r < 2 {
+		t.Errorf("seed-match job ratio = %v, want filtering", r)
+	}
+	if _, err := MeasureStages(db, []byte("ACG"), 30, 1); err == nil {
+		t.Error("short query must fail")
+	}
+}
+
+func BenchmarkSeedMatch(b *testing.B) {
+	query := gen.DNA(256, 22)
+	db := gen.DNA(1<<20, 23)
+	qi, _ := NewQueryIndex(query)
+	packed := Pack2Bit(db)
+	b.SetBytes(int64(len(packed)))
+	b.ResetTimer()
+	var positions []uint32
+	for i := 0; i < b.N; i++ {
+		positions = SeedMatch(qi, packed, len(db), positions[:0])
+	}
+}
+
+func BenchmarkFullPipeline(b *testing.B) {
+	query := gen.DNA(256, 24)
+	db, _ := gen.DNAWithPlants(1<<20, query, 1<<16, 25)
+	b.SetBytes(int64(len(db)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(db, query, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package blast
+
+// Chunked streaming execution: the database is scanned in fixed-size
+// batches, the way the deployed system streams it from the FPGA through
+// the network to GPU memory, rather than as one resident buffer. Seed
+// scanning honors chunk boundaries with an overlap of K-1 bases so no
+// byte-aligned 8-mer is missed; extension stages read the packed database
+// (resident in device memory in the real system). The hit set is identical
+// to Run's.
+
+// ChunkStats records per-chunk progress of a streaming run.
+type ChunkStats struct {
+	Chunks        int
+	Positions     int
+	Matches       int
+	SmallSurvived int
+}
+
+// RunChunked executes the pipeline scanning the database in chunkBases-base
+// batches and returns the hits plus chunk statistics. chunkBases is rounded
+// up to a multiple of 4 (byte alignment); values below 4*K are raised to
+// that minimum.
+func RunChunked(db, query []byte, threshold, chunkBases int) ([]Hit, *ChunkStats, error) {
+	qi, err := NewQueryIndex(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	if chunkBases < 4*K {
+		chunkBases = 4 * K
+	}
+	if rem := chunkBases % 4; rem != 0 {
+		chunkBases += 4 - rem
+	}
+	packed := Pack2Bit(db)
+	dbLen := len(db)
+	stats := &ChunkStats{}
+	var hits []Hit
+	var positions []uint32
+	var matches, passed []Match
+
+	for start := 0; start < dbLen; start += chunkBases {
+		end := start + chunkBases
+		if end > dbLen {
+			end = dbLen
+		}
+		stats.Chunks++
+		// Scan byte-aligned positions whose 8-mer starts inside
+		// [start, end); the 8-mer itself may read up to K-1 bases past the
+		// chunk (the overlap the streaming transport carries).
+		positions = positions[:0]
+		for p := start; p < end && p+K <= dbLen; p += 4 {
+			if len(qi.table[kmerAtAligned(packed, p)]) > 0 {
+				positions = append(positions, uint32(p))
+			}
+		}
+		stats.Positions += len(positions)
+
+		matches = SeedEnumerate(qi, packed, positions, matches[:0])
+		stats.Matches += len(matches)
+
+		passed = SmallExtension(qi, packed, dbLen, matches, passed[:0])
+		stats.SmallSurvived += len(passed)
+
+		hits = UngappedExtension(qi, packed, dbLen, passed, threshold, hits)
+	}
+	return hits, stats, nil
+}

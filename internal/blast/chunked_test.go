@@ -1,0 +1,72 @@
+package blast
+
+import (
+	"testing"
+
+	"streamcalc/internal/gen"
+)
+
+func TestChunkedMatchesDirectRun(t *testing.T) {
+	query := gen.DNA(200, 71)
+	db, _ := gen.DNAWithPlants(1<<16, query, 1<<13, 72)
+	direct, err := Run(db, query, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{64, 1000, 4096, 1 << 15, 1 << 20} {
+		hits, stats, err := RunChunked(db, query, 28, chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hits) != len(direct.Hits) {
+			t.Fatalf("chunk %d: %d hits vs %d direct", chunk, len(hits), len(direct.Hits))
+		}
+		for i := range hits {
+			if hits[i] != direct.Hits[i] {
+				t.Fatalf("chunk %d: hit %d differs", chunk, i)
+			}
+		}
+		if stats.Positions != direct.Counts.SeedPositions {
+			t.Errorf("chunk %d: positions %d vs %d", chunk, stats.Positions, direct.Counts.SeedPositions)
+		}
+		wantChunks := (1<<16 + chunkRounded(chunk) - 1) / chunkRounded(chunk)
+		if stats.Chunks != wantChunks {
+			t.Errorf("chunk %d: chunks %d, want %d", chunk, stats.Chunks, wantChunks)
+		}
+	}
+}
+
+// chunkRounded mirrors RunChunked's rounding.
+func chunkRounded(c int) int {
+	if c < 4*K {
+		c = 4 * K
+	}
+	if rem := c % 4; rem != 0 {
+		c += 4 - rem
+	}
+	return c
+}
+
+func TestChunkedOddSizesAndBoundaries(t *testing.T) {
+	// A plant placed to straddle a chunk boundary must still be found.
+	query := gen.DNA(120, 73)
+	db := gen.DNA(10000, 74)
+	copy(db[4000-60:], query) // straddles the 4000 boundary used below
+	direct, err := Run(db, query, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, _, err := RunChunked(db, query, 25, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != len(direct.Hits) {
+		t.Fatalf("boundary-straddling plant lost: %d vs %d", len(hits), len(direct.Hits))
+	}
+}
+
+func TestChunkedShortQuery(t *testing.T) {
+	if _, _, err := RunChunked(gen.DNA(100, 75), []byte("AC"), 10, 64); err == nil {
+		t.Error("short query must fail")
+	}
+}

@@ -1,0 +1,109 @@
+package blast
+
+import (
+	"fmt"
+
+	"streamcalc/internal/mercator"
+)
+
+// This file runs the BLASTN stages as a Mercator-style irregular dataflow
+// (the way the paper's GPU implementation executes them): items flow
+// through finite queues, the scheduler batches work to keep occupancy
+// high, and each stage filters or expands its item stream.
+
+// DataflowConfig tunes the Mercator-style execution.
+type DataflowConfig struct {
+	// BatchWidth is the SIMD ensemble width (default 256).
+	BatchWidth int
+	// QueueCap bounds the inter-stage queues in items (default 4096).
+	QueueCap int
+	// Policy selects the scheduler (default mercator.FullestFirst).
+	Policy mercator.Policy
+}
+
+// RunDataflow executes the pipeline on the Mercator-style executor and
+// returns the hits plus the scheduling report. The hit set is identical to
+// Run's (scheduling changes order and batching, not results).
+func RunDataflow(db, query []byte, threshold int, cfg DataflowConfig) ([]Hit, *mercator.Report, error) {
+	if cfg.BatchWidth <= 0 {
+		cfg.BatchWidth = 256
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 4096
+	}
+	qi, err := NewQueryIndex(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	packed := Pack2Bit(db)
+	dbLen := len(db)
+
+	seedMatch := mercator.NodeFunc{NodeName: "seed-match", Fn: func(items []any) []any {
+		var out []any
+		for _, it := range items {
+			p := it.(uint32)
+			if len(qi.Positions(kmerAtAligned(packed, int(p)))) > 0 {
+				out = append(out, p)
+			}
+		}
+		return out
+	}}
+	seedEnum := mercator.NodeFunc{NodeName: "seed-enum", Fn: func(items []any) []any {
+		var out []any
+		for _, it := range items {
+			p := it.(uint32)
+			for _, q := range qi.Positions(kmerAtAligned(packed, int(p))) {
+				out = append(out, Match{P: p, Q: q})
+			}
+		}
+		return out
+	}}
+	smallExt := mercator.NodeFunc{NodeName: "small-ext", Fn: func(items []any) []any {
+		batch := make([]Match, len(items))
+		for i, it := range items {
+			batch[i] = it.(Match)
+		}
+		passed := SmallExtension(qi, packed, dbLen, batch, nil)
+		out := make([]any, len(passed))
+		for i, m := range passed {
+			out[i] = m
+		}
+		return out
+	}}
+	ungapped := mercator.NodeFunc{NodeName: "ungapped-ext", Fn: func(items []any) []any {
+		batch := make([]Match, len(items))
+		for i, it := range items {
+			batch[i] = it.(Match)
+		}
+		hits := UngappedExtension(qi, packed, dbLen, batch, threshold, nil)
+		out := make([]any, len(hits))
+		for i, h := range hits {
+			out[i] = h
+		}
+		return out
+	}}
+
+	inputs := make([]any, 0, dbLen/4)
+	for p := 0; p+K <= dbLen; p += 4 {
+		inputs = append(inputs, uint32(p))
+	}
+	pipe := mercator.New(mercator.Config{
+		BatchWidth: cfg.BatchWidth,
+		QueueCap:   cfg.QueueCap,
+		Policy:     cfg.Policy,
+	}).Add(seedMatch).Add(seedEnum).Add(smallExt).Add(ungapped)
+
+	rep, err := pipe.Run(inputs)
+	if err != nil {
+		return nil, nil, err
+	}
+	hits := make([]Hit, 0, len(rep.Outputs))
+	for _, o := range rep.Outputs {
+		h, ok := o.(Hit)
+		if !ok {
+			return nil, nil, fmt.Errorf("blast: unexpected dataflow output %T", o)
+		}
+		hits = append(hits, h)
+	}
+	return hits, rep, nil
+}

@@ -1,0 +1,78 @@
+package blast
+
+import (
+	"sort"
+	"testing"
+
+	"streamcalc/internal/gen"
+	"streamcalc/internal/mercator"
+)
+
+func sortHits(hs []Hit) {
+	sort.Slice(hs, func(i, j int) bool {
+		if hs[i].P != hs[j].P {
+			return hs[i].P < hs[j].P
+		}
+		return hs[i].Q < hs[j].Q
+	})
+}
+
+// The Mercator-style dataflow must produce exactly the same hit set as the
+// straight-line pipeline — scheduling changes batching, not results.
+func TestDataflowMatchesDirectRun(t *testing.T) {
+	query := gen.DNA(200, 51)
+	db, _ := gen.DNAWithPlants(1<<16, query, 1<<14, 52)
+	direct, err := Run(db, query, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range []mercator.Policy{mercator.FullestFirst, mercator.RoundRobin} {
+		hits, rep, err := RunDataflow(db, query, 28, DataflowConfig{Policy: policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hits) != len(direct.Hits) {
+			t.Fatalf("%v: %d hits vs direct %d", policy, len(hits), len(direct.Hits))
+		}
+		a := append([]Hit(nil), hits...)
+		b := append([]Hit(nil), direct.Hits...)
+		sortHits(a)
+		sortHits(b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: hit %d differs: %v vs %v", policy, i, a[i], b[i])
+			}
+		}
+		// The filter cascade shows in the per-stage item counts.
+		if rep.Stages[0].ItemsOut >= rep.Stages[0].ItemsIn {
+			t.Error("seed-match must filter")
+		}
+	}
+}
+
+func TestDataflowOccupancyAdvantage(t *testing.T) {
+	query := gen.DNA(200, 53)
+	db := gen.DNA(1<<17, 54)
+	_, ff, err := RunDataflow(db, query, 28, DataflowConfig{Policy: mercator.FullestFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rr, err := RunDataflow(db, query, 28, DataflowConfig{Policy: mercator.RoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Downstream of the strong seed-match filter, fullest-first should use
+	// no more firings than round-robin.
+	for i := 1; i < len(ff.Stages); i++ {
+		if ff.Stages[i].Firings > rr.Stages[i].Firings {
+			t.Errorf("stage %s: fullest-first fired %d > round-robin %d",
+				ff.Stages[i].Name, ff.Stages[i].Firings, rr.Stages[i].Firings)
+		}
+	}
+}
+
+func TestDataflowShortQueryError(t *testing.T) {
+	if _, _, err := RunDataflow(gen.DNA(1000, 55), []byte("ACG"), 20, DataflowConfig{}); err == nil {
+		t.Error("short query must fail")
+	}
+}

@@ -1,0 +1,185 @@
+package blast
+
+// Gapped extension: the stage the paper's implementation defers to the host
+// processor ("for BLASTN, that stage takes negligible time compared to the
+// rest of the pipeline"). We implement it as banded Needleman–Wunsch-style
+// alignment with affine gap penalties, seeded at each ungapped hit and
+// extended independently to the left and right, so the full NCBI-style
+// pipeline can run end to end.
+
+// Gap scoring (BLASTN-flavored): gap open and extend penalties on top of
+// the match/mismatch scores shared with ungapped extension.
+const (
+	GapOpen   = -5
+	GapExtend = -2
+	// GappedXDrop terminates extension when the score falls this far below
+	// the best seen (a coarser cutoff than ungapped, as NCBI uses).
+	GappedXDrop = 15
+	// Band is the half-width of the alignment band: the maximum difference
+	// between the database and query offsets explored.
+	Band = 8
+)
+
+// GappedHit is the result of gapped extension of an ungapped hit.
+type GappedHit struct {
+	Hit
+	// GappedScore is the total score of the best gapped alignment through
+	// the seed.
+	GappedScore int
+	// DBSpan and QuerySpan are the aligned lengths on each sequence.
+	DBSpan, QuerySpan int
+}
+
+// GappedExtension extends each hit with banded affine-gap alignment in both
+// directions and keeps those whose gapped score reaches threshold.
+func GappedExtension(qi *QueryIndex, packedDB []byte, dbLen int, hits []Hit, threshold int, out []GappedHit) []GappedHit {
+	for _, h := range hits {
+		right, dbR, qR := bandedExtend(qi, packedDB, dbLen, int(h.P)+K, int(h.Q)+K, +1)
+		left, dbL, qL := bandedExtend(qi, packedDB, dbLen, int(h.P)-1, int(h.Q)-1, -1)
+		score := K*MatchScore + left + right
+		if score >= threshold {
+			out = append(out, GappedHit{
+				Hit:         h,
+				GappedScore: score,
+				DBSpan:      K + dbL + dbR,
+				QuerySpan:   K + qL + qR,
+			})
+		}
+	}
+	return out
+}
+
+// bandedExtend runs a banded affine-gap dynamic program from (p0, q0)
+// moving in direction dir (+1 right, -1 left) and returns the best score
+// gain plus the spans consumed on each sequence at the best cell.
+func bandedExtend(qi *QueryIndex, packedDB []byte, dbLen, p0, q0, dir int) (best, dbSpan, qSpan int) {
+	// Remaining lengths in this direction.
+	var dbRem, qRem int
+	if dir > 0 {
+		dbRem = dbLen - p0
+		qRem = qi.n - q0
+	} else {
+		dbRem = p0 + 1
+		qRem = q0 + 1
+	}
+	if dbRem <= 0 || qRem <= 0 {
+		return 0, 0, 0
+	}
+	// Cap the extension window like the ungapped stage does.
+	limit := (Window - K) / 2
+	if dbRem > limit {
+		dbRem = limit
+	}
+	if qRem > limit {
+		qRem = limit
+	}
+
+	const negInf = -1 << 20
+	width := 2*Band + 1
+	// Three banded DP rows (match/mismatch M, gap-in-db D, gap-in-query Q),
+	// indexed by diagonal offset d = j - i + Band where i walks the DB and
+	// j the query.
+	m := make([]int, width)
+	dRow := make([]int, width)
+	qRow := make([]int, width)
+	mPrev := make([]int, width)
+	dPrev := make([]int, width)
+	qPrev := make([]int, width)
+	for k := 0; k < width; k++ {
+		mPrev[k], dPrev[k], qPrev[k] = negInf, negInf, negInf
+	}
+	mPrev[Band] = 0 // empty extension
+
+	best, dbSpan, qSpan = 0, 0, 0
+	// Anti-diagonal sweep: step s consumes one more DB base per row; query
+	// positions come from the band.
+	for i := 1; i <= dbRem; i++ {
+		rowBest := negInf
+		for k := 0; k < width; k++ {
+			j := i + k - Band // query length consumed at this cell
+			if j < 0 || j > qRem {
+				m[k], dRow[k], qRow[k] = negInf, negInf, negInf
+				continue
+			}
+			// Gap in query (consume DB only): from same diagonal shifted.
+			gq := negInf
+			if k+1 < width {
+				if v := mPrev[k+1] + GapOpen; v > gq {
+					gq = v
+				}
+				if v := qPrev[k+1] + GapExtend; v > gq {
+					gq = v
+				}
+			}
+			qRow[k] = gq
+			// Gap in DB (consume query only): from this row's previous cell.
+			gd := negInf
+			if k > 0 {
+				if v := m[k-1] + GapOpen; v > gd {
+					gd = v
+				}
+				if v := dRow[k-1] + GapExtend; v > gd {
+					gd = v
+				}
+			}
+			dRow[k] = gd
+			// Match/mismatch: consume one of each.
+			mm := negInf
+			if j >= 1 {
+				prev := mPrev[k]
+				if dPrev[k] > prev {
+					prev = dPrev[k]
+				}
+				if qPrev[k] > prev {
+					prev = qPrev[k]
+				}
+				if prev > negInf/2 {
+					pi := p0 + dir*(i-1)
+					qj := q0 + dir*(j-1)
+					s := MismatchScore
+					if baseAt(packedDB, pi) == baseAt(qi.packed, qj) {
+						s = MatchScore
+					}
+					mm = prev + s
+				}
+			}
+			m[k] = mm
+			for _, v := range [3]int{mm, gd, gq} {
+				if v > best {
+					best = v
+					dbSpan, qSpan = i, j
+				}
+				if v > rowBest {
+					rowBest = v
+				}
+			}
+		}
+		if rowBest < best-GappedXDrop {
+			break // X-drop cutoff
+		}
+		copy(mPrev, m)
+		copy(dPrev, dRow)
+		copy(qPrev, qRow)
+	}
+	if best < 0 {
+		return 0, 0, 0
+	}
+	return best, dbSpan, qSpan
+}
+
+// RunGapped executes the full pipeline including gapped extension:
+// thresholds apply to the ungapped stage (threshold) and the gapped stage
+// (gappedThreshold).
+func RunGapped(db, query []byte, threshold, gappedThreshold int) (*Result, []GappedHit, error) {
+	res, err := Run(db, query, threshold)
+	if err != nil {
+		return nil, nil, err
+	}
+	qi, err := NewQueryIndex(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	packed := Pack2Bit(db)
+	gapped := GappedExtension(qi, packed, len(db), res.Hits, gappedThreshold, nil)
+	return res, gapped, nil
+}

@@ -1,0 +1,137 @@
+package blast
+
+import (
+	"testing"
+
+	"streamcalc/internal/gen"
+)
+
+func TestGappedExtensionExactIdentity(t *testing.T) {
+	// A planted exact copy should reach (close to) the full window score
+	// and never score below its ungapped hit.
+	query := gen.DNA(120, 41)
+	db, plants := gen.DNAWithPlants(1<<15, query, 1<<14, 42)
+	if len(plants) == 0 {
+		t.Skip("no plants")
+	}
+	res, gapped, err := RunGapped(db, query, 40, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gapped) == 0 {
+		t.Fatal("planted identity must survive gapped extension")
+	}
+	for _, g := range gapped {
+		if g.GappedScore < g.Score {
+			t.Errorf("gapped score %d below ungapped %d (gaps are optional)",
+				g.GappedScore, g.Score)
+		}
+		if g.DBSpan < K || g.QuerySpan < K {
+			t.Errorf("span smaller than seed: %+v", g)
+		}
+	}
+	_ = res
+}
+
+func TestGappedExtensionBridgesAnInsertion(t *testing.T) {
+	// Build a database region = query with one base inserted in the
+	// middle. Ungapped extension stops at the frameshift; gapped extension
+	// bridges it and scores substantially higher.
+	query := gen.DNA(100, 43)
+	region := make([]byte, 0, len(query)+1)
+	region = append(region, query[:52]...)
+	region = append(region, 'A') // insertion
+	region = append(region, query[52:]...)
+
+	db := gen.DNA(1<<14, 44)
+	pos := 4096 // byte-aligned
+	copy(db[pos:], region)
+
+	qi, err := NewQueryIndex(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed := Pack2Bit(db)
+	positions := SeedMatch(qi, packed, len(db), nil)
+	matches := SeedEnumerate(qi, packed, positions, nil)
+	passed := SmallExtension(qi, packed, len(db), matches, nil)
+	hits := UngappedExtension(qi, packed, len(db), passed, 20, nil)
+	if len(hits) == 0 {
+		t.Fatal("no ungapped hits over the planted region")
+	}
+	gapped := GappedExtension(qi, packed, len(db), hits, 20, nil)
+	if len(gapped) == 0 {
+		t.Fatal("no gapped hits")
+	}
+	bestUngapped, bestGapped := 0, 0
+	for _, h := range hits {
+		if int(h.P) >= pos && int(h.P) < pos+len(region) && h.Score > bestUngapped {
+			bestUngapped = h.Score
+		}
+	}
+	for _, g := range gapped {
+		if int(g.P) >= pos && int(g.P) < pos+len(region) && g.GappedScore > bestGapped {
+			bestGapped = g.GappedScore
+		}
+	}
+	// Bridging one insertion costs GapOpen but recovers the other half of
+	// the identity: the gapped score must clearly beat the ungapped one.
+	if bestGapped <= bestUngapped {
+		t.Errorf("gapped %d should beat ungapped %d across an insertion",
+			bestGapped, bestUngapped)
+	}
+	// Spans differ by ~the insertion on the DB side.
+	for _, g := range gapped {
+		if g.DBSpan < 0 || g.QuerySpan < 0 || g.DBSpan > Window || g.QuerySpan > Window {
+			t.Errorf("implausible spans %+v", g)
+		}
+	}
+}
+
+func TestGappedExtensionFiltersByThreshold(t *testing.T) {
+	query := gen.DNA(100, 45)
+	db, _ := gen.DNAWithPlants(1<<14, query, 1<<13, 46)
+	res, err := Run(db, query, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qi, _ := NewQueryIndex(query)
+	packed := Pack2Bit(db)
+	low := GappedExtension(qi, packed, len(db), res.Hits, 10, nil)
+	high := GappedExtension(qi, packed, len(db), res.Hits, 55, nil)
+	if len(high) > len(low) {
+		t.Error("higher threshold cannot admit more hits")
+	}
+}
+
+func TestGappedExtensionAtSequenceEdges(t *testing.T) {
+	// Hits right at the start/end of the database must not read out of
+	// bounds.
+	query := gen.DNA(64, 47)
+	db := make([]byte, 1<<12)
+	copy(db, gen.DNA(1<<12, 48))
+	copy(db[0:], query[:32])            // prefix identity at the very start
+	copy(db[len(db)-32:], query[32:64]) // suffix identity at the very end
+	res, gapped, err := RunGapped(db, query, 12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	_ = gapped // success = no panic; scores are incidental
+}
+
+func BenchmarkGappedExtension(b *testing.B) {
+	query := gen.DNA(256, 49)
+	db, _ := gen.DNAWithPlants(1<<18, query, 1<<14, 50)
+	res, err := Run(db, query, 25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qi, _ := NewQueryIndex(query)
+	packed := Pack2Bit(db)
+	b.ResetTimer()
+	var out []GappedHit
+	for i := 0; i < b.N; i++ {
+		out = GappedExtension(qi, packed, len(db), res.Hits, 30, out[:0])
+	}
+}

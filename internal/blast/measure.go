@@ -1,0 +1,108 @@
+package blast
+
+import (
+	"time"
+
+	"streamcalc/internal/units"
+)
+
+// StageMeasurement is an isolated measurement of one pipeline stage — the
+// inputs the paper's models are parameterized from.
+type StageMeasurement struct {
+	Name string
+	// InBytes and OutBytes are the stage's input and output volumes in
+	// their natural representations; their ratio is the job ratio of the
+	// paper's Figure 3.
+	InBytes, OutBytes units.Bytes
+	// Elapsed is the isolated wall-clock processing time.
+	Elapsed time.Duration
+	// Rate is InBytes / Elapsed.
+	Rate units.Rate
+}
+
+// JobRatio returns InBytes/OutBytes (the Figure 3 annotation).
+func (m StageMeasurement) JobRatio() float64 {
+	if m.OutBytes == 0 {
+		return 0
+	}
+	return float64(m.InBytes) / float64(m.OutBytes)
+}
+
+// MeasureStages runs every stage of the pipeline in isolation on the given
+// database and query, timing each with the outputs of the previous stage
+// already materialized (so the measurement excludes upstream work), and
+// returns the per-stage measurements in pipeline order. repeat > 1 runs
+// each stage several times and reports the total volume over total time.
+func MeasureStages(db, query []byte, threshold, repeat int) ([]StageMeasurement, error) {
+	if repeat < 1 {
+		repeat = 1
+	}
+	qi, err := NewQueryIndex(query)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []StageMeasurement
+
+	// fa2bit.
+	var packed []byte
+	m := timeStage("fa2bit", repeat, units.Bytes(len(db)), func() units.Bytes {
+		packed = Pack2Bit(db)
+		return units.Bytes(len(packed))
+	})
+	out = append(out, m)
+
+	// seed match.
+	var positions []uint32
+	m = timeStage("seed-match", repeat, units.Bytes(len(packed)), func() units.Bytes {
+		positions = SeedMatch(qi, packed, len(db), positions[:0])
+		return units.Bytes(len(positions) * PositionBytes)
+	})
+	out = append(out, m)
+
+	// seed enumeration.
+	var matches []Match
+	m = timeStage("seed-enum", repeat, units.Bytes(len(positions)*PositionBytes), func() units.Bytes {
+		matches = SeedEnumerate(qi, packed, positions, matches[:0])
+		return units.Bytes(len(matches) * MatchBytes)
+	})
+	out = append(out, m)
+
+	// small extension.
+	var passed []Match
+	m = timeStage("small-ext", repeat, units.Bytes(len(matches)*MatchBytes), func() units.Bytes {
+		passed = SmallExtension(qi, packed, len(db), matches, passed[:0])
+		return units.Bytes(len(passed) * MatchBytes)
+	})
+	out = append(out, m)
+
+	// ungapped extension.
+	var hits []Hit
+	m = timeStage("ungapped-ext", repeat, units.Bytes(len(passed)*MatchBytes), func() units.Bytes {
+		hits = UngappedExtension(qi, packed, len(db), passed, threshold, hits[:0])
+		return units.Bytes(len(hits) * HitBytes)
+	})
+	out = append(out, m)
+
+	return out, nil
+}
+
+func timeStage(name string, repeat int, in units.Bytes, f func() units.Bytes) StageMeasurement {
+	start := time.Now()
+	var outBytes units.Bytes
+	for r := 0; r < repeat; r++ {
+		outBytes = f()
+	}
+	elapsed := time.Since(start)
+	total := in.Mul(float64(repeat))
+	m := StageMeasurement{
+		Name:     name,
+		InBytes:  in,
+		OutBytes: outBytes,
+		Elapsed:  elapsed,
+	}
+	if elapsed > 0 {
+		m.Rate = total.Over(elapsed)
+	}
+	return m
+}

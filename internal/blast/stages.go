@@ -1,0 +1,183 @@
+package blast
+
+// This file implements the individual pipeline stages. Each stage is a pure
+// function over its input stream so it can be timed in isolation; Run chains
+// them and Counts captures the inter-stage data volumes the models need.
+
+// SeedMatch scans every byte-aligned 8-mer of the packed database and emits
+// the positions whose 8-mer occurs in the query index — the stage is a
+// highly selective filter for query lengths far below 2^16.
+func SeedMatch(qi *QueryIndex, packedDB []byte, dbLen int, out []uint32) []uint32 {
+	for p := 0; p+K <= dbLen; p += 4 {
+		km := kmerAtAligned(packedDB, p)
+		if len(qi.table[km]) > 0 {
+			out = append(out, uint32(p))
+		}
+	}
+	return out
+}
+
+// SeedEnumerate expands each matching database position into the concrete
+// (p, q) matches by reading the index — on average 1-2 matches per position
+// for non-repetitive queries.
+func SeedEnumerate(qi *QueryIndex, packedDB []byte, positions []uint32, out []Match) []Match {
+	for _, p := range positions {
+		km := kmerAtAligned(packedDB, int(p))
+		for _, q := range qi.table[km] {
+			out = append(out, Match{P: p, Q: q})
+		}
+	}
+	return out
+}
+
+// SmallExtension tries to extend each seed match by up to 3 bases on each
+// side, requiring exact matches; matches reaching total length >= 11 pass
+// to ungapped extension.
+func SmallExtension(qi *QueryIndex, packedDB []byte, dbLen int, matches []Match, out []Match) []Match {
+	for _, m := range matches {
+		length := K
+		// Left.
+		p, q := int(m.P), int(m.Q)
+		for k := 1; k <= 3; k++ {
+			if p-k < 0 || q-k < 0 {
+				break
+			}
+			if baseAt(packedDB, p-k) != baseAt(qi.packed, q-k) {
+				break
+			}
+			length++
+		}
+		// Right.
+		for k := 0; k < 3; k++ {
+			dp, dq := p+K+k, q+K+k
+			if dp >= dbLen || dq >= qi.n {
+				break
+			}
+			if baseAt(packedDB, dp) != baseAt(qi.packed, dq) {
+				break
+			}
+			length++
+		}
+		if length >= 11 {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// UngappedExtension extends each surviving match in both directions with
+// match/mismatch scoring and an X-drop cutoff, limited to a Window-base
+// window centered on the seed. Matches whose best score reaches threshold
+// become hits.
+func UngappedExtension(qi *QueryIndex, packedDB []byte, dbLen int, matches []Match, threshold int, out []Hit) []Hit {
+	half := (Window - K) / 2
+	for _, m := range matches {
+		p, q := int(m.P), int(m.Q)
+		score := K * MatchScore // the seed itself
+		best := score
+		leftExt, rightExt := 0, 0
+
+		// Left extension.
+		s := score
+		bestLeft := 0
+		for k := 1; k <= half; k++ {
+			dp, dq := p-k, q-k
+			if dp < 0 || dq < 0 {
+				break
+			}
+			if baseAt(packedDB, dp) == baseAt(qi.packed, dq) {
+				s += MatchScore
+			} else {
+				s += MismatchScore
+			}
+			if s > best {
+				best = s
+				bestLeft = k
+			}
+			if best-s > XDrop {
+				break
+			}
+		}
+		leftExt = bestLeft
+
+		// Right extension continues from the best left score.
+		s = best
+		bestRight := 0
+		for k := 0; k < half; k++ {
+			dp, dq := p+K+k, q+K+k
+			if dp >= dbLen || dq >= qi.n {
+				break
+			}
+			if baseAt(packedDB, dp) == baseAt(qi.packed, dq) {
+				s += MatchScore
+			} else {
+				s += MismatchScore
+			}
+			if s > best {
+				best = s
+				bestRight = k + 1
+			}
+			if best-s > XDrop {
+				break
+			}
+		}
+		rightExt = bestRight
+
+		if best >= threshold {
+			out = append(out, Hit{P: m.P, Q: m.Q, Score: best, Len: K + leftExt + rightExt})
+		}
+	}
+	return out
+}
+
+// Counts records the data volume entering and leaving each stage of one
+// Run, in bytes of the natural item representation (bases for sequences,
+// 4 bytes per position, 8 per match, 16 per hit). The models derive job
+// ratios from these.
+type Counts struct {
+	FastaBytes    int // raw input bases
+	PackedBytes   int // after fa2bit
+	SeedPositions int
+	SeedMatches   int
+	SmallPassed   int
+	Hits          int
+}
+
+// ItemBytes are the byte sizes of the inter-stage item types.
+const (
+	PositionBytes = 4
+	MatchBytes    = 8
+	HitBytes      = 16
+)
+
+// Result of a full pipeline run.
+type Result struct {
+	Hits   []Hit
+	Counts Counts
+}
+
+// Run executes the whole BLASTN pipeline: pack the database, seed-match
+// against the query index, enumerate, small-extend, and ungapped-extend
+// with the given score threshold.
+func Run(db, query []byte, threshold int) (*Result, error) {
+	qi, err := NewQueryIndex(query)
+	if err != nil {
+		return nil, err
+	}
+	packed := Pack2Bit(db)
+	positions := SeedMatch(qi, packed, len(db), nil)
+	matches := SeedEnumerate(qi, packed, positions, nil)
+	passed := SmallExtension(qi, packed, len(db), matches, nil)
+	hits := UngappedExtension(qi, packed, len(db), passed, threshold, nil)
+	return &Result{
+		Hits: hits,
+		Counts: Counts{
+			FastaBytes:    len(db),
+			PackedBytes:   len(packed),
+			SeedPositions: len(positions),
+			SeedMatches:   len(matches),
+			SmallPassed:   len(passed),
+			Hits:          len(hits),
+		},
+	}, nil
+}

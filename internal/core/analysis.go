@@ -1,0 +1,332 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"streamcalc/internal/curve"
+	"streamcalc/internal/units"
+)
+
+// NodeAnalysis carries the per-node results of an Analyze run, all in
+// input-referred units.
+type NodeAnalysis struct {
+	Node Node
+	// GainBefore is the product of the data-volume gains of all upstream
+	// nodes: one input byte corresponds to GainBefore bytes at this node's
+	// input.
+	GainBefore float64
+
+	// Rate and MaxRate are the node's service rates referred to the
+	// pipeline input. MaxRate uses the best-case gain chain (see
+	// Node.BestGain).
+	Rate    units.Rate
+	MaxRate units.Rate
+
+	// JobIn is the aggregation block size referred to the input.
+	JobIn units.Bytes
+	// Aggregates reports whether this node collects a block larger than the
+	// upstream node emits (triggering the aggregation-latency term).
+	Aggregates bool
+	// AggregationDelay is b_n / R_alpha,n-1 when Aggregates, else 0.
+	AggregationDelay time.Duration
+	// CumulativeLatency is T_n^tot: the paper's recursion
+	// T_n^tot = T_{n-1}^tot + b_n/R_alpha,n-1 + T_n.
+	CumulativeLatency time.Duration
+
+	// ArrivalRate is the long-run rate of the flow arriving at this node
+	// (input-referred): the arrival rate clipped by upstream bottlenecks.
+	ArrivalRate units.Rate
+	// AlphaIn is the arrival-curve bound on the flow entering this node,
+	// propagated through upstream output bounds.
+	AlphaIn curve.Curve
+	// Beta and Gamma are the node's packetized service curves
+	// (input-referred, time in seconds).
+	Beta, Gamma curve.Curve
+
+	// BacklogBound is the vertical deviation between AlphaIn and Beta plus
+	// the node's aggregation buffer: the analytic contribution of this node
+	// to system data occupancy (used for buffer allocation).
+	BacklogBound units.Bytes
+	// DelayBound is the horizontal deviation between AlphaIn and Beta: the
+	// worst-case queueing+service delay at this node in isolation.
+	DelayBound time.Duration
+	// Overloaded reports ArrivalRate > Rate for this node (infinite
+	// steady-state bounds; see OverloadAnalysis).
+	Overloaded bool
+}
+
+// Analysis is the result of applying the network-calculus model to a
+// pipeline. All curves are input-referred: x-axis seconds, y-axis bytes of
+// pipeline input data.
+type Analysis struct {
+	Pipeline Pipeline
+	Nodes    []NodeAnalysis
+
+	// Alpha is the offered arrival curve; AlphaPrime adds the packetizer
+	// burst l_max.
+	Alpha, AlphaPrime curve.Curve
+	// Beta is the concatenated (min-plus convolved) packetized service
+	// curve of the whole chain, with the job-aggregation latency folded in.
+	Beta curve.Curve
+	// Gamma is the concatenated maximum service curve.
+	Gamma curve.Curve
+	// OutputBound is alpha* = (alpha' ⊗ gamma) ⊘ beta, the bound on the
+	// flow leaving the pipeline, normalized to zero at the origin.
+	OutputBound curve.Curve
+
+	// TotalLatency is T_N^tot for the full chain.
+	TotalLatency time.Duration
+	// DelayBound is the end-to-end virtual delay bound d (+Inf if
+	// overloaded).
+	DelayBound time.Duration
+	// DelayBoundInfinite reports an unbounded delay (overload).
+	DelayBoundInfinite bool
+	// BacklogBound is the end-to-end data-occupancy bound x.
+	BacklogBound units.Bytes
+	// BacklogBoundInfinite reports an unbounded backlog (overload).
+	BacklogBoundInfinite bool
+
+	// DelayEstimate and BacklogEstimate are the closed-form values
+	// d = T_tot + b'/R_beta and x = b' + R_alpha*T_tot. In the stable
+	// regime they coincide with DelayBound/BacklogBound; in the overloaded
+	// regime (R_alpha > R_beta), where the steady-state bounds are
+	// infinite, they are the per-job transient estimates the paper's §3
+	// hypothesizes remain useful for sizing queues as a job traverses the
+	// system — and they are what the paper reports for both case studies.
+	DelayEstimate   time.Duration
+	BacklogEstimate units.Bytes
+
+	// ThroughputLower is the guaranteed sustained throughput (the ultimate
+	// slope of Beta): the network-calculus lower bound of the paper's
+	// Tables 1 and 3.
+	ThroughputLower units.Rate
+	// ThroughputUpper is the best-case throughput: the arrival rate capped
+	// by the ultimate slope of Gamma — the paper's upper bound.
+	ThroughputUpper units.Rate
+
+	// Overloaded reports that the arrival rate exceeds some node's
+	// sustained service rate, making the steady-state bounds infinite.
+	Overloaded bool
+	// BottleneckIndex is the node with the smallest input-referred
+	// sustained rate.
+	BottleneckIndex int
+}
+
+// secs converts a time.Duration to float64 seconds (curve x-axis unit).
+func secs(d time.Duration) float64 { return d.Seconds() }
+
+// dur converts float64 seconds to time.Duration, saturating at the maximum.
+func dur(s float64) time.Duration {
+	if s >= float64(math.MaxInt64)/float64(time.Second) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(s * float64(time.Second))
+}
+
+// Analyze applies the network-calculus model to the pipeline and returns
+// the bounds and curves.
+func Analyze(p Pipeline) (*Analysis, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Analysis{Pipeline: p}
+
+	// Arrival curves (input-referred by definition). Extra buckets tighten
+	// the envelope to a concave piecewise-linear minimum.
+	alpha := curve.Affine(float64(p.Arrival.Rate), float64(p.Arrival.Burst))
+	for _, b := range p.Arrival.Extra {
+		alpha = curve.Min(alpha, curve.Affine(float64(b.Rate), float64(b.Burst)))
+	}
+	alphaPrime := alpha
+	if p.Arrival.MaxPacket > 0 {
+		alphaPrime = curve.AddBurst(alpha, float64(p.Arrival.MaxPacket))
+	}
+	a.Alpha, a.AlphaPrime = alpha, alphaPrime
+	// The effective long-run arrival rate is the envelope's ultimate slope
+	// (the smallest bucket rate).
+	arrivalRate := units.Rate(alpha.UltimateSlope())
+
+	// Per-node normalization and curve construction.
+	gain := 1.0     // product of gains of upstream nodes (lower-bound curves)
+	gainBest := 1.0 // product of best-case gains (maximum service curves)
+	arrRate := arrivalRate
+	cumLatency := time.Duration(0)
+	alphaIn := alphaPrime
+	minRate := units.Rate(math.Inf(1))
+	minMaxRate := units.Rate(math.Inf(1))
+	a.BottleneckIndex = 0
+
+	for i, n := range p.Nodes {
+		na := NodeAnalysis{Node: n, GainBefore: gain}
+		na.Rate = n.Rate.Mul(1 / gain)
+		na.MaxRate = n.maxRateOrRate().Mul(1 / gainBest)
+		na.JobIn = n.JobIn.Mul(1 / gain)
+		na.ArrivalRate = arrRate
+		// Cross traffic under blind multiplexing: the flow of interest only
+		// receives the residual service, so the node's effective sustained
+		// rate drops by the cross rate (validation guarantees it stays
+		// positive).
+		crossRate := n.CrossRate.Mul(1 / gain)
+		crossBurst := n.CrossBurst.Mul(1 / gain)
+		if crossRate > 0 {
+			na.Rate -= crossRate
+		}
+
+		// Aggregation: the node collects JobIn before dispatching; if that
+		// exceeds the burst the upstream flow can deliver at once (the
+		// paper's b_n > b*_{n-1}, where b* is the burst of the propagated
+		// output bound), collecting a job costs b_n / R_alpha,n-1.
+		if float64(na.JobIn) > alphaIn.Burst()*(1+1e-12) {
+			na.Aggregates = true
+			na.AggregationDelay = na.JobIn.Time(arrRate)
+		}
+		na.CumulativeLatency = cumLatency + na.AggregationDelay + n.Latency
+		cumLatency = na.CumulativeLatency
+
+		// Packetized service curves (input-referred). With cross traffic the
+		// base curve is the residual [beta_full - alpha_cross]⁺.
+		lmax := float64(n.MaxPacket.Mul(1 / gain))
+		var beta curve.Curve
+		if crossRate > 0 {
+			full := curve.RateLatency(float64(n.Rate.Mul(1/gain)), secs(n.Latency))
+			resid, ok := curve.ResidualService(full, curve.Affine(float64(crossRate), float64(crossBurst)))
+			if !ok {
+				return nil, fmt.Errorf("core: node %d (%s): cross traffic starves the node", i, n.Name)
+			}
+			beta = resid
+		} else {
+			beta = curve.RateLatency(float64(na.Rate), secs(n.Latency))
+		}
+		if lmax > 0 {
+			beta = curve.SubConstantPositive(beta, lmax)
+		}
+		gamma := curve.RateLatency(float64(na.MaxRate), 0) // best case: no delay
+		na.Beta, na.Gamma = beta, gamma
+
+		// Per-node bounds against the propagated arrival bound. The
+		// aggregation buffer itself holds up to one job.
+		na.AlphaIn = alphaIn
+		na.Overloaded = float64(arrRate) > float64(na.Rate)*(1+1e-12)
+		if na.Overloaded {
+			na.BacklogBound = units.Bytes(math.Inf(1))
+			na.DelayBound = time.Duration(math.MaxInt64)
+		} else {
+			na.BacklogBound = units.Bytes(curve.VDev(alphaIn, beta))
+			if na.Aggregates {
+				na.BacklogBound += na.JobIn
+			}
+			na.DelayBound = dur(curve.HDev(alphaIn, beta))
+		}
+
+		// Propagate the flow to the next node: output bound
+		// alpha* = (alphaIn ⊗ gamma) ⊘ beta, reinterpreted as an arrival
+		// curve. Under overload the output is service-limited instead.
+		if !na.Overloaded {
+			conv := curve.Convolve(alphaIn, gamma)
+			if out, ok := curve.Deconvolve(conv, beta); ok {
+				alphaIn = out.ZeroAtOrigin()
+			}
+		} else {
+			// The node drains at its own rate; downstream sees at most that.
+			alphaIn = curve.Affine(float64(na.Rate), math.Max(float64(na.JobIn), float64(n.MaxPacket.Mul(1/gain))))
+		}
+
+		if na.Rate < minRate {
+			minRate = na.Rate
+			a.BottleneckIndex = i
+		}
+		if na.MaxRate < minMaxRate {
+			minMaxRate = na.MaxRate
+		}
+		if float64(na.Rate) < float64(arrRate) {
+			arrRate = na.Rate
+		}
+		gain *= n.Gain()
+		gainBest *= n.bestGainOrGain()
+		a.Nodes = append(a.Nodes, na)
+	}
+
+	a.TotalLatency = cumLatency
+
+	// End-to-end service curves: the paper folds the whole chain into a
+	// single rate-latency node with the bottleneck rate and the cumulative
+	// (aggregation-aware) latency. This equals the min-plus concatenation
+	// of the per-node curves with the aggregation delays inserted as pure
+	// delay elements.
+	a.Beta = curve.RateLatency(float64(minRate), secs(cumLatency))
+	a.Gamma = curve.RateLatency(float64(minMaxRate), 0)
+
+	// Closed-form per-job estimates (valid in all three regimes; the
+	// paper's §3 hypothesis for the overloaded case).
+	a.DelayEstimate = dur(secs(cumLatency) + a.AlphaPrime.Burst()/float64(minRate))
+	a.BacklogEstimate = units.Bytes(a.AlphaPrime.Burst() + float64(arrivalRate)*secs(cumLatency))
+
+	// End-to-end bounds.
+	a.Overloaded = float64(arrivalRate) > float64(minRate)*(1+1e-12)
+	if a.Overloaded {
+		a.DelayBoundInfinite = true
+		a.BacklogBoundInfinite = true
+		a.DelayBound = time.Duration(math.MaxInt64)
+		a.BacklogBound = units.Bytes(math.Inf(1))
+	} else {
+		a.DelayBound = dur(curve.HDev(alphaPrime, a.Beta))
+		a.BacklogBound = units.Bytes(curve.VDev(alphaPrime, a.Beta))
+	}
+
+	// Output flow bound alpha* = (alpha' ⊗ gamma) ⊘ beta.
+	convAG := curve.Convolve(alphaPrime, a.Gamma)
+	if out, ok := curve.Deconvolve(convAG, a.Beta); ok {
+		a.OutputBound = out.ZeroAtOrigin()
+	} else {
+		a.OutputBound = convAG // overloaded: deconvolution diverges
+	}
+
+	// Throughput bounds (paper Tables 1 and 3). Both are capped by the
+	// offered load: a stable pipeline cannot deliver more than arrives.
+	a.ThroughputLower = minRate
+	if arrivalRate < a.ThroughputLower {
+		a.ThroughputLower = arrivalRate
+	}
+	a.ThroughputUpper = arrivalRate
+	if minMaxRate < a.ThroughputUpper {
+		a.ThroughputUpper = minMaxRate
+	}
+	return a, nil
+}
+
+// InputAt returns the arrival-curve bound on the flow entering node i (the
+// propagated output bound of the upstream subchain), for use with Subrange.
+func (a *Analysis) InputAt(i int) curve.Curve {
+	return a.Nodes[i].AlphaIn
+}
+
+// Bottleneck returns the analysis entry of the bottleneck node.
+func (a *Analysis) Bottleneck() NodeAnalysis { return a.Nodes[a.BottleneckIndex] }
+
+// BufferPlan returns the recommended per-node buffer capacities: each
+// node's analytic backlog contribution, rounded up to whole bytes. Nodes
+// with infinite bounds (overload) report Capacity < 0 with Infinite set.
+type BufferRecommendation struct {
+	Name     string
+	Capacity units.Bytes
+	Infinite bool
+}
+
+// BufferPlan derives a per-node buffer allocation from the analysis — the
+// paper's §4.2 use case ("assist a developer in allocating buffers").
+func (a *Analysis) BufferPlan() []BufferRecommendation {
+	out := make([]BufferRecommendation, len(a.Nodes))
+	for i, na := range a.Nodes {
+		rec := BufferRecommendation{Name: na.Node.Name}
+		if math.IsInf(float64(na.BacklogBound), 1) {
+			rec.Infinite = true
+			rec.Capacity = -1
+		} else {
+			rec.Capacity = units.Bytes(math.Ceil(float64(na.BacklogBound)))
+		}
+		out[i] = rec
+	}
+	return out
+}

@@ -1,0 +1,465 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"streamcalc/internal/curve"
+	"streamcalc/internal/units"
+)
+
+// simple builds a one-node pipeline for closed-form checks.
+func simple(arrRate units.Rate, burst units.Bytes, svcRate units.Rate, lat time.Duration) Pipeline {
+	return Pipeline{
+		Name:    "simple",
+		Arrival: Arrival{Rate: arrRate, Burst: burst},
+		Nodes: []Node{{
+			Name: "srv", Rate: svcRate, Latency: lat, JobIn: 1, JobOut: 1,
+		}},
+	}
+}
+
+func TestAnalyzeSingleNodeClosedForms(t *testing.T) {
+	// alpha = 2 MiB/s with 5 MiB burst; beta = 4 MiB/s after 3 s.
+	p := simple(2*units.MiBPerSec, 5*units.MiB, 4*units.MiBPerSec, 3*time.Second)
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d <= T + b/R = 3 + 5/4 = 4.25 s.
+	wantD := 4250 * time.Millisecond
+	if diff := a.DelayBound - wantD; diff < -time.Millisecond || diff > time.Millisecond {
+		t.Errorf("delay bound = %v, want %v", a.DelayBound, wantD)
+	}
+	// x <= b + R_alpha*T = 5 + 2*3 = 11 MiB.
+	if math.Abs(float64(a.BacklogBound-11*units.MiB)) > 1e3 {
+		t.Errorf("backlog bound = %v, want 11 MiB", a.BacklogBound)
+	}
+	// Lower bound capped by the offered load (arrival 2 < service 4).
+	if a.ThroughputLower != 2*units.MiBPerSec {
+		t.Errorf("lower throughput = %v", a.ThroughputLower)
+	}
+	// Upper bound limited by the arrival rate (gamma has rate 4).
+	if a.ThroughputUpper != 2*units.MiBPerSec {
+		t.Errorf("upper throughput = %v", a.ThroughputUpper)
+	}
+	// Output bound: leaky bucket with burst b + rT = 5 + 2*3 = 11 MiB.
+	ob := a.OutputBound
+	if math.Abs(ob.Burst()-float64(11*units.MiB)) > 1e3 {
+		t.Errorf("output burst = %v, want 11 MiB", units.Bytes(ob.Burst()))
+	}
+	if math.Abs(ob.UltimateSlope()-float64(2*units.MiBPerSec)) > 1 {
+		t.Errorf("output rate = %v", units.Rate(ob.UltimateSlope()))
+	}
+	if a.Overloaded {
+		t.Error("not overloaded")
+	}
+}
+
+func TestAnalyzePacketization(t *testing.T) {
+	p := simple(2, 5, 4, 3*time.Second)
+	p.Arrival.MaxPacket = 2
+	p.Nodes[0].MaxPacket = 4
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// alpha' = alpha + l_max: burst 5+2 = 7.
+	if got := a.AlphaPrime.Burst(); math.Abs(got-7) > 1e-9 {
+		t.Errorf("alpha' burst = %v", got)
+	}
+	// beta' = [beta - 4]+ : latency grows by 4/4 = 1 s -> node beta latency 4 s.
+	if got := a.Nodes[0].Beta.Latency(); math.Abs(got-4) > 1e-9 {
+		t.Errorf("beta' latency = %v", got)
+	}
+	// End-to-end delay: T + b'/R where the packetized node latency is used
+	// in the per-node curve but the chain beta uses T_tot (= node latency).
+	if a.DelayBound <= 0 {
+		t.Error("delay bound must be positive")
+	}
+}
+
+func TestAnalyzeChainConcatenation(t *testing.T) {
+	p := Pipeline{
+		Name:    "chain",
+		Arrival: Arrival{Rate: 2, Burst: 1},
+		Nodes: []Node{
+			{Name: "a", Rate: 10, Latency: time.Second, JobIn: 1, JobOut: 1},
+			{Name: "b", Rate: 5, Latency: 2 * time.Second, JobIn: 1, JobOut: 1},
+			{Name: "c", Rate: 8, Latency: time.Second, JobIn: 1, JobOut: 1},
+		},
+	}
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BottleneckIndex != 1 {
+		t.Errorf("bottleneck = %d, want 1", a.BottleneckIndex)
+	}
+	if a.ThroughputLower != 2 { // capped by the 2 B/s arrival
+		t.Errorf("lower = %v", a.ThroughputLower)
+	}
+	if a.TotalLatency != 4*time.Second {
+		t.Errorf("total latency = %v", a.TotalLatency)
+	}
+	// Chain beta = RateLatency(5, 4s).
+	if got := a.Beta.Latency(); math.Abs(got-4) > 1e-9 {
+		t.Errorf("beta latency = %v", got)
+	}
+	if got := a.Beta.UltimateSlope(); math.Abs(got-5) > 1e-9 {
+		t.Errorf("beta rate = %v", got)
+	}
+}
+
+func TestAnalyzeJobRatioNormalization(t *testing.T) {
+	// A 2:1 filter halves downstream data: a downstream stage measured at
+	// rate 3 handles 6 input-referred bytes/s.
+	p := Pipeline{
+		Name:    "filter",
+		Arrival: Arrival{Rate: 4, Burst: 1},
+		Nodes: []Node{
+			{Name: "filter", Rate: 8, JobIn: 2, JobOut: 1},
+			{Name: "down", Rate: 3, JobIn: 1, JobOut: 1},
+		},
+	}
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Nodes[1].Rate; math.Abs(float64(got)-6) > 1e-9 {
+		t.Errorf("input-referred rate = %v, want 6", got)
+	}
+	if got := a.Nodes[1].GainBefore; math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("gain before = %v", got)
+	}
+	// Bottleneck is the downstream node at 6 input-referred; the offered
+	// load of 4 caps the guaranteed throughput.
+	if a.ThroughputLower != 4 {
+		t.Errorf("lower = %v", a.ThroughputLower)
+	}
+}
+
+func TestAnalyzeExpanderNormalization(t *testing.T) {
+	// A 1:2 expander doubles downstream data: a stage measured at rate 8
+	// handles only 4 input-referred bytes/s.
+	p := Pipeline{
+		Name:    "expand",
+		Arrival: Arrival{Rate: 3, Burst: 0},
+		Nodes: []Node{
+			{Name: "expand", Rate: 8, JobIn: 1, JobOut: 2},
+			{Name: "down", Rate: 8, JobIn: 1, JobOut: 1},
+		},
+	}
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Nodes[1].Rate; math.Abs(float64(got)-4) > 1e-9 {
+		t.Errorf("input-referred rate = %v, want 4", got)
+	}
+}
+
+func TestAnalyzeAggregationLatency(t *testing.T) {
+	// Node 2 collects 12-byte jobs from a stream arriving at 4 B/s:
+	// aggregation adds 12/4 = 3 s. T_tot = T1 + 3 + T2.
+	p := Pipeline{
+		Name:    "agg",
+		Arrival: Arrival{Rate: 4, Burst: 0, MaxPacket: 1},
+		Nodes: []Node{
+			{Name: "first", Rate: 10, Latency: time.Second, JobIn: 1, JobOut: 1},
+			{Name: "agg", Rate: 10, Latency: 2 * time.Second, JobIn: 12, JobOut: 12},
+		},
+	}
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	na := a.Nodes[1]
+	if !na.Aggregates {
+		t.Fatal("node 1 must aggregate")
+	}
+	if na.AggregationDelay != 3*time.Second {
+		t.Errorf("aggregation delay = %v, want 3 s", na.AggregationDelay)
+	}
+	if a.TotalLatency != 6*time.Second {
+		t.Errorf("total latency = %v, want 6 s", a.TotalLatency)
+	}
+	// Arrival rate at node 1 is still 4 (upstream rate 10 doesn't clip it).
+	if na.ArrivalRate != 4 {
+		t.Errorf("arrival rate at agg node = %v", na.ArrivalRate)
+	}
+	// No aggregation when the upstream block already covers JobIn.
+	p.Nodes[1].JobIn = 1
+	p.Nodes[1].JobOut = 1
+	a2, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.Nodes[1].Aggregates {
+		t.Error("should not aggregate")
+	}
+	if a2.TotalLatency != 3*time.Second {
+		t.Errorf("total latency = %v, want 3 s", a2.TotalLatency)
+	}
+}
+
+func TestAnalyzeOverloadedFlags(t *testing.T) {
+	p := simple(10, 1, 4, time.Second)
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Overloaded || !a.DelayBoundInfinite || !a.BacklogBoundInfinite {
+		t.Error("overload must be flagged with infinite bounds")
+	}
+	if !a.Nodes[0].Overloaded {
+		t.Error("node must be overloaded")
+	}
+	if !math.IsInf(float64(a.Nodes[0].BacklogBound), 1) {
+		t.Error("node backlog must be +Inf")
+	}
+}
+
+func TestAnalyzeArrivalRateClipping(t *testing.T) {
+	// A slow first node clips the arrival rate seen downstream.
+	p := Pipeline{
+		Name:    "clip",
+		Arrival: Arrival{Rate: 10, Burst: 1},
+		Nodes: []Node{
+			{Name: "slow", Rate: 3, JobIn: 1, JobOut: 1},
+			{Name: "fast", Rate: 20, JobIn: 1, JobOut: 1},
+		},
+	}
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Nodes[1].ArrivalRate; got != 3 {
+		t.Errorf("downstream arrival rate = %v, want 3", got)
+	}
+	// Downstream node itself is fine even though the system is overloaded.
+	if a.Nodes[1].Overloaded {
+		t.Error("downstream node must not be overloaded")
+	}
+	if !a.Overloaded {
+		t.Error("system is overloaded at the first node")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []Pipeline{
+		{},                          // no arrival rate
+		{Arrival: Arrival{Rate: 1}}, // no nodes
+		{Arrival: Arrival{Rate: 1, Burst: -1}, Nodes: []Node{{Rate: 1, JobIn: 1, JobOut: 1}}},
+		{Arrival: Arrival{Rate: 1}, Nodes: []Node{{Rate: 0, JobIn: 1, JobOut: 1}}},
+		{Arrival: Arrival{Rate: 1}, Nodes: []Node{{Rate: 1, JobIn: 0, JobOut: 1}}},
+		{Arrival: Arrival{Rate: 1}, Nodes: []Node{{Rate: 2, MaxRate: 1, JobIn: 1, JobOut: 1}}},
+		{Arrival: Arrival{Rate: 1}, Nodes: []Node{{Rate: 1, JobIn: 1, JobOut: 1, Latency: -time.Second}}},
+		{Arrival: Arrival{Rate: 1}, Nodes: []Node{{Rate: 1, JobIn: 1, JobOut: 1, MaxPacket: -1}}},
+	}
+	for i, p := range cases {
+		if _, err := Analyze(p); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSubrange(t *testing.T) {
+	p := Pipeline{
+		Name:    "chain",
+		Arrival: Arrival{Rate: 2, Burst: 1},
+		Nodes: []Node{
+			{Name: "a", Rate: 10, JobIn: 1, JobOut: 1},
+			{Name: "b", Rate: 5, JobIn: 1, JobOut: 1},
+			{Name: "c", Rate: 8, JobIn: 1, JobOut: 1},
+		},
+	}
+	sub, err := p.Subrange(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Nodes) != 2 || sub.Nodes[0].Name != "b" {
+		t.Errorf("subrange nodes = %v", sub.Nodes)
+	}
+	if !strings.Contains(sub.Name, "[1:3]") {
+		t.Errorf("subrange name = %q", sub.Name)
+	}
+	if _, err := p.Subrange(2, 1); err == nil {
+		t.Error("expected error for inverted range")
+	}
+	if _, err := p.Subrange(0, 4); err == nil {
+		t.Error("expected error for out-of-range")
+	}
+}
+
+func TestBufferPlan(t *testing.T) {
+	p := Pipeline{
+		Name:    "chain",
+		Arrival: Arrival{Rate: 2, Burst: 3},
+		Nodes: []Node{
+			{Name: "a", Rate: 10, Latency: time.Second, JobIn: 1, JobOut: 1},
+			{Name: "b", Rate: 5, Latency: time.Second, JobIn: 1, JobOut: 1},
+		},
+	}
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := a.BufferPlan()
+	if len(plan) != 2 {
+		t.Fatalf("plan size %d", len(plan))
+	}
+	for _, rec := range plan {
+		if rec.Infinite || rec.Capacity <= 0 {
+			t.Errorf("rec %+v should be finite positive", rec)
+		}
+	}
+	// First node: alpha=(2t+3) vs beta=(10(t-1)): vdev = 3+2 = 5.
+	if got := plan[0].Capacity; math.Abs(float64(got)-5) > 1e-6 {
+		t.Errorf("node a capacity = %v, want 5", got)
+	}
+}
+
+func TestBufferPlanOverload(t *testing.T) {
+	p := simple(10, 1, 4, time.Second)
+	a, _ := Analyze(p)
+	plan := a.BufferPlan()
+	if !plan[0].Infinite {
+		t.Error("overloaded node must report infinite buffer")
+	}
+}
+
+func TestInputAtPropagation(t *testing.T) {
+	p := Pipeline{
+		Name:    "prop",
+		Arrival: Arrival{Rate: 2, Burst: 4},
+		Nodes: []Node{
+			{Name: "a", Rate: 5, Latency: time.Second, JobIn: 1, JobOut: 1},
+			{Name: "b", Rate: 5, JobIn: 1, JobOut: 1},
+		},
+	}
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in0 := a.InputAt(0)
+	in1 := a.InputAt(1)
+	// Downstream arrival bound must dominate upstream (burst grows through
+	// the server) while keeping the same rate.
+	if in1.Burst() < in0.Burst() {
+		t.Error("burst must not shrink through a server")
+	}
+	if math.Abs(in1.UltimateSlope()-in0.UltimateSlope()) > 1e-9 {
+		t.Error("long-run rate preserved")
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	if Compute.String() != "compute" || Link.String() != "link" {
+		t.Error("kind strings")
+	}
+	if NodeKind(42).String() == "" {
+		t.Error("unknown kind must still render")
+	}
+}
+
+func TestGainAndJobRatio(t *testing.T) {
+	n := Node{JobIn: 4, JobOut: 2}
+	if n.Gain() != 0.5 || n.JobRatio() != 2 {
+		t.Errorf("gain %v ratio %v", n.Gain(), n.JobRatio())
+	}
+}
+
+// The analysis output-flow bound must dominate what a fluid simulation of
+// the arrival through a rate-latency server can produce.
+func TestOutputBoundDominatesService(t *testing.T) {
+	p := simple(2, 5, 4, 3*time.Second)
+	a, _ := Analyze(p)
+	beta := curve.RateLatency(4, 3)
+	alpha := curve.Affine(2, 5)
+	for _, x := range []float64{0.5, 1, 2, 5, 10, 100} {
+		served := math.Min(alpha.Value(x), beta.Value(x))
+		if a.OutputBound.Value(x) < served-1e-6 {
+			t.Errorf("output bound below achievable output at t=%g", x)
+		}
+	}
+}
+
+func TestEstimatesMatchBoundsWhenStable(t *testing.T) {
+	p := simple(2*units.MiBPerSec, 5*units.MiB, 4*units.MiBPerSec, 3*time.Second)
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := a.DelayEstimate - a.DelayBound; d < -time.Millisecond || d > time.Millisecond {
+		t.Errorf("estimate %v vs bound %v", a.DelayEstimate, a.DelayBound)
+	}
+	if math.Abs(float64(a.BacklogEstimate-a.BacklogBound)) > 1e3 {
+		t.Errorf("estimate %v vs bound %v", a.BacklogEstimate, a.BacklogBound)
+	}
+}
+
+func TestEstimatesFiniteUnderOverload(t *testing.T) {
+	// R_alpha > R_beta: steady-state bounds infinite, but the paper's
+	// closed-form per-job estimates stay finite.
+	p := simple(10, 2, 4, time.Second)
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.DelayBoundInfinite {
+		t.Fatal("must be overloaded")
+	}
+	// d = T + b/R_beta = 1 + 2/4 = 1.5 s.
+	if a.DelayEstimate != 1500*time.Millisecond {
+		t.Errorf("delay estimate = %v", a.DelayEstimate)
+	}
+	// x = b + R_alpha*T = 2 + 10 = 12.
+	if math.Abs(float64(a.BacklogEstimate)-12) > 1e-9 {
+		t.Errorf("backlog estimate = %v", a.BacklogEstimate)
+	}
+}
+
+func TestBestGainAffectsOnlyMaxRate(t *testing.T) {
+	// A compressor whose lower-bound curve assumes ratio 1.0 but whose
+	// best case achieves 5x: downstream gamma rates multiply by 5.
+	p := Pipeline{
+		Name:    "bitw",
+		Arrival: Arrival{Rate: 1000, Burst: 1},
+		Nodes: []Node{
+			{Name: "compress", Rate: 500, MaxRate: 800, JobIn: 10, JobOut: 10, BestGain: 0.2},
+			{Name: "encrypt", Rate: 59, MaxRate: 59, JobIn: 10, JobOut: 10},
+		},
+	}
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lower-bound rates unaffected by BestGain.
+	if a.Nodes[1].Rate != 59 {
+		t.Errorf("encrypt rate = %v", a.Nodes[1].Rate)
+	}
+	// Max rate of encrypt referred through best-case gain 0.2: 59*5.
+	if math.Abs(float64(a.Nodes[1].MaxRate)-295) > 1e-9 {
+		t.Errorf("encrypt max rate = %v, want 295", a.Nodes[1].MaxRate)
+	}
+	if a.ThroughputLower != 59 {
+		t.Errorf("lower = %v", a.ThroughputLower)
+	}
+	// Upper = min(arrival 1000, compress gamma 800, encrypt gamma 295).
+	if math.Abs(float64(a.ThroughputUpper)-295) > 1e-9 {
+		t.Errorf("upper = %v", a.ThroughputUpper)
+	}
+}
+
+func TestBestGainValidation(t *testing.T) {
+	p := Pipeline{
+		Arrival: Arrival{Rate: 1},
+		Nodes:   []Node{{Rate: 1, JobIn: 1, JobOut: 1, BestGain: -1}},
+	}
+	if _, err := Analyze(p); err == nil {
+		t.Error("negative BestGain must fail validation")
+	}
+}

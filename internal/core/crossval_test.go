@@ -1,0 +1,172 @@
+package core_test
+
+// Randomized cross-validation of the analytic model against the
+// discrete-event simulator: for arbitrary stable pipelines, the simulated
+// virtual delay and backlog must stay within the bounds derived from the
+// per-node packetized service curves (chain concatenation plus the
+// aggregation-latency terms). This is the paper's central claim exercised
+// over a whole family of systems rather than two case studies.
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"streamcalc/internal/core"
+	"streamcalc/internal/curve"
+	"streamcalc/internal/sim"
+	"streamcalc/internal/units"
+)
+
+type cfg struct {
+	arrival core.Arrival
+	nodes   []core.Node
+	// simBandHigh scales each node's best-case sim rate above the
+	// guaranteed rate used by the model.
+	simBandHigh float64
+}
+
+func randomConfig(rng *rand.Rand) cfg {
+	n := 1 + rng.Intn(3)
+	arrRate := units.Rate(100 + rng.Float64()*400)
+	packet := units.Bytes(float64(int(8) << rng.Intn(4))) // 8..64
+	nodes := make([]core.Node, n)
+	for i := range nodes {
+		nodes[i] = core.Node{
+			Name:    string(rune('a' + i)),
+			Rate:    arrRate.Mul(1.15 + rng.Float64()*2), // stable with margin
+			Latency: time.Duration(rng.Intn(50)) * time.Millisecond,
+			JobIn:   packet.Mul(float64(int(1) << rng.Intn(3))), // packet..4*packet
+		}
+		nodes[i].JobOut = nodes[i].JobIn
+		nodes[i].MaxPacket = nodes[i].JobIn
+	}
+	return cfg{
+		arrival: core.Arrival{
+			Rate:      arrRate,
+			Burst:     units.Bytes(rng.Float64() * 200),
+			MaxPacket: packet,
+		},
+		nodes:       nodes,
+		simBandHigh: 1 + rng.Float64()*0.3,
+	}
+}
+
+// chainBound computes the conservative end-to-end delay and backlog bounds
+// from the per-node analysis: concatenate the packetized per-node service
+// curves and add the aggregation delays as pure-delay elements.
+func chainBound(t *testing.T, a *core.Analysis) (delay float64, backlog float64) {
+	t.Helper()
+	betas := make([]curve.Curve, 0, len(a.Nodes))
+	agg := 0.0
+	for _, na := range a.Nodes {
+		betas = append(betas, na.Beta)
+		agg += na.AggregationDelay.Seconds()
+	}
+	chain := curve.ConvolveAll(betas)
+	delay = curve.HDev(a.AlphaPrime, chain) + agg
+	backlog = curve.VDev(a.AlphaPrime, chain) + float64(a.Pipeline.Arrival.Rate)*agg
+	return delay, backlog
+}
+
+func TestCrossValidationSimWithinBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 60; trial++ {
+		c := randomConfig(rng)
+		p := core.Pipeline{Name: "xval", Arrival: c.arrival, Nodes: c.nodes}
+		a, err := core.Analyze(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Overloaded {
+			t.Fatalf("trial %d: config should be stable", trial)
+		}
+		delayBound, backlogBound := chainBound(t, a)
+
+		// Simulate: worst-case service at exactly the guaranteed rate up to
+		// simBandHigh above it; stage startup = model latency.
+		sp := sim.New(sim.SourceConfig{
+			Rate:       c.arrival.Rate,
+			PacketSize: c.arrival.MaxPacket,
+			Burst:      c.arrival.Burst,
+			TotalInput: units.Bytes(float64(c.arrival.Rate) * 2), // ~2 s of data
+		}, uint64(trial)+1)
+		for _, nd := range c.nodes {
+			scfg := sim.StageFromRate(nd.Name, nd.Rate, nd.Rate.Mul(c.simBandHigh), nd.JobIn, nd.JobOut)
+			scfg.Startup = nd.Latency
+			sp.Add(scfg)
+		}
+		res, err := sp.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.DelayMax.Seconds(); got > delayBound+1e-9 {
+			t.Errorf("trial %d: sim delay %.4fs exceeds chain bound %.4fs\narrival %+v nodes %+v",
+				trial, got, delayBound, c.arrival, c.nodes)
+		}
+		// One source packet of slack: the simulator books a packet in full
+		// at its emission instant, while the fluid envelope spreads it over
+		// the packet's serialization interval.
+		if got := float64(res.MaxBacklog); got > backlogBound+float64(c.arrival.MaxPacket)+1e-6 {
+			t.Errorf("trial %d: sim backlog %.1f exceeds chain bound %.1f", trial, got, backlogBound)
+		}
+		// Throughput sanity: the pipeline is stable, so everything drains
+		// at the offered rate.
+		want := float64(c.arrival.Rate) * 2
+		if got := float64(res.OutputInput); got < want*(1-1e-9) || got > want*(1+1e-9) {
+			t.Errorf("trial %d: conservation broken: %v vs %v", trial, got, want)
+		}
+	}
+}
+
+// The same cross-validation under failure injection: a stalling stage is
+// bounded by the model with the degraded (duty-cycled) rate and one extra
+// stall of latency.
+func TestCrossValidationWithStalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(4321))
+	for trial := 0; trial < 20; trial++ {
+		arrRate := units.Rate(100 + rng.Float64()*200)
+		fullRate := arrRate.Mul(1.6 + rng.Float64())
+		stallEvery := time.Duration(50+rng.Intn(100)) * time.Millisecond
+		stallFor := time.Duration(5+rng.Intn(20)) * time.Millisecond
+		duty := float64(stallEvery) / float64(stallEvery+stallFor)
+		degraded := fullRate.Mul(duty)
+		if float64(degraded) <= float64(arrRate)*1.05 {
+			continue // keep a stability margin
+		}
+		job := units.Bytes(16)
+
+		p := core.Pipeline{
+			Name:    "stall",
+			Arrival: core.Arrival{Rate: arrRate, Burst: 50, MaxPacket: 16},
+			Nodes: []core.Node{{
+				Name: "srv", Rate: degraded, Latency: stallFor,
+				JobIn: job, JobOut: job, MaxPacket: job,
+			}},
+		}
+		a, err := core.Analyze(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delayBound, backlogBound := chainBound(t, a)
+
+		scfg := sim.StageFromRate("srv", fullRate, fullRate, job, job)
+		scfg.StallEvery = stallEvery
+		scfg.StallFor = stallFor
+		sp := sim.New(sim.SourceConfig{
+			Rate: arrRate, PacketSize: 16, Burst: 50,
+			TotalInput: units.Bytes(float64(arrRate) * 2),
+		}, uint64(trial)+77).Add(scfg)
+		res, err := sp.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.DelayMax.Seconds(); got > delayBound+1e-9 {
+			t.Errorf("trial %d: stalled sim delay %.4fs exceeds degraded bound %.4fs",
+				trial, got, delayBound)
+		}
+		if got := float64(res.MaxBacklog); got > backlogBound+1e-6 {
+			t.Errorf("trial %d: stalled sim backlog %.1f exceeds bound %.1f", trial, got, backlogBound)
+		}
+	}
+}

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"streamcalc/internal/curve"
+	"streamcalc/internal/units"
+)
+
+// The paper notes (§4) that "streaming data applications are often modeled
+// as a chain of nodes interconnected into a directed acyclic graph"; the
+// two case studies are chains, so Pipeline covers them, but this file
+// provides the DAG generalization: nodes connected by edges that may
+// partition a flow across branches (fractions) or broadcast it, with
+// fan-in summing the branch envelopes.
+//
+// Unlike Pipeline (which normalizes everything to the pipeline input),
+// Graph analysis works in each node's local units and scales cumulative
+// curves along edges by fraction x upstream gain. Per-node bounds use the
+// node's local arrival envelope; the end-to-end delay bound is the
+// critical-path sum of per-node delay bounds (conservative: it does not
+// exploit pay-bursts-only-once).
+
+// SourceName is the implicit origin of the offered flow in a Graph.
+const SourceName = "__source__"
+
+// Edge routes a share of From's output to To. From may be SourceName (or
+// empty) for the offered arrival flow.
+type Edge struct {
+	From, To string
+	// Fraction is the share of the From flow's volume carried by this
+	// edge. Defaults to 1 (all of it). Partitioning edges from one node
+	// should sum to <= 1; broadcast edges each carry 1.
+	Fraction float64
+}
+
+// Graph is a DAG streaming application.
+type Graph struct {
+	Name    string
+	Arrival Arrival
+	Nodes   []Node
+	Edges   []Edge
+}
+
+// GraphNodeAnalysis carries per-node results in the node's local units.
+type GraphNodeAnalysis struct {
+	Node Node
+	// AlphaIn is the local arrival envelope (sum of incoming edge flows).
+	AlphaIn curve.Curve
+	// Utilization is arrival rate over service rate.
+	Utilization float64
+	// Overloaded reports utilization > 1.
+	Overloaded bool
+	// DelayBound and BacklogBound are this node's local bounds (infinite
+	// under overload).
+	DelayBound   time.Duration
+	BacklogBound units.Bytes
+}
+
+// GraphAnalysis is the result of AnalyzeGraph.
+type GraphAnalysis struct {
+	Graph Graph
+	// Order is a topological order of the node names.
+	Order []string
+	// Nodes maps node names to their analyses.
+	Nodes map[string]*GraphNodeAnalysis
+	// Stable reports that every node's arrival rate is within its service
+	// rate.
+	Stable bool
+	// DelayBound is the critical-path sum of per-node delay bounds
+	// (infinite when any node on a path is overloaded).
+	DelayBound time.Duration
+	// DelayBoundInfinite marks an unbounded critical path.
+	DelayBoundInfinite bool
+	// CriticalPath lists the node names realizing DelayBound.
+	CriticalPath []string
+	// TotalBacklog sums the per-node backlog bounds (infinite if any is).
+	TotalBacklog units.Bytes
+	// MaxSourceRate is the largest offered rate with every node stable —
+	// the graph's throughput capacity in source units.
+	MaxSourceRate units.Rate
+}
+
+// AnalyzeGraph applies the network-calculus model to a DAG application.
+func AnalyzeGraph(g Graph) (*GraphAnalysis, error) {
+	if err := g.Arrival.validate(); err != nil {
+		return nil, err
+	}
+	if len(g.Nodes) == 0 {
+		return nil, fmt.Errorf("core: graph has no nodes")
+	}
+	byName := make(map[string]*Node, len(g.Nodes))
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if err := n.validate(i); err != nil {
+			return nil, err
+		}
+		if n.Name == "" || n.Name == SourceName {
+			return nil, fmt.Errorf("core: graph node %d needs a unique non-reserved name", i)
+		}
+		if _, dup := byName[n.Name]; dup {
+			return nil, fmt.Errorf("core: duplicate node name %q", n.Name)
+		}
+		byName[n.Name] = n
+	}
+
+	// Normalize and validate edges.
+	type edge struct {
+		from, to string
+		fraction float64
+	}
+	edges := make([]edge, 0, len(g.Edges))
+	indeg := map[string]int{}
+	for i, e := range g.Edges {
+		from := e.From
+		if from == "" {
+			from = SourceName
+		}
+		if from != SourceName {
+			if _, ok := byName[from]; !ok {
+				return nil, fmt.Errorf("core: edge %d: unknown From %q", i, e.From)
+			}
+		}
+		if _, ok := byName[e.To]; !ok {
+			return nil, fmt.Errorf("core: edge %d: unknown To %q", i, e.To)
+		}
+		f := e.Fraction
+		if f == 0 {
+			f = 1
+		}
+		if f < 0 || f > 1 {
+			return nil, fmt.Errorf("core: edge %d: fraction %v outside (0, 1]", i, e.Fraction)
+		}
+		edges = append(edges, edge{from: from, to: e.To, fraction: f})
+		if from != SourceName {
+			// Source edges do not gate the topological order (the source
+			// pseudo-node is always "done").
+			indeg[e.To]++
+		}
+	}
+
+	// Topological order (Kahn), deterministic by name.
+	order := make([]string, 0, len(g.Nodes))
+	ready := []string{}
+	for name := range byName {
+		if indeg[name] == 0 {
+			ready = append(ready, name)
+		}
+	}
+	sort.Strings(ready)
+	remaining := make(map[string]int, len(indeg))
+	for k, v := range indeg {
+		remaining[k] = v
+	}
+	for len(ready) > 0 {
+		name := ready[0]
+		ready = ready[1:]
+		order = append(order, name)
+		next := []string{}
+		for _, e := range edges {
+			if e.from != name {
+				continue
+			}
+			remaining[e.to]--
+			if remaining[e.to] == 0 {
+				next = append(next, e.to)
+			}
+		}
+		sort.Strings(next)
+		ready = append(ready, next...)
+	}
+	if len(order) != len(g.Nodes) {
+		return nil, fmt.Errorf("core: graph has a cycle or disconnected-by-edge nodes")
+	}
+
+	// Propagate arrival envelopes in topological order.
+	res := &GraphAnalysis{
+		Graph: g,
+		Order: order,
+		Nodes: map[string]*GraphNodeAnalysis{},
+	}
+	alpha := curve.Affine(float64(g.Arrival.Rate), float64(g.Arrival.Burst))
+	for _, b := range g.Arrival.Extra {
+		alpha = curve.Min(alpha, curve.Affine(float64(b.Rate), float64(b.Burst)))
+	}
+	if g.Arrival.MaxPacket > 0 {
+		alpha = curve.AddBurst(alpha, float64(g.Arrival.MaxPacket))
+	}
+	outCurve := map[string]curve.Curve{SourceName: alpha}
+
+	res.Stable = true
+	maxScale := math.Inf(1)
+	sumBacklog := 0.0
+	backlogInf := false
+	nodeDelay := map[string]float64{}
+
+	for _, name := range order {
+		n := byName[name]
+		// Local arrival: sum of incoming edges.
+		var in curve.Curve
+		have := false
+		for _, e := range edges {
+			if e.to != name {
+				continue
+			}
+			src, ok := outCurve[e.from]
+			if !ok {
+				return nil, fmt.Errorf("core: internal: missing output curve for %q", e.from)
+			}
+			contrib := curve.Scale(src, e.fraction)
+			if !have {
+				in, have = contrib, true
+			} else {
+				in = curve.Add(in, contrib)
+			}
+		}
+		if !have {
+			return nil, fmt.Errorf("core: node %q has no incoming edges (connect it to %q for the source)", name, SourceName)
+		}
+		na := &GraphNodeAnalysis{Node: *n, AlphaIn: in}
+		arrRate := in.UltimateSlope()
+		na.Utilization = arrRate / float64(n.Rate)
+		na.Overloaded = na.Utilization > 1+1e-12
+		if na.Overloaded {
+			res.Stable = false
+		}
+		if s := float64(n.Rate) / arrRate; arrRate > 0 && s < maxScale {
+			maxScale = s
+		}
+
+		beta := curve.RateLatency(float64(n.Rate), secs(n.Latency))
+		if n.MaxPacket > 0 {
+			beta = curve.SubConstantPositive(beta, float64(n.MaxPacket))
+		}
+		if na.Overloaded {
+			na.DelayBound = time.Duration(math.MaxInt64)
+			na.BacklogBound = units.Bytes(math.Inf(1))
+			backlogInf = true
+			nodeDelay[name] = math.Inf(1)
+			// Downstream sees a service-limited flow.
+			outCurve[name] = curve.Scale(curve.Affine(float64(n.Rate), math.Max(float64(n.JobIn), float64(n.MaxPacket))), n.Gain())
+		} else {
+			d := curve.HDev(in, beta)
+			na.DelayBound = dur(d)
+			nodeDelay[name] = d
+			na.BacklogBound = units.Bytes(curve.VDev(in, beta))
+			sumBacklog += float64(na.BacklogBound)
+			gamma := curve.RateLatency(float64(n.maxRateOrRate()), 0)
+			conv := curve.Convolve(in, gamma)
+			if outB, ok := curve.Deconvolve(conv, beta); ok {
+				outCurve[name] = curve.Scale(outB.ZeroAtOrigin(), n.Gain())
+			} else {
+				outCurve[name] = curve.Scale(in, n.Gain())
+			}
+		}
+		res.Nodes[name] = na
+	}
+
+	// Critical path over the DAG (longest per-node-delay sum from any
+	// source-fed node to any sink node).
+	bestTo := map[string]float64{}
+	prev := map[string]string{}
+	for _, name := range order {
+		d := nodeDelay[name]
+		best := 0.0
+		from := ""
+		for _, e := range edges {
+			if e.to != name || e.from == SourceName {
+				continue
+			}
+			if v, ok := bestTo[e.from]; ok && v > best {
+				best, from = v, e.from
+			}
+		}
+		bestTo[name] = best + d
+		prev[name] = from
+	}
+	worst := 0.0
+	worstName := ""
+	for name, v := range bestTo {
+		if v > worst || worstName == "" {
+			worst, worstName = v, name
+		}
+	}
+	for at := worstName; at != ""; at = prev[at] {
+		res.CriticalPath = append([]string{at}, res.CriticalPath...)
+	}
+	if math.IsInf(worst, 1) {
+		res.DelayBoundInfinite = true
+		res.DelayBound = time.Duration(math.MaxInt64)
+	} else {
+		res.DelayBound = dur(worst)
+	}
+	if backlogInf {
+		res.TotalBacklog = units.Bytes(math.Inf(1))
+	} else {
+		res.TotalBacklog = units.Bytes(sumBacklog)
+	}
+	// Rates propagate linearly with the source rate while the graph stays
+	// stable, so the capacity is the offered rate scaled to the first
+	// saturation point. (With an already-overloaded node the propagated
+	// rates are service-clipped, making this indicative rather than exact.)
+	if math.IsInf(maxScale, 1) {
+		res.MaxSourceRate = units.Rate(math.Inf(1))
+	} else {
+		res.MaxSourceRate = g.Arrival.Rate.Mul(maxScale)
+	}
+	return res, nil
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestCrossTrafficResidualRate(t *testing.T) {
+	// Server at 10 shared with cross traffic at 4: the flow of interest
+	// gets the residual 6.
+	p := Pipeline{
+		Name:    "shared",
+		Arrival: Arrival{Rate: 2, Burst: 1},
+		Nodes: []Node{{
+			Name: "shared", Rate: 10, Latency: time.Second,
+			JobIn: 1, JobOut: 1,
+			CrossRate: 4, CrossBurst: 2,
+		}},
+	}
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Nodes[0].Rate != 6 {
+		t.Errorf("residual rate = %v, want 6", a.Nodes[0].Rate)
+	}
+	// Lower throughput bound capped by arrival (2 < residual 6).
+	if a.ThroughputLower != 2 {
+		t.Errorf("lower = %v", a.ThroughputLower)
+	}
+	// The node beta must be the residual: latency (b_c + R*T)/(R - r_c) =
+	// (2 + 10*1)/6 = 2 s.
+	if got := a.Nodes[0].Beta.Latency(); math.Abs(got-2) > 1e-9 {
+		t.Errorf("residual latency = %v, want 2", got)
+	}
+	// Delay bound grows versus the exclusive-server case.
+	alone := p
+	alone.Nodes = []Node{{Name: "alone", Rate: 10, Latency: time.Second, JobIn: 1, JobOut: 1}}
+	aAlone, _ := Analyze(alone)
+	if a.Nodes[0].DelayBound <= aAlone.Nodes[0].DelayBound {
+		t.Error("shared node must have a larger delay bound")
+	}
+}
+
+func TestCrossTrafficStarvationRejected(t *testing.T) {
+	p := Pipeline{
+		Arrival: Arrival{Rate: 1},
+		Nodes: []Node{{
+			Name: "s", Rate: 5, JobIn: 1, JobOut: 1,
+			CrossRate: 5, CrossBurst: 0,
+		}},
+	}
+	if _, err := Analyze(p); err == nil {
+		t.Error("cross rate == service rate must be rejected")
+	}
+	p.Nodes[0].CrossRate = -1
+	if _, err := Analyze(p); err == nil {
+		t.Error("negative cross rate must be rejected")
+	}
+}
+
+func TestCrossTrafficOverloadsFlow(t *testing.T) {
+	// Residual (10-7=3) below the arrival rate 5: overloaded regime.
+	p := Pipeline{
+		Arrival: Arrival{Rate: 5, Burst: 1},
+		Nodes: []Node{{
+			Name: "s", Rate: 10, JobIn: 1, JobOut: 1,
+			CrossRate: 7, CrossBurst: 1,
+		}},
+	}
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Overloaded {
+		t.Error("flow must be overloaded on the residual service")
+	}
+	if a.ThroughputLower != 3 {
+		t.Errorf("lower = %v", a.ThroughputLower)
+	}
+}
+
+func TestMultiBucketArrivalEnvelope(t *testing.T) {
+	// Peak 10 B/s with small burst, sustained 3 B/s with large burst: the
+	// envelope is their min; the long-run rate is 3.
+	p := Pipeline{
+		Arrival: Arrival{
+			Rate: 10, Burst: 1,
+			Extra: []Bucket{{Rate: 3, Burst: 8}},
+		},
+		Nodes: []Node{{Name: "s", Rate: 5, Latency: time.Second, JobIn: 1, JobOut: 1}},
+	}
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Overloaded {
+		t.Error("sustained rate 3 < service 5: stable")
+	}
+	// Envelope at small t follows the peak bucket, at large t the
+	// sustained one.
+	if got := a.Alpha.Value(0.5); math.Abs(got-6) > 1e-9 { // 10*0.5+1
+		t.Errorf("alpha(0.5) = %v, want 6", got)
+	}
+	if got := a.Alpha.Value(10); math.Abs(got-38) > 1e-9 { // 3*10+8
+		t.Errorf("alpha(10) = %v, want 38", got)
+	}
+	if a.ThroughputUpper != 3 {
+		t.Errorf("upper = %v, want long-run 3", a.ThroughputUpper)
+	}
+	// Delay bound: hdev of the two-bucket envelope vs RL(5, 1). The peak
+	// bucket intersects the sustained one at t=1 (value 11); the worst
+	// horizontal gap is at the knee: beta reaches 11 at t = 1+11/5 = 3.2,
+	// so d = 2.2.
+	if got := a.DelayBound.Seconds(); math.Abs(got-2.2) > 1e-6 {
+		t.Errorf("delay bound = %v, want 2.2 s", got)
+	}
+}
+
+func TestMultiBucketValidation(t *testing.T) {
+	p := Pipeline{
+		Arrival: Arrival{Rate: 1, Extra: []Bucket{{Rate: 0, Burst: 1}}},
+		Nodes:   []Node{{Name: "s", Rate: 5, JobIn: 1, JobOut: 1}},
+	}
+	if _, err := Analyze(p); err == nil {
+		t.Error("zero-rate extra bucket must be rejected")
+	}
+}
+
+func TestMultiBucketReducesBacklogBound(t *testing.T) {
+	// Adding a tighter bucket can only shrink (or keep) the bounds.
+	base := Pipeline{
+		Arrival: Arrival{Rate: 4, Burst: 10},
+		Nodes:   []Node{{Name: "s", Rate: 5, Latency: time.Second, JobIn: 1, JobOut: 1}},
+	}
+	tight := base
+	tight.Arrival.Extra = []Bucket{{Rate: 4, Burst: 2}}
+	a1, _ := Analyze(base)
+	a2, _ := Analyze(tight)
+	if a2.BacklogBound > a1.BacklogBound {
+		t.Errorf("tighter envelope increased backlog bound: %v > %v",
+			a2.BacklogBound, a1.BacklogBound)
+	}
+	if a2.DelayBound > a1.DelayBound {
+		t.Errorf("tighter envelope increased delay bound")
+	}
+}
+
+func TestCrossTrafficNormalization(t *testing.T) {
+	// Cross traffic downstream of a 2:1 filter is specified in local units
+	// and must be referred to the input like everything else.
+	p := Pipeline{
+		Arrival: Arrival{Rate: 4, Burst: 1},
+		Nodes: []Node{
+			{Name: "filter", Rate: 20, JobIn: 2, JobOut: 1},
+			{Name: "shared", Rate: 10, JobIn: 1, JobOut: 1, CrossRate: 4, CrossBurst: 1},
+		},
+	}
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Input-referred: rate 20, cross 8 -> residual 12.
+	if a.Nodes[1].Rate != 12 {
+		t.Errorf("referred residual = %v, want 12", a.Nodes[1].Rate)
+	}
+}

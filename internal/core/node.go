@@ -1,0 +1,239 @@
+// Package core implements the paper's primary contribution: deterministic
+// network-calculus models of streaming data applications running on
+// heterogeneous platforms, where pipeline stages are either computations
+// (FPGA/GPU/CPU kernels) or communications (network links, PCIe buses).
+//
+// A pipeline is a chain of nodes. Each node is characterized by isolated
+// measurements — sustained and best-case service rates, initial latency, the
+// data block sizes it consumes and emits (the job ratio), and its maximum
+// packet size. The model:
+//
+//   - normalizes all data volumes to the pipeline input (following
+//     Timcheck & Buhler), so every curve is expressed in input-referred
+//     bytes;
+//   - applies the packetizer adjustments alpha' = alpha + l_max·1_{t>0} and
+//     beta' = [beta - l_max]⁺;
+//   - accounts for job aggregation: a node that must collect b_n bytes
+//     before dispatching adds b_n / R_alpha,n-1 to the cumulative latency
+//     (the paper's T_n^tot recursion);
+//   - produces end-to-end and per-node bounds: virtual delay (horizontal
+//     deviation), backlog (vertical deviation), output arrival bound
+//     alpha* = (alpha ⊗ gamma) ⊘ beta, and lower/upper throughput bounds.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"streamcalc/internal/units"
+)
+
+// NodeKind distinguishes computation stages from communication stages. Both
+// are modeled with rate-latency service curves; the distinction is carried
+// through for reporting and for the bump-in-the-wire data-path comparisons.
+type NodeKind int
+
+const (
+	// Compute marks a computational stage (kernel, filter, codec, ...).
+	Compute NodeKind = iota
+	// Link marks a communication stage (network link, PCIe bus, ...).
+	Link
+)
+
+// String returns "compute" or "link".
+func (k NodeKind) String() string {
+	switch k {
+	case Compute:
+		return "compute"
+	case Link:
+		return "link"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// Node describes one stage of a streaming pipeline via measurements taken in
+// isolation. Rates and block sizes are in the node's *local* data units
+// (what the stage itself sees); the analysis converts everything to
+// input-referred units using the chain of job ratios.
+type Node struct {
+	// Name identifies the stage in reports.
+	Name string
+	// Kind is Compute or Link.
+	Kind NodeKind
+
+	// Rate is the sustained (guaranteed, worst-case) service rate — the R of
+	// the rate-latency service curve beta. Required > 0.
+	Rate units.Rate
+	// MaxRate is the best-case service rate — the R of the maximum service
+	// curve gamma. Defaults to Rate when zero.
+	MaxRate units.Rate
+
+	// Latency is the node's initial delay T (pipeline fill, kernel launch,
+	// link propagation).
+	Latency time.Duration
+
+	// JobIn is the data block size the node consumes per activation. When it
+	// exceeds the block size delivered by the upstream node, the node
+	// aggregates (the paper's "job ratio" effect) and the aggregation time
+	// joins the latency recursion. Required > 0.
+	JobIn units.Bytes
+	// JobOut is the block size emitted per activation. Required > 0.
+	// JobOut/JobIn is the node's data volume gain (e.g. < 1 for a filter or
+	// compressor, > 1 for an expander or decompressor).
+	JobOut units.Bytes
+
+	// MaxPacket is l_max, the maximum packet the node's packetizer releases;
+	// zero models a fluid (bit-by-bit) server.
+	MaxPacket units.Bytes
+
+	// BestGain, when non-zero, is the data-volume gain used for the
+	// maximum service curve gamma instead of JobOut/JobIn. The paper's
+	// bump-in-the-wire model uses this for the compressor: the lower-bound
+	// service curve assumes a compression ratio of 1.0 (gain 1) while the
+	// maximum service curve assumes the largest observed ratio (gain
+	// 1/ratio), which multiplies every downstream maximum service rate by
+	// the ratio until decompression removes it.
+	BestGain float64
+
+	// CrossRate/CrossBurst, when CrossRate > 0, describe competing traffic
+	// (leaky bucket, in the node's local units) that shares this node under
+	// blind multiplexing. The flow of interest then only receives the
+	// residual service [beta - alpha_cross]⁺ — a multi-flow extension of
+	// the paper's single-flow model. CrossRate must stay below Rate.
+	CrossRate  units.Rate
+	CrossBurst units.Bytes
+}
+
+// bestGainOrGain returns BestGain, defaulting to Gain().
+func (n Node) bestGainOrGain() float64 {
+	if n.BestGain > 0 {
+		return n.BestGain
+	}
+	return n.Gain()
+}
+
+// Gain returns the node's data-volume gain JobOut/JobIn.
+func (n Node) Gain() float64 { return float64(n.JobOut) / float64(n.JobIn) }
+
+// JobRatio returns JobIn/JobOut as the paper's Figure 3 annotates nodes
+// (ratio of input block size to output block size).
+func (n Node) JobRatio() float64 { return float64(n.JobIn) / float64(n.JobOut) }
+
+func (n Node) validate(i int) error {
+	if n.Rate <= 0 {
+		return fmt.Errorf("core: node %d (%s): Rate must be positive", i, n.Name)
+	}
+	if n.MaxRate < 0 {
+		return fmt.Errorf("core: node %d (%s): MaxRate must be non-negative", i, n.Name)
+	}
+	if n.MaxRate > 0 && n.MaxRate < n.Rate {
+		return fmt.Errorf("core: node %d (%s): MaxRate %v below sustained Rate %v", i, n.Name, n.MaxRate, n.Rate)
+	}
+	if n.Latency < 0 {
+		return fmt.Errorf("core: node %d (%s): negative Latency", i, n.Name)
+	}
+	if n.JobIn <= 0 || n.JobOut <= 0 {
+		return fmt.Errorf("core: node %d (%s): JobIn and JobOut must be positive", i, n.Name)
+	}
+	if n.MaxPacket < 0 {
+		return fmt.Errorf("core: node %d (%s): negative MaxPacket", i, n.Name)
+	}
+	if n.BestGain < 0 {
+		return fmt.Errorf("core: node %d (%s): negative BestGain", i, n.Name)
+	}
+	if n.CrossRate < 0 || n.CrossBurst < 0 {
+		return fmt.Errorf("core: node %d (%s): negative cross-traffic parameters", i, n.Name)
+	}
+	if n.CrossRate >= n.Rate && n.CrossRate > 0 {
+		return fmt.Errorf("core: node %d (%s): cross traffic (%v) starves the node (rate %v)", i, n.Name, n.CrossRate, n.Rate)
+	}
+	return nil
+}
+
+// maxRateOrRate returns MaxRate, defaulting to Rate.
+func (n Node) maxRateOrRate() units.Rate {
+	if n.MaxRate > 0 {
+		return n.MaxRate
+	}
+	return n.Rate
+}
+
+// Bucket is one leaky-bucket constraint rate·t + burst.
+type Bucket struct {
+	Rate  units.Rate
+	Burst units.Bytes
+}
+
+// Arrival describes the flow offered to the pipeline as a leaky-bucket
+// (affine) arrival curve alpha(t) = Rate·t + Burst, packetized with packets
+// of at most MaxPacket bytes. Additional buckets in Extra tighten the
+// envelope to their pointwise minimum — the "variable rate" arrival curves
+// of the paper's future work (e.g. a fast short-term peak rate combined
+// with a slower sustained rate).
+type Arrival struct {
+	// Rate is the long-run arrival rate R_alpha. Required > 0.
+	Rate units.Rate
+	// Burst is the instantaneous burst allowance b.
+	Burst units.Bytes
+	// MaxPacket is l_max of the arriving flow's packetizer (0 = fluid).
+	MaxPacket units.Bytes
+	// Extra lists additional leaky-bucket constraints; the arrival curve
+	// is the minimum of all buckets (a concave piecewise-linear envelope).
+	Extra []Bucket
+}
+
+func (a Arrival) validate() error {
+	if a.Rate <= 0 {
+		return errors.New("core: arrival Rate must be positive")
+	}
+	if a.Burst < 0 || a.MaxPacket < 0 {
+		return errors.New("core: arrival Burst and MaxPacket must be non-negative")
+	}
+	for i, b := range a.Extra {
+		if b.Rate <= 0 || b.Burst < 0 {
+			return fmt.Errorf("core: arrival Extra[%d]: Rate must be positive, Burst non-negative", i)
+		}
+	}
+	return nil
+}
+
+// Pipeline is a chain of nodes fed by an arrival flow. Data flows through
+// Nodes in slice order (a directed chain, the common shape of the streaming
+// applications the paper models).
+type Pipeline struct {
+	Name    string
+	Arrival Arrival
+	Nodes   []Node
+}
+
+// Validate checks the pipeline description for structural errors.
+func (p Pipeline) Validate() error {
+	if err := p.Arrival.validate(); err != nil {
+		return err
+	}
+	if len(p.Nodes) == 0 {
+		return errors.New("core: pipeline has no nodes")
+	}
+	for i, n := range p.Nodes {
+		if err := n.validate(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Subrange returns a pipeline consisting of nodes [from, to) of p with the
+// same arrival specification — the paper's "any desired subset of the
+// streaming application" analysis. The caller usually replaces the arrival
+// with the propagated output bound at node from (see Analysis.InputAt).
+func (p Pipeline) Subrange(from, to int) (Pipeline, error) {
+	if from < 0 || to > len(p.Nodes) || from >= to {
+		return Pipeline{}, fmt.Errorf("core: invalid subrange [%d, %d) of %d nodes", from, to, len(p.Nodes))
+	}
+	sub := p
+	sub.Name = fmt.Sprintf("%s[%d:%d]", p.Name, from, to)
+	sub.Nodes = append([]Node(nil), p.Nodes[from:to]...)
+	return sub, nil
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"streamcalc/internal/units"
+)
+
+// OverloadAnalysis quantifies the transient behaviour when the arrival rate
+// exceeds the sustained service rate (R_alpha > R_beta) — the regime the
+// paper's future work calls out. Steady-state network-calculus bounds are
+// infinite there, but the finite-horizon view still answers the questions a
+// deployment engineer has: how fast does backlog grow, when does a given
+// buffer overflow, and what arrival rate would the system tolerate.
+type OverloadAnalysis struct {
+	// Overloaded is false when R_alpha <= R_beta; the remaining fields are
+	// then zero and BacklogAt/TimeToFill degrade gracefully.
+	Overloaded bool
+	// ArrivalRate and ServiceRate are input-referred long-run rates of the
+	// arrival curve and of the bottleneck service.
+	ArrivalRate units.Rate
+	ServiceRate units.Rate
+	// GrowthRate = ArrivalRate - ServiceRate (> 0 iff Overloaded): the
+	// asymptotic rate at which backlog accumulates.
+	GrowthRate units.Rate
+	// InitialBurst is the burst (plus packetization) that lands immediately.
+	InitialBurst units.Bytes
+	// Latency is the cumulative latency during which no output is produced.
+	Latency time.Duration
+	// SustainableRate is the largest arrival rate with finite bounds — the
+	// bottleneck's sustained input-referred rate. "How much must arrivals be
+	// throttled" for queues at risk of overflowing.
+	SustainableRate units.Rate
+}
+
+// AnalyzeOverload inspects the pipeline's overload behaviour. It is valid
+// for both regimes: when the pipeline is not overloaded the result simply
+// reports Overloaded == false and a zero growth rate.
+func AnalyzeOverload(p Pipeline) (*OverloadAnalysis, error) {
+	a, err := Analyze(p)
+	if err != nil {
+		return nil, err
+	}
+	o := &OverloadAnalysis{
+		ArrivalRate:     p.Arrival.Rate,
+		ServiceRate:     a.ThroughputLower,
+		InitialBurst:    p.Arrival.Burst + p.Arrival.MaxPacket,
+		Latency:         a.TotalLatency,
+		SustainableRate: a.ThroughputLower,
+	}
+	if float64(o.ArrivalRate) > float64(o.ServiceRate) {
+		o.Overloaded = true
+		o.GrowthRate = o.ArrivalRate - o.ServiceRate
+	}
+	return o, nil
+}
+
+// BacklogAt returns the worst-case backlog after the system has been running
+// for d: the vertical gap between the arrival curve and the bottleneck
+// service curve at horizon d. This is finite for every finite d even under
+// overload (the finite-horizon transient bound).
+func (o *OverloadAnalysis) BacklogAt(d time.Duration) units.Bytes {
+	t := d.Seconds()
+	arr := float64(o.InitialBurst) + float64(o.ArrivalRate)*t
+	served := float64(o.ServiceRate) * math.Max(0, t-o.Latency.Seconds())
+	if served > arr {
+		served = arr
+	}
+	return units.Bytes(arr - served)
+}
+
+// TimeToFill returns how long the system can run before the total backlog
+// exceeds buffer, and reached=false when the buffer is never exceeded
+// (non-overloaded regime with a sufficient buffer).
+func (o *OverloadAnalysis) TimeToFill(buffer units.Bytes) (d time.Duration, reached bool) {
+	if float64(buffer) < float64(o.InitialBurst) {
+		return 0, true // the initial burst alone overflows it
+	}
+	// Phase 1: during the latency window, backlog grows at the arrival rate.
+	tl := o.Latency.Seconds()
+	endOfLatency := float64(o.InitialBurst) + float64(o.ArrivalRate)*tl
+	if endOfLatency >= float64(buffer) {
+		t := (float64(buffer) - float64(o.InitialBurst)) / float64(o.ArrivalRate)
+		return dur(t), true
+	}
+	// Phase 2: backlog grows at GrowthRate.
+	if !o.Overloaded || o.GrowthRate <= 0 {
+		return 0, false
+	}
+	t := tl + (float64(buffer)-endOfLatency)/float64(o.GrowthRate)
+	return dur(t), true
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"streamcalc/internal/units"
+)
+
+func TestOverloadAnalysisBasic(t *testing.T) {
+	p := simple(10, 2, 4, time.Second)
+	o, err := AnalyzeOverload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Overloaded {
+		t.Fatal("must be overloaded")
+	}
+	if o.GrowthRate != 6 {
+		t.Errorf("growth = %v, want 6", o.GrowthRate)
+	}
+	if o.SustainableRate != 4 {
+		t.Errorf("sustainable = %v, want 4", o.SustainableRate)
+	}
+}
+
+func TestOverloadBacklogAt(t *testing.T) {
+	p := simple(10, 2, 4, time.Second)
+	o, _ := AnalyzeOverload(p)
+	// At t=0: just the burst.
+	if got := o.BacklogAt(0); math.Abs(float64(got)-2) > 1e-9 {
+		t.Errorf("backlog(0) = %v", got)
+	}
+	// During latency (t=1s): burst + arrivals = 2 + 10 = 12.
+	if got := o.BacklogAt(time.Second); math.Abs(float64(got)-12) > 1e-9 {
+		t.Errorf("backlog(1s) = %v", got)
+	}
+	// After latency (t=3s): 2 + 30 - 4*2 = 24.
+	if got := o.BacklogAt(3 * time.Second); math.Abs(float64(got)-24) > 1e-9 {
+		t.Errorf("backlog(3s) = %v", got)
+	}
+}
+
+func TestOverloadTimeToFill(t *testing.T) {
+	p := simple(10, 2, 4, time.Second)
+	o, _ := AnalyzeOverload(p)
+	// Buffer below burst overflows immediately.
+	if d, reached := o.TimeToFill(1); !reached || d != 0 {
+		t.Errorf("tiny buffer: %v %v", d, reached)
+	}
+	// Buffer 7: filled during latency at 2 + 10t = 7 -> t = 0.5 s.
+	d, reached := o.TimeToFill(7)
+	if !reached || d != 500*time.Millisecond {
+		t.Errorf("buffer 7: %v %v", d, reached)
+	}
+	// Buffer 24: phase 2; 12 at end of latency, then growth 6/s:
+	// 1 + 12/6 = 3 s.
+	d, reached = o.TimeToFill(24)
+	if !reached || d != 3*time.Second {
+		t.Errorf("buffer 24: %v %v", d, reached)
+	}
+}
+
+func TestOverloadNotOverloaded(t *testing.T) {
+	p := simple(2, 1, 4, time.Second)
+	o, err := AnalyzeOverload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Overloaded || o.GrowthRate != 0 {
+		t.Error("not overloaded")
+	}
+	// A large buffer is never filled.
+	if _, reached := o.TimeToFill(100 * units.MiB); reached {
+		t.Error("buffer must never fill in underload")
+	}
+	// Transient backlog still bounded by burst + latency arrivals.
+	if got := o.BacklogAt(time.Second); math.Abs(float64(got)-3) > 1e-9 {
+		t.Errorf("backlog(1s) = %v, want 3", got)
+	}
+	// Long-run backlog settles (arrivals minus service clamps at arrivals).
+	long := o.BacklogAt(time.Hour)
+	if float64(long) < 0 {
+		t.Errorf("backlog must stay non-negative, got %v", long)
+	}
+}
+
+func TestOverloadValidatesPipeline(t *testing.T) {
+	if _, err := AnalyzeOverload(Pipeline{}); err == nil {
+		t.Error("expected validation error")
+	}
+}

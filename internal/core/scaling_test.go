@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"streamcalc/internal/units"
+)
+
+// Dimensional-consistency properties of the model: physical rescalings of a
+// pipeline must transform the bounds predictably.
+
+func randomStablePipeline(rng *rand.Rand) Pipeline {
+	n := 1 + rng.Intn(4)
+	nodes := make([]Node, n)
+	arr := units.Rate(50 + rng.Float64()*100)
+	for i := range nodes {
+		nodes[i] = Node{
+			Name:    string(rune('a' + i)),
+			Rate:    arr + units.Rate(20+rng.Float64()*200), // above arrival: stable
+			Latency: time.Duration(rng.Intn(1000)) * time.Millisecond,
+			JobIn:   units.Bytes(1 + rng.Intn(64)),
+			JobOut:  units.Bytes(1 + rng.Intn(64)),
+		}
+	}
+	return Pipeline{
+		Name:    "prop",
+		Arrival: Arrival{Rate: arr, Burst: units.Bytes(rng.Float64() * 500), MaxPacket: units.Bytes(rng.Intn(32))},
+		Nodes:   nodes,
+	}
+}
+
+// Scaling every rate by k (and keeping volumes fixed) divides delays by k
+// and keeps data-volume bounds unchanged — for fluid pipelines (no
+// latencies, no aggregation), exactly.
+func TestRateScalingInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 25; trial++ {
+		p := randomStablePipeline(rng)
+		// Fluid variant: drop latencies (they are absolute times and do not
+		// scale with rates).
+		for i := range p.Nodes {
+			p.Nodes[i].Latency = 0
+		}
+		a1, err := Analyze(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 1 + rng.Float64()*9
+		scaled := p
+		scaled.Nodes = append([]Node(nil), p.Nodes...)
+		scaled.Arrival.Rate = p.Arrival.Rate.Mul(k)
+		for i := range scaled.Nodes {
+			scaled.Nodes[i].Rate = scaled.Nodes[i].Rate.Mul(k)
+			if scaled.Nodes[i].MaxRate > 0 {
+				scaled.Nodes[i].MaxRate = scaled.Nodes[i].MaxRate.Mul(k)
+			}
+		}
+		a2, err := Analyze(scaled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Delay scales by 1/k.
+		d1, d2 := a1.DelayEstimate.Seconds(), a2.DelayEstimate.Seconds()
+		if d1 > 0 && math.Abs(d2-d1/k) > d1/k*0.01+1e-9 {
+			t.Fatalf("trial %d: delay %v scaled to %v, want %v (k=%v)", trial, d1, d2, d1/k, k)
+		}
+		// Backlog estimate unchanged (volumes don't scale).
+		b1, b2 := float64(a1.BacklogEstimate), float64(a2.BacklogEstimate)
+		if math.Abs(b2-b1) > b1*0.01+1e-9 {
+			t.Fatalf("trial %d: backlog %v changed to %v under rate scaling", trial, b1, b2)
+		}
+		// Throughput bounds scale by k.
+		if math.Abs(float64(a2.ThroughputLower)-k*float64(a1.ThroughputLower)) > float64(a1.ThroughputLower)*0.01 {
+			t.Fatalf("trial %d: lower bound did not scale", trial)
+		}
+	}
+}
+
+// Scaling every data volume by k (rates fixed) multiplies both delay and
+// backlog estimates by k for burst-dominated fluid pipelines.
+func TestVolumeScalingInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	for trial := 0; trial < 25; trial++ {
+		p := randomStablePipeline(rng)
+		for i := range p.Nodes {
+			p.Nodes[i].Latency = 0
+		}
+		if p.Arrival.Burst == 0 {
+			p.Arrival.Burst = 100
+		}
+		a1, err := Analyze(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 2 + rng.Float64()*8
+		scaled := p
+		scaled.Nodes = append([]Node(nil), p.Nodes...)
+		scaled.Arrival.Burst = p.Arrival.Burst.Mul(k)
+		scaled.Arrival.MaxPacket = p.Arrival.MaxPacket.Mul(k)
+		for i := range scaled.Nodes {
+			scaled.Nodes[i].JobIn = scaled.Nodes[i].JobIn.Mul(k)
+			scaled.Nodes[i].JobOut = scaled.Nodes[i].JobOut.Mul(k)
+			scaled.Nodes[i].MaxPacket = scaled.Nodes[i].MaxPacket.Mul(k)
+		}
+		a2, err := Analyze(scaled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d1, d2 := a1.DelayEstimate.Seconds(), a2.DelayEstimate.Seconds()
+		if d1 > 0 && math.Abs(d2-k*d1) > k*d1*0.01+1e-9 {
+			t.Fatalf("trial %d: delay %v scaled to %v, want %v", trial, d1, d2, k*d1)
+		}
+		b1, b2 := float64(a1.BacklogEstimate), float64(a2.BacklogEstimate)
+		if math.Abs(b2-k*b1) > k*b1*0.01+1e-9 {
+			t.Fatalf("trial %d: backlog %v scaled to %v, want %v", trial, b1, b2, k*b1)
+		}
+	}
+}
+
+// Relabeling (splitting a node into two half-latency nodes with the same
+// rate) must not improve the folded bounds.
+func TestNodeSplittingMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	for trial := 0; trial < 20; trial++ {
+		p := randomStablePipeline(rng)
+		a1, err := Analyze(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		split := p
+		split.Nodes = nil
+		for _, n := range p.Nodes {
+			h1, h2 := n, n
+			h1.Latency, h2.Latency = n.Latency/2, n.Latency-n.Latency/2
+			h1.Name, h2.Name = n.Name+"-1", n.Name+"-2"
+			// The data-volume gain applies once: the second half is a
+			// volume-neutral stage operating in h1's output units.
+			h2.JobIn, h2.JobOut = n.JobOut, n.JobOut
+			// Its local rate is in post-gain units.
+			h2.Rate = n.Rate.Mul(n.Gain())
+			if h2.MaxRate > 0 {
+				h2.MaxRate = n.MaxRate.Mul(n.Gain())
+			}
+			split.Nodes = append(split.Nodes, h1, h2)
+		}
+		a2, err := Analyze(split)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The split chain has the same total latency and bottleneck, but
+		// may add aggregation terms: delay must not shrink.
+		if a2.DelayEstimate < a1.DelayEstimate-time.Millisecond {
+			t.Fatalf("trial %d: splitting nodes reduced delay %v -> %v",
+				trial, a1.DelayEstimate, a2.DelayEstimate)
+		}
+		if math.Abs(float64(a2.ThroughputLower-a1.ThroughputLower)) > float64(a1.ThroughputLower)*1e-9 {
+			t.Fatalf("trial %d: splitting changed the bottleneck: %v vs %v",
+				trial, a1.ThroughputLower, a2.ThroughputLower)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package curve
+
+import (
+	"math"
+	"sort"
+)
+
+// Convolve computes the min-plus convolution
+//
+//	(f ⊗ g)(t) = inf_{0 <= s <= t} [ f(s) + g(t-s) ].
+//
+// Exact closed forms are used for the families that cover deterministic
+// network calculus practice:
+//
+//   - both curves concave with f(0) = g(0) = 0 (arrival curves, maximum
+//     service curves): f ⊗ g = min(f, g);
+//   - both curves convex (rate-latency service curves and their
+//     concatenations): computed by the slope-merge rule — segments of both
+//     curves are traversed in order of increasing slope;
+//   - concave ⊗ rate-latency: ShiftRight(min(f, line), T).
+//
+// Any other shape is handled exactly as well, by the general
+// piece-decomposition algorithm (ConvolveExact). ConvolveSampled remains
+// available for cross-validation.
+func Convolve(f, g Curve) Curve {
+	if f.IsConcave() && g.IsConcave() && f.AtZero() == 0 && g.AtZero() == 0 {
+		return Min(f, g)
+	}
+	if f.IsConvex() && g.IsConvex() {
+		return convolveConvex(f, g)
+	}
+	// Mixed closed form: concave ⊗ rate-latency. Since
+	// beta_{R,T} = delta_T ⊗ lambda_R and both factors commute,
+	// f ⊗ beta_{R,T} = ShiftRight(min(f, lambda_R), T) for concave f with
+	// f(0) = 0 (lambda_R is concave and zero at the origin).
+	if f.IsConcave() && f.AtZero() == 0 {
+		if r, t, ok := asRateLatency(g); ok {
+			return ShiftRight(Min(f, Line(r)), t)
+		}
+	}
+	if g.IsConcave() && g.AtZero() == 0 {
+		if r, t, ok := asRateLatency(f); ok {
+			return ShiftRight(Min(g, Line(r)), t)
+		}
+	}
+	// General shapes: the exact piece-decomposition algorithm.
+	return ConvolveExact(f, g)
+}
+
+// asRateLatency reports whether c is exactly a rate-latency curve
+// R·(t-T)⁺ and returns its parameters.
+func asRateLatency(c Curve) (rate, latency float64, ok bool) {
+	segs := c.Segments()
+	if c.AtZero() != 0 {
+		return 0, 0, false
+	}
+	switch len(segs) {
+	case 1:
+		s := segs[0]
+		if s.Y == 0 {
+			return s.Slope, 0, true
+		}
+	case 2:
+		a, b := segs[0], segs[1]
+		if a.Y == 0 && a.Slope == 0 && b.Y == 0 {
+			return b.Slope, b.X, true
+		}
+	}
+	return 0, 0, false
+}
+
+const autoSamples = 2048
+
+// autoHorizon picks a sampling horizon comfortably past all breakpoints of
+// both curves, where each is in its ultimate affine regime.
+func autoHorizon(f, g Curve) float64 {
+	h := 4 * (f.LastBreak() + g.LastBreak())
+	if h <= 0 {
+		h = 1
+	}
+	return h
+}
+
+// convolveConvex implements the exact slope-merge rule for convex curves:
+// the convolution traverses the combined segments in increasing slope order,
+// starting from f(0)+g(0).
+func convolveConvex(f, g Curve) Curve {
+	type piece struct {
+		slope, length float64
+	}
+	var finite []piece
+	collect := func(c Curve) {
+		segs := c.Segments()
+		for i := 0; i+1 < len(segs); i++ {
+			finite = append(finite, piece{segs[i].Slope, segs[i+1].X - segs[i].X})
+		}
+	}
+	collect(f)
+	collect(g)
+	sort.Slice(finite, func(i, j int) bool { return finite[i].slope < finite[j].slope })
+
+	ultimate := math.Min(f.UltimateSlope(), g.UltimateSlope())
+	start := f.AtZero() + g.AtZero()
+	t, y := 0.0, start
+	segs := make([]Segment, 0, len(finite)+1)
+	for _, p := range finite {
+		if p.slope >= ultimate {
+			break // the infinite minimum-slope ray dominates from here on
+		}
+		segs = append(segs, Segment{t, y, p.slope})
+		t += p.length
+		y += p.length * p.slope
+	}
+	segs = append(segs, Segment{t, y, ultimate})
+	return New(start, segs)
+}
+
+// ConvolveSampled evaluates (f ⊗ g) numerically on an n-point grid over
+// [0, horizon] and returns the piecewise-linear interpolant, extended past
+// the horizon with the exact ultimate slope min(f∞, g∞). The infimum at
+// each grid point considers every grid split plus the exact endpoints s = 0
+// and s = t (so origin jumps are honored). Complexity O(n²).
+func ConvolveSampled(f, g Curve, horizon float64, n int) Curve {
+	if n < 2 {
+		n = 2
+	}
+	if horizon <= 0 {
+		horizon = 1
+	}
+	xs := make([]float64, n+1)
+	ys := make([]float64, n+1)
+	step := horizon / float64(n)
+	for i := 0; i <= n; i++ {
+		t := float64(i) * step
+		xs[i] = t
+		best := math.Inf(1)
+		for j := 0; j <= i; j++ {
+			s := float64(j) * step
+			if v := f.Value(s) + g.Value(t-s); v < best {
+				best = v
+			}
+		}
+		// Exact endpoints (the grid already contains them, but Value(0)
+		// uses y0, which encodes the origin jump correctly).
+		if v := f.AtZero() + g.Value(t); v < best {
+			best = v
+		}
+		if v := f.Value(t) + g.AtZero(); v < best {
+			best = v
+		}
+		ys[i] = best
+	}
+	// Enforce monotonicity against floating noise.
+	for i := 1; i <= n; i++ {
+		if ys[i] < ys[i-1] {
+			ys[i] = ys[i-1]
+		}
+	}
+	return FromPoints(xs, ys, math.Min(f.UltimateSlope(), g.UltimateSlope()))
+}
+
+// ConvolveAll folds Convolve over a non-empty list of curves (the
+// concatenated end-to-end service curve of a chain of nodes).
+func ConvolveAll(cs []Curve) Curve {
+	if len(cs) == 0 {
+		panic("curve: ConvolveAll of empty list")
+	}
+	out := cs[0]
+	for _, c := range cs[1:] {
+		out = Convolve(out, c)
+	}
+	return out
+}
+
+// MaxPlusConvolve computes the max-plus convolution
+//
+//	(f ⊕ g)(t) = sup_{0 <= s <= t} [ f(s) + g(t-s) ],
+//
+// exactly when both curves are convex with value 0 at the origin (then it
+// equals max(f, g) — the dual of the concave min-plus rule) and by sampling
+// otherwise.
+func MaxPlusConvolve(f, g Curve) Curve {
+	if f.IsConvex() && g.IsConvex() && f.AtZero() == 0 && g.AtZero() == 0 {
+		return Max(f, g)
+	}
+	horizon := autoHorizon(f, g)
+	n := autoSamples
+	xs := make([]float64, n+1)
+	ys := make([]float64, n+1)
+	step := horizon / float64(n)
+	for i := 0; i <= n; i++ {
+		t := float64(i) * step
+		xs[i] = t
+		best := math.Inf(-1)
+		for j := 0; j <= i; j++ {
+			s := float64(j) * step
+			if v := f.Value(s) + g.Value(t-s); v > best {
+				best = v
+			}
+		}
+		ys[i] = best
+	}
+	for i := 1; i <= n; i++ {
+		if ys[i] < ys[i-1] {
+			ys[i] = ys[i-1]
+		}
+	}
+	return FromPoints(xs, ys, math.Max(f.UltimateSlope(), g.UltimateSlope()))
+}

@@ -1,0 +1,210 @@
+package curve
+
+import (
+	"math"
+	"sort"
+)
+
+// Exact min-plus convolution for ARBITRARY piecewise-linear curves, via the
+// classic decomposition used by the RTC/COINC toolboxes: a curve is the
+// pointwise minimum of its pieces — each an affine segment on its domain
+// and +inf outside — and convolution distributes over minima:
+//
+//	f ⊗ g = min_{i,j} (f_i ⊗ g_j).
+//
+// The convolution of two affine pieces has a closed form: the domains add
+// and the result follows the smaller slope over its length, then the larger
+// slope over its length (+inf beyond). The lower envelope of all pairwise
+// results is assembled exactly: its kinks lie at piece breakpoints or at
+// crossings of two affine legs, all of which are enumerated.
+//
+// This covers the mixed-shape cases that the fast closed forms in
+// Convolve miss (e.g. a non-concave propagated output bound convolved with
+// a multi-slope convex service curve) without resorting to sampling.
+
+// piece is an affine piece on [x0, x1] (x1 may be +inf), +inf outside.
+type piece struct {
+	x0, x1 float64
+	v0     float64
+	slope  float64
+}
+
+// pieces decomposes a curve; the origin's point value contributes a
+// zero-length piece when the curve jumps at 0.
+func pieces(c Curve) []piece {
+	segs := c.Segments()
+	out := make([]piece, 0, len(segs)+1)
+	if c.AtZero() < c.Burst() {
+		out = append(out, piece{x0: 0, x1: 0, v0: c.AtZero(), slope: 0})
+	}
+	for i, s := range segs {
+		end := math.Inf(1)
+		if i+1 < len(segs) {
+			end = segs[i+1].X
+		}
+		out = append(out, piece{x0: s.X, x1: end, v0: s.Y, slope: s.Slope})
+	}
+	return out
+}
+
+// leg is one affine stretch of a pairwise convolution result: value
+// v0 + slope*(t-x0) on [x0, x1], +inf outside.
+type leg struct {
+	x0, x1 float64
+	v0     float64
+	slope  float64
+}
+
+func (l leg) valueAt(t float64) float64 {
+	if t < l.x0-1e-12 || t > l.x1+1e-12 {
+		return math.Inf(1)
+	}
+	if t > l.x1 {
+		t = l.x1
+	}
+	if t < l.x0 {
+		t = l.x0
+	}
+	return l.v0 + l.slope*(t-l.x0)
+}
+
+// convPieceLegs convolves two pieces and returns the (at most two) legs of
+// the result.
+func convPieceLegs(a, b piece) []leg {
+	if a.slope > b.slope {
+		a, b = b, a
+	}
+	lenA := a.x1 - a.x0
+	lenB := b.x1 - b.x0
+	start := a.x0 + b.x0
+	v := a.v0 + b.v0
+	var legs []leg
+	end1 := start + lenA
+	legs = append(legs, leg{x0: start, x1: end1, v0: v, slope: a.slope})
+	if !math.IsInf(lenA, 1) {
+		v1 := v + a.slope*lenA
+		end2 := end1 + lenB
+		if lenB > 0 || math.IsInf(lenB, 1) {
+			legs = append(legs, leg{x0: end1, x1: end2, v0: v1, slope: b.slope})
+		}
+	}
+	return legs
+}
+
+// ConvolveExact computes (f ⊗ g) exactly for arbitrary piecewise-linear
+// curves by assembling the lower envelope of all pairwise piece
+// convolutions. Complexity is quadratic in the total leg count (fine for
+// the segment counts of real models); Convolve's closed forms remain the
+// fast path for concave/convex families.
+func ConvolveExact(f, g Curve) Curve {
+	var legs []leg
+	for _, a := range pieces(f) {
+		for _, b := range pieces(g) {
+			legs = append(legs, convPieceLegs(a, b)...)
+		}
+	}
+
+	// Candidate kink abscissas: leg endpoints and pairwise leg crossings.
+	candSet := map[float64]struct{}{0: {}}
+	add := func(x float64) {
+		if x >= 0 && !math.IsInf(x, 1) {
+			candSet[x] = struct{}{}
+		}
+	}
+	for _, l := range legs {
+		add(l.x0)
+		add(l.x1)
+	}
+	for i := 0; i < len(legs); i++ {
+		for j := i + 1; j < len(legs); j++ {
+			a, b := legs[i], legs[j]
+			if a.slope == b.slope {
+				continue
+			}
+			// Solve a.v0 + a.slope*(t-a.x0) = b.v0 + b.slope*(t-b.x0).
+			t := (b.v0 - b.slope*b.x0 - a.v0 + a.slope*a.x0) / (a.slope - b.slope)
+			lo := math.Max(a.x0, b.x0)
+			hi := math.Min(a.x1, b.x1)
+			if t > lo && t < hi {
+				add(t)
+			}
+		}
+	}
+	xs := make([]float64, 0, len(candSet))
+	for x := range candSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	uniq := xs[:0]
+	for _, x := range xs {
+		if len(uniq) == 0 || x-uniq[len(uniq)-1] > absEps(x) {
+			uniq = append(uniq, x)
+		}
+	}
+	xs = uniq
+
+	minAt := func(t float64) float64 {
+		best := math.Inf(1)
+		for _, l := range legs {
+			if v := l.valueAt(t); v < best {
+				best = v
+			}
+		}
+		return best
+	}
+
+	// Reconstruct the envelope segment by segment. On each open interval
+	// between candidates the envelope is affine (all leg crossings are
+	// candidates), but it may JUMP at a candidate (a constraining leg ends
+	// there), so each segment's start value is recovered from two interior
+	// evaluations rather than the point value. The representation is
+	// right-continuous: at a jump point the (upper) right limit is stored,
+	// matching the library-wide convention.
+	segs := make([]Segment, 0, len(xs))
+	for i, x := range xs {
+		var y, slope float64
+		if i+1 < len(xs) {
+			w := xs[i+1] - x
+			t1, t2 := x+w/3, x+2*w/3
+			v1, v2 := minAt(t1), minAt(t2)
+			slope = (v2 - v1) / (t2 - t1)
+			y = v1 - slope*(t1-x)
+		} else {
+			// Final ray: every surviving leg is infinite and affine.
+			v1, v2 := minAt(x+1), minAt(x+2)
+			slope = v2 - v1
+			y = v1 - slope*1
+		}
+		if slope < 0 && slope > -1e-7 {
+			slope = 0
+		}
+		if y < 0 && y > -1e-9 {
+			y = 0
+		}
+		segs = append(segs, Segment{x, y, slope})
+	}
+	// Monotonic guard against floating noise: segment start values must be
+	// non-decreasing along the curve.
+	for i := 1; i < len(segs); i++ {
+		prevEnd := segs[i-1].Y + segs[i-1].Slope*(segs[i].X-segs[i-1].X)
+		if segs[i].Y < prevEnd-absEps(prevEnd) {
+			segs[i].Y = prevEnd
+		}
+	}
+	// The exact origin value is f(0)+g(0) (the s=0 split).
+	y0 := f.AtZero() + g.AtZero()
+	if y0 > segs[0].Y {
+		y0 = segs[0].Y
+	}
+	return New(y0, segs)
+}
+
+// withOrigin returns c with its value at 0 replaced (clamped to the right
+// limit so the curve stays wide-sense increasing).
+func withOrigin(c Curve, y0 float64) Curve {
+	segs := c.Segments()
+	if y0 > segs[0].Y {
+		y0 = segs[0].Y
+	}
+	return Curve{y0: y0, segs: segs}
+}

@@ -1,0 +1,140 @@
+package curve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// checkConvExact verifies got(t) == inf_s f(s)+g(t-s) against a fine grid:
+// the exact result must never exceed the grid infimum (an over-estimate)
+// and must match it at grid points that realize exact splits.
+func checkConvExact(t *testing.T, f, g, got Curve, horizon float64) {
+	t.Helper()
+	const n = 400
+	const splits = 2400 // finer than the outer grid: interior jumps make the split infimum sharp
+	for i := 0; i <= n; i++ {
+		x := horizon * float64(i) / float64(n)
+		best := math.Inf(1)
+		for j := 0; j <= splits; j++ {
+			s := x * float64(j) / float64(splits)
+			if v := f.Value(s) + g.Value(x-s); v < best {
+				best = v
+			}
+		}
+		if v := f.AtZero() + g.Value(x); v < best {
+			best = v
+		}
+		if v := f.Value(x) + g.AtZero(); v < best {
+			best = v
+		}
+		gv := got.Value(x)
+		if gv > best+1e-6*(1+math.Abs(best)) {
+			t.Fatalf("exact conv above brute at t=%g: %g > %g", x, gv, best)
+		}
+		// The exact algorithm should essentially achieve the brute value
+		// (the grid can only over-estimate slightly).
+		slack := (f.UltimateSlope() + g.UltimateSlope()) * horizon / splits * 4
+		if gv < best-slack-1e-9 {
+			t.Fatalf("exact conv far below brute at t=%g: %g < %g", x, gv, best)
+		}
+	}
+}
+
+func TestConvolveExactMatchesClosedForms(t *testing.T) {
+	// Rate-latency concatenation.
+	got := ConvolveExact(RateLatency(4, 3), RateLatency(7, 2))
+	if !got.Equal(RateLatency(4, 5)) {
+		t.Errorf("RL concat: %v", got)
+	}
+	// Concave min rule.
+	a1, a2 := Affine(1, 10), Affine(3, 2)
+	if !ConvolveExact(a1, a2).Equal(Min(a1, a2)) {
+		t.Errorf("concave rule failed")
+	}
+	// Mixed closed form.
+	a, b := Affine(2, 6), RateLatency(3, 2)
+	want := ShiftRight(Min(a, Line(3)), 2)
+	got = ConvolveExact(a, b)
+	if !got.ZeroAtOrigin().Equal(want) {
+		t.Errorf("mixed: %v want %v", got, want)
+	}
+}
+
+func TestConvolveExactStaircase(t *testing.T) {
+	// Staircase arrivals (interior jumps!) through a rate-latency server —
+	// the shape class the closed forms do not cover.
+	sc := Staircase(10, 2, 4)
+	b := RateLatency(8, 1)
+	got := ConvolveExact(sc, b)
+	checkConvExact(t, sc, b, got, 16)
+}
+
+func TestConvolveExactNonConvexNonConcave(t *testing.T) {
+	// An S-shaped curve (convex then concave): neither family.
+	s := New(0, []Segment{{0, 0, 1}, {2, 2, 5}, {4, 12, 1}})
+	b := RateLatency(3, 1)
+	got := ConvolveExact(s, b)
+	checkConvExact(t, s, b, got, 14)
+	// And against another irregular curve.
+	s2 := New(0, []Segment{{0, 1, 0}, {3, 1, 2}})
+	got2 := ConvolveExact(s, s2)
+	checkConvExact(t, s, s2, got2, 14)
+}
+
+func TestConvolveExactRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	randomCurve := func() Curve {
+		// 2-4 random monotone segments.
+		n := 2 + rng.Intn(3)
+		x := 0.0
+		y := 0.0
+		segs := make([]Segment, 0, n)
+		if rng.Intn(2) == 0 {
+			y = rng.Float64() * 3 // jump at origin
+		}
+		for i := 0; i < n; i++ {
+			slope := rng.Float64() * 4
+			segs = append(segs, Segment{x, y, slope})
+			dx := 0.5 + rng.Float64()*2
+			y += slope * dx
+			if rng.Intn(3) == 0 {
+				y += rng.Float64() * 2 // interior jump
+			}
+			x += dx
+		}
+		return New(0, segs)
+	}
+	for k := 0; k < 15; k++ {
+		f, g := randomCurve(), randomCurve()
+		got := ConvolveExact(f, g)
+		checkConvExact(t, f, g, got, 18)
+	}
+}
+
+func TestConvolveExactOriginJumps(t *testing.T) {
+	// Both curves jump at 0: the convolution's origin value is the sum of
+	// the point values, the right limit the min of cross sums.
+	f := Affine(1, 5)
+	g := Affine(2, 3)
+	got := ConvolveExact(f, g)
+	if got.AtZero() != 0 {
+		t.Errorf("origin = %v", got.AtZero())
+	}
+	// Right limit at 0: min(f(0)+g(0+), f(0+)+g(0)) = min(3, 5) = 3.
+	if v := got.Burst(); math.Abs(v-3) > 1e-9 {
+		t.Errorf("burst = %v, want 3", v)
+	}
+}
+
+func TestConvolveDispatchesToExact(t *testing.T) {
+	// The general Convolve entry point must route irregular shapes to the
+	// exact algorithm (same result, no sampling artifacts).
+	s := New(0, []Segment{{0, 0, 1}, {2, 2, 5}, {4, 12, 1}})
+	b := New(0, []Segment{{0, 1, 0}, {3, 1, 2}})
+	viaConvolve := Convolve(s, b)
+	viaExact := ConvolveExact(s, b)
+	if !viaConvolve.Equal(viaExact) {
+		t.Error("Convolve must dispatch irregular shapes to ConvolveExact")
+	}
+}

@@ -1,0 +1,96 @@
+package curve
+
+import (
+	"math"
+	"testing"
+)
+
+// buildFuzzCurve turns raw fuzz bytes into a valid wide-sense-increasing
+// curve: each byte pair contributes a segment length and slope; every third
+// byte occasionally adds an upward jump.
+func buildFuzzCurve(data []byte) Curve {
+	x, y := 0.0, 0.0
+	segs := []Segment{}
+	for i := 0; i+1 < len(data) && len(segs) < 12; i += 2 {
+		slope := float64(data[i]%40) / 4
+		segs = append(segs, Segment{x, y, slope})
+		dx := 0.25 + float64(data[i+1]%32)/8
+		y += slope * dx
+		if data[i]%5 == 0 {
+			y += float64(data[i+1]%16) / 4 // upward jump
+		}
+		x += dx
+	}
+	if len(segs) == 0 {
+		return Affine(1, float64(len(data)))
+	}
+	return New(0, segs)
+}
+
+// FuzzCurveOps: random curve pairs must keep every operation's invariants —
+// results monotone, convolution below both shifted operands, deconvolution
+// above the arrival, deviations non-negative.
+func FuzzCurveOps(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6}, []byte{7, 8, 9, 10})
+	f.Add([]byte{0, 0}, []byte{255, 255, 13, 40})
+	f.Add([]byte{10, 20, 30, 40, 50, 60, 70, 80}, []byte{5, 5, 5, 5})
+	f.Fuzz(func(t *testing.T, da, db []byte) {
+		a := buildFuzzCurve(da)
+		b := buildFuzzCurve(db)
+
+		checkMonotone := func(name string, c Curve) {
+			prev := c.AtZero()
+			for i := 0; i <= 80; i++ {
+				x := 25 * float64(i) / 80
+				v := c.Value(x)
+				if v < prev-1e-6*(1+math.Abs(prev)) {
+					t.Fatalf("%s not monotone at %g: %g < %g", name, x, v, prev)
+				}
+				prev = v
+			}
+		}
+
+		m := Min(a, b)
+		checkMonotone("min", m)
+		x := Max(a, b)
+		checkMonotone("max", x)
+		s := Add(a, b)
+		checkMonotone("add", s)
+		conv := Convolve(a, b)
+		checkMonotone("conv", conv)
+
+		for i := 0; i <= 40; i++ {
+			tt := 20 * float64(i) / 40
+			if m.Value(tt) > math.Min(a.Value(tt), b.Value(tt))+1e-6 {
+				t.Fatal("min above operands")
+			}
+			if conv.Value(tt) > a.Value(tt)+b.Burst()+b.AtZero()+1e-6 &&
+				conv.Value(tt) > b.Value(tt)+a.Burst()+a.AtZero()+1e-6 {
+				// conv <= min over splits; s=0 and s=t splits bound it.
+				if conv.Value(tt) > a.AtZero()+b.Value(tt)+1e-6 && conv.Value(tt) > b.AtZero()+a.Value(tt)+1e-6 {
+					t.Fatalf("conv above trivial splits at %g", tt)
+				}
+			}
+		}
+
+		if VDev(a, b) < -1e-9 && !math.IsInf(VDev(a, b), 1) {
+			// vdev can be negative if a < b everywhere? sup(a-b) could be
+			// negative; only require it is not NaN.
+			if math.IsNaN(VDev(a, b)) {
+				t.Fatal("vdev NaN")
+			}
+		}
+		if d := HDev(a, b); d < 0 || math.IsNaN(d) {
+			t.Fatalf("hdev invalid: %v", d)
+		}
+		if out, ok := Deconvolve(a, b); ok {
+			checkMonotone("deconv", out)
+			for i := 1; i <= 40; i++ {
+				tt := 20 * float64(i) / 40
+				if out.Value(tt) < a.Value(tt)-b.AtZero()-1e-6*(1+a.Value(tt)) {
+					t.Fatalf("deconv below arrival at %g", tt)
+				}
+			}
+		}
+	})
+}

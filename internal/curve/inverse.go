@@ -1,0 +1,86 @@
+package curve
+
+import "math"
+
+// Inverse returns the lower pseudo-inverse of the curve as a curve in its
+// own right:
+//
+//	f⁻¹(y) = inf { t >= 0 : f(t) >= y },
+//
+// i.e. the max-plus-algebra view of the same system: where f maps time to
+// data, f⁻¹ maps data volume to the earliest time it is available. Flat
+// segments of f become jumps of f⁻¹ and jumps of f become flat segments.
+// For a rate-latency service curve, the inverse is the delivery-time
+// function T + v/R.
+//
+// The domain of the result is [0, sup f); if f is bounded (ultimate slope
+// zero), the inverse is truncated at the bound: values y above sup f would
+// be +inf and are reported by the final segment's slope being 0 — callers
+// should check Bounded() of the original curve. ok is false for the
+// identically-zero curve (whose inverse is 0 at 0 and +inf elsewhere).
+func (c Curve) Inverse() (inv Curve, ok bool) {
+	segs := c.Segments()
+	out := make([]Segment, 0, len(segs)+1)
+	// Walk the graph of f, emitting the reflected breakpoints. Current
+	// position on the y-axis of f (x-axis of the inverse):
+	y := 0.0
+	emit := func(yStart, tVal, slope float64) {
+		if len(out) > 0 {
+			p := &out[len(out)-1]
+			if math.Abs(p.X-yStart) <= absEps(yStart) {
+				// Same start: keep the later (tighter) definition.
+				*p = Segment{yStart, tVal, slope}
+				return
+			}
+		}
+		out = append(out, Segment{yStart, tVal, slope})
+	}
+
+	// Origin: f(0)=y0, f(0+)=Burst. Volumes up to the burst are available
+	// at time 0 (inf over t>0 approaching 0).
+	if c.Burst() > 0 {
+		emit(0, 0, 0)
+		y = c.Burst()
+	}
+	for i, s := range segs {
+		end := math.Inf(1)
+		if i+1 < len(segs) {
+			end = segs[i+1].X
+		}
+		// Jump at the start of this segment (for i>0): volumes in
+		// (prevEnd, s.Y) become available exactly at s.X -> flat piece.
+		if s.Y > y+absEps(y) {
+			emit(y, s.X, 0)
+			y = s.Y
+		}
+		if s.Slope > 0 {
+			// Increasing piece: inverse slope 1/slope starting at (y, x0)
+			// where x0 is the time f reaches y on this segment.
+			x0 := s.X + (y-s.Y)/s.Slope
+			if x0 < s.X {
+				x0 = s.X
+			}
+			emit(y, x0, 1/s.Slope)
+			if !math.IsInf(end, 1) {
+				y = s.Y + s.Slope*(end-s.X)
+			} else {
+				y = math.Inf(1)
+			}
+		}
+		// Flat piece contributes nothing (the inverse jumps over it, which
+		// the next emit's time value realizes).
+	}
+	if len(out) == 0 {
+		// f is identically zero: no volume is ever delivered.
+		return Zero(), false
+	}
+	if out[0].X > 0 {
+		// f(0+) == 0 and first availability is later: prepend the zero
+		// segment so the inverse starts at volume 0.
+		out = append([]Segment{{0, out[0].Y, 0}}, out...)
+	}
+	return New(0, out), true
+}
+
+// Bounded reports whether the curve is bounded (ultimate slope zero).
+func (c Curve) Bounded() bool { return c.UltimateSlope() == 0 }

@@ -1,0 +1,146 @@
+package curve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestInverseRateLatency(t *testing.T) {
+	b := RateLatency(4, 3)
+	inv, ok := b.Inverse()
+	if !ok {
+		t.Fatal("invertible")
+	}
+	// Delivery time of volume v: T + v/R.
+	for _, v := range []float64{0.5, 1, 4, 10} {
+		want := 3 + v/4
+		if got := inv.Value(v); math.Abs(got-want) > 1e-9 {
+			t.Errorf("inv(%v) = %v, want %v", v, got, want)
+		}
+	}
+	// Volume 0 is "delivered" immediately after the latency in the inf
+	// sense: inv(0) = T (the first instant any volume could appear)...
+	// by right-continuity our representation reports inv(0+) = 3.
+	if got := inv.ValueRight(0); math.Abs(got-3) > 1e-9 {
+		t.Errorf("inv(0+) = %v", got)
+	}
+}
+
+func TestInverseLeakyBucket(t *testing.T) {
+	a := Affine(2, 5)
+	inv, ok := a.Inverse()
+	if !ok {
+		t.Fatal("invertible")
+	}
+	// Volumes within the burst are available at t=0; beyond, (v-b)/r.
+	if got := inv.Value(3); got != 0 {
+		t.Errorf("inv(3) = %v, want 0", got)
+	}
+	for _, v := range []float64{6, 9, 15} {
+		want := (v - 5) / 2
+		if got := inv.Value(v); math.Abs(got-want) > 1e-9 {
+			t.Errorf("inv(%v) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestInverseStepAndZero(t *testing.T) {
+	s := Step(10, 4)
+	inv, ok := s.Inverse()
+	if !ok {
+		t.Fatal("invertible")
+	}
+	if got := inv.Value(5); math.Abs(got-4) > 1e-9 {
+		t.Errorf("inv(5) = %v, want 4", got)
+	}
+	if !s.Bounded() {
+		t.Error("step is bounded")
+	}
+	if _, ok := Zero().Inverse(); ok {
+		t.Error("zero curve must not invert")
+	}
+	if Zero().Bounded() != true {
+		t.Error("zero curve is bounded")
+	}
+	if RateLatency(1, 1).Bounded() {
+		t.Error("rate-latency is unbounded")
+	}
+}
+
+// Property: Inverse agrees with InverseLower pointwise.
+func TestInverseMatchesInverseLower(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for k := 0; k < 25; k++ {
+		var c Curve
+		if k%2 == 0 {
+			c = Min(Affine(0.5+3*rng.Float64(), 8*rng.Float64()), Affine(0.2+rng.Float64(), 2+8*rng.Float64()))
+		} else {
+			c = RateLatency(0.5+4*rng.Float64(), 3*rng.Float64())
+		}
+		inv, ok := c.Inverse()
+		if !ok {
+			t.Fatal("invertible")
+		}
+		for i := 1; i <= 200; i++ {
+			y := 30 * float64(i) / 200
+			want := c.InverseLower(y)
+			got := inv.Value(y)
+			// The curve representation is right-continuous; compare against
+			// both one-sided limits of the pointwise pseudo-inverse.
+			if math.Abs(got-want) > 1e-6*(1+want) && math.Abs(inv.ValueLeft(y)-want) > 1e-6*(1+want) {
+				t.Fatalf("inv(%g) = %g, InverseLower = %g (curve %v)", y, got, want, c)
+			}
+		}
+	}
+}
+
+// Property: double inversion recovers strictly increasing curves.
+func TestInverseInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for k := 0; k < 20; k++ {
+		// Strictly increasing continuous concave curve: min of two affine
+		// curves with zero burst on the first.
+		c := Min(Affine(1+3*rng.Float64(), 0), Affine(0.3+rng.Float64(), 1+5*rng.Float64()))
+		inv, ok := c.Inverse()
+		if !ok {
+			t.Fatal("invertible")
+		}
+		back, ok := inv.Inverse()
+		if !ok {
+			t.Fatal("invertible twice")
+		}
+		for i := 1; i <= 100; i++ {
+			x := 20 * float64(i) / 100
+			if math.Abs(back.Value(x)-c.Value(x)) > 1e-6*(1+c.Value(x)) {
+				t.Fatalf("involution failed at %g: %g vs %g", x, back.Value(x), c.Value(x))
+			}
+		}
+	}
+}
+
+// The delay bound can be computed through the inverse: d = sup_t
+// [beta^{-1}(alpha(t)) - t], matching HDev.
+func TestInverseDelayBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for k := 0; k < 20; k++ {
+		r := 0.5 + 2*rng.Float64()
+		alpha := Affine(r, 5*rng.Float64())
+		beta := RateLatency(r+0.5+2*rng.Float64(), 3*rng.Float64())
+		inv, ok := beta.Inverse()
+		if !ok {
+			t.Fatal("invertible")
+		}
+		want := HDev(alpha, beta)
+		sup := 0.0
+		for i := 0; i <= 2000; i++ {
+			x := 40 * float64(i) / 2000
+			if d := inv.Value(alpha.Value(x)) - x; d > sup {
+				sup = d
+			}
+		}
+		if math.Abs(sup-want) > 0.05*(1+want) {
+			t.Fatalf("inverse-based delay %g vs HDev %g", sup, want)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package curve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// This file checks the fundamental laws of the min-plus algebra on the
+// closed-form curve families, sampled pointwise:
+//
+//	commutativity       f ⊗ g = g ⊗ f
+//	associativity       (f ⊗ g) ⊗ h = f ⊗ (g ⊗ h)
+//	neutrality of δ_0   shift by 0 is identity
+//	isotonicity         f <= f' implies f ⊗ g <= f' ⊗ g
+//	duality             (f ⊘ g) <= h  iff  f <= h ⊗ g (checked one way)
+//	output-bound law    backlog/delay from alpha* match direct bounds
+
+func sampleLE(t *testing.T, f, g Curve, horizon float64, msg string) {
+	t.Helper()
+	for i := 0; i <= 300; i++ {
+		x := horizon * float64(i) / 300
+		fv, gv := f.Value(x), g.Value(x)
+		if fv > gv+1e-6*(1+math.Abs(gv)) {
+			t.Fatalf("%s: f(%g)=%g > g(%g)=%g", msg, x, fv, x, gv)
+		}
+	}
+}
+
+func randConcave(rng *rand.Rand) Curve {
+	a := Affine(0.5+4*rng.Float64(), 10*rng.Float64())
+	if rng.Intn(2) == 0 {
+		a = Min(a, Affine(0.2+rng.Float64(), 3+10*rng.Float64()))
+	}
+	return a
+}
+
+func randConvex(rng *rand.Rand) Curve {
+	return RateLatency(0.5+5*rng.Float64(), 4*rng.Float64())
+}
+
+func TestLawCommutativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for k := 0; k < 20; k++ {
+		f, g := randConcave(rng), randConcave(rng)
+		if !Convolve(f, g).Equal(Convolve(g, f)) {
+			t.Fatalf("concave commutativity failed: %v %v", f, g)
+		}
+		cf, cg := randConvex(rng), randConvex(rng)
+		if !Convolve(cf, cg).Equal(Convolve(cg, cf)) {
+			t.Fatalf("convex commutativity failed: %v %v", cf, cg)
+		}
+	}
+}
+
+func TestLawAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for k := 0; k < 20; k++ {
+		f, g, h := randConvex(rng), randConvex(rng), randConvex(rng)
+		l := Convolve(Convolve(f, g), h)
+		r := Convolve(f, Convolve(g, h))
+		if !l.Equal(r) {
+			t.Fatalf("convex associativity failed: %v %v %v", f, g, h)
+		}
+		a, b, c := randConcave(rng), randConcave(rng), randConcave(rng)
+		l = Convolve(Convolve(a, b), c)
+		r = Convolve(a, Convolve(b, c))
+		if !l.Equal(r) {
+			t.Fatalf("concave associativity failed: %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestLawShiftNeutrality(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for k := 0; k < 10; k++ {
+		f := randConcave(rng)
+		if !ShiftRight(f, 0).Equal(f) || !ShiftLeft(f, 0).Equal(f) {
+			t.Fatal("zero shift must be identity")
+		}
+		// Shift round trip: left(right(f, T), T) = f for continuous f... the
+		// right-shift introduces a flat prefix that the left shift removes.
+		T := rng.Float64() * 3
+		back := ShiftLeft(ShiftRight(f, T), T)
+		for i := 0; i <= 100; i++ {
+			x := 20 * float64(i) / 100
+			if x == 0 {
+				continue // the origin jump may be clipped by the round trip
+			}
+			if math.Abs(back.Value(x)-f.Value(x)) > 1e-6*(1+f.Value(x)) {
+				t.Fatalf("shift round trip failed at %g", x)
+			}
+		}
+	}
+}
+
+func TestLawIsotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for k := 0; k < 20; k++ {
+		f := randConcave(rng)
+		fUp := AddBurst(f, 1+rng.Float64()) // f' >= f
+		g := randConvex(rng)
+		sampleLE(t, Convolve(f, g), Convolve(fUp, g), 20, "isotonicity of conv")
+	}
+}
+
+// Duality (one direction): h := f ⊘ g satisfies f <= h ⊗ g.
+func TestLawDeconvolutionDuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	for k := 0; k < 20; k++ {
+		f := randConcave(rng)
+		g := RateLatency(f.UltimateSlope()+0.5+3*rng.Float64(), 3*rng.Float64())
+		h, ok := Deconvolve(f, g)
+		if !ok {
+			t.Fatal("bounded deconvolution expected")
+		}
+		// f <= h ⊗ g pointwise.
+		conv := Convolve(h.ZeroAtOrigin(), g)
+		// h(0)>0 was clipped; compensate by comparing against conv + h(0)
+		// only when needed: the duality uses the exact h, so evaluate the
+		// convolution with the exact origin value via direct sampling.
+		for i := 1; i <= 200; i++ {
+			x := 20 * float64(i) / 200
+			// (h ⊗ g)(x) with exact h: inf over grid.
+			best := math.Inf(1)
+			for j := 0; j <= 200; j++ {
+				s := x * float64(j) / 200
+				if v := h.Value(s) + g.Value(x-s); v < best {
+					best = v
+				}
+			}
+			if f.Value(x) > best+1e-6*(1+best) {
+				t.Fatalf("duality violated at %g: f=%g > (f⊘g)⊗g=%g", x, f.Value(x), best)
+			}
+			_ = conv
+		}
+	}
+}
+
+// The output bound alpha* = alpha ⊘ beta yields the same backlog bound as
+// the direct vertical deviation: alpha*(0) = vdev(alpha, beta).
+func TestLawOutputBoundBacklogConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	for k := 0; k < 20; k++ {
+		alpha := randConcave(rng)
+		beta := RateLatency(alpha.UltimateSlope()+0.5+2*rng.Float64(), 3*rng.Float64())
+		out, ok := Deconvolve(alpha, beta)
+		if !ok {
+			t.Fatal("bounded")
+		}
+		vd := VDev(alpha, beta)
+		if math.Abs(out.AtZero()-vd) > 1e-6*(1+math.Abs(vd)) {
+			t.Fatalf("alpha*(0)=%g != vdev=%g", out.AtZero(), vd)
+		}
+	}
+}
+
+// Concatenation dominance: serving through two nodes is never better than
+// the bottleneck alone — beta1 ⊗ beta2 <= min(beta1, beta2).
+func TestLawConcatenationDominance(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for k := 0; k < 20; k++ {
+		b1, b2 := randConvex(rng), randConvex(rng)
+		sampleLE(t, Convolve(b1, b2), Min(b1, b2), 25, "concatenation dominance")
+	}
+}
+
+// Packetizer sandwich: beta' <= beta <= gamma' and alpha <= alpha'.
+func TestLawPacketizerSandwich(t *testing.T) {
+	rng := rand.New(rand.NewSource(68))
+	for k := 0; k < 20; k++ {
+		beta := randConvex(rng)
+		alpha := randConcave(rng)
+		l := 1 + 3*rng.Float64()
+		sampleLE(t, SubConstantPositive(beta, l), beta, 25, "beta' <= beta")
+		sampleLE(t, alpha, AddBurst(alpha, l), 25, "alpha <= alpha'")
+	}
+}

@@ -1,0 +1,229 @@
+package curve
+
+import (
+	"math"
+	"sort"
+)
+
+// combine computes op applied pointwise to a and b. When crossings is true
+// (required for min/max), intersection points of the two curves inside
+// segment interiors are added as breakpoints so the result is exactly
+// piecewise linear.
+func combine(a, b Curve, op func(x, y float64) float64, crossings bool) Curve {
+	xs := mergeBreakpoints(a.Breakpoints(), b.Breakpoints())
+	if crossings {
+		xs = insertCrossings(xs, a, b)
+	}
+	segs := make([]Segment, 0, len(xs))
+	for i, x := range xs {
+		var y float64
+		if x == 0 {
+			y = op(a.Burst(), b.Burst())
+		} else {
+			y = op(a.Value(x), b.Value(x))
+		}
+		var slope float64
+		if i+1 < len(xs) {
+			next := xs[i+1]
+			vL := op(a.ValueLeft(next), b.ValueLeft(next))
+			slope = (vL - y) / (next - x)
+		} else {
+			// Final ray: both curves are affine past the last breakpoint.
+			p1, p2 := x+1, x+2
+			slope = op(a.Value(p2), b.Value(p2)) - op(a.Value(p1), b.Value(p1))
+		}
+		if slope < 0 && slope > -1e-7 {
+			slope = 0
+		}
+		segs = append(segs, Segment{x, y, slope})
+	}
+	return New(op(a.AtZero(), b.AtZero()), segs)
+}
+
+func mergeBreakpoints(a, b []float64) []float64 {
+	xs := append(append([]float64(nil), a...), b...)
+	sort.Float64s(xs)
+	out := xs[:0]
+	for _, x := range xs {
+		if len(out) == 0 || x-out[len(out)-1] > absEps(x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// insertCrossings adds, between every pair of adjacent breakpoints (and on
+// the final ray), the abscissa where the two curves intersect, if any.
+func insertCrossings(xs []float64, a, b Curve) []float64 {
+	extra := []float64(nil)
+	cross := func(lo, hi float64) {
+		mid := (lo + hi) / 2
+		if math.IsInf(hi, 1) {
+			mid = lo + 1
+		}
+		sa, sb := a.segAt(mid), b.segAt(mid)
+		va := sa.Y + sa.Slope*(mid-sa.X)
+		vb := sb.Y + sb.Slope*(mid-sb.X)
+		ds := sa.Slope - sb.Slope
+		if ds == 0 {
+			return
+		}
+		t := mid + (vb-va)/ds
+		if t > lo+absEps(lo) && (math.IsInf(hi, 1) || t < hi-absEps(hi)) {
+			extra = append(extra, t)
+		}
+	}
+	for i := 0; i+1 < len(xs); i++ {
+		cross(xs[i], xs[i+1])
+	}
+	cross(xs[len(xs)-1], math.Inf(1))
+	if len(extra) == 0 {
+		return xs
+	}
+	return mergeBreakpoints(xs, extra)
+}
+
+// Min returns the pointwise minimum of a and b. For concave curves that are
+// 0 at the origin this equals their min-plus convolution.
+func Min(a, b Curve) Curve { return combine(a, b, math.Min, true) }
+
+// Max returns the pointwise maximum of a and b.
+func Max(a, b Curve) Curve { return combine(a, b, math.Max, true) }
+
+// Add returns the pointwise sum a + b.
+func Add(a, b Curve) Curve { return combine(a, b, func(x, y float64) float64 { return x + y }, false) }
+
+// Sub returns the pointwise difference a - b. The result must still be
+// wide-sense increasing (e.g. b is a constant curve, as in the packetizer
+// transform); Sub panics otherwise.
+func Sub(a, b Curve) Curve {
+	return combine(a, b, func(x, y float64) float64 { return x - y }, false)
+}
+
+// PositivePart returns max(a, 0) — the [·]⁺ operator.
+func PositivePart(a Curve) Curve { return Max(a, Zero()) }
+
+// Scale returns k*a for k >= 0.
+func Scale(a Curve, k float64) Curve {
+	if k < 0 {
+		panic("curve: Scale by negative factor")
+	}
+	segs := a.Segments()
+	for i := range segs {
+		segs[i].Y *= k
+		segs[i].Slope *= k
+	}
+	return New(a.AtZero()*k, segs)
+}
+
+// ScaleTime returns g(t) = a(t/k) for k > 0 (time stretched by factor k):
+// breakpoints move to k*X and slopes divide by k.
+func ScaleTime(a Curve, k float64) Curve {
+	if k <= 0 {
+		panic("curve: ScaleTime by non-positive factor")
+	}
+	segs := a.Segments()
+	for i := range segs {
+		segs[i].X *= k
+		segs[i].Slope /= k
+	}
+	return New(a.AtZero(), segs)
+}
+
+// ShiftRight delays the curve by T >= 0:
+//
+//	g(t) = a(t-T) for t > T, g(t) = 0 for t <= T
+//
+// (with g(T) = a(0+) in our right-continuous representation when a jumps at
+// the origin). ShiftRight(a, T) equals the min-plus convolution of a with
+// the pure-delay curve delta_T.
+func ShiftRight(a Curve, T float64) Curve {
+	if T < 0 {
+		panic("curve: ShiftRight by negative delay")
+	}
+	if T == 0 {
+		return a
+	}
+	src := a.Segments()
+	segs := make([]Segment, 0, len(src)+1)
+	segs = append(segs, Segment{0, 0, 0})
+	for _, s := range src {
+		segs = append(segs, Segment{s.X + T, s.Y, s.Slope})
+	}
+	return New(0, segs)
+}
+
+// ShiftLeft advances the curve by T >= 0: g(t) = a(t+T). The value at the
+// new origin is a's (right-continuous) value at T.
+func ShiftLeft(a Curve, T float64) Curve {
+	if T < 0 {
+		panic("curve: ShiftLeft by negative amount")
+	}
+	if T == 0 {
+		return a
+	}
+	src := a.Segments()
+	segs := make([]Segment, 0, len(src))
+	for _, s := range src {
+		switch {
+		case s.X <= T:
+			// This segment covers (or ends before) the new origin; (re)set
+			// the head segment to its restriction starting at T.
+			head := Segment{0, s.Y + s.Slope*(T-s.X), s.Slope}
+			if len(segs) == 0 {
+				segs = append(segs, head)
+			} else {
+				segs[0] = head
+			}
+		default:
+			segs = append(segs, Segment{s.X - T, s.Y, s.Slope})
+		}
+	}
+	return New(segs[0].Y, segs)
+}
+
+// AddBurst adds c to the curve for all t > 0, leaving the value at 0
+// unchanged — the packetizer arrival transform alpha(t) + l_max·1_{t>0}.
+func AddBurst(a Curve, c float64) Curve {
+	if c < 0 {
+		panic("curve: AddBurst with negative c")
+	}
+	segs := a.Segments()
+	for i := range segs {
+		segs[i].Y += c
+	}
+	return New(a.AtZero(), segs)
+}
+
+// SubConstantPositive returns [a - c]⁺ for c >= 0 — the packetizer service
+// transform beta'(t) = [beta(t) - l_max]⁺.
+func SubConstantPositive(a Curve, c float64) Curve {
+	if c < 0 {
+		panic("curve: SubConstantPositive with negative c")
+	}
+	if c == 0 {
+		return a
+	}
+	tc := a.InverseLower(c)
+	if math.IsInf(tc, 1) {
+		return Zero() // a never reaches c
+	}
+	if tc == 0 {
+		// Positive from the origin (a(0+) >= c); every later value is >= c
+		// by monotonicity.
+		segs := a.Segments()
+		for i := range segs {
+			segs[i].Y = math.Max(0, segs[i].Y-c)
+		}
+		return New(math.Max(0, a.AtZero()-c), segs)
+	}
+	segs := []Segment{{0, 0, 0}}
+	at := a.segAt(tc)
+	segs = append(segs, Segment{tc, math.Max(0, a.Value(tc)-c), at.Slope})
+	for _, s := range a.Segments() {
+		if s.X > tc {
+			segs = append(segs, Segment{s.X, s.Y - c, s.Slope})
+		}
+	}
+	return New(0, segs)
+}

@@ -1,0 +1,113 @@
+// Package des provides a deterministic discrete-event simulation kernel: an
+// event calendar ordered by (time, insertion sequence) and a simulation
+// clock. It plays the role SimPy plays for the paper's validation
+// experiments, with deterministic tie-breaking so runs are exactly
+// reproducible.
+package des
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	t   float64 // absolute simulation time, seconds
+	seq uint64  // tie-breaker: insertion order
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the clock and the event calendar. The zero value is ready
+// to use (clock at 0, empty calendar).
+type Simulator struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+	count  uint64 // events executed
+}
+
+// Now returns the current simulation time in seconds.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Simulator) Processed() uint64 { return s.count }
+
+// Pending returns the number of events still scheduled.
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// Schedule runs fn after delay seconds of simulated time. Negative delays
+// are clamped to zero (fn runs at the current time, after already-scheduled
+// same-time events).
+func (s *Simulator) Schedule(delay float64, fn func()) {
+	if delay < 0 || math.IsNaN(delay) {
+		delay = 0
+	}
+	s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute time t (clamped to the current time if in
+// the past).
+func (s *Simulator) ScheduleAt(t float64, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, event{t: t, seq: s.seq, fn: fn})
+}
+
+// Step executes the next event, advancing the clock. It reports false when
+// the calendar is empty.
+func (s *Simulator) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(event)
+	s.now = e.t
+	s.count++
+	e.fn()
+	return true
+}
+
+// Run executes events until the calendar is empty or the clock would pass
+// until (exclusive). Events exactly at until still run. It returns the
+// number of events executed during this call.
+func (s *Simulator) Run(until float64) uint64 {
+	start := s.count
+	for len(s.events) > 0 && s.events[0].t <= until {
+		s.Step()
+	}
+	return s.count - start
+}
+
+// RunAll executes events until the calendar is empty, with a safety cap on
+// the number of events (to catch accidental infinite self-scheduling).
+// It returns the number executed and whether the cap was hit.
+func (s *Simulator) RunAll(maxEvents uint64) (executed uint64, capped bool) {
+	start := s.count
+	for len(s.events) > 0 {
+		if s.count-start >= maxEvents {
+			return s.count - start, true
+		}
+		s.Step()
+	}
+	return s.count - start, false
+}

@@ -1,0 +1,200 @@
+package des
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	var s Simulator
+	var order []int
+	s.Schedule(2, func() { order = append(order, 2) })
+	s.Schedule(1, func() { order = append(order, 1) })
+	s.Schedule(3, func() { order = append(order, 3) })
+	s.RunAll(100)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if s.Now() != 3 {
+		t.Errorf("clock = %v", s.Now())
+	}
+	if s.Processed() != 3 {
+		t.Errorf("processed = %d", s.Processed())
+	}
+}
+
+func TestTieBreakInsertionOrder(t *testing.T) {
+	var s Simulator
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(5, func() { order = append(order, i) })
+	}
+	s.RunAll(100)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of insertion order: %v", order)
+		}
+	}
+}
+
+func TestScheduleFromWithinEvent(t *testing.T) {
+	var s Simulator
+	var times []float64
+	s.Schedule(1, func() {
+		times = append(times, s.Now())
+		s.Schedule(1, func() { times = append(times, s.Now()) })
+	})
+	s.RunAll(100)
+	if len(times) != 2 || times[0] != 1 || times[1] != 2 {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var s Simulator
+	n := 0
+	for i := 1; i <= 5; i++ {
+		s.Schedule(float64(i), func() { n++ })
+	}
+	ran := s.Run(3)
+	if ran != 3 || n != 3 {
+		t.Errorf("ran %d, n %d", ran, n)
+	}
+	if s.Pending() != 2 {
+		t.Errorf("pending = %d", s.Pending())
+	}
+	s.Run(100)
+	if n != 5 {
+		t.Errorf("n = %d", n)
+	}
+}
+
+func TestRunAllCap(t *testing.T) {
+	var s Simulator
+	var reschedule func()
+	reschedule = func() { s.Schedule(1, reschedule) }
+	s.Schedule(1, reschedule)
+	executed, capped := s.RunAll(50)
+	if !capped || executed != 50 {
+		t.Errorf("executed %d capped %v", executed, capped)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	var s Simulator
+	s.Schedule(5, func() {
+		s.Schedule(-3, func() {
+			if s.Now() != 5 {
+				t.Errorf("negative delay ran at %v", s.Now())
+			}
+		})
+	})
+	s.RunAll(10)
+}
+
+func TestScheduleAtPastClamped(t *testing.T) {
+	var s Simulator
+	s.Schedule(5, func() {
+		s.ScheduleAt(1, func() {
+			if s.Now() != 5 {
+				t.Errorf("past event ran at %v", s.Now())
+			}
+		})
+	})
+	s.RunAll(10)
+}
+
+func TestStepEmpty(t *testing.T) {
+	var s Simulator
+	if s.Step() {
+		t.Error("Step on empty calendar must return false")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42, 0)
+	b := NewRNG(42, 0)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed/stream must agree")
+		}
+	}
+	c := NewRNG(42, 1)
+	same := 0
+	d := NewRNG(42, 0)
+	for i := 0; i < 100; i++ {
+		if c.Uint64() == d.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different streams should diverge, %d collisions", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7, 3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGUniformMoments(t *testing.T) {
+	r := NewRNG(11, 0)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Uniform(2, 6)
+		if v < 2 || v >= 6 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-4) > 0.02 {
+		t.Errorf("uniform mean = %v, want ~4", mean)
+	}
+	if got := r.Uniform(5, 5); got != 5 {
+		t.Errorf("degenerate uniform = %v", got)
+	}
+}
+
+func TestRNGExpMoments(t *testing.T) {
+	r := NewRNG(13, 0)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Exp(2.5)
+		if v < 0 {
+			t.Fatalf("Exp negative: %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-2.5) > 0.05 {
+		t.Errorf("exp mean = %v, want ~2.5", mean)
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(17, 0)
+	counts := make([]int, 5)
+	for i := 0; i < 50000; i++ {
+		counts[r.Intn(5)]++
+	}
+	for i, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("bucket %d count %d far from uniform", i, c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) must panic")
+		}
+	}()
+	r.Intn(0)
+}

@@ -1,0 +1,179 @@
+// Package envelope estimates arrival curves from measured cumulative
+// traffic traces: given the (t, cumulative bytes) trajectory of a real or
+// simulated flow, it computes the empirical arrival curve (the tightest
+// wide-sense-increasing envelope over all time windows) and fits minimal
+// leaky-bucket parameters — turning observations into the alpha the
+// network-calculus model needs.
+package envelope
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"streamcalc/internal/curve"
+	"streamcalc/internal/units"
+)
+
+// Point is one sample of a cumulative-arrivals trajectory.
+type Point struct {
+	T   float64 // seconds
+	Cum float64 // cumulative bytes at T
+}
+
+// validate checks monotonicity in both coordinates.
+func validate(trace []Point) error {
+	if len(trace) < 2 {
+		return errors.New("envelope: need at least two trace points")
+	}
+	for i := 1; i < len(trace); i++ {
+		if trace[i].T < trace[i-1].T || trace[i].Cum < trace[i-1].Cum {
+			return errors.New("envelope: trace must be non-decreasing in time and volume")
+		}
+	}
+	return nil
+}
+
+// LeakyBucket fits the minimal leaky-bucket envelope for a given rate: the
+// smallest burst b such that cum(t) - cum(s) <= rate*(t-s) + b for all
+// windows. The trace is interpreted with event (step) semantics: the
+// cumulative count jumps at each sample instant, so a packet arriving at
+// t_i contributes a zero-width window of its own size. With rate below the
+// trace's long-run rate the burst grows with trace length; callers usually
+// pass MinSustainRate or higher.
+func LeakyBucket(trace []Point, rate units.Rate) (units.Bytes, error) {
+	if err := validate(trace); err != nil {
+		return 0, err
+	}
+	if rate <= 0 {
+		return 0, errors.New("envelope: rate must be positive")
+	}
+	// b = max over window ends of (cumAfter_i - rate*t_i) minus the minimum
+	// over earlier window starts of (cumBefore_j - rate*t_j), in one sweep.
+	// cumBefore at a sample is the previous sample's cumulative value (the
+	// level just before the jump).
+	minSeen := math.Inf(1)
+	burst := 0.0
+	prevCum := trace[0].Cum
+	for i, p := range trace {
+		before := prevCum
+		if i == 0 {
+			before = p.Cum // no jump attributed to the first sample
+		}
+		if low := before - float64(rate)*p.T; low < minSeen {
+			minSeen = low
+		}
+		if v := p.Cum - float64(rate)*p.T - minSeen; v > burst {
+			burst = v
+		}
+		prevCum = p.Cum
+	}
+	return units.Bytes(burst), nil
+}
+
+// MinSustainRate returns the long-run rate of the trace (total volume over
+// total time).
+func MinSustainRate(trace []Point) (units.Rate, error) {
+	if err := validate(trace); err != nil {
+		return 0, err
+	}
+	first, last := trace[0], trace[len(trace)-1]
+	dt := last.T - first.T
+	if dt <= 0 {
+		return 0, errors.New("envelope: trace spans zero time")
+	}
+	return units.Rate((last.Cum - first.Cum) / dt), nil
+}
+
+// Empirical computes the empirical arrival curve at n window lengths up to
+// maxWindow: alpha_emp(w) = max over s of cum(s+w) - cum(s), evaluated on
+// the trace's own sample points with linear interpolation. The result is a
+// concave-ish staircase suitable for plotting or for dominating-envelope
+// checks; Fit returns a parametric bound instead.
+func Empirical(trace []Point, maxWindow float64, n int) (curve.Curve, error) {
+	if err := validate(trace); err != nil {
+		return curve.Zero(), err
+	}
+	if n < 2 {
+		n = 2
+	}
+	if maxWindow <= 0 {
+		maxWindow = trace[len(trace)-1].T - trace[0].T
+	}
+	cumAt := interpolator(trace)
+	xs := make([]float64, n+1)
+	ys := make([]float64, n+1)
+	for i := 1; i <= n; i++ {
+		w := maxWindow * float64(i) / float64(n)
+		xs[i] = w
+		best := 0.0
+		for _, p := range trace {
+			if v := cumAt(p.T+w) - p.Cum; v > best {
+				best = v
+			}
+		}
+		// Windows ending at trace points matter too (bursts land there).
+		for _, p := range trace {
+			if v := p.Cum - cumAt(p.T-w); v > best {
+				best = v
+			}
+		}
+		ys[i] = best
+	}
+	// Enforce monotonicity (numeric guard) and a zero origin.
+	for i := 1; i <= n; i++ {
+		if ys[i] < ys[i-1] {
+			ys[i] = ys[i-1]
+		}
+	}
+	finalSlope := 0.0
+	if n >= 2 {
+		finalSlope = (ys[n] - ys[n-1]) / (xs[n] - xs[n-1])
+	}
+	return curve.FromPoints(xs, ys, finalSlope), nil
+}
+
+// interpolator returns cum(t) under event (step) semantics: the value of
+// the last sample at or before t (right-continuous), clamped at the ends.
+func interpolator(trace []Point) func(t float64) float64 {
+	return func(t float64) float64 {
+		if t < trace[0].T {
+			return trace[0].Cum
+		}
+		i := sort.Search(len(trace), func(i int) bool { return trace[i].T > t })
+		return trace[i-1].Cum
+	}
+}
+
+// Fit returns leaky-bucket arrival parameters that dominate the trace: the
+// long-run rate (optionally inflated by headroom >= 0, e.g. 0.05 for +5%)
+// and the minimal burst at that rate.
+func Fit(trace []Point, headroom float64) (units.Rate, units.Bytes, error) {
+	rate, err := MinSustainRate(trace)
+	if err != nil {
+		return 0, 0, err
+	}
+	if headroom < 0 {
+		headroom = 0
+	}
+	rate = rate.Mul(1 + headroom)
+	burst, err := LeakyBucket(trace, rate)
+	if err != nil {
+		return 0, 0, err
+	}
+	return rate, burst, nil
+}
+
+// FromTracePoints adapts the simulator's TracePoint-like series (durations
+// and byte counts) into envelope Points.
+func FromTracePoints(ts []float64, cums []float64) []Point {
+	n := len(ts)
+	if len(cums) < n {
+		n = len(cums)
+	}
+	out := make([]Point, n)
+	for i := 0; i < n; i++ {
+		out[i] = Point{T: ts[i], Cum: cums[i]}
+	}
+	return out
+}

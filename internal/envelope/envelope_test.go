@@ -1,0 +1,169 @@
+package envelope
+
+import (
+	"math"
+	"testing"
+
+	"streamcalc/internal/sim"
+)
+
+// constantTrace builds the trajectory of a constant-rate packet flow.
+func constantTrace(rate float64, packet float64, n int) []Point {
+	out := make([]Point, 0, n+1)
+	cum := 0.0
+	out = append(out, Point{0, 0})
+	for i := 1; i <= n; i++ {
+		cum += packet
+		out = append(out, Point{T: packet * float64(i) / rate, Cum: cum})
+	}
+	return out
+}
+
+func TestMinSustainRate(t *testing.T) {
+	tr := constantTrace(100, 10, 50)
+	r, err := MinSustainRate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(r)-100) > 1e-9 {
+		t.Errorf("rate = %v", r)
+	}
+}
+
+func TestLeakyBucketConstantFlow(t *testing.T) {
+	tr := constantTrace(100, 10, 50)
+	// At the sustain rate the burst equals one packet (each packet lands
+	// instantaneously ahead of the fluid line).
+	b, err := LeakyBucket(tr, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(b) < 9.9 || float64(b) > 10.1 {
+		t.Errorf("burst = %v, want ~10", b)
+	}
+	// A faster rate needs less burst.
+	b2, _ := LeakyBucket(tr, 200)
+	if b2 > b {
+		t.Errorf("higher rate must not need more burst: %v > %v", b2, b)
+	}
+}
+
+func TestLeakyBucketBurstyFlow(t *testing.T) {
+	// A 100-byte burst at t=0, then silence, then another at t=1.
+	tr := []Point{{0, 0}, {0, 100}, {1, 100}, {1, 200}, {2, 200}}
+	rate, err := MinSustainRate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(rate)-100) > 1e-9 {
+		t.Fatalf("sustain rate = %v", rate)
+	}
+	b, _ := LeakyBucket(tr, 100)
+	if float64(b) < 99 {
+		t.Errorf("burst = %v, want >= 100", b)
+	}
+	// The envelope must dominate the trace: check a window of 1s.
+	if float64(b)+100*1 < 200-1e-9 {
+		t.Error("envelope fails to cover a 1-second window")
+	}
+}
+
+func TestFitDominatesTrace(t *testing.T) {
+	tr := []Point{{0, 0}, {0.1, 500}, {0.5, 600}, {1.0, 1500}, {2.0, 1600}}
+	rate, burst, err := Fit(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// alpha(t-s) >= cum(t)-cum(s) for all trace windows.
+	for i := range tr {
+		for j := i + 1; j < len(tr); j++ {
+			w := tr[j].T - tr[i].T
+			vol := tr[j].Cum - tr[i].Cum
+			if float64(rate)*w+float64(burst) < vol-1e-6 {
+				t.Fatalf("envelope violated on window [%v,%v]: %v < %v",
+					tr[i].T, tr[j].T, float64(rate)*w+float64(burst), vol)
+			}
+		}
+	}
+	// Headroom inflates the rate.
+	r2, _, _ := Fit(tr, 0.10)
+	if float64(r2) <= float64(rate) {
+		t.Error("headroom must raise the rate")
+	}
+}
+
+func TestEmpiricalCurve(t *testing.T) {
+	tr := constantTrace(100, 10, 100)
+	emp, err := Empirical(tr, 0.5, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empirical curve of a constant flow: ~rate*w + packet.
+	for _, w := range []float64{0.1, 0.25, 0.5} {
+		got := emp.Value(w)
+		want := 100*w + 10
+		if got < want-10.5 || got > want+10.5 {
+			t.Errorf("emp(%v) = %v, want ~%v", w, got, want)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := MinSustainRate(nil); err == nil {
+		t.Error("empty trace must fail")
+	}
+	if _, err := MinSustainRate([]Point{{0, 0}}); err == nil {
+		t.Error("single point must fail")
+	}
+	if _, err := LeakyBucket([]Point{{0, 0}, {1, -1}}, 1); err == nil {
+		t.Error("decreasing volume must fail")
+	}
+	if _, err := LeakyBucket([]Point{{1, 0}, {0, 1}}, 1); err == nil {
+		t.Error("decreasing time must fail")
+	}
+	if _, err := LeakyBucket(constantTrace(1, 1, 3), 0); err == nil {
+		t.Error("zero rate must fail")
+	}
+	if _, err := MinSustainRate([]Point{{1, 0}, {1, 5}}); err == nil {
+		t.Error("zero-duration trace must fail")
+	}
+	if _, err := Empirical(nil, 1, 2); err == nil {
+		t.Error("empty trace must fail in Empirical")
+	}
+}
+
+// End-to-end: fit an envelope to the simulator's output trajectory and
+// verify the downstream NC analysis with that alpha dominates the
+// simulated flow.
+func TestFitFromSimulatorTrace(t *testing.T) {
+	p := sim.New(sim.SourceConfig{Rate: 1000, PacketSize: 50, TotalInput: 20000}, 3).
+		Add(sim.StageFromRate("srv", 1500, 2500, 50, 50))
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := make([]float64, len(res.Output))
+	cums := make([]float64, len(res.Output))
+	for i, pt := range res.Output {
+		ts[i] = pt.T.Seconds()
+		cums[i] = float64(pt.Cum)
+	}
+	trace := FromTracePoints(ts, cums)
+	rate, burst, err := Fit(trace, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate <= 0 || burst < 0 {
+		t.Fatalf("fit: %v %v", rate, burst)
+	}
+	// The fitted envelope dominates every window of the observed output.
+	for i := range trace {
+		for j := i + 1; j < len(trace); j++ {
+			w := trace[j].T - trace[i].T
+			vol := trace[j].Cum - trace[i].Cum
+			if float64(rate)*w+float64(burst) < vol-1e-6 {
+				t.Fatalf("fitted envelope violated on sim trace")
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "table1", "fig4", "blastbounds", "blaststages",
+		"table2", "table3", "fig10", "bitwbounds", "bitwcompare",
+		"buffers", "overload", "multiflow",
+		"sweepjob", "sweepchunk", "mercator", "crossval",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry size %d, want %d", len(all), len(want))
+	}
+	for i, name := range want {
+		if all[i].Name != name {
+			t.Errorf("slot %d = %s, want %s", i, all[i].Name, name)
+		}
+		if all[i].Title == "" || all[i].Run == nil {
+			t.Errorf("%s: incomplete entry", name)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("table1"); !ok {
+		t.Error("table1 must exist")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("unknown name must miss")
+	}
+}
+
+// Every experiment must run cleanly in quick mode and produce output
+// containing its key result markers.
+func TestAllExperimentsQuick(t *testing.T) {
+	markers := map[string][]string{
+		"fig1":        {"virtual delay", "backlog", "output bound"},
+		"table1":      {"704", "350", "Queueing"},
+		"fig4":        {"sim trajectory", "violations: 0"},
+		"blastbounds": {"46.9", "20.6"},
+		"blaststages": {"fa2bit", "seed-match", "ungapped-ext", "hits"},
+		"table2":      {"Compress", "Encrypt", "LZ4 ratio"},
+		"table3":      {"313", "59"},
+		"fig10":       {"sim trajectory"},
+		"bitwbounds":  {"38", "KiB"},
+		"bitwcompare": {"bump-in-the-wire", "traditional"},
+		"buffers":     {"backlog attribution"},
+		"overload":    {"sustainable arrival rate"},
+		"multiflow":   {"residual link rate", "shaped"},
+		"sweepjob":    {"T_tot", "aggregation delay"},
+		"sweepchunk":  {"d est", "sim max"},
+		"mercator":    {"fullest-first", "round-robin", "occupancy"},
+		"crossval":    {"violations: 0", "tightness"},
+	}
+	dir := t.TempDir()
+	for _, e := range All() {
+		var buf bytes.Buffer
+		if err := e.Run(&buf, Options{Quick: true, OutDir: dir}); err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		out := buf.String()
+		for _, m := range markers[e.Name] {
+			if !strings.Contains(out, m) {
+				t.Errorf("%s: output missing %q:\n%s", e.Name, m, out)
+			}
+		}
+	}
+}
+
+func TestCSVFilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	for _, name := range []string{"fig1", "fig4", "fig10"} {
+		e, _ := Lookup(name)
+		if err := e.Run(&buf, Options{Quick: true, OutDir: dir}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	for _, f := range []string{"fig1.csv", "fig4_curves.csv", "fig4_sim.csv", "fig10_curves.csv", "fig10_sim.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) < 3 {
+			t.Errorf("%s: only %d lines", f, len(lines))
+		}
+		if !strings.Contains(lines[0], "t") {
+			t.Errorf("%s: missing header: %s", f, lines[0])
+		}
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry run")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(&buf, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Each section header contains "====" twice (prefix and suffix).
+	if c := strings.Count(buf.String(), "===="); c != 2*len(All()) {
+		t.Errorf("section marker count %d, want %d", c, 2*len(All()))
+	}
+}

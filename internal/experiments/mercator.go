@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"streamcalc/internal/blast"
+	"streamcalc/internal/gen"
+	"streamcalc/internal/mercator"
+)
+
+// Mercator demonstrates the queue-based irregular-dataflow execution the
+// paper's §4.1 describes: BLASTN stages produce variable outputs per input,
+// so batching survivors behind finite queues keeps "SIMD" occupancy high.
+// The occupancy-maximizing scheduler is compared with round-robin.
+func Mercator(w io.Writer, o Options) error {
+	dbLen := 1 << 19
+	if o.Quick {
+		dbLen = 1 << 16
+	}
+	query := gen.DNA(256, o.seed()+10)
+	db, _ := gen.DNAWithPlants(dbLen, query, dbLen/8, o.seed()+11)
+
+	for _, policy := range []mercator.Policy{mercator.FullestFirst, mercator.RoundRobin} {
+		hits, rep, err := blast.RunDataflow(db, query, 28, blast.DataflowConfig{Policy: policy})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  scheduler %-14s hits %-6d total firings %d\n", policy, len(hits), rep.Firings)
+		fmt.Fprintf(w, "    %-14s %10s %10s %10s %12s\n", "stage", "in", "out", "firings", "occupancy")
+		for _, s := range rep.Stages {
+			fmt.Fprintf(w, "    %-14s %10d %10d %10d %11.1f%%\n",
+				s.Name, s.ItemsIn, s.ItemsOut, s.Firings, s.AvgOccupancy*100)
+		}
+	}
+	fmt.Fprintf(w, "  (seed matching filters most items; batching survivors keeps occupancy high)\n")
+	return nil
+}

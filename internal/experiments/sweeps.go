@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"streamcalc/internal/apps/bitwmodel"
+	"streamcalc/internal/apps/blastmodel"
+	"streamcalc/internal/core"
+	"streamcalc/internal/sim"
+	"streamcalc/internal/units"
+)
+
+// SweepJobSize ablates the paper's job-aggregation term: the BLAST GPU (and
+// compose node) job size is swept and the resulting cumulative latency,
+// delay estimate, and backlog estimate reported. Aggregation delay scales
+// as b_n / R_alpha, so halving the job size halves the aggregation
+// contribution — the knob the paper's T_n^tot recursion exposes.
+func SweepJobSize(w io.Writer, o Options) error {
+	fmt.Fprintf(w, "  %-12s %12s %12s %12s\n", "job size", "T_tot (ms)", "d est (ms)", "x est (MiB)")
+	var rows [][]float64
+	for _, j := range []units.Bytes{768 * units.KiB / 2, 768 * units.KiB, 2 * 768 * units.KiB, 4 * 768 * units.KiB} {
+		p := blastmodel.Pipeline()
+		for i := range p.Nodes {
+			switch p.Nodes[i].Name {
+			case "compose":
+				p.Nodes[i].JobIn, p.Nodes[i].JobOut, p.Nodes[i].MaxPacket = j, j, j
+			case "gpu-blast":
+				p.Nodes[i].JobIn = j
+			}
+		}
+		a, err := core.Analyze(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %-12s %12.2f %12.2f %12.2f\n",
+			units.Bytes(4*float64(j)).String(), // input-referred
+			ms(a.TotalLatency), ms(a.DelayEstimate), mib(a.BacklogEstimate))
+		rows = append(rows, []float64{4 * float64(j), ms(a.TotalLatency), ms(a.DelayEstimate), mib(a.BacklogEstimate)})
+	}
+	fmt.Fprintf(w, "  (aggregation delay = job/R_alpha: linear in the job size)\n")
+	return writeCSV(o, "sweep_jobsize.csv",
+		[]string{"job_bytes_input_referred", "t_tot_ms", "delay_est_ms", "backlog_est_mib"}, rows)
+}
+
+// SweepChunk ablates the packet/chunk granularity of the bump-in-the-wire
+// pipeline: the network chunk adds directly to the packetized burst b', so
+// the delay estimate d = T_tot + b'/R_beta grows linearly with the chunk.
+// A quick traversal simulation is run at each point for comparison.
+func SweepChunk(w io.Writer, o Options) error {
+	fmt.Fprintf(w, "  %-10s %14s %14s %14s\n", "chunk", "d est (µs)", "sim max (µs)", "x est (KiB)")
+	var rows [][]float64
+	for _, chunk := range []units.Bytes{256, 512, units.KiB, 2 * units.KiB, 4 * units.KiB} {
+		p := bitwmodel.Pipeline()
+		p.Arrival.MaxPacket = chunk
+		for i := range p.Nodes {
+			p.Nodes[i].JobIn, p.Nodes[i].JobOut, p.Nodes[i].MaxPacket = chunk, chunk, chunk
+		}
+		a, err := core.Analyze(p)
+		if err != nil {
+			return err
+		}
+		simMax, err := sweepChunkSim(chunk, o.seed())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %-10s %14.2f %14.2f %14.2f\n",
+			chunk.String(), us(a.DelayEstimate), simMax, kib(a.BacklogEstimate))
+		rows = append(rows, []float64{float64(chunk), us(a.DelayEstimate), simMax, kib(a.BacklogEstimate)})
+	}
+	fmt.Fprintf(w, "  (the chunk adds to the packetized burst: d grows linearly with it)\n")
+	return writeCSV(o, "sweep_chunk.csv",
+		[]string{"chunk_bytes", "delay_est_us", "sim_max_us", "backlog_est_kib"}, rows)
+}
+
+// sweepChunkSim runs a single-burst traversal with the given chunk size and
+// returns the max observed delay in microseconds.
+func sweepChunkSim(chunk units.Bytes, seed uint64) (float64, error) {
+	fine := chunk / 4
+	if fine < 64 {
+		fine = 64
+	}
+	mk := func(name string, minRate, maxRate units.Rate, job units.Bytes) sim.StageConfig {
+		return sim.StageFromRate(name, minRate, maxRate, job, job)
+	}
+	total := bitwmodel.ArrivalBurst + chunk
+	p := sim.New(sim.SourceConfig{
+		Rate:       bitwmodel.ArrivalRate,
+		PacketSize: chunk,
+		Burst:      bitwmodel.ArrivalBurst,
+		TotalInput: total,
+	}, seed)
+	p.Add(mk("compress", 1181*units.MiBPerSec, 6386*units.MiBPerSec, chunk)).
+		Add(mk("encrypt", 56*units.MiBPerSec, 68*units.MiBPerSec, fine)).
+		Add(mk("network", 10*units.GiBPerSec, 10*units.GiBPerSec, fine)).
+		Add(mk("decrypt", 77*units.MiBPerSec, 113*units.MiBPerSec, fine)).
+		Add(mk("decompress", 1426*units.MiBPerSec, 1543*units.MiBPerSec, fine)).
+		Add(mk("pcie", 11*units.GiBPerSec, 11*units.GiBPerSec, fine))
+	res, err := p.Run()
+	if err != nil {
+		return 0, err
+	}
+	return res.DelayMax.Seconds() * 1e6, nil
+}

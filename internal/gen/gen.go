@@ -1,0 +1,170 @@
+// Package gen produces the synthetic workloads that stand in for the
+// paper's proprietary inputs: DNA databases/queries in FASTA format for the
+// BLAST case study, and text corpora with tunable redundancy so the LZ4
+// kernel of the bump-in-the-wire case study can be driven to specific
+// compression ratios. All generators are deterministic for a given seed.
+package gen
+
+import (
+	"bytes"
+	"fmt"
+
+	"streamcalc/internal/des"
+)
+
+// Bases are the DNA alphabet used by the generators, in 2-bit encoding
+// order: A=0, C=1, G=2, T=3.
+var Bases = []byte{'A', 'C', 'G', 'T'}
+
+// DNA returns n random bases drawn uniformly from ACGT.
+func DNA(n int, seed uint64) []byte {
+	rng := des.NewRNG(seed, 100)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = Bases[rng.Intn(4)]
+	}
+	return out
+}
+
+// DNAWithPlants returns n random bases into which copies of the query have
+// been planted every interval bases (so BLAST searches have true positives
+// with known locations). It returns the sequence and the plant positions.
+func DNAWithPlants(n int, query []byte, interval int, seed uint64) (seq []byte, plants []int) {
+	seq = DNA(n, seed)
+	if interval <= 0 || len(query) == 0 || len(query) > n {
+		return seq, nil
+	}
+	for pos := interval; pos+len(query) <= n; pos += interval {
+		copy(seq[pos:], query)
+		plants = append(plants, pos)
+	}
+	return seq, plants
+}
+
+// MutatedCopy returns a copy of seq in which each base is replaced by a
+// random different base with probability rate — for generating homologous
+// (but not identical) queries.
+func MutatedCopy(seq []byte, rate float64, seed uint64) []byte {
+	rng := des.NewRNG(seed, 101)
+	out := append([]byte(nil), seq...)
+	for i := range out {
+		if rng.Float64() < rate {
+			b := Bases[rng.Intn(4)]
+			for b == out[i] {
+				b = Bases[rng.Intn(4)]
+			}
+			out[i] = b
+		}
+	}
+	return out
+}
+
+// FASTA renders a sequence as a FASTA record with the given header and
+// line width (default 70 when width <= 0).
+func FASTA(header string, seq []byte, width int) []byte {
+	if width <= 0 {
+		width = 70
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, ">%s\n", header)
+	for i := 0; i < len(seq); i += width {
+		end := i + width
+		if end > len(seq) {
+			end = len(seq)
+		}
+		b.Write(seq[i:end])
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// ParseFASTA extracts the concatenated sequence data and the first header
+// from a FASTA document (a minimal single-record parser sufficient for the
+// generated inputs; multiple records are concatenated).
+func ParseFASTA(doc []byte) (header string, seq []byte) {
+	lines := bytes.Split(doc, []byte("\n"))
+	for _, line := range lines {
+		if len(line) == 0 {
+			continue
+		}
+		if line[0] == '>' {
+			if header == "" {
+				header = string(bytes.TrimSpace(line[1:]))
+			}
+			continue
+		}
+		seq = append(seq, bytes.TrimSpace(line)...)
+	}
+	return header, seq
+}
+
+// Text returns an n-byte corpus with tunable redundancy in [0, 1]:
+// redundancy 0 yields (nearly incompressible) uniform random bytes;
+// higher values insert back-references — runs copied from earlier in the
+// buffer — with increasing probability and length, which LZ4-style
+// compressors exploit directly. Redundancy ~0.95 reaches LZ4 ratios above
+// 5x; ~0.6 lands near the paper's observed average of 2.2x.
+func Text(n int, redundancy float64, seed uint64) []byte {
+	if redundancy < 0 {
+		redundancy = 0
+	}
+	if redundancy > 1 {
+		redundancy = 1
+	}
+	rng := des.NewRNG(seed, 102)
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		if len(out) > 16 && rng.Float64() < redundancy {
+			// Back-reference: copy an earlier run from within the last
+			// 60 KB so LZ4-class compressors (64 KiB window) can exploit
+			// it regardless of corpus size.
+			maxLen := 8 + int(redundancy*120)
+			l := 4 + rng.Intn(maxLen)
+			if l > n-len(out) {
+				l = n - len(out)
+			}
+			lo := 0
+			if len(out) > 60000 {
+				lo = len(out) - 60000
+			}
+			start := lo + rng.Intn(len(out)-lo)
+			for i := 0; i < l; i++ {
+				out = append(out, out[start+i%(len(out)-start)])
+			}
+			continue
+		}
+		// Literal run of printable-ish bytes.
+		l := 4 + rng.Intn(12)
+		if l > n-len(out) {
+			l = n - len(out)
+		}
+		for i := 0; i < l; i++ {
+			out = append(out, byte(32+rng.Intn(95)))
+		}
+	}
+	return out
+}
+
+// Incompressible returns n uniformly random bytes (worst case for LZ4:
+// compression ratio ~1.0).
+func Incompressible(n int, seed uint64) []byte {
+	rng := des.NewRNG(seed, 103)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(rng.Uint64())
+	}
+	return out
+}
+
+// Repetitive returns n bytes of a short repeating phrase (best case for
+// LZ4: very high compression ratio).
+func Repetitive(n int, phrase string) []byte {
+	if phrase == "" {
+		phrase = "streaming data applications on heterogeneous platforms. "
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = phrase[i%len(phrase)]
+	}
+	return out
+}

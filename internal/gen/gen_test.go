@@ -1,0 +1,130 @@
+package gen
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDNAAlphabetAndDeterminism(t *testing.T) {
+	seq := DNA(10000, 1)
+	if len(seq) != 10000 {
+		t.Fatalf("len = %d", len(seq))
+	}
+	counts := map[byte]int{}
+	for _, b := range seq {
+		counts[b]++
+	}
+	for _, b := range Bases {
+		if counts[b] < 2000 || counts[b] > 3000 {
+			t.Errorf("base %c count %d far from uniform", b, counts[b])
+		}
+	}
+	if len(counts) != 4 {
+		t.Errorf("unexpected alphabet: %v", counts)
+	}
+	if !bytes.Equal(seq, DNA(10000, 1)) {
+		t.Error("same seed must reproduce")
+	}
+	if bytes.Equal(seq, DNA(10000, 2)) {
+		t.Error("different seeds must differ")
+	}
+}
+
+func TestDNAWithPlants(t *testing.T) {
+	q := DNA(100, 3)
+	seq, plants := DNAWithPlants(10000, q, 1000, 4)
+	if len(plants) == 0 {
+		t.Fatal("no plants")
+	}
+	for _, p := range plants {
+		if !bytes.Equal(seq[p:p+len(q)], q) {
+			t.Errorf("plant at %d not intact", p)
+		}
+	}
+	// Degenerate parameters plant nothing.
+	if _, pl := DNAWithPlants(10, q, 0, 4); pl != nil {
+		t.Error("interval 0 must not plant")
+	}
+	if _, pl := DNAWithPlants(10, DNA(100, 5), 5, 4); pl != nil {
+		t.Error("query longer than sequence must not plant")
+	}
+}
+
+func TestMutatedCopy(t *testing.T) {
+	src := DNA(10000, 5)
+	mut := MutatedCopy(src, 0.1, 6)
+	if len(mut) != len(src) {
+		t.Fatal("length changed")
+	}
+	diff := 0
+	for i := range src {
+		if src[i] != mut[i] {
+			diff++
+		}
+	}
+	if diff < 700 || diff > 1300 {
+		t.Errorf("mutations = %d, want ~1000", diff)
+	}
+	if d := MutatedCopy(src, 0, 7); !bytes.Equal(d, src) {
+		t.Error("rate 0 must be identity")
+	}
+}
+
+func TestFASTARoundTrip(t *testing.T) {
+	seq := DNA(503, 8)
+	doc := FASTA("chr1 test", seq, 60)
+	header, parsed := ParseFASTA(doc)
+	if header != "chr1 test" {
+		t.Errorf("header = %q", header)
+	}
+	if !bytes.Equal(parsed, seq) {
+		t.Error("sequence round trip failed")
+	}
+	// Default width.
+	doc2 := FASTA("x", seq, 0)
+	if _, p2 := ParseFASTA(doc2); !bytes.Equal(p2, seq) {
+		t.Error("default-width round trip failed")
+	}
+	lines := bytes.Split(doc, []byte("\n"))
+	for _, l := range lines[1 : len(lines)-1] {
+		if len(l) > 60 {
+			t.Errorf("line too long: %d", len(l))
+		}
+	}
+}
+
+func TestTextLengthAndDeterminism(t *testing.T) {
+	for _, r := range []float64{-1, 0, 0.3, 0.6, 0.95, 2} {
+		txt := Text(10000, r, 9)
+		if len(txt) != 10000 {
+			t.Errorf("redundancy %v: len %d", r, len(txt))
+		}
+	}
+	if !bytes.Equal(Text(5000, 0.5, 1), Text(5000, 0.5, 1)) {
+		t.Error("same seed must reproduce")
+	}
+}
+
+func TestIncompressibleAndRepetitive(t *testing.T) {
+	inc := Incompressible(10000, 1)
+	if len(inc) != 10000 {
+		t.Fatal("length")
+	}
+	// Byte histogram roughly flat.
+	counts := make([]int, 256)
+	for _, b := range inc {
+		counts[b]++
+	}
+	for v, c := range counts {
+		if c > 200 {
+			t.Errorf("byte %d count %d too frequent", v, c)
+		}
+	}
+	rep := Repetitive(100, "ab")
+	if !bytes.Equal(rep[:4], []byte("abab")) {
+		t.Error("phrase repetition broken")
+	}
+	if len(Repetitive(50, "")) != 50 {
+		t.Error("default phrase length")
+	}
+}

@@ -1,0 +1,124 @@
+// Package link models the communication substrates of heterogeneous
+// deployments — network links and PCIe buses — as rate-latency elements, and
+// provides a real TCP loopback transfer driver (stdlib net) so link service
+// rates can be measured the way the paper measures its FPGA TCP stack.
+package link
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"streamcalc/internal/core"
+	"streamcalc/internal/units"
+)
+
+// Model is a communication link characterized by bandwidth and propagation
+// latency — exactly the information a rate-latency service curve encodes.
+type Model struct {
+	Name string
+	// Bandwidth is the sustained transfer rate.
+	Bandwidth units.Rate
+	// Latency is the propagation/setup delay.
+	Latency time.Duration
+	// MTU is the maximum packet the link carries at once (the l_max of the
+	// packetizer adjustment); 0 models a fluid link.
+	MTU units.Bytes
+}
+
+// Node converts the link into a pipeline node for the network-calculus
+// model (job sizes of one MTU, or unit jobs for fluid links).
+func (m Model) Node() core.Node {
+	job := m.MTU
+	if job <= 0 {
+		job = 1
+	}
+	return core.Node{
+		Name:      m.Name,
+		Kind:      core.Link,
+		Rate:      m.Bandwidth,
+		MaxRate:   m.Bandwidth,
+		Latency:   m.Latency,
+		JobIn:     job,
+		JobOut:    job,
+		MaxPacket: m.MTU,
+	}
+}
+
+// TransferTime returns how long the link needs to move n bytes: latency
+// plus serialization.
+func (m Model) TransferTime(n units.Bytes) time.Duration {
+	return m.Latency + n.Time(m.Bandwidth)
+}
+
+// Common link presets used by the paper's case studies.
+var (
+	// TenGbE approximates the OCT FPGA network path the paper measures at
+	// 10 GiB/s.
+	TenGbE = Model{Name: "network", Bandwidth: 10 * units.GiBPerSec, Latency: 2 * time.Microsecond, MTU: 1 * units.KiB}
+	// PCIe3x16 approximates the measured 11 GiB/s PCIe link.
+	PCIe3x16 = Model{Name: "pcie", Bandwidth: 11 * units.GiBPerSec, Latency: 1 * time.Microsecond, MTU: 4 * units.KiB}
+)
+
+// MeasureTCPLoopback transfers total bytes over a real TCP connection on
+// the loopback interface in chunkSize writes and returns the achieved
+// throughput. It exercises an actual network stack end to end (listener,
+// dial, copy, close) the way the paper measures its FPGA TCP kernel in
+// isolation.
+func MeasureTCPLoopback(total, chunkSize units.Bytes) (units.Rate, error) {
+	if total <= 0 || chunkSize <= 0 {
+		return 0, fmt.Errorf("link: total and chunkSize must be positive")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, fmt.Errorf("link: listen: %w", err)
+	}
+	defer ln.Close()
+
+	errCh := make(chan error, 1)
+	recvDone := make(chan int64, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			errCh <- err
+			return
+		}
+		defer conn.Close()
+		n, err := io.Copy(io.Discard, conn)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		recvDone <- n
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		return 0, fmt.Errorf("link: dial: %w", err)
+	}
+	buf := make([]byte, int(chunkSize))
+	start := time.Now()
+	var sent int64
+	for sent < int64(total) {
+		n := int64(len(buf))
+		if rem := int64(total) - sent; rem < n {
+			n = rem
+		}
+		if _, err := conn.Write(buf[:n]); err != nil {
+			conn.Close()
+			return 0, fmt.Errorf("link: write: %w", err)
+		}
+		sent += n
+	}
+	conn.Close()
+	select {
+	case n := <-recvDone:
+		elapsed := time.Since(start)
+		return units.Bytes(n).Over(elapsed), nil
+	case err := <-errCh:
+		return 0, fmt.Errorf("link: receiver: %w", err)
+	case <-time.After(30 * time.Second):
+		return 0, fmt.Errorf("link: transfer timed out")
+	}
+}

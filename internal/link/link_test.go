@@ -1,0 +1,64 @@
+package link
+
+import (
+	"testing"
+	"time"
+
+	"streamcalc/internal/core"
+	"streamcalc/internal/units"
+)
+
+func TestModelNode(t *testing.T) {
+	m := Model{Name: "net", Bandwidth: 10 * units.GiBPerSec, Latency: 2 * time.Microsecond, MTU: units.KiB}
+	n := m.Node()
+	if n.Kind != core.Link {
+		t.Error("kind must be Link")
+	}
+	if n.Rate != m.Bandwidth || n.MaxPacket != units.KiB || n.JobIn != units.KiB {
+		t.Errorf("node fields: %+v", n)
+	}
+	// Fluid link defaults to unit jobs.
+	f := Model{Name: "fluid", Bandwidth: 1}.Node()
+	if f.JobIn != 1 || f.MaxPacket != 0 {
+		t.Errorf("fluid node: %+v", f)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	m := Model{Bandwidth: 1000, Latency: time.Second}
+	got := m.TransferTime(2000)
+	if got != 3*time.Second {
+		t.Errorf("transfer time = %v", got)
+	}
+}
+
+func TestPresetsAreUsable(t *testing.T) {
+	for _, m := range []Model{TenGbE, PCIe3x16} {
+		p := core.Pipeline{
+			Arrival: core.Arrival{Rate: units.MiBPerSec, Burst: units.KiB},
+			Nodes:   []core.Node{m.Node()},
+		}
+		if _, err := core.Analyze(p); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestMeasureTCPLoopback(t *testing.T) {
+	rate, err := MeasureTCPLoopback(4*units.MiB, 64*units.KiB)
+	if err != nil {
+		t.Skipf("loopback unavailable in this environment: %v", err)
+	}
+	if rate < 10*units.MiBPerSec {
+		t.Errorf("loopback rate implausibly low: %v", rate)
+	}
+}
+
+func TestMeasureTCPLoopbackValidation(t *testing.T) {
+	if _, err := MeasureTCPLoopback(0, 1); err == nil {
+		t.Error("zero total must fail")
+	}
+	if _, err := MeasureTCPLoopback(1, 0); err == nil {
+		t.Error("zero chunk must fail")
+	}
+}

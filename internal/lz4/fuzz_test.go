@@ -1,0 +1,46 @@
+package lz4
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip: any input must compress and decompress back to itself.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("a"))
+	f.Add([]byte("abcabcabcabcabcabcabc"))
+	f.Add(bytes.Repeat([]byte{0}, 100))
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		c := Compress(nil, src)
+		if len(c) > MaxCompressedLen(len(src)) {
+			t.Fatalf("compressed %d exceeds bound %d", len(c), MaxCompressedLen(len(src)))
+		}
+		d, err := Decompress(nil, c, len(src)+16)
+		if err != nil {
+			t.Fatalf("decompress own output: %v", err)
+		}
+		if !bytes.Equal(d, src) {
+			t.Fatalf("round trip mismatch: %d in, %d out", len(src), len(d))
+		}
+	})
+}
+
+// FuzzDecompress: arbitrary (possibly corrupt) blocks must never panic or
+// overrun the size limit; errors are fine.
+func FuzzDecompress(f *testing.F) {
+	f.Add([]byte{0x10}, 64)
+	f.Add([]byte{0xF0, 255, 255, 0}, 64)
+	f.Add(Compress(nil, []byte("seed data for the corpus")), 64)
+	f.Fuzz(func(t *testing.T, blob []byte, limit int) {
+		if limit < 0 {
+			limit = -limit
+		}
+		limit %= 1 << 16
+		out, err := Decompress(nil, blob, limit)
+		if err == nil && limit > 0 && len(out) > limit {
+			t.Fatalf("output %d exceeded limit %d without error", len(out), limit)
+		}
+	})
+}

@@ -1,0 +1,246 @@
+// Package lz4 implements the LZ4 block format from scratch (compression
+// with a hash-table match finder in the style of the reference "fast"
+// compressor, and decompression), standing in for the Xilinx Vitis LZ4
+// streaming kernel of the paper's bump-in-the-wire case study. A chunked
+// stream framing (Frame/Deframe) mirrors how the Vitis kernel streams data
+// in fixed-size chunks through FIFO channels.
+//
+// Block format (https://github.com/lz4/lz4/blob/dev/doc/lz4_Block_format.md):
+// a sequence of [token][literal-length*][literals][offset][match-length*]
+// records, where the token packs 4-bit literal and match lengths, lengths
+// >= 15 continue in 255-saturated extension bytes, offsets are 2-byte
+// little-endian, and matches are at least 4 bytes. The final sequence is
+// literals-only; the last 5 bytes of a block are always literals and no
+// match may start within the final 12 bytes.
+package lz4
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+const (
+	minMatch   = 4
+	mfLimit    = 12 // no match may start within this many bytes of the end
+	lastLits   = 5  // the final 5 bytes must be literals
+	maxOffset  = 65535
+	hashLog    = 16
+	hashShift  = 64 - hashLog
+	hashPrime  = 0x9e3779b185ebca87
+	tokenLits  = 0xF0
+	tokenMatch = 0x0F
+)
+
+// MaxCompressedLen returns the worst-case compressed size for n input bytes
+// (incompressible data expands slightly: token + length extensions).
+func MaxCompressedLen(n int) int {
+	if n < 0 {
+		return 0
+	}
+	return n + n/255 + 16
+}
+
+func hash4(v uint32) uint32 {
+	return uint32((uint64(v) * hashPrime) >> hashShift)
+}
+
+func load32(b []byte, i int) uint32 {
+	return binary.LittleEndian.Uint32(b[i:])
+}
+
+// Compress appends the LZ4 block encoding of src to dst and returns the
+// result. The output decompresses to exactly src with Decompress.
+func Compress(dst, src []byte) []byte {
+	n := len(src)
+	if n == 0 {
+		return dst
+	}
+	if n < mfLimit+minMatch {
+		// Too short for any match: emit one literal-only sequence.
+		return emitFinalLiterals(dst, src)
+	}
+	var table [1 << hashLog]int32 // position+1 of the last occurrence
+	anchor := 0
+	i := 0
+	limit := n - mfLimit // last position a match may start at (exclusive-ish)
+
+	for i < limit {
+		h := hash4(load32(src, i))
+		cand := int(table[h]) - 1
+		table[h] = int32(i + 1)
+		if cand < 0 || i-cand > maxOffset || load32(src, cand) != load32(src, i) {
+			i++
+			continue
+		}
+		// Extend the match backwards over pending literals.
+		for i > anchor && cand > 0 && src[i-1] == src[cand-1] {
+			i--
+			cand--
+		}
+		// Extend forwards; matches must leave the last lastLits bytes as
+		// literals.
+		matchEnd := i + minMatch
+		maxEnd := n - lastLits
+		for matchEnd < maxEnd && src[matchEnd] == src[cand+(matchEnd-i)] {
+			matchEnd++
+		}
+		matchLen := matchEnd - i
+		if matchLen < minMatch {
+			i++
+			continue
+		}
+		dst = emitSequence(dst, src[anchor:i], i-cand, matchLen)
+		i = matchEnd
+		anchor = i
+		// Refresh the table with a couple of positions inside the match to
+		// improve subsequent matching (as the reference compressor does).
+		if i < limit {
+			table[hash4(load32(src, i-2))] = int32(i - 1)
+		}
+	}
+	return emitFinalLiterals(dst, src[anchor:])
+}
+
+// emitSequence writes one [token][litlen][literals][offset][matchlen] record.
+func emitSequence(dst, literals []byte, offset, matchLen int) []byte {
+	litLen := len(literals)
+	ml := matchLen - minMatch
+	var token byte
+	if litLen >= 15 {
+		token = tokenLits
+	} else {
+		token = byte(litLen) << 4
+	}
+	if ml >= 15 {
+		token |= 0x0F
+	} else {
+		token |= byte(ml)
+	}
+	dst = append(dst, token)
+	if litLen >= 15 {
+		dst = appendLenExt(dst, litLen-15)
+	}
+	dst = append(dst, literals...)
+	dst = append(dst, byte(offset), byte(offset>>8))
+	if ml >= 15 {
+		dst = appendLenExt(dst, ml-15)
+	}
+	return dst
+}
+
+// emitFinalLiterals writes the mandatory literal-only final sequence.
+func emitFinalLiterals(dst, literals []byte) []byte {
+	litLen := len(literals)
+	var token byte
+	if litLen >= 15 {
+		token = tokenLits
+	} else {
+		token = byte(litLen) << 4
+	}
+	dst = append(dst, token)
+	if litLen >= 15 {
+		dst = appendLenExt(dst, litLen-15)
+	}
+	return append(dst, literals...)
+}
+
+func appendLenExt(dst []byte, v int) []byte {
+	for v >= 255 {
+		dst = append(dst, 255)
+		v -= 255
+	}
+	return append(dst, byte(v))
+}
+
+// ErrCorrupt reports a malformed LZ4 block.
+var ErrCorrupt = errors.New("lz4: corrupt block")
+
+// Decompress appends the decoded contents of the LZ4 block src to dst and
+// returns the result. maxSize bounds the decoded size (0 = no bound) as a
+// safety limit against decompression bombs.
+func Decompress(dst, src []byte, maxSize int) ([]byte, error) {
+	base := len(dst)
+	i := 0
+	n := len(src)
+	for i < n {
+		token := src[i]
+		i++
+		// Literals.
+		litLen := int(token >> 4)
+		if litLen == 15 {
+			var err error
+			litLen, i, err = readLenExt(src, i, litLen)
+			if err != nil {
+				return dst, err
+			}
+		}
+		if i+litLen > n {
+			return dst, ErrCorrupt
+		}
+		if maxSize > 0 && len(dst)-base+litLen > maxSize {
+			return dst, fmt.Errorf("lz4: decoded size exceeds limit %d", maxSize)
+		}
+		dst = append(dst, src[i:i+litLen]...)
+		i += litLen
+		if i == n {
+			return dst, nil // final literal-only sequence
+		}
+		// Offset.
+		if i+2 > n {
+			return dst, ErrCorrupt
+		}
+		offset := int(src[i]) | int(src[i+1])<<8
+		i += 2
+		if offset == 0 || offset > len(dst)-base {
+			return dst, ErrCorrupt
+		}
+		// Match length.
+		matchLen := int(token & 0x0F)
+		if matchLen == 15 {
+			var err error
+			matchLen, i, err = readLenExt(src, i, matchLen)
+			if err != nil {
+				return dst, err
+			}
+		}
+		matchLen += minMatch
+		if maxSize > 0 && len(dst)-base+matchLen > maxSize {
+			return dst, fmt.Errorf("lz4: decoded size exceeds limit %d", maxSize)
+		}
+		// Overlapping copy, byte by byte (offset may be < matchLen).
+		pos := len(dst) - offset
+		for k := 0; k < matchLen; k++ {
+			dst = append(dst, dst[pos+k])
+		}
+	}
+	return dst, nil
+}
+
+func readLenExt(src []byte, i, base int) (length, next int, err error) {
+	length = base
+	for {
+		if i >= len(src) {
+			return 0, i, ErrCorrupt
+		}
+		b := src[i]
+		i++
+		length += int(b)
+		if b != 255 {
+			return length, i, nil
+		}
+	}
+}
+
+// Ratio returns the compression ratio original/compressed for a buffer
+// (>= 1 means the data shrank). It returns 1 for empty input.
+func Ratio(src []byte) float64 {
+	if len(src) == 0 {
+		return 1
+	}
+	c := Compress(nil, src)
+	if len(c) == 0 {
+		return 1
+	}
+	return float64(len(src)) / float64(len(c))
+}

@@ -1,0 +1,231 @@
+// Package mercator implements a software analogue of the MERCATOR
+// framework the paper's BLAST implementation runs on: an irregular
+// streaming-dataflow executor where stages produce a variable number of
+// outputs per input (most produce zero — they are filters), finite queues
+// sit between stages to collect and redistribute work, and a scheduler
+// repeatedly picks the stage whose input occupancy is highest so batches
+// stay full (the paper: "scheduling execution of stages is performed so as
+// to maximize GPU thread occupancy and minimize overhead").
+//
+// Items are opaque interface values; stages process a batch at a time
+// (mimicking a SIMD ensemble of the batch width) and may emit any number of
+// results. The executor records per-stage batch counts, average batch fill,
+// and item throughput — the occupancy statistics that motivated Mercator's
+// design.
+package mercator
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Node is one dataflow stage: it consumes a batch of items and appends its
+// outputs to out.
+type Node interface {
+	// Name identifies the stage.
+	Name() string
+	// ProcessBatch consumes items and returns outputs (zero or more per
+	// input; filters usually return fewer).
+	ProcessBatch(items []any) []any
+}
+
+// NodeFunc adapts a function to Node.
+type NodeFunc struct {
+	NodeName string
+	Fn       func(items []any) []any
+}
+
+// Name implements Node.
+func (n NodeFunc) Name() string { return n.NodeName }
+
+// ProcessBatch implements Node.
+func (n NodeFunc) ProcessBatch(items []any) []any { return n.Fn(items) }
+
+// Policy selects which runnable stage fires next.
+type Policy int
+
+const (
+	// FullestFirst picks the stage with the most queued items — Mercator's
+	// occupancy-maximizing heuristic.
+	FullestFirst Policy = iota
+	// RoundRobin cycles through runnable stages — the baseline the
+	// occupancy scheduler is compared against.
+	RoundRobin
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case FullestFirst:
+		return "fullest-first"
+	case RoundRobin:
+		return "round-robin"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config tunes the executor.
+type Config struct {
+	// BatchWidth is the SIMD ensemble width: at most this many items are
+	// consumed per firing. Required >= 1.
+	BatchWidth int
+	// QueueCap bounds each inter-stage queue in items; a stage is not
+	// runnable if its downstream queue has less than BatchWidth free slots
+	// (outputs could overflow). 0 means unbounded.
+	QueueCap int
+	// Policy selects the scheduler.
+	Policy Policy
+}
+
+// StageReport summarizes one stage after a run.
+type StageReport struct {
+	Name string
+	// Firings is how many batches the stage executed.
+	Firings int64
+	// ItemsIn/ItemsOut count items consumed and produced.
+	ItemsIn, ItemsOut int64
+	// AvgOccupancy is mean batch fill relative to BatchWidth (the
+	// scheduler's objective).
+	AvgOccupancy float64
+	// PeakQueue is the input-queue high-water mark in items.
+	PeakQueue int
+}
+
+// Report is the result of a run.
+type Report struct {
+	Stages []StageReport
+	// Firings is the total number of stage firings (the proxy for kernel
+	// launches the scheduler minimizes).
+	Firings int64
+	// Outputs are the items that left the last stage.
+	Outputs []any
+}
+
+// Pipeline is a chain of dataflow nodes.
+type Pipeline struct {
+	cfg   Config
+	nodes []Node
+}
+
+// New creates a pipeline with the given configuration.
+func New(cfg Config) *Pipeline {
+	return &Pipeline{cfg: cfg}
+}
+
+// Add appends a node and returns the pipeline for chaining.
+func (p *Pipeline) Add(n Node) *Pipeline {
+	p.nodes = append(p.nodes, n)
+	return p
+}
+
+// Run feeds the inputs through the dataflow until everything drains and
+// returns the outputs plus scheduling statistics.
+func (p *Pipeline) Run(inputs []any) (*Report, error) {
+	if len(p.nodes) == 0 {
+		return nil, errors.New("mercator: pipeline has no nodes")
+	}
+	if p.cfg.BatchWidth < 1 {
+		return nil, errors.New("mercator: BatchWidth must be >= 1")
+	}
+	if p.cfg.QueueCap > 0 && p.cfg.QueueCap < p.cfg.BatchWidth {
+		return nil, errors.New("mercator: QueueCap below BatchWidth deadlocks")
+	}
+	n := len(p.nodes)
+	queues := make([][]any, n) // queues[i] feeds nodes[i]
+	queues[0] = append(queues[0], inputs...)
+	peaks := make([]int, n)
+	peaks[0] = len(inputs)
+	reports := make([]StageReport, n)
+	for i, nd := range p.nodes {
+		reports[i].Name = nd.Name()
+	}
+	var outputs []any
+	rrNext := 0
+
+	runnable := func(i int) bool {
+		if len(queues[i]) == 0 {
+			return false
+		}
+		if p.cfg.QueueCap > 0 && i+1 < n {
+			// Worst case each input yields several outputs; require room
+			// for one batch to keep progress guaranteed without overflow
+			// bookkeeping (Mercator reserves output space the same way).
+			if len(queues[i+1])+p.cfg.BatchWidth > p.cfg.QueueCap {
+				return false
+			}
+		}
+		return true
+	}
+
+	pick := func() int {
+		switch p.cfg.Policy {
+		case RoundRobin:
+			for k := 0; k < n; k++ {
+				i := (rrNext + k) % n
+				if runnable(i) {
+					rrNext = (i + 1) % n
+					return i
+				}
+			}
+		default: // FullestFirst
+			best, bestLen := -1, 0
+			for i := 0; i < n; i++ {
+				if runnable(i) && len(queues[i]) > bestLen {
+					best, bestLen = i, len(queues[i])
+				}
+			}
+			return best
+		}
+		return -1
+	}
+
+	var totalFirings int64
+	for {
+		i := pick()
+		if i < 0 {
+			// No stage runnable with the downstream-space rule; if queues
+			// still hold items, fall back to draining the deepest stage
+			// closest to the sink (guaranteed progress: the sink has no
+			// space constraint).
+			i = -1
+			for j := n - 1; j >= 0; j-- {
+				if len(queues[j]) > 0 {
+					i = j
+					break
+				}
+			}
+			if i < 0 {
+				break // fully drained
+			}
+		}
+		batch := queues[i]
+		if len(batch) > p.cfg.BatchWidth {
+			batch = batch[:p.cfg.BatchWidth]
+		}
+		queues[i] = queues[i][len(batch):]
+		out := p.nodes[i].ProcessBatch(batch)
+		totalFirings++
+		r := &reports[i]
+		r.Firings++
+		r.ItemsIn += int64(len(batch))
+		r.ItemsOut += int64(len(out))
+		r.AvgOccupancy += float64(len(batch)) / float64(p.cfg.BatchWidth)
+		if i+1 < n {
+			queues[i+1] = append(queues[i+1], out...)
+			if len(queues[i+1]) > peaks[i+1] {
+				peaks[i+1] = len(queues[i+1])
+			}
+		} else {
+			outputs = append(outputs, out...)
+		}
+	}
+
+	for i := range reports {
+		if reports[i].Firings > 0 {
+			reports[i].AvgOccupancy /= float64(reports[i].Firings)
+		}
+		reports[i].PeakQueue = peaks[i]
+	}
+	return &Report{Stages: reports, Firings: totalFirings, Outputs: outputs}, nil
+}

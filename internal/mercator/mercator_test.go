@@ -1,0 +1,165 @@
+package mercator
+
+import (
+	"testing"
+)
+
+// double emits each item twice; drop filters everything; id passes through.
+func idNode(name string) Node {
+	return NodeFunc{NodeName: name, Fn: func(items []any) []any { return items }}
+}
+
+func TestIdentityPipeline(t *testing.T) {
+	in := make([]any, 100)
+	for i := range in {
+		in[i] = i
+	}
+	rep, err := New(Config{BatchWidth: 16}).Add(idNode("a")).Add(idNode("b")).Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outputs) != 100 {
+		t.Fatalf("outputs = %d", len(rep.Outputs))
+	}
+	// Order within a chain of identity stages is preserved.
+	for i, o := range rep.Outputs {
+		if o.(int) != i {
+			t.Fatalf("order broken at %d: %v", i, o)
+		}
+	}
+	if rep.Firings == 0 {
+		t.Error("no firings recorded")
+	}
+}
+
+func TestFilterAndExpand(t *testing.T) {
+	in := make([]any, 64)
+	for i := range in {
+		in[i] = i
+	}
+	even := NodeFunc{NodeName: "even", Fn: func(items []any) []any {
+		var out []any
+		for _, it := range items {
+			if it.(int)%2 == 0 {
+				out = append(out, it)
+			}
+		}
+		return out
+	}}
+	dup := NodeFunc{NodeName: "dup", Fn: func(items []any) []any {
+		var out []any
+		for _, it := range items {
+			out = append(out, it, it)
+		}
+		return out
+	}}
+	rep, err := New(Config{BatchWidth: 8}).Add(even).Add(dup).Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outputs) != 64 { // 32 evens duplicated
+		t.Fatalf("outputs = %d", len(rep.Outputs))
+	}
+	if rep.Stages[0].ItemsIn != 64 || rep.Stages[0].ItemsOut != 32 {
+		t.Errorf("filter stats: %+v", rep.Stages[0])
+	}
+	if rep.Stages[1].ItemsIn != 32 || rep.Stages[1].ItemsOut != 64 {
+		t.Errorf("expander stats: %+v", rep.Stages[1])
+	}
+}
+
+func TestOccupancySchedulerBeatsRoundRobinOnFilters(t *testing.T) {
+	// A strong filter feeding an expensive stage: fullest-first batches the
+	// survivors, firing the downstream stage fewer times than round-robin
+	// with the same batch width.
+	build := func(policy Policy) *Report {
+		in := make([]any, 4096)
+		for i := range in {
+			in[i] = i
+		}
+		filter := NodeFunc{NodeName: "filter", Fn: func(items []any) []any {
+			var out []any
+			for _, it := range items {
+				if it.(int)%16 == 0 {
+					out = append(out, it)
+				}
+			}
+			return out
+		}}
+		rep, err := New(Config{BatchWidth: 64, QueueCap: 1 << 16, Policy: policy}).
+			Add(filter).Add(idNode("work")).Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	ff := build(FullestFirst)
+	rr := build(RoundRobin)
+	ffWork := ff.Stages[1]
+	rrWork := rr.Stages[1]
+	if ffWork.ItemsIn != rrWork.ItemsIn {
+		t.Fatalf("schedulers saw different item counts: %d vs %d", ffWork.ItemsIn, rrWork.ItemsIn)
+	}
+	if ffWork.Firings > rrWork.Firings {
+		t.Errorf("fullest-first fired the work stage more often (%d) than round-robin (%d)",
+			ffWork.Firings, rrWork.Firings)
+	}
+	if ffWork.AvgOccupancy < rrWork.AvgOccupancy {
+		t.Errorf("fullest-first occupancy %.3f below round-robin %.3f",
+			ffWork.AvgOccupancy, rrWork.AvgOccupancy)
+	}
+}
+
+func TestQueueCapRespected(t *testing.T) {
+	in := make([]any, 1000)
+	for i := range in {
+		in[i] = i
+	}
+	rep, err := New(Config{BatchWidth: 8, QueueCap: 32}).
+		Add(idNode("a")).Add(idNode("b")).Add(idNode("c")).Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outputs) != 1000 {
+		t.Fatalf("outputs = %d", len(rep.Outputs))
+	}
+	// Interior queues never exceed the cap (the first queue holds the
+	// offered input and is exempt, as in Mercator where input comes from
+	// device memory).
+	for _, s := range rep.Stages[1:] {
+		if s.PeakQueue > 32 {
+			t.Errorf("stage %s queue peaked at %d > cap 32", s.Name, s.PeakQueue)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{BatchWidth: 4}).Run(nil); err == nil {
+		t.Error("no nodes must fail")
+	}
+	if _, err := New(Config{BatchWidth: 0}).Add(idNode("a")).Run(nil); err == nil {
+		t.Error("zero batch width must fail")
+	}
+	if _, err := New(Config{BatchWidth: 8, QueueCap: 4}).Add(idNode("a")).Run(nil); err == nil {
+		t.Error("cap below batch width must fail")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if FullestFirst.String() != "fullest-first" || RoundRobin.String() != "round-robin" {
+		t.Error("policy names")
+	}
+	if Policy(9).String() == "" {
+		t.Error("unknown policy must render")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	rep, err := New(Config{BatchWidth: 4}).Add(idNode("a")).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outputs) != 0 || rep.Firings != 0 {
+		t.Errorf("empty run: %+v", rep)
+	}
+}

@@ -1,0 +1,52 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"streamcalc/internal/sim"
+)
+
+func TestMG1Reductions(t *testing.T) {
+	lambda, mu := 50.0, 100.0
+	meanS := 1 / mu
+	// Exponential service: varS = meanS^2 -> reduces to M/M/1 wait.
+	_, _, _, wqMM1 := MM1(lambda, mu)
+	if got := MG1MeanWait(lambda, meanS, meanS*meanS); math.Abs(got-wqMM1) > 1e-12 {
+		t.Errorf("M/G/1 with exp variance = %v, want M/M/1 %v", got, wqMM1)
+	}
+	// Deterministic service: varS = 0 -> reduces to M/D/1 wait.
+	if got := MG1MeanWait(lambda, meanS, 0); math.Abs(got-MD1MeanWait(lambda, mu)) > 1e-12 {
+		t.Errorf("M/G/1 with zero variance = %v, want M/D/1", got)
+	}
+	if !math.IsInf(MG1MeanWait(100, 0.01, 0), 1) {
+		t.Error("rho >= 1 must be infinite")
+	}
+	if !math.IsNaN(MG1MeanWait(1, 0, 0)) {
+		t.Error("non-positive mean service must be NaN")
+	}
+}
+
+// The simulator's uniform-service stage matches the Pollaczek–Khinchine
+// formula with varS = width^2/12.
+func TestMG1AgainstUniformServiceSim(t *testing.T) {
+	// Jobs of 10 bytes; service uniform in [10/120, 10/80] s = [83.3, 125] ms.
+	lo, hi := 10.0/120.0, 10.0/80.0
+	meanS := (lo + hi) / 2
+	varS := (hi - lo) * (hi - lo) / 12
+	lambda := 6.0 // jobs/s -> rho ~ 0.625
+
+	cfg := sim.StageFromRate("u", 80, 120, 10, 10)
+	p := sim.New(sim.SourceConfig{
+		Rate: 60, PacketSize: 10, TotalInput: 400000, Poisson: true,
+	}, 77).Add(cfg)
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSojourn := MG1MeanWait(lambda, meanS, varS) + meanS
+	got := res.DelayMean.Seconds()
+	if math.Abs(got-wantSojourn)/wantSojourn > 0.12 {
+		t.Errorf("sim sojourn %v vs M/G/1 %v", got, wantSojourn)
+	}
+}

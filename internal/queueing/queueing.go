@@ -1,0 +1,201 @@
+// Package queueing implements the M/M/1 queueing-network flow analysis the
+// paper uses as its comparison baseline (Faber et al.'s platform-agnostic
+// streaming performance model): per-stage utilization from isolated mean
+// service rates, a roofline throughput prediction at the bottleneck, and
+// mean queue lengths/sojourn times under Markovian assumptions.
+//
+// Like the network-calculus model, all stage rates are normalized to the
+// pipeline input through the chain of job ratios. Unlike network calculus,
+// the prediction is a single nominal value (mean flow), not a bound — the
+// source of the optimism visible in the paper's Tables 1 and 3.
+package queueing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"streamcalc/internal/units"
+)
+
+// Stage describes one station of the queueing network with measurements
+// taken in isolation, in the stage's local data units.
+type Stage struct {
+	Name string
+	// Rate is the mean service rate (local bytes/s). For the M/M/1 model
+	// this is the Markovian service rate mu in byte terms.
+	Rate units.Rate
+	// JobIn/JobOut define the data-volume gain, exactly as in the
+	// network-calculus model.
+	JobIn, JobOut units.Bytes
+}
+
+// Gain returns JobOut/JobIn.
+func (s Stage) Gain() float64 { return float64(s.JobOut) / float64(s.JobIn) }
+
+// Network is a chain of stations fed at ArrivalRate (input bytes/s).
+type Network struct {
+	Name        string
+	ArrivalRate units.Rate
+	Stages      []Stage
+}
+
+// StageMetrics is the per-station analysis result.
+type StageMetrics struct {
+	Name string
+	// Rate is the input-referred mean service rate.
+	Rate units.Rate
+	// Utilization is rho = lambda/mu.
+	Utilization float64
+	// Stable is rho < 1.
+	Stable bool
+	// MeanJobs is the M/M/1 mean number of jobs in the station,
+	// rho/(1-rho); +Inf when unstable.
+	MeanJobs float64
+	// MeanSojourn is the M/M/1 mean time a job spends in the station,
+	// 1/(mu_jobs - lambda_jobs); +Inf when unstable.
+	MeanSojourn time.Duration
+}
+
+// Result is the network-level analysis.
+type Result struct {
+	Stages []StageMetrics
+	// Roofline is the flow-analysis throughput prediction: the arrival rate
+	// capped by the smallest input-referred service rate. This is the
+	// "queueing theory prediction" of the paper's Tables 1 and 3.
+	Roofline units.Rate
+	// BottleneckIndex is the station with the smallest input-referred rate.
+	BottleneckIndex int
+	// Stable reports whether every station has rho < 1.
+	Stable bool
+	// MeanDelay is the sum of per-station mean sojourn times (Jackson-style
+	// decomposition); +Inf when unstable.
+	MeanDelay time.Duration
+}
+
+// Analyze runs the flow analysis.
+func Analyze(n Network) (*Result, error) {
+	if n.ArrivalRate <= 0 {
+		return nil, errors.New("queueing: ArrivalRate must be positive")
+	}
+	if len(n.Stages) == 0 {
+		return nil, errors.New("queueing: no stages")
+	}
+	res := &Result{Stable: true}
+	gain := 1.0
+	minRate := units.Rate(math.Inf(1))
+	totalSojourn := 0.0
+	for i, s := range n.Stages {
+		if s.Rate <= 0 || s.JobIn <= 0 || s.JobOut <= 0 {
+			return nil, fmt.Errorf("queueing: stage %d (%s): Rate, JobIn, JobOut must be positive", i, s.Name)
+		}
+		m := StageMetrics{Name: s.Name}
+		m.Rate = s.Rate.Mul(1 / gain)
+		lambda := float64(n.ArrivalRate)
+		mu := float64(m.Rate)
+		m.Utilization = lambda / mu
+		m.Stable = m.Utilization < 1
+		if !m.Stable {
+			res.Stable = false
+			m.MeanJobs = math.Inf(1)
+			m.MeanSojourn = time.Duration(math.MaxInt64)
+		} else {
+			m.MeanJobs = m.Utilization / (1 - m.Utilization)
+			// Job-level rates: jobs of (input-referred) size JobIn/gain.
+			jobSize := float64(s.JobIn) / gain
+			muJobs := mu / jobSize
+			lambdaJobs := lambda / jobSize
+			sojourn := 1 / (muJobs - lambdaJobs)
+			totalSojourn += sojourn
+			m.MeanSojourn = durSec(sojourn)
+		}
+		if m.Rate < minRate {
+			minRate = m.Rate
+			res.BottleneckIndex = i
+		}
+		gain *= s.Gain()
+		res.Stages = append(res.Stages, m)
+	}
+	res.Roofline = n.ArrivalRate
+	if minRate < res.Roofline {
+		res.Roofline = minRate
+	}
+	if res.Stable {
+		res.MeanDelay = durSec(totalSojourn)
+	} else {
+		res.MeanDelay = time.Duration(math.MaxInt64)
+	}
+	return res, nil
+}
+
+func durSec(s float64) time.Duration {
+	if s >= float64(math.MaxInt64)/float64(time.Second) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(s * float64(time.Second))
+}
+
+// MM1 returns the textbook M/M/1 steady-state metrics for job arrival rate
+// lambda and service rate mu (jobs/s): utilization, mean jobs in system,
+// mean sojourn time, and mean waiting time. Unstable systems (lambda >= mu)
+// yield +Inf values.
+func MM1(lambda, mu float64) (rho, meanJobs, sojourn, wait float64) {
+	if mu <= 0 || lambda < 0 {
+		return math.NaN(), math.NaN(), math.NaN(), math.NaN()
+	}
+	rho = lambda / mu
+	if rho >= 1 {
+		return rho, math.Inf(1), math.Inf(1), math.Inf(1)
+	}
+	meanJobs = rho / (1 - rho)
+	sojourn = 1 / (mu - lambda)
+	wait = rho / (mu - lambda)
+	return rho, meanJobs, sojourn, wait
+}
+
+// MD1MeanWait returns the M/D/1 mean waiting time (deterministic service of
+// duration 1/mu): rho/(2 mu (1-rho)) — half the M/M/1 wait, useful when the
+// simulator runs with (near-)deterministic stage times.
+func MD1MeanWait(lambda, mu float64) float64 {
+	if mu <= 0 || lambda < 0 {
+		return math.NaN()
+	}
+	rho := lambda / mu
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return rho / (2 * mu * (1 - rho))
+}
+
+// MG1MeanWait returns the Pollaczek–Khinchine mean waiting time of an
+// M/G/1 queue: lambda * E[S^2] / (2 (1 - rho)), where the service time S
+// has mean meanS and variance varS. It generalizes M/M/1 (varS = meanS^2)
+// and M/D/1 (varS = 0) and matches the simulator's uniform-service stages
+// (varS = width^2/12).
+func MG1MeanWait(lambda, meanS, varS float64) float64 {
+	if lambda < 0 || meanS <= 0 || varS < 0 {
+		return math.NaN()
+	}
+	rho := lambda * meanS
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	es2 := varS + meanS*meanS
+	return lambda * es2 / (2 * (1 - rho))
+}
+
+// MM1KLossProb returns the blocking probability of an M/M/1/K queue with at
+// most K jobs in the system: the probability an arriving job is dropped.
+// Used for finite-buffer what-if analysis alongside the network-calculus
+// buffer plan.
+func MM1KLossProb(lambda, mu float64, k int) float64 {
+	if mu <= 0 || lambda < 0 || k < 1 {
+		return math.NaN()
+	}
+	rho := lambda / mu
+	if rho == 1 {
+		return 1 / float64(k+1)
+	}
+	return (1 - rho) * math.Pow(rho, float64(k)) / (1 - math.Pow(rho, float64(k+1)))
+}

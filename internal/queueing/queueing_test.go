@@ -1,0 +1,183 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"streamcalc/internal/sim"
+	"streamcalc/internal/units"
+)
+
+func TestMM1ClosedForms(t *testing.T) {
+	rho, l, w, wq := MM1(50, 100)
+	if rho != 0.5 {
+		t.Errorf("rho = %v", rho)
+	}
+	if l != 1 {
+		t.Errorf("L = %v", l)
+	}
+	if w != 0.02 {
+		t.Errorf("W = %v", w)
+	}
+	if math.Abs(wq-0.01) > 1e-12 {
+		t.Errorf("Wq = %v", wq)
+	}
+}
+
+func TestMM1Unstable(t *testing.T) {
+	_, l, w, wq := MM1(100, 100)
+	if !math.IsInf(l, 1) || !math.IsInf(w, 1) || !math.IsInf(wq, 1) {
+		t.Error("rho >= 1 must be infinite")
+	}
+	rho, _, _, _ := MM1(10, 0)
+	if !math.IsNaN(rho) {
+		t.Error("mu=0 must be NaN")
+	}
+}
+
+func TestMD1HalvesWait(t *testing.T) {
+	_, _, _, wqMM1 := MM1(50, 100)
+	wqMD1 := MD1MeanWait(50, 100)
+	if math.Abs(wqMD1-wqMM1/2) > 1e-12 {
+		t.Errorf("M/D/1 wait %v, want half of %v", wqMD1, wqMM1)
+	}
+	if !math.IsInf(MD1MeanWait(100, 100), 1) {
+		t.Error("unstable M/D/1 must be +Inf")
+	}
+	if !math.IsNaN(MD1MeanWait(1, 0)) {
+		t.Error("mu=0 must be NaN")
+	}
+}
+
+func TestMM1KLoss(t *testing.T) {
+	// K=1 (no waiting room): loss = rho/(1+rho) for lambda=mu -> 1/2; use
+	// the rho==1 branch.
+	if got := MM1KLossProb(100, 100, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("K=1 rho=1 loss = %v, want 0.5", got)
+	}
+	// Light load, large K: loss tiny.
+	if got := MM1KLossProb(10, 100, 10); got > 1e-9 {
+		t.Errorf("light-load loss = %v", got)
+	}
+	// Loss decreases with K.
+	l3 := MM1KLossProb(80, 100, 3)
+	l6 := MM1KLossProb(80, 100, 6)
+	if l6 >= l3 {
+		t.Errorf("loss must decrease with K: %v -> %v", l3, l6)
+	}
+	if !math.IsNaN(MM1KLossProb(1, 1, 0)) {
+		t.Error("K<1 must be NaN")
+	}
+}
+
+func TestAnalyzeRoofline(t *testing.T) {
+	n := Network{
+		ArrivalRate: 704 * units.MiBPerSec,
+		Stages: []Stage{
+			{Name: "fa2bit", Rate: 800 * units.MiBPerSec, JobIn: 1, JobOut: 1},
+			{Name: "gpu", Rate: 500 * units.MiBPerSec, JobIn: 1, JobOut: 1},
+		},
+	}
+	res, err := Analyze(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Roofline != 500*units.MiBPerSec {
+		t.Errorf("roofline = %v", res.Roofline)
+	}
+	if res.BottleneckIndex != 1 {
+		t.Errorf("bottleneck = %d", res.BottleneckIndex)
+	}
+	if res.Stable {
+		t.Error("arrival 704 > service 500: unstable")
+	}
+	if !math.IsInf(res.Stages[1].MeanJobs, 1) {
+		t.Error("unstable stage must have infinite queue")
+	}
+}
+
+func TestAnalyzeNormalization(t *testing.T) {
+	// A 2:1 filter doubles the downstream input-referred rate.
+	n := Network{
+		ArrivalRate: 100,
+		Stages: []Stage{
+			{Name: "filter", Rate: 400, JobIn: 2, JobOut: 1},
+			{Name: "down", Rate: 150, JobIn: 1, JobOut: 1},
+		},
+	}
+	res, err := Analyze(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stages[1].Rate != 300 {
+		t.Errorf("input-referred rate = %v, want 300", res.Stages[1].Rate)
+	}
+	if !res.Stable {
+		t.Error("must be stable")
+	}
+	// rho at downstream = 100/300.
+	if math.Abs(res.Stages[1].Utilization-1.0/3.0) > 1e-12 {
+		t.Errorf("rho = %v", res.Stages[1].Utilization)
+	}
+	if res.Roofline != 100 {
+		t.Errorf("roofline limited by arrival: %v", res.Roofline)
+	}
+	if res.MeanDelay <= 0 {
+		t.Error("mean delay must be positive")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(Network{}); err == nil {
+		t.Error("want error for zero arrival")
+	}
+	if _, err := Analyze(Network{ArrivalRate: 1}); err == nil {
+		t.Error("want error for no stages")
+	}
+	if _, err := Analyze(Network{ArrivalRate: 1, Stages: []Stage{{Rate: 0, JobIn: 1, JobOut: 1}}}); err == nil {
+		t.Error("want error for zero rate")
+	}
+}
+
+// Cross-validation: the M/M/1 sojourn formula matches the discrete-event
+// simulator run in Markovian mode.
+func TestMM1AgainstSimulator(t *testing.T) {
+	lambda, mu := 50.0, 100.0 // jobs/s, 10-byte jobs
+	cfg := sim.StageFromRate("mm1", units.Rate(mu*10), units.Rate(mu*10), 10, 10)
+	cfg.ExpExec = true
+	p := sim.New(sim.SourceConfig{
+		Rate: units.Rate(lambda * 10), PacketSize: 10,
+		TotalInput: 600000, Poisson: true,
+	}, 99).Add(cfg)
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, w, _ := MM1(lambda, mu)
+	got := res.DelayMean.Seconds()
+	if math.Abs(got-w)/w > 0.15 {
+		t.Errorf("simulated sojourn %v vs M/M/1 %v", got, w)
+	}
+	// Utilization should be near rho = 0.5.
+	if math.Abs(res.Stages[0].Utilization-0.5) > 0.05 {
+		t.Errorf("utilization %v", res.Stages[0].Utilization)
+	}
+}
+
+// Determinism of the RNG streams keeps this check meaningful.
+func TestMM1SimulatorSeedStability(t *testing.T) {
+	run := func(seed uint64) time.Duration {
+		cfg := sim.StageFromRate("mm1", 1000, 1000, 10, 10)
+		cfg.ExpExec = true
+		p := sim.New(sim.SourceConfig{Rate: 500, PacketSize: 10, TotalInput: 50000, Poisson: true}, seed).Add(cfg)
+		res, err := p.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.DelayMean
+	}
+	if run(5) != run(5) {
+		t.Error("same seed must agree")
+	}
+}

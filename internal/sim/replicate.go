@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"time"
+
+	"streamcalc/internal/stats"
+	"streamcalc/internal/units"
+)
+
+// Replication aggregates independent simulation runs (different seeds) into
+// means with 95% confidence half-widths — the standard way to report
+// discrete-event results.
+type Replication struct {
+	Runs int
+	// Throughput statistics in bytes/s.
+	ThroughputMean units.Rate
+	ThroughputCI   units.Rate
+	// DelayMaxMean/CI aggregate the per-run maximum delays.
+	DelayMaxMean time.Duration
+	DelayMaxCI   time.Duration
+	// BacklogMean/CI aggregate the per-run backlog watermarks.
+	BacklogMean units.Bytes
+	BacklogCI   units.Bytes
+}
+
+// Replicate builds and runs the pipeline n times with seeds base+1..base+n
+// and aggregates throughput, max delay, and backlog watermark. The build
+// function receives the seed for each replication.
+func Replicate(build func(seed uint64) *Pipeline, base uint64, n int) (*Replication, error) {
+	if n < 1 {
+		n = 1
+	}
+	var tp, dmax, backlog stats.Summary
+	for i := 0; i < n; i++ {
+		res, err := build(base + uint64(i) + 1).Run()
+		if err != nil {
+			return nil, err
+		}
+		tp.Add(float64(res.Throughput))
+		dmax.Add(res.DelayMax.Seconds())
+		backlog.Add(float64(res.MaxBacklog))
+	}
+	rep := &Replication{
+		Runs:           n,
+		ThroughputMean: units.Rate(tp.Mean()),
+		DelayMaxMean:   time.Duration(dmax.Mean() * float64(time.Second)),
+		BacklogMean:    units.Bytes(backlog.Mean()),
+	}
+	if n >= 2 {
+		rep.ThroughputCI = units.Rate(tp.CI95())
+		rep.DelayMaxCI = time.Duration(dmax.CI95() * float64(time.Second))
+		rep.BacklogCI = units.Bytes(backlog.CI95())
+	}
+	return rep, nil
+}

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestReplicateAggregates(t *testing.T) {
+	build := func(seed uint64) *Pipeline {
+		return New(SourceConfig{Rate: 1000, PacketSize: 10, TotalInput: 20000}, seed).
+			Add(StageFromRate("s", 400, 600, 10, 10))
+	}
+	rep, err := Replicate(build, 100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs != 8 {
+		t.Errorf("runs = %d", rep.Runs)
+	}
+	// Mean throughput near the uniform-service harmonic mean (~480-500).
+	tp := float64(rep.ThroughputMean)
+	if tp < 420 || tp > 560 {
+		t.Errorf("mean throughput = %v", tp)
+	}
+	if rep.ThroughputCI <= 0 || rep.DelayMaxMean <= 0 || rep.BacklogMean <= 0 {
+		t.Errorf("aggregates missing: %+v", rep)
+	}
+	// CI shrinks with more replications (sanity, statistical but stable
+	// given deterministic seeds).
+	rep2, err := Replicate(build, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Runs != 2 {
+		t.Error("runs")
+	}
+}
+
+func TestReplicateSingleRunNoCI(t *testing.T) {
+	build := func(seed uint64) *Pipeline {
+		return New(SourceConfig{Rate: 100, PacketSize: 10, TotalInput: 1000}, seed).
+			Add(StageFromRate("s", 200, 200, 10, 10))
+	}
+	rep, err := Replicate(build, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ThroughputCI != 0 {
+		t.Error("single run must not report a CI")
+	}
+}
+
+func TestReplicatePropagatesErrors(t *testing.T) {
+	build := func(seed uint64) *Pipeline {
+		return New(SourceConfig{}, seed) // invalid source
+	}
+	if _, err := Replicate(build, 0, 3); err == nil {
+		t.Error("expected error")
+	}
+}

@@ -1,0 +1,349 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"streamcalc/internal/des"
+	"streamcalc/internal/units"
+)
+
+func mustRun(t *testing.T, p *Pipeline) *Result {
+	t.Helper()
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func relClose(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestSourceLimitedThroughput(t *testing.T) {
+	// Fast stage (200 B/s) behind a 100 B/s source: throughput ~ 100 B/s.
+	p := New(SourceConfig{Rate: 100, PacketSize: 10, TotalInput: 1000}, 1).
+		Add(StageFromRate("fast", 200, 200, 10, 10))
+	res := mustRun(t, p)
+	if res.OutputInput != 1000 {
+		t.Fatalf("delivered %v, want 1000", res.OutputInput)
+	}
+	if !relClose(float64(res.Throughput), 100, 0.05) {
+		t.Errorf("throughput = %v, want ~100 B/s", float64(res.Throughput))
+	}
+	// Per-job delay is exactly the 50 ms service time (no queueing).
+	if res.DelayMax > 120*time.Millisecond {
+		t.Errorf("delay max = %v", res.DelayMax)
+	}
+}
+
+func TestBottleneckLimitedThroughput(t *testing.T) {
+	// Slow stage (50 B/s) behind a 100 B/s source: throughput ~ 50 B/s and
+	// backlog builds to about half the input.
+	p := New(SourceConfig{Rate: 100, PacketSize: 10, TotalInput: 1000}, 1).
+		Add(StageFromRate("slow", 50, 50, 10, 10))
+	res := mustRun(t, p)
+	if !relClose(float64(res.Throughput), 50, 0.05) {
+		t.Errorf("throughput = %v, want ~50 B/s", float64(res.Throughput))
+	}
+	if res.MaxBacklog < 400 || res.MaxBacklog > 600 {
+		t.Errorf("backlog watermark = %v, want ~500", res.MaxBacklog)
+	}
+	if res.Stages[0].Utilization < 0.95 {
+		t.Errorf("bottleneck utilization = %v", res.Stages[0].Utilization)
+	}
+}
+
+func TestChainBottleneck(t *testing.T) {
+	p := New(SourceConfig{Rate: 1000, PacketSize: 10, TotalInput: 5000}, 2).
+		Add(StageFromRate("a", 800, 800, 10, 10)).
+		Add(StageFromRate("b", 200, 200, 10, 10)).
+		Add(StageFromRate("c", 600, 600, 10, 10))
+	res := mustRun(t, p)
+	if !relClose(float64(res.Throughput), 200, 0.05) {
+		t.Errorf("throughput = %v, want ~200", float64(res.Throughput))
+	}
+	if res.OutputInput != 5000 {
+		t.Errorf("conservation: delivered %v of 5000", res.OutputInput)
+	}
+}
+
+func TestAggregationWaitsForJob(t *testing.T) {
+	// Stage consumes 100-byte jobs from 10-byte packets at 100 B/s: first
+	// output can't appear before 1 s (collecting) + exec.
+	p := New(SourceConfig{Rate: 100, PacketSize: 10, TotalInput: 500}, 3).
+		Add(StageFromRate("agg", 1000, 1000, 100, 100))
+	res := mustRun(t, p)
+	if res.DelayMin < 80*time.Millisecond {
+		t.Errorf("first-output delay %v too small for aggregation", res.DelayMin)
+	}
+	if res.Stages[0].Jobs != 5 {
+		t.Errorf("jobs = %d, want 5", res.Stages[0].Jobs)
+	}
+	// Queue watermark must have reached ~a full job.
+	if res.Stages[0].MaxQueueLocal < 80 {
+		t.Errorf("queue watermark = %v", res.Stages[0].MaxQueueLocal)
+	}
+}
+
+func TestCompressionNormalization(t *testing.T) {
+	// A 2:1 compressor followed by a stage: input-referred conservation and
+	// input-referred throughput unaffected by local shrinkage.
+	p := New(SourceConfig{Rate: 100, PacketSize: 10, TotalInput: 1000}, 4).
+		Add(StageFromRate("compress", 400, 400, 10, 5)).
+		Add(StageFromRate("down", 400, 400, 5, 5))
+	res := mustRun(t, p)
+	if res.OutputInput != 1000 {
+		t.Fatalf("input-referred conservation broken: %v", res.OutputInput)
+	}
+	if !relClose(float64(res.Throughput), 100, 0.05) {
+		t.Errorf("throughput = %v, want ~100", float64(res.Throughput))
+	}
+}
+
+func TestVariableGain(t *testing.T) {
+	// Random compression between 1x and 5x; conservation must still hold.
+	gain := func(rng *des.RNG) float64 { return 1.0 / rng.Uniform(1, 5) }
+	cfg := StageFromRate("lz", 400, 400, 10, 10)
+	cfg.GainFn = gain
+	p := New(SourceConfig{Rate: 100, PacketSize: 10, TotalInput: 1000}, 5).
+		Add(cfg).
+		Add(StageFromRate("down", 800, 800, 1, 1))
+	res := mustRun(t, p)
+	if math.Abs(float64(res.OutputInput-1000)) > 1e-6 {
+		t.Errorf("conservation: %v", res.OutputInput)
+	}
+}
+
+func TestFilterDropsEverything(t *testing.T) {
+	// Gain 0 filter: local output vanishes but input-referred accounting
+	// still reaches the sink.
+	cfg := StageFromRate("drop", 400, 400, 10, 10)
+	cfg.GainFn = func(*des.RNG) float64 { return 0 }
+	p := New(SourceConfig{Rate: 100, PacketSize: 10, TotalInput: 200}, 6).
+		Add(cfg).
+		Add(StageFromRate("down", 800, 800, 10, 10))
+	res := mustRun(t, p)
+	if math.Abs(float64(res.OutputInput-200)) > 1e-6 {
+		t.Errorf("conservation with total filtering: %v", res.OutputInput)
+	}
+}
+
+func TestPartialFlush(t *testing.T) {
+	// 1050 bytes through 100-byte jobs: 10 full jobs + 1 partial flush.
+	p := New(SourceConfig{Rate: 100, PacketSize: 10, TotalInput: 1050}, 7).
+		Add(StageFromRate("agg", 1000, 1000, 100, 100))
+	res := mustRun(t, p)
+	if res.Stages[0].Jobs != 11 {
+		t.Errorf("jobs = %d, want 11", res.Stages[0].Jobs)
+	}
+	if math.Abs(float64(res.OutputInput-1050)) > 1e-6 {
+		t.Errorf("delivered %v", res.OutputInput)
+	}
+}
+
+func TestBackpressureBlocksUpstream(t *testing.T) {
+	// Fast producer into a slow consumer with a tiny queue: the producer
+	// must record blocked time and the queue watermark must respect the cap.
+	slow := StageFromRate("slow", 50, 50, 10, 10)
+	slow.QueueCap = 30
+	p := New(SourceConfig{Rate: 1000, PacketSize: 10, TotalInput: 500}, 8).
+		Add(StageFromRate("fast", 1000, 1000, 10, 10)).
+		Add(slow)
+	res := mustRun(t, p)
+	if res.Stages[0].BlockedTime <= 0 {
+		t.Error("fast stage must block on backpressure")
+	}
+	if res.Stages[1].MaxQueueLocal > 30+1e-6 {
+		t.Errorf("queue exceeded cap: %v", res.Stages[1].MaxQueueLocal)
+	}
+	if math.Abs(float64(res.OutputInput-500)) > 1e-6 {
+		t.Errorf("conservation: %v", res.OutputInput)
+	}
+	if !relClose(float64(res.Throughput), 50, 0.06) {
+		t.Errorf("throughput = %v, want ~50", float64(res.Throughput))
+	}
+}
+
+func TestSourceBlockedByCap(t *testing.T) {
+	// First stage queue capped: the source itself must stall, and overall
+	// system backlog stays bounded by cap + in-flight jobs.
+	st := StageFromRate("slow", 50, 50, 10, 10)
+	st.QueueCap = 50
+	p := New(SourceConfig{Rate: 1000, PacketSize: 10, TotalInput: 1000}, 9).
+		Add(st)
+	res := mustRun(t, p)
+	if res.MaxBacklog > 100 {
+		t.Errorf("backlog %v should be bounded by cap + in-flight", res.MaxBacklog)
+	}
+	if math.Abs(float64(res.OutputInput-1000)) > 1e-6 {
+		t.Errorf("conservation: %v", res.OutputInput)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	build := func() *Pipeline {
+		cfg := StageFromRate("var", 40, 80, 10, 10)
+		return New(SourceConfig{Rate: 100, PacketSize: 10, TotalInput: 2000}, 42).Add(cfg)
+	}
+	r1 := mustRun(t, build())
+	r2 := mustRun(t, build())
+	if r1.Throughput != r2.Throughput || r1.DelayMax != r2.DelayMax || r1.MaxBacklog != r2.MaxBacklog {
+		t.Error("same seed must reproduce identical results")
+	}
+	r3, _ := New(SourceConfig{Rate: 100, PacketSize: 10, TotalInput: 2000}, 43).
+		Add(StageFromRate("var", 40, 80, 10, 10)).Run()
+	if r1.DelayMax == r3.DelayMax && r1.MaxBacklog == r3.MaxBacklog {
+		t.Error("different seeds should (almost surely) differ")
+	}
+}
+
+func TestUniformExecWithinBounds(t *testing.T) {
+	// With exec in [0.1, 0.2] s per 10-byte job, long-run throughput lands
+	// within [50, 100] B/s.
+	p := New(SourceConfig{Rate: 1000, PacketSize: 10, TotalInput: 5000}, 10).
+		Add(StageFromRate("u", 50, 100, 10, 10))
+	res := mustRun(t, p)
+	tp := float64(res.Throughput)
+	if tp < 50 || tp > 100 {
+		t.Errorf("throughput %v outside service envelope [50,100]", tp)
+	}
+	// Mean of uniform exec: ~0.15 s/job -> ~66.7 B/s.
+	if !relClose(tp, 66.7, 0.1) {
+		t.Errorf("throughput %v, want ~66.7", tp)
+	}
+}
+
+func TestTrajectoriesMonotone(t *testing.T) {
+	p := New(SourceConfig{Rate: 100, PacketSize: 10, TotalInput: 3000}, 11).
+		Add(StageFromRate("s", 120, 180, 10, 10))
+	res := mustRun(t, p)
+	if len(res.Output) < 2 || len(res.Input) < 2 {
+		t.Fatal("trajectories missing")
+	}
+	for i := 1; i < len(res.Output); i++ {
+		if res.Output[i].Cum < res.Output[i-1].Cum || res.Output[i].T < res.Output[i-1].T {
+			t.Fatal("output trajectory must be monotone")
+		}
+	}
+	last := res.Output[len(res.Output)-1]
+	if last.Cum > res.OutputInput {
+		t.Error("trajectory exceeds delivered volume")
+	}
+}
+
+func TestTraceDecimationCap(t *testing.T) {
+	// 100k packets would blow past the 4096-point cap; decimation must hold.
+	p := New(SourceConfig{Rate: 1e6, PacketSize: 10, TotalInput: 1e6}, 12).
+		Add(StageFromRate("s", 2e6, 2e6, 10, 10))
+	res := mustRun(t, p)
+	if len(res.Output) > 4096 {
+		t.Errorf("trace length %d exceeds cap", len(res.Output))
+	}
+}
+
+func TestMM1MeanSojourn(t *testing.T) {
+	// Poisson arrivals, exponential service: mean sojourn time should be
+	// near 1/(mu - lambda). lambda = 50 jobs/s, mu = 100 jobs/s -> 20 ms.
+	cfg := StageFromRate("mm1", 100*10, 100*10, 10, 10) // 10 ms per 10-byte job
+	cfg.ExpExec = true
+	p := New(SourceConfig{Rate: 500, PacketSize: 10, TotalInput: 400000, Poisson: true}, 13).
+		Add(cfg)
+	res := mustRun(t, p)
+	want := 0.020
+	got := res.DelayMean.Seconds()
+	if math.Abs(got-want)/want > 0.15 {
+		t.Errorf("M/M/1 mean sojourn = %v, want ~%v", got, want)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []*Pipeline{
+		New(SourceConfig{}, 0).Add(StageFromRate("s", 1, 1, 1, 1)),
+		New(SourceConfig{Rate: 1, PacketSize: 0, TotalInput: 1}, 0).Add(StageFromRate("s", 1, 1, 1, 1)),
+		New(SourceConfig{Rate: 1, PacketSize: 1, TotalInput: 0}, 0).Add(StageFromRate("s", 1, 1, 1, 1)),
+		New(SourceConfig{Rate: 1, PacketSize: 1, TotalInput: 1}, 0),
+		New(SourceConfig{Rate: 1, PacketSize: 1, TotalInput: 1}, 0).Add(StageConfig{Name: "bad", JobIn: 0, JobOut: 1}),
+		New(SourceConfig{Rate: 1, PacketSize: 1, TotalInput: 1}, 0).Add(StageConfig{Name: "bad", JobIn: 1, JobOut: 1, MinExec: 2 * time.Second, MaxExec: time.Second}),
+		New(SourceConfig{Rate: 1, PacketSize: 1, TotalInput: 1}, 0).Add(StageConfig{Name: "bad", JobIn: 10, JobOut: 1, QueueCap: 5}),
+	}
+	for i, p := range cases {
+		if _, err := p.Run(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestBurstReleasedAtZero(t *testing.T) {
+	p := New(SourceConfig{Rate: 100, PacketSize: 10, Burst: 200, TotalInput: 500}, 14).
+		Add(StageFromRate("s", 1000, 1000, 10, 10))
+	res := mustRun(t, p)
+	// Burst of 200 at t=0 raises the backlog watermark immediately.
+	if res.MaxBacklog < 190 {
+		t.Errorf("burst backlog watermark = %v", res.MaxBacklog)
+	}
+	if float64(res.InputBytes) < 500 {
+		t.Errorf("input %v", res.InputBytes)
+	}
+}
+
+// The central property of the paper: simulated delay and backlog stay within
+// the network-calculus bounds for a matched single-node system.
+func TestSimWithinNetworkCalculusBounds(t *testing.T) {
+	// Source: 100 B/s in 10-byte packets. Stage: deterministic 200 B/s.
+	// NC: alpha' = 100 t + 10 (packetized), beta = [200 t - 10]+.
+	// Delay bound: l/R + b'/R = 0.05 + 0.05 = 0.1 s.
+	// Backlog bound: b' + 0 = 10 B (+ in-service job 10).
+	p := New(SourceConfig{Rate: 100, PacketSize: 10, TotalInput: 10000}, 15).
+		Add(StageFromRate("srv", 200, 200, 10, 10))
+	res := mustRun(t, p)
+	if res.DelayMax > 100*time.Millisecond {
+		t.Errorf("sim delay %v exceeds NC bound 100 ms", res.DelayMax)
+	}
+	if res.MaxBacklog > 20 {
+		t.Errorf("sim backlog %v exceeds NC-derived bound 20 B", res.MaxBacklog)
+	}
+}
+
+func TestStageFromRate(t *testing.T) {
+	cfg := StageFromRate("x", 50, 100, 10, 5)
+	if cfg.MinExec != 100*time.Millisecond || cfg.MaxExec != 200*time.Millisecond {
+		t.Errorf("exec bounds %v %v", cfg.MinExec, cfg.MaxExec)
+	}
+	if cfg.JobIn != 10 || cfg.JobOut != 5 {
+		t.Error("job sizes")
+	}
+}
+
+func TestElapsedAndDelayPositive(t *testing.T) {
+	p := New(SourceConfig{Rate: 100, PacketSize: 10, TotalInput: 100}, 16).
+		Add(StageFromRate("s", 200, 200, 10, 10))
+	res := mustRun(t, p)
+	if res.Elapsed <= 0 {
+		t.Error("elapsed must be positive")
+	}
+	if res.DelayMin <= 0 {
+		t.Error("delays must be positive (service takes time)")
+	}
+	if res.DelayMean < res.DelayMin || res.DelayMean > res.DelayMax {
+		t.Error("mean delay outside [min,max]")
+	}
+}
+
+var benchSink units.Rate
+
+func BenchmarkPipelineSimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := New(SourceConfig{Rate: 1e6, PacketSize: 1024, TotalInput: 1e6}, uint64(i)).
+			Add(StageFromRate("a", 2e6, 3e6, 1024, 1024)).
+			Add(StageFromRate("b", 1.5e6, 2e6, 4096, 4096)).
+			Add(StageFromRate("c", 2e6, 2e6, 1024, 1024))
+		res, err := p.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = res.Throughput
+	}
+}

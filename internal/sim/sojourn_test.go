@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"streamcalc/internal/curve"
+)
+
+func TestSojournStatsRecorded(t *testing.T) {
+	p := New(SourceConfig{Rate: 100, PacketSize: 10, TotalInput: 2000}, 31).
+		Add(StageFromRate("a", 300, 300, 10, 10)).
+		Add(StageFromRate("b", 150, 150, 10, 10))
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range res.Stages {
+		if st.SojournMean <= 0 || st.SojournMax < st.SojournMean {
+			t.Errorf("stage %s sojourn stats: mean %v max %v", st.Name, st.SojournMean, st.SojournMax)
+		}
+	}
+	// Stage b serves 10-byte jobs at 150 B/s: sojourn at least the 66.7 ms
+	// service time.
+	if res.Stages[1].SojournMean < 60*time.Millisecond {
+		t.Errorf("b sojourn mean %v below service time", res.Stages[1].SojournMean)
+	}
+}
+
+// Per-stage sojourns stay within the per-node NC delay bounds for a stable
+// pipeline (the paper's node-level analysis).
+func TestSojournWithinNodeBounds(t *testing.T) {
+	p := New(SourceConfig{Rate: 100, PacketSize: 10, TotalInput: 50000}, 32).
+		Add(StageFromRate("a", 200, 260, 10, 10)).
+		Add(StageFromRate("b", 140, 180, 10, 10))
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node-level NC bounds with packetized curves (l = 10): alpha for each
+	// node is conservatively the source envelope (rates only shrink
+	// downstream).
+	alpha := curve.AddBurst(curve.Affine(100, 0), 10)
+	for i, worst := range []float64{200, 140} {
+		beta := curve.SubConstantPositive(curve.RateLatency(worst, 0), 10)
+		bound := curve.HDev(alpha, beta)
+		got := res.Stages[i].SojournMax.Seconds()
+		if got > bound+1e-9 {
+			t.Errorf("stage %d sojourn max %.4fs exceeds NC node bound %.4fs", i, got, bound)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"streamcalc/internal/curve"
+)
+
+func TestStallInjectionReducesThroughput(t *testing.T) {
+	// Stage at 100 B/s that stalls 50 ms after every 50 ms of work:
+	// effective rate ~50 B/s.
+	cfg := StageFromRate("stall", 100, 100, 10, 10)
+	cfg.StallEvery = 50 * time.Millisecond
+	cfg.StallFor = 50 * time.Millisecond
+	p := New(SourceConfig{Rate: 1000, PacketSize: 10, TotalInput: 2000}, 21).Add(cfg)
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(res.Throughput)
+	if got < 45 || got > 55 {
+		t.Errorf("stalled throughput = %v, want ~50", got)
+	}
+	if res.Stages[0].Stalls == 0 {
+		t.Error("stalls must be counted")
+	}
+}
+
+func TestStallInjectionWithinDegradedNCBound(t *testing.T) {
+	// Failure injection vs the model: a stage rated 200 B/s with periodic
+	// stalls (every 100 ms, for 25 ms) behaves like a rate-latency server
+	// with rate 200*100/125 = 160 and one extra StallFor of latency. The
+	// simulated delays must stay within the degraded bound.
+	cfg := StageFromRate("srv", 200, 200, 10, 10)
+	cfg.StallEvery = 100 * time.Millisecond
+	cfg.StallFor = 25 * time.Millisecond
+	p := New(SourceConfig{Rate: 100, PacketSize: 10, TotalInput: 5000}, 22).Add(cfg)
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degraded service curve: rate 160, latency StallFor (the worst-case
+	// pause), packetized by the 10-byte job.
+	beta := curve.SubConstantPositive(curve.RateLatency(160, 0.025), 10)
+	alpha := curve.AddBurst(curve.Affine(100, 0), 10)
+	bound := curve.HDev(alpha, beta)
+	if res.DelayMax.Seconds() > bound {
+		t.Errorf("stalled delay %v exceeds degraded NC bound %.3fs", res.DelayMax, bound)
+	}
+	backlogBound := curve.VDev(alpha, beta)
+	if float64(res.MaxBacklog) > backlogBound+10 { // +in-service job
+		t.Errorf("stalled backlog %v exceeds degraded bound %.1f", res.MaxBacklog, backlogBound)
+	}
+}
+
+func TestStallValidationUnaffected(t *testing.T) {
+	// Zero stall parameters change nothing.
+	base := StageFromRate("a", 100, 100, 10, 10)
+	run := func(cfg StageConfig) float64 {
+		p := New(SourceConfig{Rate: 1000, PacketSize: 10, TotalInput: 1000}, 23).Add(cfg)
+		res, err := p.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.Throughput)
+	}
+	a := run(base)
+	withZero := base
+	withZero.StallEvery = time.Second // StallFor zero -> no effect
+	b := run(withZero)
+	if math.Abs(a-b) > 1e-9 {
+		t.Errorf("zero StallFor must not change behavior: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,59 @@
+package spec
+
+import (
+	"testing"
+
+	"streamcalc/internal/core"
+)
+
+const dagSpec = `{
+  "name": "dag",
+  "arrival": {"rate": "120 MiB/s", "burst": "2 MiB"},
+  "nodes": [
+    {"name": "decode",  "rate": "400 MiB/s", "job_in": "256 KiB", "job_out": "256 KiB"},
+    {"name": "detect",  "rate": "40 MiB/s",  "job_in": "1 MiB",   "job_out": "32 KiB"},
+    {"name": "archive", "rate": "300 MiB/s", "job_in": "256 KiB", "job_out": "128 KiB"},
+    {"name": "uplink",  "kind": "link", "rate": "100 MiB/s", "job_in": "64 KiB", "job_out": "64 KiB"}
+  ],
+  "edges": [
+    {"to": "decode"},
+    {"from": "decode", "to": "detect", "fraction": 0.2},
+    {"from": "decode", "to": "archive"},
+    {"from": "detect", "to": "uplink"},
+    {"from": "archive", "to": "uplink"}
+  ]
+}`
+
+func TestGraphSpecRoundTrip(t *testing.T) {
+	p, err := Parse([]byte(dagSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsGraph() {
+		t.Fatal("edges present must mean graph")
+	}
+	g, err := p.CoreGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.AnalyzeGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Stable {
+		t.Error("DAG spec must be stable")
+	}
+	if len(a.Order) != 4 {
+		t.Errorf("order %v", a.Order)
+	}
+}
+
+func TestChainSpecIsNotGraph(t *testing.T) {
+	p, err := Parse([]byte(Example()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.IsGraph() {
+		t.Error("example chain must not be a graph")
+	}
+}

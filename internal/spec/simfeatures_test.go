@@ -1,0 +1,73 @@
+package spec
+
+import (
+	"testing"
+
+	"streamcalc/internal/units"
+)
+
+func TestSpecStallInjection(t *testing.T) {
+	doc := `{"name":"x","arrival":{"rate":"1000 B/s"},"nodes":[
+	  {"name":"s","rate":"2000 B/s","job_in":"10 B","job_out":"10 B",
+	   "stall_every":"50ms","stall_for":"50ms"}]}`
+	p, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := p.Sim(4000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2000 B/s duty-cycled 50/50 -> ~1000 B/s effective; saturated at the
+	// arrival rate minus stall effects.
+	if res.Stages[0].Stalls == 0 {
+		t.Error("stalls not injected")
+	}
+	// Bad duration strings fail.
+	bad := `{"name":"x","arrival":{"rate":"1 B/s"},"nodes":[
+	  {"name":"s","rate":"2 B/s","job_in":"1 B","job_out":"1 B",
+	   "stall_every":"soon","stall_for":"50ms"}]}`
+	pb, _ := Parse([]byte(bad))
+	if _, err := pb.Sim(100, 1); err == nil {
+		t.Error("bad stall_every must fail")
+	}
+	bad2 := `{"name":"x","arrival":{"rate":"1 B/s"},"nodes":[
+	  {"name":"s","rate":"2 B/s","job_in":"1 B","job_out":"1 B",
+	   "stall_every":"50ms","stall_for":"later"}]}`
+	pb2, _ := Parse([]byte(bad2))
+	if _, err := pb2.Sim(100, 1); err == nil {
+		t.Error("bad stall_for must fail")
+	}
+}
+
+func TestSpecEnvelopePlayback(t *testing.T) {
+	doc := `{"name":"x",
+	  "arrival":{"rate":"1000 B/s","burst":"50 B","max_packet":"10 B",
+	             "extra":[{"rate":"200 B/s","burst":"500 B"}]},
+	  "nodes":[{"name":"s","rate":"5000 B/s","job_in":"10 B","job_out":"10 B"}]}`
+	p, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := p.Sim(4000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy playback of the two-bucket envelope: long-run rate near the
+	// sustained 200 B/s bucket.
+	tp := float64(res.Throughput)
+	if tp > 240 || tp < 150 {
+		t.Errorf("throughput %v, want ~200 (sustained bucket)", tp)
+	}
+	if res.OutputInput != units.Bytes(4000) {
+		t.Errorf("conservation: %v", res.OutputInput)
+	}
+}

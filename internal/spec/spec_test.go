@@ -1,0 +1,129 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"streamcalc/internal/core"
+	"streamcalc/internal/units"
+)
+
+func TestExampleParsesAndAnalyzes(t *testing.T) {
+	p, err := Parse([]byte(Example()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := p.Core()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The example is the paper's bump-in-the-wire pipeline: bounds must
+	// land at 59 / ~313 MiB/s.
+	if got := float64(a.ThroughputLower) / float64(units.MiBPerSec); got < 58 || got > 60 {
+		t.Errorf("lower = %.1f", got)
+	}
+	if got := float64(a.ThroughputUpper) / float64(units.MiBPerSec); got < 308 || got > 318 {
+		t.Errorf("upper = %.1f", got)
+	}
+}
+
+func TestExampleSimRuns(t *testing.T) {
+	p, err := Parse([]byte(Example()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := p.Sim(2*units.MiB, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(res.Throughput) / float64(units.MiBPerSec)
+	if got < 55 || got > 70 {
+		t.Errorf("sim throughput = %.1f MiB/s", got)
+	}
+}
+
+func TestExampleQueueing(t *testing.T) {
+	p, _ := Parse([]byte(Example()))
+	n := p.Queueing()
+	if len(n.Stages) != 6 || n.ArrivalRate != 2662*units.MiBPerSec {
+		t.Errorf("queueing network: %+v", n)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse([]byte("{")); err == nil {
+		t.Error("malformed JSON must fail")
+	}
+	if _, err := Parse([]byte(`{"arrival":{"rate":"banana"}}`)); err == nil {
+		t.Error("bad rate must fail")
+	}
+}
+
+func TestCoreConversionErrors(t *testing.T) {
+	cases := []string{
+		`{"name":"x","arrival":{"rate":"1 MiB/s"},"nodes":[
+		  {"name":"n","kind":"quantum","rate":"1 MiB/s","job_in":"1 B","job_out":"1 B"}]}`,
+		`{"name":"x","arrival":{"rate":"1 MiB/s"},"nodes":[
+		  {"name":"n","rate":"1 MiB/s","latency":"soon","job_in":"1 B","job_out":"1 B"}]}`,
+		`{"name":"x","arrival":{"rate":"1 MiB/s"},"nodes":[]}`,
+	}
+	for i, c := range cases {
+		p, err := Parse([]byte(c))
+		if err != nil {
+			t.Fatalf("case %d: parse: %v", i, err)
+		}
+		if _, err := p.Core(); err == nil {
+			t.Errorf("case %d: expected conversion error", i)
+		}
+	}
+}
+
+func TestSimErrors(t *testing.T) {
+	p, err := Parse([]byte(`{"name":"x","arrival":{"rate":"1 MiB/s"},"nodes":[
+	  {"name":"n","rate":"2 MiB/s","job_in":"1 KiB","job_out":"1 KiB",
+	   "sim_min_rate":"3 MiB/s","sim_max_rate":"2 MiB/s"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Sim(units.MiB, 1); err == nil {
+		t.Error("inverted sim band must fail")
+	}
+	empty, _ := Parse([]byte(`{"name":"x","arrival":{"rate":"1 MiB/s"}}`))
+	if _, err := empty.Sim(units.MiB, 1); err == nil {
+		t.Error("no nodes must fail")
+	}
+	bad, _ := Parse([]byte(`{"name":"x","arrival":{"rate":"1 MiB/s"},"nodes":[
+	  {"name":"n","rate":"2 MiB/s","latency":"nope","job_in":"1 KiB","job_out":"1 KiB"}]}`))
+	if _, err := bad.Sim(units.MiB, 1); err == nil {
+		t.Error("bad latency must fail in Sim")
+	}
+}
+
+func TestDefaultPacketFromJobIn(t *testing.T) {
+	p, err := Parse([]byte(`{"name":"x","arrival":{"rate":"1 MiB/s"},"nodes":[
+	  {"name":"n","rate":"2 MiB/s","job_in":"4 KiB","job_out":"4 KiB"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := p.Sim(64*units.KiB, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExampleIsValidJSONDocument(t *testing.T) {
+	if !strings.Contains(Example(), "bump-in-the-wire") {
+		t.Error("example must describe the bump-in-the-wire pipeline")
+	}
+}

@@ -1,0 +1,218 @@
+// Package stats provides the summary statistics used by the measurement
+// harnesses and the discrete-event simulator: running summaries, histograms,
+// time-weighted integrals, and watermark tracking.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates a running summary (count, mean, variance via Welford,
+// min, max) of a stream of observations.
+type Summary struct {
+	n          int64
+	mean, m2   float64
+	min, max   float64
+	hasSamples bool
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+	if !s.hasSamples || x < s.min {
+		s.min = x
+	}
+	if !s.hasSamples || x > s.max {
+		s.max = x
+	}
+	s.hasSamples = true
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the arithmetic mean, or NaN when empty.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.mean
+}
+
+// Variance returns the unbiased sample variance, or NaN for n < 2.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return math.NaN()
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation, or NaN for n < 2.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation, or NaN when empty.
+func (s *Summary) Min() float64 {
+	if !s.hasSamples {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the largest observation, or NaN when empty.
+func (s *Summary) Max() float64 {
+	if !s.hasSamples {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// CI95 returns the half-width of a 95% confidence interval for the mean
+// using the normal approximation. NaN for n < 2.
+func (s *Summary) CI95() float64 {
+	if s.n < 2 {
+		return math.NaN()
+	}
+	return 1.96 * s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// String renders "mean=… sd=… min=… max=… n=…".
+func (s *Summary) String() string {
+	return fmt.Sprintf("mean=%.6g sd=%.6g min=%.6g max=%.6g n=%d",
+		s.Mean(), s.StdDev(), s.Min(), s.Max(), s.n)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. It sorts a copy; xs is unmodified.
+// NaN for empty input or q outside [0,1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	if len(c) == 1 {
+		return c[0]
+	}
+	pos := q * float64(len(c)-1)
+	i := int(math.Floor(pos))
+	frac := pos - float64(i)
+	if i+1 >= len(c) {
+		return c[len(c)-1]
+	}
+	return c[i]*(1-frac) + c[i+1]*frac
+}
+
+// Watermark tracks the running maximum (high-water mark) of a level that
+// moves up and down, e.g. queue occupancy.
+type Watermark struct {
+	level float64
+	peak  float64
+}
+
+// Adjust moves the level by delta and updates the peak.
+func (w *Watermark) Adjust(delta float64) {
+	w.level += delta
+	if w.level > w.peak {
+		w.peak = w.level
+	}
+}
+
+// Set sets the level to v directly and updates the peak.
+func (w *Watermark) Set(v float64) {
+	w.level = v
+	if w.level > w.peak {
+		w.peak = w.level
+	}
+}
+
+// Level returns the current level.
+func (w *Watermark) Level() float64 { return w.level }
+
+// Peak returns the highest level ever seen.
+func (w *Watermark) Peak() float64 { return w.peak }
+
+// TimeWeighted accumulates the time integral of a piecewise-constant level,
+// yielding time averages (e.g. average queue length).
+type TimeWeighted struct {
+	lastT    float64
+	level    float64
+	integral float64
+	started  bool
+	startT   float64
+}
+
+// Observe records that the level changed to v at time t. Time must be
+// non-decreasing across calls.
+func (tw *TimeWeighted) Observe(t, v float64) {
+	if !tw.started {
+		tw.started = true
+		tw.startT = t
+	} else {
+		tw.integral += tw.level * (t - tw.lastT)
+	}
+	tw.lastT = t
+	tw.level = v
+}
+
+// AverageUntil returns the time average of the level over [start, t].
+// NaN if nothing was observed or t precedes the first observation.
+func (tw *TimeWeighted) AverageUntil(t float64) float64 {
+	if !tw.started || t <= tw.startT {
+		return math.NaN()
+	}
+	total := tw.integral + tw.level*(t-tw.lastT)
+	return total / (t - tw.startT)
+}
+
+// Histogram is a fixed-width-bin histogram over [lo, hi); out-of-range
+// observations are clamped into the first/last bin.
+type Histogram struct {
+	lo, hi float64
+	bins   []int64
+	n      int64
+}
+
+// NewHistogram creates a histogram with nbins equal-width bins spanning
+// [lo, hi). It panics when nbins < 1 or hi ≤ lo.
+func NewHistogram(lo, hi float64, nbins int) *Histogram {
+	if nbins < 1 {
+		panic("stats: NewHistogram nbins < 1")
+	}
+	if hi <= lo {
+		panic("stats: NewHistogram hi <= lo")
+	}
+	return &Histogram{lo: lo, hi: hi, bins: make([]int64, nbins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.bins)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.bins) {
+		i = len(h.bins) - 1
+	}
+	h.bins[i]++
+	h.n++
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int64 { return h.n }
+
+// Bin returns the count in bin i.
+func (h *Histogram) Bin(i int) int64 { return h.bins[i] }
+
+// NumBins returns the number of bins.
+func (h *Histogram) NumBins() int { return len(h.bins) }
+
+// BinCenter returns the midpoint value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.hi - h.lo) / float64(len(h.bins))
+	return h.lo + (float64(i)+0.5)*w
+}

@@ -1,0 +1,183 @@
+package stream
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+
+	"streamcalc/internal/aesstream"
+	"streamcalc/internal/lz4"
+)
+
+// This file provides ready-made stages wrapping the repository's software
+// kernels, so the bump-in-the-wire application can be *run* (not only
+// modeled): LZ4 compression/decompression, AES-256-CBC encryption/
+// decryption, and a real TCP loopback hop.
+
+// CompressLZ4 returns a stage that LZ4-compresses each chunk, prefixing a
+// 4-byte big-endian length of the original data so decompression can size
+// its buffers.
+func CompressLZ4() Stage {
+	return StageFunc{
+		StageName: "compress",
+		Fn: func(c Chunk) ([]Chunk, error) {
+			out := make([]byte, 0, lz4.MaxCompressedLen(len(c.Data))+4)
+			out = append(out,
+				byte(len(c.Data)>>24), byte(len(c.Data)>>16),
+				byte(len(c.Data)>>8), byte(len(c.Data)))
+			out = lz4.Compress(out, c.Data)
+			return []Chunk{c.Derive(out)}, nil
+		},
+	}
+}
+
+// DecompressLZ4 reverses CompressLZ4.
+func DecompressLZ4() Stage {
+	return StageFunc{
+		StageName: "decompress",
+		Fn: func(c Chunk) ([]Chunk, error) {
+			if len(c.Data) < 4 {
+				return nil, fmt.Errorf("decompress: short chunk (%d bytes)", len(c.Data))
+			}
+			n := int(c.Data[0])<<24 | int(c.Data[1])<<16 | int(c.Data[2])<<8 | int(c.Data[3])
+			out, err := lz4.Decompress(make([]byte, 0, n), c.Data[4:], n)
+			if err != nil {
+				return nil, err
+			}
+			if len(out) != n {
+				return nil, fmt.Errorf("decompress: got %d bytes, want %d", len(out), n)
+			}
+			return []Chunk{c.Derive(out)}, nil
+		},
+	}
+}
+
+// EncryptAES returns a stage that encrypts each chunk with AES-256-CBC
+// (framed, fresh IV per chunk).
+func EncryptAES(key []byte, ivSeed uint64) (Stage, error) {
+	s, err := aesstream.New(key, ivSeed)
+	if err != nil {
+		return nil, err
+	}
+	return StageFunc{
+		StageName: "encrypt",
+		Fn: func(c Chunk) ([]Chunk, error) {
+			return []Chunk{c.Derive(s.EncryptChunk(nil, c.Data))}, nil
+		},
+	}, nil
+}
+
+// DecryptAES reverses EncryptAES.
+func DecryptAES(key []byte, ivSeed uint64) (Stage, error) {
+	s, err := aesstream.New(key, ivSeed)
+	if err != nil {
+		return nil, err
+	}
+	return StageFunc{
+		StageName: "decrypt",
+		Fn: func(c Chunk) ([]Chunk, error) {
+			out, rest, err := s.DecryptChunk(nil, c.Data)
+			if err != nil {
+				return nil, err
+			}
+			if len(rest) != 0 {
+				return nil, fmt.Errorf("decrypt: %d trailing bytes in frame", len(rest))
+			}
+			return []Chunk{c.Derive(out)}, nil
+		},
+	}, nil
+}
+
+// tcpLoop is a Stage that round-trips every chunk through a real TCP
+// connection on the loopback interface (send framed, echo back, receive),
+// exercising an actual network stack inside the pipeline.
+type tcpLoop struct {
+	ln   net.Listener
+	conn net.Conn
+	rbuf []byte
+}
+
+// TCPLoopback dials a freshly started echo server on 127.0.0.1 and returns
+// the stage. Close it with the returned closer when done.
+func TCPLoopback() (Stage, func() error, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, fmt.Errorf("stream: tcp listen: %w", err)
+	}
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		io.Copy(conn, conn) // echo
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		ln.Close()
+		return nil, nil, fmt.Errorf("stream: tcp dial: %w", err)
+	}
+	t := &tcpLoop{ln: ln, conn: conn}
+	closer := func() error {
+		conn.Close()
+		return ln.Close()
+	}
+	return t, closer, nil
+}
+
+// Name implements Stage.
+func (t *tcpLoop) Name() string { return "network" }
+
+// Process implements Stage: write a length-prefixed frame and read it back.
+func (t *tcpLoop) Process(c Chunk) ([]Chunk, error) {
+	var hdr [4]byte
+	hdr[0], hdr[1] = byte(len(c.Data)>>24), byte(len(c.Data)>>16)
+	hdr[2], hdr[3] = byte(len(c.Data)>>8), byte(len(c.Data))
+	if _, err := t.conn.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("network: write header: %w", err)
+	}
+	if _, err := t.conn.Write(c.Data); err != nil {
+		return nil, fmt.Errorf("network: write: %w", err)
+	}
+	if _, err := io.ReadFull(t.conn, hdr[:]); err != nil {
+		return nil, fmt.Errorf("network: read header: %w", err)
+	}
+	n := int(hdr[0])<<24 | int(hdr[1])<<16 | int(hdr[2])<<8 | int(hdr[3])
+	if cap(t.rbuf) < n {
+		t.rbuf = make([]byte, n)
+	}
+	buf := t.rbuf[:n]
+	if _, err := io.ReadFull(t.conn, buf); err != nil {
+		return nil, fmt.Errorf("network: read: %w", err)
+	}
+	return []Chunk{c.Derive(append([]byte(nil), buf...))}, nil
+}
+
+// Passthrough is an identity stage (useful as a measurement probe).
+func Passthrough(name string) Stage {
+	return StageFunc{
+		StageName: name,
+		Fn:        func(c Chunk) ([]Chunk, error) { return []Chunk{c}, nil },
+	}
+}
+
+// VerifySink returns a stage that checks the stream reassembles to want,
+// reporting a mismatch as a stage error at flush time.
+func VerifySink(name string, want []byte) Stage {
+	var got bytes.Buffer
+	return StageFunc{
+		StageName: name,
+		Fn: func(c Chunk) ([]Chunk, error) {
+			got.Write(c.Data)
+			return []Chunk{c}, nil
+		},
+		FlushFn: func() ([]Chunk, error) {
+			if !bytes.Equal(got.Bytes(), want) {
+				return nil, fmt.Errorf("%s: stream mismatch: got %d bytes, want %d",
+					name, got.Len(), len(want))
+			}
+			return nil, nil
+		},
+	}
+}

@@ -1,0 +1,389 @@
+// Package stream is a small concurrent streaming-pipeline runtime: stages
+// connected by bounded channels, one goroutine per stage, with byte-level
+// instrumentation (per-stage rates, busy time, queue watermarks, end-to-end
+// latency). It executes the kind of heterogeneous streaming application the
+// paper models — and its measurements convert directly into the
+// network-calculus model's node parameters, closing the loop between a real
+// deployment and the analytic bounds.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamcalc/internal/core"
+	"streamcalc/internal/units"
+)
+
+// Chunk is one unit of flowing data. Input-referred accounting rides along
+// with the payload so compression/filtering downstream does not distort
+// throughput normalization.
+type Chunk struct {
+	// Data is the payload in the stage's local representation.
+	Data []byte
+	// InputBytes is how many pipeline-input bytes this chunk represents.
+	InputBytes int
+	// Emitted is when the chunk('s input data) entered the pipeline.
+	Emitted time.Time
+}
+
+// Stage transforms chunks. Implementations must be safe for a single
+// goroutine (the runtime never calls one stage concurrently with itself).
+type Stage interface {
+	// Name identifies the stage in metrics.
+	Name() string
+	// Process consumes one chunk and returns zero or more output chunks.
+	// Returned chunks should carry the input-referred accounting of the
+	// consumed data (helpers: Chunk.Derive).
+	Process(c Chunk) ([]Chunk, error)
+}
+
+// Flusher is implemented by stages that buffer data internally and must
+// emit a tail at end-of-stream.
+type Flusher interface {
+	Flush() ([]Chunk, error)
+}
+
+// Derive returns an output chunk carrying this chunk's input-referred
+// accounting and original emission time.
+func (c Chunk) Derive(data []byte) Chunk {
+	return Chunk{Data: data, InputBytes: c.InputBytes, Emitted: c.Emitted}
+}
+
+// StageFunc adapts a function to the Stage interface.
+type StageFunc struct {
+	StageName string
+	Fn        func(c Chunk) ([]Chunk, error)
+	FlushFn   func() ([]Chunk, error)
+}
+
+// Name implements Stage.
+func (s StageFunc) Name() string { return s.StageName }
+
+// Process implements Stage.
+func (s StageFunc) Process(c Chunk) ([]Chunk, error) { return s.Fn(c) }
+
+// Flush implements Flusher when FlushFn is set.
+func (s StageFunc) Flush() ([]Chunk, error) {
+	if s.FlushFn == nil {
+		return nil, nil
+	}
+	return s.FlushFn()
+}
+
+// conduit is an instrumented bounded channel between stages.
+type conduit struct {
+	ch        chan Chunk
+	depth     atomic.Int64 // chunks currently queued
+	peakDepth atomic.Int64
+	bytes     atomic.Int64 // local bytes currently queued
+	peakBytes atomic.Int64
+}
+
+func newConduit(capacity int) *conduit {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &conduit{ch: make(chan Chunk, capacity)}
+}
+
+func (q *conduit) send(c Chunk) {
+	d := q.depth.Add(1)
+	maxAtomic(&q.peakDepth, d)
+	b := q.bytes.Add(int64(len(c.Data)))
+	maxAtomic(&q.peakBytes, b)
+	q.ch <- c
+}
+
+func (q *conduit) recv() (Chunk, bool) {
+	c, ok := <-q.ch
+	if ok {
+		q.depth.Add(-1)
+		q.bytes.Add(-int64(len(c.Data)))
+	}
+	return c, ok
+}
+
+func maxAtomic(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// StageStats summarizes one stage after a run.
+type StageStats struct {
+	Name     string
+	Chunks   int64
+	InBytes  units.Bytes // local bytes consumed
+	OutBytes units.Bytes // local bytes produced
+	// InputBytes is the input-referred volume that passed through.
+	InputBytes units.Bytes
+	// BusyTime is the total wall-clock time spent inside Process/Flush.
+	BusyTime time.Duration
+	// Rate is InBytes/BusyTime: the stage's isolated-equivalent service
+	// rate while busy (what the network-calculus model consumes).
+	Rate units.Rate
+	// QueuePeakChunks/QueuePeakBytes are input-queue high-water marks.
+	QueuePeakChunks int64
+	QueuePeakBytes  units.Bytes
+}
+
+// Gain returns OutBytes/InBytes (data-volume gain).
+func (s StageStats) Gain() float64 {
+	if s.InBytes == 0 {
+		return 1
+	}
+	return float64(s.OutBytes) / float64(s.InBytes)
+}
+
+// Metrics is the result of a run.
+type Metrics struct {
+	// Elapsed is wall-clock time from first emission to pipeline drain.
+	Elapsed time.Duration
+	// InputBytes is the input-referred volume offered; OutputBytes the
+	// local volume delivered by the last stage.
+	InputBytes  units.Bytes
+	OutputBytes units.Bytes
+	// Throughput is input-referred: InputBytes / Elapsed.
+	Throughput units.Rate
+	// DelayMin/Mean/Max summarize per-chunk end-to-end latencies observed
+	// at the sink.
+	DelayMin, DelayMean, DelayMax time.Duration
+	// Stages holds per-stage summaries in pipeline order.
+	Stages []StageStats
+}
+
+// Pipeline is a configured chain of stages.
+type Pipeline struct {
+	name     string
+	stages   []Stage
+	capacity int
+}
+
+// New creates a pipeline; capacity is the bounded depth (in chunks) of each
+// inter-stage queue — the backpressure knob.
+func New(name string, capacity int) *Pipeline {
+	return &Pipeline{name: name, capacity: capacity}
+}
+
+// Add appends a stage and returns the pipeline for chaining.
+func (p *Pipeline) Add(s Stage) *Pipeline {
+	p.stages = append(p.stages, s)
+	return p
+}
+
+// Source yields input chunks; it returns a zero-length chunk and false at
+// end of stream.
+type Source func() (Chunk, bool)
+
+// SliceSource feeds a buffer in chunkSize pieces, stamping accounting.
+func SliceSource(data []byte, chunkSize int) Source {
+	if chunkSize <= 0 {
+		chunkSize = 64 * 1024
+	}
+	off := 0
+	return func() (Chunk, bool) {
+		if off >= len(data) {
+			return Chunk{}, false
+		}
+		end := off + chunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		c := Chunk{Data: data[off:end], InputBytes: end - off, Emitted: time.Now()}
+		off = end
+		return c, true
+	}
+}
+
+// Run drives the source through every stage concurrently and blocks until
+// the pipeline drains, returning the metrics. A stage error aborts the run.
+func (p *Pipeline) Run(src Source) (*Metrics, error) {
+	if len(p.stages) == 0 {
+		return nil, errors.New("stream: pipeline has no stages")
+	}
+	type stageState struct {
+		stage    Stage
+		in       *conduit
+		chunks   atomic.Int64
+		inBytes  atomic.Int64
+		outBytes atomic.Int64
+		inputRef atomic.Int64
+		busyNS   atomic.Int64
+	}
+	states := make([]*stageState, len(p.stages))
+	for i, s := range p.stages {
+		states[i] = &stageState{stage: s, in: newConduit(p.capacity)}
+	}
+	sink := newConduit(p.capacity)
+
+	var firstErr error
+	var errOnce sync.Once
+	var failed atomic.Bool
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			failed.Store(true)
+		})
+	}
+
+	var wg sync.WaitGroup
+	for i, st := range states {
+		out := sink
+		if i+1 < len(states) {
+			out = states[i+1].in
+		}
+		wg.Add(1)
+		go func(st *stageState, out *conduit) {
+			defer wg.Done()
+			defer close(out.ch)
+			emit := func(chunks []Chunk) {
+				for _, oc := range chunks {
+					st.outBytes.Add(int64(len(oc.Data)))
+					out.send(oc)
+				}
+			}
+			for {
+				c, ok := st.in.recv()
+				if !ok {
+					break
+				}
+				if failed.Load() {
+					continue // drain without processing
+				}
+				st.chunks.Add(1)
+				st.inBytes.Add(int64(len(c.Data)))
+				st.inputRef.Add(int64(c.InputBytes))
+				t0 := time.Now()
+				outs, err := st.stage.Process(c)
+				st.busyNS.Add(time.Since(t0).Nanoseconds())
+				if err != nil {
+					fail(fmt.Errorf("stream: stage %s: %w", st.stage.Name(), err))
+					continue
+				}
+				emit(outs)
+			}
+			if f, ok := st.stage.(Flusher); ok && !failed.Load() {
+				t0 := time.Now()
+				outs, err := f.Flush()
+				st.busyNS.Add(time.Since(t0).Nanoseconds())
+				if err != nil {
+					fail(fmt.Errorf("stream: stage %s: flush: %w", st.stage.Name(), err))
+				} else {
+					emit(outs)
+				}
+			}
+		}(st, out)
+	}
+
+	// Sink collector.
+	m := &Metrics{}
+	var delaySum time.Duration
+	var delayN int64
+	var sinkWG sync.WaitGroup
+	sinkWG.Add(1)
+	go func() {
+		defer sinkWG.Done()
+		for {
+			c, ok := sink.recv()
+			if !ok {
+				return
+			}
+			m.OutputBytes += units.Bytes(len(c.Data))
+			if !c.Emitted.IsZero() {
+				d := time.Since(c.Emitted)
+				if delayN == 0 || d < m.DelayMin {
+					m.DelayMin = d
+				}
+				if d > m.DelayMax {
+					m.DelayMax = d
+				}
+				delaySum += d
+				delayN++
+			}
+		}
+	}()
+
+	start := time.Now()
+	var offered int64
+	for {
+		c, ok := src()
+		if !ok {
+			break
+		}
+		offered += int64(c.InputBytes)
+		states[0].in.send(c)
+	}
+	close(states[0].in.ch)
+	wg.Wait()
+	sinkWG.Wait()
+	m.Elapsed = time.Since(start)
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	m.InputBytes = units.Bytes(offered)
+	if m.Elapsed > 0 {
+		m.Throughput = m.InputBytes.Over(m.Elapsed)
+	}
+	if delayN > 0 {
+		m.DelayMean = delaySum / time.Duration(delayN)
+	}
+	for i, st := range states {
+		ss := StageStats{
+			Name:            p.stages[i].Name(),
+			Chunks:          st.chunks.Load(),
+			InBytes:         units.Bytes(st.inBytes.Load()),
+			OutBytes:        units.Bytes(st.outBytes.Load()),
+			InputBytes:      units.Bytes(st.inputRef.Load()),
+			BusyTime:        time.Duration(st.busyNS.Load()),
+			QueuePeakChunks: st.in.peakDepth.Load(),
+			QueuePeakBytes:  units.Bytes(st.in.peakBytes.Load()),
+		}
+		if ss.BusyTime > 0 {
+			ss.Rate = ss.InBytes.Over(ss.BusyTime)
+		}
+		m.Stages = append(m.Stages, ss)
+	}
+	return m, nil
+}
+
+// Model converts measured stage statistics into a network-calculus pipeline
+// fed by the given arrival description: each stage becomes a node whose
+// sustained rate is its measured busy-time rate and whose job sizes are the
+// average chunk sizes. This is the paper's parameterize-from-measurement
+// path applied to a live deployment.
+func (m *Metrics) Model(name string, arrival core.Arrival) (core.Pipeline, error) {
+	p := core.Pipeline{Name: name, Arrival: arrival}
+	for _, ss := range m.Stages {
+		if ss.Chunks == 0 || ss.Rate <= 0 {
+			return core.Pipeline{}, fmt.Errorf("stream: stage %s has no measurements", ss.Name)
+		}
+		jobIn := units.Bytes(float64(ss.InBytes) / float64(ss.Chunks))
+		jobOut := units.Bytes(float64(ss.OutBytes) / float64(ss.Chunks))
+		if jobIn <= 0 {
+			jobIn = 1
+		}
+		if jobOut <= 0 {
+			jobOut = 1 // total filters keep a token output volume
+		}
+		p.Nodes = append(p.Nodes, core.Node{
+			Name:      ss.Name,
+			Kind:      core.Compute,
+			Rate:      ss.Rate,
+			JobIn:     jobIn,
+			JobOut:    jobOut,
+			MaxPacket: jobOut,
+		})
+	}
+	if err := p.Validate(); err != nil {
+		return core.Pipeline{}, err
+	}
+	return p, nil
+}

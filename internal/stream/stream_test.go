@@ -1,0 +1,247 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"streamcalc/internal/aesstream"
+	"streamcalc/internal/core"
+	"streamcalc/internal/gen"
+	"streamcalc/internal/units"
+)
+
+func key() []byte { return bytes.Repeat([]byte{7}, aesstream.KeySize) }
+
+func TestPassthroughPipeline(t *testing.T) {
+	data := gen.Text(1<<18, 0.5, 1)
+	p := New("pass", 8).
+		Add(Passthrough("a")).
+		Add(VerifySink("check", data))
+	m, err := p.Run(SliceSource(data, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.InputBytes != units.Bytes(len(data)) {
+		t.Errorf("input %v", m.InputBytes)
+	}
+	if m.OutputBytes != units.Bytes(len(data)) {
+		t.Errorf("output %v", m.OutputBytes)
+	}
+	if m.Throughput <= 0 || m.Elapsed <= 0 {
+		t.Error("throughput/elapsed must be positive")
+	}
+	if len(m.Stages) != 2 {
+		t.Fatalf("stages %d", len(m.Stages))
+	}
+	if m.Stages[0].Chunks != 64 {
+		t.Errorf("chunks = %d, want 64", m.Stages[0].Chunks)
+	}
+}
+
+func TestCompressEncryptRoundTripPipeline(t *testing.T) {
+	data := gen.Text(1<<19, 0.6, 2)
+	enc, err := EncryptAES(key(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecryptAES(key(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New("bitw", 4).
+		Add(CompressLZ4()).
+		Add(enc).
+		Add(dec).
+		Add(DecompressLZ4()).
+		Add(VerifySink("check", data))
+	m, err := p.Run(SliceSource(data, 16384))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compression shrinks the stream between compress and decompress.
+	if m.Stages[1].InBytes >= units.Bytes(len(data)) {
+		t.Errorf("encrypt saw %v, want < input (compressed)", m.Stages[1].InBytes)
+	}
+	// Gain of compressor < 1, of decompressor > 1.
+	if g := m.Stages[0].Gain(); g >= 1 {
+		t.Errorf("compressor gain %v", g)
+	}
+	if g := m.Stages[3].Gain(); g <= 1 {
+		t.Errorf("decompressor gain %v", g)
+	}
+	// Input-referred accounting conserved to the last stage.
+	last := m.Stages[len(m.Stages)-1]
+	if last.InputBytes != units.Bytes(len(data)) {
+		t.Errorf("input-referred at sink %v", last.InputBytes)
+	}
+	if m.DelayMax <= 0 || m.DelayMin <= 0 || m.DelayMean < m.DelayMin || m.DelayMean > m.DelayMax {
+		t.Errorf("delay stats inconsistent: %v %v %v", m.DelayMin, m.DelayMean, m.DelayMax)
+	}
+}
+
+func TestTCPLoopbackStage(t *testing.T) {
+	st, closer, err := TCPLoopback()
+	if err != nil {
+		t.Skipf("loopback unavailable: %v", err)
+	}
+	defer closer()
+	data := gen.Text(1<<18, 0.5, 3)
+	p := New("net", 4).
+		Add(st).
+		Add(VerifySink("check", data))
+	if _, err := p.Run(SliceSource(data, 8192)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullBumpInTheWire(t *testing.T) {
+	st, closer, err := TCPLoopback()
+	if err != nil {
+		t.Skipf("loopback unavailable: %v", err)
+	}
+	defer closer()
+	data := gen.Text(1<<19, 0.62, 4)
+	enc, _ := EncryptAES(key(), 9)
+	dec, _ := DecryptAES(key(), 9)
+	p := New("bitw-live", 4).
+		Add(CompressLZ4()).
+		Add(enc).
+		Add(st).
+		Add(dec).
+		Add(DecompressLZ4()).
+		Add(VerifySink("check", data))
+	m, err := p.Run(SliceSource(data, 16384))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every stage must have been measured.
+	for _, ss := range m.Stages {
+		if ss.Chunks == 0 {
+			t.Errorf("stage %s processed nothing", ss.Name)
+		}
+		if ss.Name != "check" && ss.Rate <= 0 {
+			t.Errorf("stage %s rate %v", ss.Name, ss.Rate)
+		}
+	}
+}
+
+func TestStageErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	p := New("err", 2).
+		Add(Passthrough("ok")).
+		Add(StageFunc{StageName: "bad", Fn: func(c Chunk) ([]Chunk, error) {
+			return nil, boom
+		}})
+	_, err := p.Run(SliceSource(make([]byte, 1<<16), 4096))
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("expected boom, got %v", err)
+	}
+}
+
+func TestFlushErrorPropagates(t *testing.T) {
+	data := []byte("payload")
+	p := New("verify", 2).Add(VerifySink("check", []byte("different")))
+	if _, err := p.Run(SliceSource(data, 4)); err == nil {
+		t.Fatal("verification mismatch must fail the run")
+	}
+}
+
+func TestEmptyPipeline(t *testing.T) {
+	p := New("empty", 2)
+	if _, err := p.Run(SliceSource([]byte("x"), 1)); err == nil {
+		t.Fatal("empty pipeline must fail")
+	}
+}
+
+func TestBackpressureBoundsQueues(t *testing.T) {
+	slow := StageFunc{StageName: "slow", Fn: func(c Chunk) ([]Chunk, error) {
+		time.Sleep(200 * time.Microsecond)
+		return []Chunk{c}, nil
+	}}
+	p := New("bp", 2).
+		Add(Passthrough("fast")).
+		Add(slow)
+	m, err := p.Run(SliceSource(make([]byte, 1<<16), 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bounded channels: peak depth can exceed capacity only by in-flight
+	// sends (sender increments before blocking on the channel).
+	if m.Stages[1].QueuePeakChunks > 4 {
+		t.Errorf("queue peak %d exceeds bound", m.Stages[1].QueuePeakChunks)
+	}
+}
+
+func TestMetricsModel(t *testing.T) {
+	data := gen.Text(1<<19, 0.6, 6)
+	enc, _ := EncryptAES(key(), 3)
+	dec, _ := DecryptAES(key(), 3)
+	p := New("modeled", 4).
+		Add(CompressLZ4()).
+		Add(enc).
+		Add(dec).
+		Add(DecompressLZ4())
+	m, err := p.Run(SliceSource(data, 16384))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrival := core.Arrival{Rate: m.Throughput, Burst: 16384, MaxPacket: 16384}
+	cp, err := m.Model("live", arrival)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ThroughputLower <= 0 {
+		t.Error("model must produce bounds")
+	}
+	// The busy-rate of each stage must be at least the end-to-end
+	// throughput (a stage can't be slower than the pipeline it served).
+	for _, na := range a.Nodes {
+		if float64(na.Rate) < float64(m.Throughput)*0.5 {
+			t.Errorf("node %s rate %v implausibly below pipeline throughput %v",
+				na.Node.Name, na.Rate, m.Throughput)
+		}
+	}
+}
+
+func TestModelRejectsEmptyMeasurements(t *testing.T) {
+	m := &Metrics{Stages: []StageStats{{Name: "ghost"}}}
+	if _, err := m.Model("x", core.Arrival{Rate: 1}); err == nil {
+		t.Fatal("unmeasured stage must fail")
+	}
+}
+
+func TestSliceSourceChunking(t *testing.T) {
+	src := SliceSource(make([]byte, 10), 4)
+	sizes := []int{}
+	for {
+		c, ok := src()
+		if !ok {
+			break
+		}
+		sizes = append(sizes, len(c.Data))
+	}
+	if len(sizes) != 3 || sizes[0] != 4 || sizes[2] != 2 {
+		t.Errorf("chunking %v", sizes)
+	}
+	// Default chunk size kicks in for non-positive values.
+	src = SliceSource(make([]byte, 10), 0)
+	c, ok := src()
+	if !ok || len(c.Data) != 10 {
+		t.Error("default chunk size")
+	}
+}
+
+func TestDeriveKeepsAccounting(t *testing.T) {
+	now := time.Now()
+	c := Chunk{Data: []byte("abc"), InputBytes: 3, Emitted: now}
+	d := c.Derive([]byte("xy"))
+	if d.InputBytes != 3 || !d.Emitted.Equal(now) || string(d.Data) != "xy" {
+		t.Errorf("derive: %+v", d)
+	}
+}

@@ -1,0 +1,191 @@
+// Package units provides data-size and data-rate quantities used throughout
+// the network-calculus models, the discrete-event simulator, and the
+// measurement harnesses.
+//
+// Internally all data volumes are float64 bytes and all rates are float64
+// bytes per second. The type wrappers exist to keep call sites readable and
+// to centralize parsing/formatting of the binary-prefixed units (KiB, MiB,
+// GiB) that the paper reports.
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Bytes is a data volume in bytes. Fractional values are permitted because
+// model curves are continuous fluid approximations.
+type Bytes float64
+
+// Binary-prefixed data-volume constants.
+const (
+	B   Bytes = 1
+	KiB Bytes = 1024
+	MiB Bytes = 1024 * 1024
+	GiB Bytes = 1024 * 1024 * 1024
+	TiB Bytes = 1024 * 1024 * 1024 * 1024
+)
+
+// Rate is a data rate in bytes per second.
+type Rate float64
+
+// Common data-rate constants.
+const (
+	BytePerSec Rate = 1
+	KiBPerSec  Rate = 1024
+	MiBPerSec  Rate = 1024 * 1024
+	GiBPerSec  Rate = 1024 * 1024 * 1024
+)
+
+// PerSecond returns the rate corresponding to transferring b bytes every
+// second.
+func (b Bytes) PerSecond() Rate { return Rate(b) }
+
+// Over returns the rate achieved by moving b bytes in d. It returns +Inf for
+// non-positive durations of positive volumes and 0 for zero volume.
+func (b Bytes) Over(d time.Duration) Rate {
+	if d <= 0 {
+		if b == 0 {
+			return 0
+		}
+		return Rate(math.Inf(1))
+	}
+	return Rate(float64(b) / d.Seconds())
+}
+
+// Time returns how long transferring b bytes takes at rate r.
+// A non-positive rate yields an infinite duration (reported as the maximum
+// representable time.Duration).
+func (b Bytes) Time(r Rate) time.Duration {
+	if r <= 0 {
+		return time.Duration(math.MaxInt64)
+	}
+	sec := float64(b) / float64(r)
+	if sec >= float64(math.MaxInt64)/float64(time.Second) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(sec * float64(time.Second))
+}
+
+// Mul scales the volume by x.
+func (b Bytes) Mul(x float64) Bytes { return Bytes(float64(b) * x) }
+
+// Bytes returns the volume moved at rate r during d.
+func (r Rate) Bytes(d time.Duration) Bytes { return Bytes(float64(r) * d.Seconds()) }
+
+// Mul scales the rate by x.
+func (r Rate) Mul(x float64) Rate { return Rate(float64(r) * x) }
+
+// String formats the volume with an automatically chosen binary prefix,
+// e.g. "20.6 MiB".
+func (b Bytes) String() string {
+	v := float64(b)
+	neg := ""
+	if v < 0 {
+		neg, v = "-", -v
+	}
+	switch {
+	case v >= float64(TiB):
+		return fmt.Sprintf("%s%.3g TiB", neg, v/float64(TiB))
+	case v >= float64(GiB):
+		return fmt.Sprintf("%s%.3g GiB", neg, v/float64(GiB))
+	case v >= float64(MiB):
+		return fmt.Sprintf("%s%.3g MiB", neg, v/float64(MiB))
+	case v >= float64(KiB):
+		return fmt.Sprintf("%s%.3g KiB", neg, v/float64(KiB))
+	default:
+		return fmt.Sprintf("%s%.3g B", neg, v)
+	}
+}
+
+// String formats the rate with an automatically chosen binary prefix,
+// e.g. "350 MiB/s".
+func (r Rate) String() string {
+	v := float64(r)
+	neg := ""
+	if v < 0 {
+		neg, v = "-", -v
+	}
+	switch {
+	case math.IsInf(v, 1):
+		return neg + "inf"
+	case v >= float64(GiBPerSec):
+		return fmt.Sprintf("%s%.3g GiB/s", neg, v/float64(GiBPerSec))
+	case v >= float64(MiBPerSec):
+		return fmt.Sprintf("%s%.3g MiB/s", neg, v/float64(MiBPerSec))
+	case v >= float64(KiBPerSec):
+		return fmt.Sprintf("%s%.3g KiB/s", neg, v/float64(KiBPerSec))
+	default:
+		return fmt.Sprintf("%s%.3g B/s", neg, v)
+	}
+}
+
+var sizeSuffixes = []struct {
+	suffix string
+	unit   Bytes
+}{
+	{"TiB", TiB}, {"GiB", GiB}, {"MiB", MiB}, {"KiB", KiB},
+	{"TB", 1e12}, {"GB", 1e9}, {"MB", 1e6}, {"KB", 1e3},
+	{"B", B},
+}
+
+// ParseBytes parses strings such as "16MiB", "1.5 GiB", "512 B", "2048".
+// A bare number is interpreted as bytes.
+func ParseBytes(s string) (Bytes, error) {
+	t := strings.TrimSpace(s)
+	for _, sf := range sizeSuffixes {
+		if strings.HasSuffix(t, sf.suffix) {
+			num := strings.TrimSpace(strings.TrimSuffix(t, sf.suffix))
+			v, err := strconv.ParseFloat(num, 64)
+			if err != nil {
+				return 0, fmt.Errorf("units: parse %q: %w", s, err)
+			}
+			return Bytes(v) * sf.unit, nil
+		}
+	}
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: parse %q: %w", s, err)
+	}
+	return Bytes(v), nil
+}
+
+// ParseRate parses strings such as "350MiB/s", "10 GiB/s", "1024" (bytes/s).
+func ParseRate(s string) (Rate, error) {
+	t := strings.TrimSpace(s)
+	t = strings.TrimSuffix(t, "/s")
+	b, err := ParseBytes(t)
+	if err != nil {
+		return 0, fmt.Errorf("units: parse rate %q: %w", s, err)
+	}
+	return Rate(b), nil
+}
+
+// MarshalText implements encoding.TextMarshaler for Bytes.
+func (b Bytes) MarshalText() ([]byte, error) { return []byte(b.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler for Bytes.
+func (b *Bytes) UnmarshalText(text []byte) error {
+	v, err := ParseBytes(string(text))
+	if err != nil {
+		return err
+	}
+	*b = v
+	return nil
+}
+
+// MarshalText implements encoding.TextMarshaler for Rate.
+func (r Rate) MarshalText() ([]byte, error) { return []byte(r.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler for Rate.
+func (r *Rate) UnmarshalText(text []byte) error {
+	v, err := ParseRate(string(text))
+	if err != nil {
+		return err
+	}
+	*r = v
+	return nil
+}

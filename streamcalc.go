@@ -1,0 +1,209 @@
+// Package streamcalc applies deterministic network calculus to streaming
+// data applications on heterogeneous computing platforms, reproducing and
+// packaging the models of Faber & Chamberlain, "Application of Network
+// Calculus Models to Heterogeneous Streaming Applications".
+//
+// The library has three interlocking parts:
+//
+//   - The min-plus curve algebra (Curve and its operations): leaky-bucket
+//     arrival curves, rate-latency service curves, convolution,
+//     deconvolution, and the deviation measures that yield delay and
+//     backlog bounds.
+//
+//   - The pipeline model (Pipeline, Node, Analyze): describe a chain of
+//     computation and communication stages by isolated measurements —
+//     sustained/best-case rates, latency, job sizes, packet sizes — and
+//     obtain throughput bounds, delay and backlog bounds/estimates, output
+//     flow bounds, per-node backlog attribution, and buffer plans, with
+//     the paper's extensions for computational elements: input-referred
+//     data normalization, packetization, and job-aggregation latency.
+//
+//   - Validation tools: a discrete-event pipeline simulator (SimPipeline)
+//     and an M/M/1 queueing network baseline (QueueingNetwork) to compare
+//     the analytic bounds against, exactly as the paper does.
+//
+// Quick start:
+//
+//	p := streamcalc.Pipeline{
+//	    Arrival: streamcalc.Arrival{Rate: 704 * streamcalc.MiBPerSec, Burst: 12 * streamcalc.MiB},
+//	    Nodes: []streamcalc.Node{
+//	        {Name: "gpu", Rate: 350 * streamcalc.MiBPerSec, JobIn: 3 * streamcalc.MiB, JobOut: 3 * streamcalc.MiB},
+//	    },
+//	}
+//	a, err := streamcalc.Analyze(p)
+//	// a.ThroughputLower, a.DelayEstimate, a.BacklogEstimate, a.BufferPlan() ...
+package streamcalc
+
+import (
+	"streamcalc/internal/core"
+	"streamcalc/internal/curve"
+	"streamcalc/internal/envelope"
+	"streamcalc/internal/queueing"
+	"streamcalc/internal/sim"
+	"streamcalc/internal/units"
+)
+
+// Data volumes and rates.
+type (
+	// Bytes is a data volume in bytes.
+	Bytes = units.Bytes
+	// Rate is a data rate in bytes per second.
+	Rate = units.Rate
+)
+
+// Binary-prefixed constants re-exported for call-site readability.
+const (
+	KiB = units.KiB
+	MiB = units.MiB
+	GiB = units.GiB
+
+	KiBPerSec = units.KiBPerSec
+	MiBPerSec = units.MiBPerSec
+	GiBPerSec = units.GiBPerSec
+)
+
+// ParseBytes parses "16MiB", "1.5 GiB", "2048", ...
+func ParseBytes(s string) (Bytes, error) { return units.ParseBytes(s) }
+
+// ParseRate parses "350MiB/s", "10 GiB/s", ...
+func ParseRate(s string) (Rate, error) { return units.ParseRate(s) }
+
+// Curve algebra.
+type (
+	// Curve is a wide-sense-increasing piecewise-linear function — the
+	// common representation of arrival and service curves.
+	Curve = curve.Curve
+	// Segment is one affine piece of a Curve.
+	Segment = curve.Segment
+)
+
+// Curve constructors and operations.
+var (
+	// LeakyBucket is the affine arrival curve alpha(t) = rate*t + burst.
+	LeakyBucket = curve.Affine
+	// RateLatency is the service curve beta(t) = rate * max(0, t-latency).
+	RateLatency = curve.RateLatency
+	// Staircase is the packetized arrival curve (one packet per period).
+	Staircase = curve.Staircase
+
+	// Convolve is min-plus convolution (service concatenation).
+	Convolve = curve.Convolve
+	// Deconvolve is min-plus deconvolution (output arrival bounds).
+	Deconvolve = curve.Deconvolve
+	// DelayBound is the horizontal deviation between an arrival and a
+	// service curve.
+	DelayBound = curve.HDev
+	// BacklogBound is the vertical deviation between an arrival and a
+	// service curve.
+	BacklogBound = curve.VDev
+	// Packetize applies the arrival-side packetizer transform
+	// alpha + l_max·1_{t>0}.
+	Packetize = curve.AddBurst
+	// PacketizeService applies the service-side transform [beta - l_max]⁺.
+	PacketizeService = curve.SubConstantPositive
+	// ResidualService is the left-over service under blind multiplexing
+	// with cross traffic: [beta - alpha_cross]⁺.
+	ResidualService = curve.ResidualService
+	// Shape constrains a flow through a greedy shaper: alpha ⊗ sigma.
+	Shape = curve.Shape
+	// SubAdditiveClosure computes f* = min_k f^{⊗k}.
+	SubAdditiveClosure = curve.SubAdditiveClosure
+)
+
+// Pipeline modeling (the paper's contribution).
+type (
+	// Pipeline is a chain of nodes fed by an arrival flow.
+	Pipeline = core.Pipeline
+	// Node is one computation or communication stage, described by
+	// isolated measurements.
+	Node = core.Node
+	// NodeKind distinguishes Compute from Link stages.
+	NodeKind = core.NodeKind
+	// Arrival is the offered flow (leaky bucket plus packetizer).
+	Arrival = core.Arrival
+	// Bucket is one leaky-bucket constraint; Arrival.Extra buckets build
+	// variable-rate (multi-segment concave) envelopes.
+	Bucket = core.Bucket
+	// Analysis is the result of Analyze.
+	Analysis = core.Analysis
+	// NodeAnalysis is the per-node analysis result.
+	NodeAnalysis = core.NodeAnalysis
+	// BufferRecommendation is one entry of Analysis.BufferPlan.
+	BufferRecommendation = core.BufferRecommendation
+	// OverloadAnalysis quantifies the R_alpha > R_beta regime.
+	OverloadAnalysis = core.OverloadAnalysis
+
+	// Graph is a DAG streaming application (fan-out/fan-in); Edge routes a
+	// share of a node's output to another node.
+	Graph = core.Graph
+	// Edge connects Graph nodes; an empty From means the offered arrival.
+	Edge = core.Edge
+	// GraphAnalysis is the result of AnalyzeGraph.
+	GraphAnalysis = core.GraphAnalysis
+	// GraphNodeAnalysis is a per-node Graph result.
+	GraphNodeAnalysis = core.GraphNodeAnalysis
+)
+
+// Node kinds.
+const (
+	Compute = core.Compute
+	Link    = core.Link
+)
+
+// Analyze applies the network-calculus model to a pipeline.
+func Analyze(p Pipeline) (*Analysis, error) { return core.Analyze(p) }
+
+// AnalyzeOverload quantifies transient backlog growth, time-to-overflow,
+// and the sustainable arrival rate for a (possibly overloaded) pipeline.
+func AnalyzeOverload(p Pipeline) (*OverloadAnalysis, error) { return core.AnalyzeOverload(p) }
+
+// AnalyzeGraph applies the model to a DAG application (fan-out with
+// partition fractions or broadcast, fan-in summing branch envelopes).
+func AnalyzeGraph(g Graph) (*GraphAnalysis, error) { return core.AnalyzeGraph(g) }
+
+// Validation substrates.
+type (
+	// SimPipeline is the discrete-event pipeline simulator.
+	SimPipeline = sim.Pipeline
+	// SimSource configures the simulated arrival flow.
+	SimSource = sim.SourceConfig
+	// SimStage configures one simulated stage.
+	SimStage = sim.StageConfig
+	// SimResult carries simulation measurements.
+	SimResult = sim.Result
+
+	// QueueingNetwork is the M/M/1 comparison model.
+	QueueingNetwork = queueing.Network
+	// QueueingStage is one station of the queueing network.
+	QueueingStage = queueing.Stage
+	// QueueingResult is the queueing flow-analysis result.
+	QueueingResult = queueing.Result
+)
+
+// NewSim creates a pipeline simulation (deterministic for a given seed).
+func NewSim(src SimSource, seed uint64) *SimPipeline { return sim.New(src, seed) }
+
+// SimStageFromRate builds a simulated stage from isolated min/max
+// throughput measurements.
+var SimStageFromRate = sim.StageFromRate
+
+// AnalyzeQueueing runs the M/M/1 flow analysis.
+func AnalyzeQueueing(n QueueingNetwork) (*QueueingResult, error) { return queueing.Analyze(n) }
+
+// TracePoint is one sample of a measured cumulative-arrivals trajectory.
+type TracePoint = envelope.Point
+
+// FitArrival estimates leaky-bucket arrival parameters that dominate a
+// measured cumulative trace (event/step semantics): the flow's long-run
+// rate, optionally inflated by headroom, and the minimal burst at that
+// rate. This is the measurement-to-model path: feed the result into
+// Arrival{Rate, Burst}.
+func FitArrival(trace []TracePoint, headroom float64) (Rate, Bytes, error) {
+	return envelope.Fit(trace, headroom)
+}
+
+// EmpiricalArrival computes the empirical arrival curve of a measured
+// trace: the tightest envelope over all time windows up to maxWindow.
+func EmpiricalArrival(trace []TracePoint, maxWindow float64, n int) (Curve, error) {
+	return envelope.Empirical(trace, maxWindow, n)
+}

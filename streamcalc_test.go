@@ -1,0 +1,191 @@
+package streamcalc_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"streamcalc"
+)
+
+// The facade must expose a workable end-to-end modeling flow.
+func TestFacadeAnalyze(t *testing.T) {
+	p := streamcalc.Pipeline{
+		Name:    "facade",
+		Arrival: streamcalc.Arrival{Rate: 2 * streamcalc.MiBPerSec, Burst: 5 * streamcalc.MiB},
+		Nodes: []streamcalc.Node{
+			{Name: "srv", Rate: 4 * streamcalc.MiBPerSec, Latency: 3 * time.Second, JobIn: 1, JobOut: 1},
+		},
+	}
+	a, err := streamcalc.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ThroughputLower != 2*streamcalc.MiBPerSec { // capped by arrival
+		t.Errorf("lower = %v", a.ThroughputLower)
+	}
+	want := 4250 * time.Millisecond
+	if d := a.DelayBound - want; d < -time.Millisecond || d > time.Millisecond {
+		t.Errorf("delay = %v", a.DelayBound)
+	}
+	if len(a.BufferPlan()) != 1 {
+		t.Error("buffer plan")
+	}
+}
+
+func TestFacadeCurves(t *testing.T) {
+	alpha := streamcalc.LeakyBucket(2, 5)
+	beta := streamcalc.RateLatency(4, 3)
+	if d := streamcalc.DelayBound(alpha, beta); math.Abs(d-4.25) > 1e-9 {
+		t.Errorf("delay bound = %v", d)
+	}
+	if x := streamcalc.BacklogBound(alpha, beta); math.Abs(x-11) > 1e-9 {
+		t.Errorf("backlog bound = %v", x)
+	}
+	out, ok := streamcalc.Deconvolve(streamcalc.Convolve(alpha, streamcalc.LeakyBucket(10, 0)), beta)
+	if !ok {
+		t.Fatal("bounded deconvolution expected")
+	}
+	if out.UltimateSlope() != 2 {
+		t.Errorf("output rate = %v", out.UltimateSlope())
+	}
+	p := streamcalc.Packetize(alpha, 3)
+	if p.Burst() != 8 {
+		t.Errorf("packetized burst = %v", p.Burst())
+	}
+	bp := streamcalc.PacketizeService(beta, 8)
+	if math.Abs(bp.Latency()-5) > 1e-9 {
+		t.Errorf("packetized service latency = %v", bp.Latency())
+	}
+}
+
+func TestFacadeSim(t *testing.T) {
+	p := streamcalc.NewSim(streamcalc.SimSource{
+		Rate: 100, PacketSize: 10, TotalInput: 1000,
+	}, 1).Add(streamcalc.SimStageFromRate("s", 200, 200, 10, 10))
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutputInput != 1000 {
+		t.Errorf("delivered %v", res.OutputInput)
+	}
+}
+
+func TestFacadeQueueing(t *testing.T) {
+	res, err := streamcalc.AnalyzeQueueing(streamcalc.QueueingNetwork{
+		ArrivalRate: 50,
+		Stages:      []streamcalc.QueueingStage{{Name: "q", Rate: 100, JobIn: 1, JobOut: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stable || res.Roofline != 50 {
+		t.Errorf("queueing result %+v", res)
+	}
+}
+
+func TestFacadeOverload(t *testing.T) {
+	p := streamcalc.Pipeline{
+		Arrival: streamcalc.Arrival{Rate: 10, Burst: 2},
+		Nodes:   []streamcalc.Node{{Name: "s", Rate: 4, JobIn: 1, JobOut: 1}},
+	}
+	o, err := streamcalc.AnalyzeOverload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Overloaded || o.GrowthRate != 6 {
+		t.Errorf("overload %+v", o)
+	}
+}
+
+func TestFacadeUnits(t *testing.T) {
+	b, err := streamcalc.ParseBytes("20.6 MiB")
+	if err != nil || b < 20*streamcalc.MiB {
+		t.Errorf("ParseBytes: %v %v", b, err)
+	}
+	r, err := streamcalc.ParseRate("350 MiB/s")
+	if err != nil || r != 350*streamcalc.MiBPerSec {
+		t.Errorf("ParseRate: %v %v", r, err)
+	}
+}
+
+func TestFacadeGraph(t *testing.T) {
+	g := streamcalc.Graph{
+		Arrival: streamcalc.Arrival{Rate: 10, Burst: 1},
+		Nodes: []streamcalc.Node{
+			{Name: "a", Rate: 20, JobIn: 1, JobOut: 1},
+			{Name: "b", Rate: 15, JobIn: 1, JobOut: 1},
+		},
+		Edges: []streamcalc.Edge{
+			{From: "", To: "a"},
+			{From: "a", To: "b"},
+		},
+	}
+	a, err := streamcalc.AnalyzeGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Stable || len(a.CriticalPath) != 2 {
+		t.Errorf("graph analysis: stable=%v path=%v", a.Stable, a.CriticalPath)
+	}
+}
+
+func TestFacadeMultiflow(t *testing.T) {
+	beta := streamcalc.RateLatency(10, 2)
+	cross := streamcalc.LeakyBucket(3, 4)
+	resid, ok := streamcalc.ResidualService(beta, cross)
+	if !ok {
+		t.Fatal("residual expected")
+	}
+	if math.Abs(resid.UltimateSlope()-7) > 1e-9 {
+		t.Errorf("residual rate %v", resid.UltimateSlope())
+	}
+	shaped := streamcalc.Shape(streamcalc.LeakyBucket(5, 10), streamcalc.LeakyBucket(3, 2))
+	if shaped.UltimateSlope() > 3+1e-12 {
+		t.Error("shaper must clamp the rate")
+	}
+	cl := streamcalc.SubAdditiveClosure(streamcalc.RateLatency(4, 3), 8)
+	if cl.Value(3) > streamcalc.RateLatency(4, 3).Value(3)+1e-9 {
+		t.Error("closure must not exceed the original")
+	}
+}
+
+func TestFacadeEnvelope(t *testing.T) {
+	trace := []streamcalc.TracePoint{{T: 0, Cum: 0}, {T: 0, Cum: 100}, {T: 1, Cum: 100}, {T: 1, Cum: 200}, {T: 2, Cum: 200}}
+	rate, burst, err := streamcalc.FitArrival(trace, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 100 || float64(burst) < 99 {
+		t.Errorf("fit: %v %v", rate, burst)
+	}
+	emp, err := streamcalc.EmpiricalArrival(trace, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emp.Value(1) < 100 {
+		t.Errorf("empirical(1) = %v", emp.Value(1))
+	}
+}
+
+func TestFacadeStaircaseAndBuckets(t *testing.T) {
+	sc := streamcalc.Staircase(100, 2, 4)
+	if sc.Value(1) != 100 {
+		t.Errorf("staircase(1) = %v", sc.Value(1))
+	}
+	p := streamcalc.Pipeline{
+		Arrival: streamcalc.Arrival{
+			Rate: 10, Burst: 1,
+			Extra: []streamcalc.Bucket{{Rate: 3, Burst: 8}},
+		},
+		Nodes: []streamcalc.Node{{Name: "s", Rate: 5, JobIn: 1, JobOut: 1}},
+	}
+	a, err := streamcalc.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Overloaded {
+		t.Error("multi-bucket envelope keeps it stable")
+	}
+}
