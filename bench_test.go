@@ -16,8 +16,11 @@
 package streamcalc_test
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
+	"streamcalc/internal/admit"
 	"streamcalc/internal/aesstream"
 	"streamcalc/internal/apps/bitwmodel"
 	"streamcalc/internal/apps/blastmodel"
@@ -363,6 +366,82 @@ func BenchmarkAblationResidualService(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, ok := curve.ResidualService(beta, cross); !ok {
 			b.Fatal("starved")
+		}
+	}
+}
+
+// --- Admission control --------------------------------------------------------
+
+// admitBenchPlatform builds a 10-node platform preloaded with 50 admitted
+// tenant flows, the steady state an online controller decides against.
+func admitBenchPlatform(b *testing.B) *admit.Controller {
+	b.Helper()
+	nodes := make([]core.Node, 10)
+	names := make([]string, 10)
+	for i := range nodes {
+		names[i] = fmt.Sprintf("n%d", i)
+		nodes[i] = core.Node{
+			Name: names[i], Rate: 2 * units.GiBPerSec, Latency: 100 * time.Microsecond,
+			JobIn: 4 * units.KiB, JobOut: 4 * units.KiB, MaxPacket: 4 * units.KiB,
+		}
+	}
+	c, err := admit.New("bench", nodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		from := i % 5
+		f := admit.Flow{
+			ID:      fmt.Sprintf("base-%d", i),
+			Arrival: core.Arrival{Rate: 10 * units.MiBPerSec, Burst: 64 * units.KiB, MaxPacket: 4 * units.KiB},
+			Path:    names[from : from+5],
+			SLO:     admit.SLO{MaxDelay: time.Second, MinThroughput: 10 * units.MiBPerSec},
+		}
+		if v := c.Admit(f); !v.Admitted {
+			b.Fatalf("preload admit %d: %s", i, v.Reason)
+		}
+	}
+	return c
+}
+
+// Full admission decision against 50 co-resident flows: candidate analysis
+// plus the victim re-checks, then release to restore the platform.
+func BenchmarkAdmit(b *testing.B) {
+	c := admitBenchPlatform(b)
+	f := admit.Flow{
+		ID:      "probe",
+		Arrival: core.Arrival{Rate: 20 * units.MiBPerSec, Burst: 128 * units.KiB, MaxPacket: 4 * units.KiB},
+		Path:    []string{"n2", "n3", "n4", "n5", "n6"},
+		SLO:     admit.SLO{MaxDelay: time.Second, MinThroughput: 20 * units.MiBPerSec},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := c.Admit(f)
+		if !v.Admitted {
+			b.Fatalf("probe rejected: %s", v.Reason)
+		}
+		c.Release("probe")
+	}
+}
+
+// Cache hit path: a rejected spec re-checked on an unchanged platform is
+// served from the verdict cache (only rejections persist — any commit bumps
+// the epoch and flushes it).
+func BenchmarkAdmitCached(b *testing.B) {
+	c := admitBenchPlatform(b)
+	hog := admit.Flow{
+		ID:      "hog",
+		Arrival: core.Arrival{Rate: 3 * units.GiBPerSec, Burst: units.MiB, MaxPacket: 4 * units.KiB},
+		Path:    []string{"n0", "n1", "n2", "n3", "n4"},
+	}
+	if v := c.Admit(hog); v.Admitted {
+		b.Fatal("hog must be rejected")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := c.Admit(hog)
+		if v.Admitted || !v.Cached {
+			b.Fatalf("expected cached rejection, got %+v", v)
 		}
 	}
 }

@@ -1,0 +1,137 @@
+// Command ncadmitd serves online flow admission control over a shared
+// platform described in JSON. Tenants POST flows (arrival envelope, node
+// path, SLO) and get verdicts with explanations; the daemon tracks admitted
+// flows and per-node residual service.
+//
+// Usage:
+//
+//	ncadmitd -platform platform.json [-addr :8080]
+//	ncadmitd -platform platform.json -validate trace.json [-simtotal total] [-seed n]
+//	ncadmitd -example > platform.json
+//	ncadmitd -example-trace > trace.json
+//
+// API:
+//
+//	POST   /admit                  submit a flow (spec.Flow JSON) for admission
+//	DELETE /flows/{id}             release an admitted flow
+//	GET    /flows                  list admitted flows with their verdicts
+//	GET    /nodes/{name}/residual  a node's residual service after reservations
+//	GET    /healthz                liveness and platform epoch
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"streamcalc/internal/admit"
+	"streamcalc/internal/spec"
+	"streamcalc/internal/units"
+)
+
+func main() {
+	var (
+		platformPath = flag.String("platform", "", "path to the platform JSON description")
+		addr         = flag.String("addr", ":8080", "listen address")
+		validate     = flag.String("validate", "", "replay this admitted-flow trace through the simulator and exit")
+		simTotal     = flag.String("simtotal", "8 MiB", "input volume per simulated flow in -validate mode")
+		seed         = flag.Uint64("seed", 1, "simulation seed in -validate mode")
+		example      = flag.Bool("example", false, "print a sample platform and exit")
+		exampleTr    = flag.Bool("example-trace", false, "print a sample trace and exit")
+	)
+	flag.Parse()
+
+	if *example {
+		fmt.Println(spec.ExamplePlatform())
+		return
+	}
+	if *exampleTr {
+		fmt.Println(spec.ExampleTrace())
+		return
+	}
+	if *platformPath == "" {
+		fmt.Fprintln(os.Stderr, "ncadmitd: -platform is required (see -example)")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*platformPath)
+	if err != nil {
+		fail(err)
+	}
+	pl, err := spec.ParsePlatform(data)
+	if err != nil {
+		fail(err)
+	}
+	c, err := pl.Controller()
+	if err != nil {
+		fail(err)
+	}
+
+	if *validate != "" {
+		if err := runValidate(c, *validate, *simTotal, *seed); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	fmt.Printf("ncadmitd: platform %q (%d nodes), listening on %s\n",
+		c.Name(), len(c.NodeNames()), *addr)
+	if err := http.ListenAndServe(*addr, newServer(c)); err != nil {
+		fail(err)
+	}
+}
+
+// runValidate replays a trace through the controller, simulating every
+// admitted flow at the residual service and asserting the promised bounds.
+// It exits non-zero when any promise is violated.
+func runValidate(c *admit.Controller, tracePath, simTotal string, seed uint64) error {
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		return err
+	}
+	wire, err := spec.ParseTrace(data)
+	if err != nil {
+		return err
+	}
+	ops, err := spec.TraceOps(wire)
+	if err != nil {
+		return err
+	}
+	total, err := units.ParseBytes(simTotal)
+	if err != nil {
+		return fmt.Errorf("simtotal: %w", err)
+	}
+	rep, err := admit.Replay(c, ops, admit.ReplayOptions{Total: total, Seed: seed})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("validate: platform %q, %d trace ops (%s input per flow, seed %d)\n",
+		c.Name(), len(rep.Steps), total, seed)
+	for _, s := range rep.Steps {
+		switch {
+		case s.Op == "release":
+			fmt.Printf("  [%2d] release %-8s\n", s.Index, s.FlowID)
+		case s.Verdict.Admitted:
+			fmt.Printf("  [%2d] admit   %-8s ok    promised delay %v backlog %v; simulated delay %v backlog %v throughput %v\n",
+				s.Index, s.FlowID, s.Verdict.Delay, s.Verdict.Backlog,
+				s.SimDelayMax, s.SimMaxBacklog, s.SimThroughput)
+		default:
+			fmt.Printf("  [%2d] admit   %-8s REJECTED (%s)\n", s.Index, s.FlowID, s.Verdict.Binding)
+		}
+		for _, v := range s.Violations {
+			fmt.Printf("       VIOLATION: %s\n", v)
+		}
+	}
+	fmt.Printf("validate: %d admitted, %d rejected, %d violations\n",
+		rep.Admitted, rep.Rejected, rep.Violations)
+	if rep.Violations > 0 {
+		return fmt.Errorf("%d promised bounds violated in simulation", rep.Violations)
+	}
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ncadmitd:", err)
+	os.Exit(1)
+}

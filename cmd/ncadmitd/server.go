@@ -1,0 +1,171 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"streamcalc/internal/admit"
+	"streamcalc/internal/spec"
+	"streamcalc/internal/units"
+)
+
+// verdictJSON is the wire form of an admission verdict. Durations render as
+// Go duration strings; rates and sizes use the units package text forms.
+type verdictJSON struct {
+	FlowID       string      `json:"flow_id"`
+	Admitted     bool        `json:"admitted"`
+	Reason       string      `json:"reason"`
+	Binding      string      `json:"binding,omitempty"`
+	Delay        string      `json:"delay,omitempty"`
+	Backlog      units.Bytes `json:"backlog,omitempty"`
+	Throughput   units.Rate  `json:"throughput,omitempty"`
+	Bottleneck   string      `json:"bottleneck,omitempty"`
+	HeadroomRate units.Rate  `json:"headroom_rate,omitempty"`
+	Epoch        uint64      `json:"epoch"`
+	Cached       bool        `json:"cached,omitempty"`
+}
+
+func toVerdictJSON(v admit.Verdict) verdictJSON {
+	out := verdictJSON{
+		FlowID:   v.FlowID,
+		Admitted: v.Admitted,
+		Reason:   v.Reason,
+		Binding:  v.Binding,
+		Epoch:    v.Epoch,
+		Cached:   v.Cached,
+	}
+	if v.Admitted {
+		out.Delay = v.Delay.String()
+		out.Backlog = v.Backlog
+		out.Throughput = v.Throughput
+		out.Bottleneck = v.Bottleneck
+		out.HeadroomRate = v.HeadroomRate
+	}
+	return out
+}
+
+// flowJSON is a registry listing entry.
+type flowJSON struct {
+	ID      string      `json:"id"`
+	Path    []string    `json:"path"`
+	Rate    units.Rate  `json:"rate"`
+	Burst   units.Bytes `json:"burst"`
+	Verdict verdictJSON `json:"verdict"`
+}
+
+// residualJSON is the wire form of a node residual report.
+type residualJSON struct {
+	Node    string     `json:"node"`
+	Flows   []string   `json:"flows"`
+	Cross   bucketJSON `json:"cross"`
+	Rate    units.Rate `json:"rate"`
+	Latency string     `json:"latency"`
+	Starved bool       `json:"starved,omitempty"`
+	Service units.Rate `json:"service_rate"`
+}
+
+type bucketJSON struct {
+	Rate  units.Rate  `json:"rate"`
+	Burst units.Bytes `json:"burst"`
+}
+
+// newServer wires the admission API onto a Go 1.22 pattern mux.
+func newServer(c *admit.Controller) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /admit", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		f, err := parseFlowBody(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		v := c.Admit(f)
+		status := http.StatusOK
+		if !v.Admitted {
+			// The platform cannot host the flow as offered.
+			status = http.StatusConflict
+		}
+		writeJSON(w, status, toVerdictJSON(v))
+	})
+
+	mux.HandleFunc("DELETE /flows/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if !c.Release(id) {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no admitted flow %q", id))
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("GET /flows", func(w http.ResponseWriter, r *http.Request) {
+		flows := c.Flows()
+		out := make([]flowJSON, 0, len(flows))
+		for _, af := range flows {
+			out = append(out, flowJSON{
+				ID:      af.Flow.ID,
+				Path:    af.Flow.Path,
+				Rate:    af.Flow.Arrival.Rate,
+				Burst:   af.Flow.Arrival.Burst,
+				Verdict: toVerdictJSON(af.Verdict),
+			})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /nodes/{name}/residual", func(w http.ResponseWriter, r *http.Request) {
+		res, err := c.ResidualService(r.PathValue("name"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, residualJSON{
+			Node:    res.Node.Name,
+			Flows:   res.Flows,
+			Cross:   bucketJSON{Rate: res.Cross.Rate, Burst: res.Cross.Burst},
+			Rate:    res.Rate,
+			Latency: time.Duration(res.Curve.Latency() * float64(time.Second)).String(),
+			Starved: res.Starved,
+			Service: res.Node.Rate,
+		})
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ok":       true,
+			"platform": c.Name(),
+			"epoch":    c.Epoch(),
+			"flows":    len(c.Flows()),
+		})
+	})
+
+	return mux
+}
+
+// parseFlowBody decodes a wire flow and converts it to the controller type.
+func parseFlowBody(body []byte) (admit.Flow, error) {
+	fl, err := spec.ParseFlow(body)
+	if err != nil {
+		return admit.Flow{}, err
+	}
+	return fl.Admit()
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

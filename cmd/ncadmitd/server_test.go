@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"streamcalc/internal/spec"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	pl, err := spec.ParsePlatform([]byte(spec.ExamplePlatform()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := pl.Controller()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(c))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func flowBody(id, rate string) string {
+	return `{"id": "` + id + `",
+		"arrival": {"rate": "` + rate + `", "burst": "64 KiB", "max_packet": "4 KiB"},
+		"path": ["ingest", "encrypt", "uplink"],
+		"slo": {"max_delay": "200ms", "min_throughput": "` + rate + `"}}`
+}
+
+func postAdmit(t *testing.T, ts *httptest.Server, body string) (*http.Response, verdictJSON) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/admit", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v verdictJSON
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding verdict: %v", err)
+	}
+	return resp, v
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	return resp.StatusCode
+}
+
+func TestAPIAdmitLifecycle(t *testing.T) {
+	ts := testServer(t)
+
+	// Admit two tenants.
+	resp, v := postAdmit(t, ts, flowBody("cam-1", "10 MiB/s"))
+	if resp.StatusCode != http.StatusOK || !v.Admitted {
+		t.Fatalf("cam-1: status %d, verdict %+v", resp.StatusCode, v)
+	}
+	if v.Delay == "" || v.Bottleneck != "encrypt" {
+		t.Errorf("verdict lacks explanation: %+v", v)
+	}
+	resp, v = postAdmit(t, ts, flowBody("cam-2", "15 MiB/s"))
+	if resp.StatusCode != http.StatusOK || !v.Admitted {
+		t.Fatalf("cam-2: status %d, verdict %+v", resp.StatusCode, v)
+	}
+
+	// The residual on the bottleneck shrank by the admitted rates.
+	var res residualJSON
+	if code := getJSON(t, ts, "/nodes/encrypt/residual", &res); code != http.StatusOK {
+		t.Fatalf("residual: status %d", code)
+	}
+	if len(res.Flows) != 2 {
+		t.Errorf("residual flows = %v", res.Flows)
+	}
+	if res.Rate >= res.Service {
+		t.Errorf("residual rate %v not below service rate %v", res.Rate, res.Service)
+	}
+
+	// A hog is rejected with 409 and an explanation.
+	resp, v = postAdmit(t, ts, flowBody("hog", "400 MiB/s"))
+	if resp.StatusCode != http.StatusConflict || v.Admitted {
+		t.Fatalf("hog: status %d, verdict %+v", resp.StatusCode, v)
+	}
+	if v.Binding == "" || !strings.Contains(v.Reason, "rejected") {
+		t.Errorf("rejection lacks explanation: %+v", v)
+	}
+
+	// Registry listing.
+	var flows []flowJSON
+	if code := getJSON(t, ts, "/flows", &flows); code != http.StatusOK || len(flows) != 2 {
+		t.Fatalf("flows: status %d, %d entries", code, len(flows))
+	}
+
+	// Release and re-query.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/flows/cam-1", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: status %d", dresp.StatusCode)
+	}
+	if code := getJSON(t, ts, "/flows", &flows); code != http.StatusOK || len(flows) != 1 {
+		t.Fatalf("flows after release: status %d, %d entries", code, len(flows))
+	}
+
+	// Unknown deletions 404.
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/flows/ghost", nil)
+	dresp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNotFound {
+		t.Errorf("ghost delete: status %d", dresp.StatusCode)
+	}
+}
+
+func TestAPIBadRequests(t *testing.T) {
+	ts := testServer(t)
+
+	resp, err := http.Post(ts.URL+"/admit", "application/json", strings.NewReader("not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON: status %d", resp.StatusCode)
+	}
+
+	var res residualJSON
+	if code := getJSON(t, ts, "/nodes/gpu/residual", &res); code != http.StatusNotFound {
+		t.Errorf("unknown node: status %d", code)
+	}
+}
+
+func TestAPIHealthz(t *testing.T) {
+	ts := testServer(t)
+	var h struct {
+		OK       bool   `json:"ok"`
+		Platform string `json:"platform"`
+		Epoch    uint64 `json:"epoch"`
+	}
+	if code := getJSON(t, ts, "/healthz", &h); code != http.StatusOK || !h.OK {
+		t.Fatalf("healthz: status %d, %+v", code, h)
+	}
+	if h.Platform != "edge-gateway" {
+		t.Errorf("platform = %q", h.Platform)
+	}
+}

@@ -1,0 +1,620 @@
+// Package admit implements online multi-tenant flow admission control over
+// a shared heterogeneous platform, the service-oriented extension of the
+// paper's offline pipeline analysis.
+//
+// A platform is a set of named nodes (internal/core measurements: sustained
+// rate, latency, job sizes). Tenants submit flows: an arrival envelope, an
+// ordered path of platform nodes, and an SLO (maximum delay, maximum
+// backlog, minimum guaranteed throughput). The controller keeps a live
+// registry of admitted flows and, for each candidate, decides whether the
+// platform can still meet every admitted flow's SLO:
+//
+//   - each admitted flow reserves a leaky-bucket contribution at every node
+//     of its path (its standalone propagated arrival bound, referred to the
+//     node's local units — a deterministic function of the flow and the
+//     platform, so bookkeeping is independent of admission order);
+//   - a node's residual service curve is its rate-latency curve minus the
+//     aggregate cross traffic of the flows it hosts, via
+//     curve.ResidualService (blind multiplexing);
+//   - a candidate is checked by running core.Analyze on its path with the
+//     co-resident contributions as cross traffic, and every co-resident
+//     flow sharing a node is re-checked with the candidate's contributions
+//     added. Only if all SLOs hold is the candidate committed.
+//
+// State is sharded by node with per-shard locks so residual-curve queries
+// never contend with each other; admissions and releases serialize on a
+// registry lock (the network-calculus computations themselves are
+// microseconds — cf. Nancy, arXiv:2205.11449 — so the hot path is short).
+// Verdicts are cached keyed by (platform epoch, flow-spec hash); any commit
+// bumps the epoch, invalidating the cache.
+package admit
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamcalc/internal/core"
+	"streamcalc/internal/curve"
+	"streamcalc/internal/units"
+)
+
+// SLO is the service-level objective a tenant requests for a flow. Zero
+// fields are unconstrained.
+type SLO struct {
+	// MaxDelay bounds the end-to-end virtual delay (horizontal deviation).
+	MaxDelay time.Duration
+	// MaxBacklog bounds the end-to-end data occupancy (vertical deviation).
+	MaxBacklog units.Bytes
+	// MinThroughput is the guaranteed sustained throughput the flow needs
+	// (checked against the analysis' lower throughput bound).
+	MinThroughput units.Rate
+}
+
+// Flow is a tenant flow offered for admission.
+type Flow struct {
+	// ID identifies the flow; must be unique among admitted flows.
+	ID string
+	// Arrival is the flow's offered envelope in the units of the first
+	// path node's input.
+	Arrival core.Arrival
+	// Path lists platform node names the flow traverses, in order.
+	Path []string
+	// SLO is what the tenant asks the platform to guarantee.
+	SLO SLO
+}
+
+// Verdict is the outcome of an admission check, with the explanation the
+// API returns to tenants.
+type Verdict struct {
+	FlowID   string
+	Admitted bool
+	// Reason is a human-readable explanation of the decision.
+	Reason string
+	// Binding names the binding constraint: "max_delay", "max_backlog",
+	// "min_throughput", "saturation", "victim:<id>", or "" when admitted
+	// with headroom.
+	Binding string
+
+	// Promised bounds for the admitted flow (valid when Admitted).
+	Delay      time.Duration
+	Backlog    units.Bytes
+	Throughput units.Rate
+	// Bottleneck is the path node with the least input-referred residual
+	// rate.
+	Bottleneck string
+	// HeadroomRate is the remaining service rate at the bottleneck node
+	// (local units) after this flow's reservation.
+	HeadroomRate units.Rate
+
+	// Epoch is the platform epoch the verdict was computed at; Cached
+	// reports a verdict served from the cache.
+	Epoch  uint64
+	Cached bool
+}
+
+// shard holds the per-node slice of controller state, guarded by its own
+// lock so residual queries on different nodes never contend.
+type shard struct {
+	mu      sync.RWMutex
+	node    core.Node
+	contrib map[string]core.Bucket // flow ID -> reserved bucket (local units)
+}
+
+// aggregate sums the reserved buckets of hosted flows, skipping exclude.
+// Callers must hold the shard lock (any mode) or the registry write lock.
+func (s *shard) aggregate(exclude string) core.Bucket {
+	var b core.Bucket
+	// Summation order is fixed (sorted IDs) so the aggregate is bit-exact
+	// regardless of admission/release interleaving.
+	ids := make([]string, 0, len(s.contrib))
+	for id := range s.contrib {
+		if id != exclude {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		c := s.contrib[id]
+		b.Rate += c.Rate
+		b.Burst += c.Burst
+	}
+	return b
+}
+
+// flowState is an admitted flow plus its reservation and promised bounds.
+type flowState struct {
+	flow    Flow
+	contrib map[string]core.Bucket // node name -> bucket (local units)
+	verdict Verdict
+}
+
+// Controller is a concurrent-safe admission controller over one platform.
+type Controller struct {
+	name   string
+	shards map[string]*shard
+	order  []string // node names in platform order, for stable reports
+
+	mu    sync.RWMutex // guards flows and commit/release transactions
+	flows map[string]*flowState
+
+	epoch atomic.Uint64
+
+	cacheMu    sync.Mutex
+	cache      map[uint64]cacheEntry
+	cacheEpoch uint64
+}
+
+type cacheEntry struct {
+	key     string // full canonical spec, to rule out hash collisions
+	verdict Verdict
+}
+
+// New builds a controller for a platform of uniquely named nodes. Node
+// parameters are validated with the core model's rules; nodes may carry
+// static CrossRate/CrossBurst for non-tenant background traffic.
+func New(name string, nodes []core.Node) (*Controller, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("admit: platform %q has no nodes", name)
+	}
+	c := &Controller{
+		name:   name,
+		shards: make(map[string]*shard, len(nodes)),
+		flows:  make(map[string]*flowState),
+		cache:  make(map[uint64]cacheEntry),
+	}
+	for i, n := range nodes {
+		if n.Name == "" {
+			return nil, fmt.Errorf("admit: node %d has no name", i)
+		}
+		if _, dup := c.shards[n.Name]; dup {
+			return nil, fmt.Errorf("admit: duplicate node name %q", n.Name)
+		}
+		probe := core.Pipeline{
+			Arrival: core.Arrival{Rate: 1},
+			Nodes:   []core.Node{n},
+		}
+		if err := probe.Validate(); err != nil {
+			return nil, fmt.Errorf("admit: %w", err)
+		}
+		c.shards[n.Name] = &shard{node: n, contrib: make(map[string]core.Bucket)}
+		c.order = append(c.order, n.Name)
+	}
+	return c, nil
+}
+
+// Name returns the platform name.
+func (c *Controller) Name() string { return c.name }
+
+// Epoch returns the current platform epoch; it increments on every
+// successful admit or release.
+func (c *Controller) Epoch() uint64 { return c.epoch.Load() }
+
+// NodeNames returns the platform node names in declaration order.
+func (c *Controller) NodeNames() []string { return append([]string(nil), c.order...) }
+
+// --- Admission -------------------------------------------------------------
+
+// Admit decides whether f can join the platform without breaking any SLO,
+// committing the reservation when it can. The verdict always explains the
+// decision; rejected flows leave the platform untouched.
+func (c *Controller) Admit(f Flow) Verdict {
+	key := canonical(f)
+	h := hashKey(key)
+	epoch := c.epoch.Load()
+	if v, ok := c.cached(h, key, epoch); ok {
+		return v
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Re-read under the lock: an admit that committed between the cache
+	// probe and here bumped the epoch.
+	epoch = c.epoch.Load()
+
+	v, contrib := c.decide(f, epoch)
+	if !v.Admitted {
+		c.store(h, key, epoch, v)
+		return v
+	}
+
+	// Commit the reservation under the shard locks and bump the epoch.
+	state := &flowState{flow: f, contrib: contrib, verdict: v}
+	for name, b := range contrib {
+		sh := c.shards[name]
+		sh.mu.Lock()
+		sh.contrib[f.ID] = b
+		sh.mu.Unlock()
+	}
+	c.flows[f.ID] = state
+	c.epoch.Add(1)
+	return v
+}
+
+// decide runs all admission checks without mutating state, returning the
+// verdict and (when admitted) the reservation to commit. The registry write
+// lock must be held.
+func (c *Controller) decide(f Flow, epoch uint64) (Verdict, map[string]core.Bucket) {
+	v := Verdict{FlowID: f.ID, Epoch: epoch}
+	reject := func(binding, format string, args ...any) (Verdict, map[string]core.Bucket) {
+		v.Admitted = false
+		v.Binding = binding
+		v.Reason = "rejected: " + fmt.Sprintf(format, args...)
+		return v, nil
+	}
+
+	if f.ID == "" {
+		return reject("spec", "flow has no ID")
+	}
+	if _, dup := c.flows[f.ID]; dup {
+		return reject("spec", "flow %q is already admitted", f.ID)
+	}
+	if len(f.Path) == 0 {
+		return reject("spec", "flow %q has an empty path", f.ID)
+	}
+	for _, name := range f.Path {
+		if _, ok := c.shards[name]; !ok {
+			return reject("spec", "unknown platform node %q", name)
+		}
+	}
+
+	// Standalone reservation: the flow's propagated arrival bound at each
+	// path node on the pristine platform (no co-resident reservations), so
+	// the reservation is a deterministic function of (flow, platform).
+	// Errors here are spec errors (bad arrival, starved platform node, ...).
+	standalone, err := core.Analyze(c.standalonePipeline(f))
+	if err != nil {
+		return reject("spec", "%v", err)
+	}
+	contrib := reservationFrom(f, standalone)
+
+	// Candidate analysis under the current co-resident cross traffic.
+	// Saturation (aggregate cross >= node rate) surfaces as an Analyze
+	// validation error.
+	a, err := core.Analyze(c.pipelineFor(f, f.ID, nil))
+	if err != nil {
+		return reject("saturation", "%v", err)
+	}
+	b := boundsOf(a)
+	if bad := sloViolation(f.SLO, a, b); bad != nil {
+		return reject(bad.binding, "flow %q: %s", f.ID, bad.detail)
+	}
+
+	// Victim check: every admitted flow sharing a node must keep its SLO
+	// with the candidate's reservation added as cross traffic.
+	for _, id := range c.sortedFlowIDs() {
+		st := c.flows[id]
+		if !sharesNode(st.flow.Path, f.Path) {
+			continue
+		}
+		ga, err := core.Analyze(c.pipelineFor(st.flow, id, contrib))
+		if err != nil {
+			return reject("victim:"+id, "admitting %q would starve flow %q: %v", f.ID, id, err)
+		}
+		if bad := sloViolation(st.flow.SLO, ga, boundsOf(ga)); bad != nil {
+			return reject("victim:"+id, "admitting %q would break flow %q: %s", f.ID, id, bad.detail)
+		}
+	}
+
+	// Admitted: promised bounds, bottleneck, and residual headroom with
+	// the candidate's own reservation counted.
+	v.Admitted = true
+	v.Delay = b.delay
+	v.Backlog = b.backlog
+	v.Throughput = b.throughput
+	bn := f.Path[a.BottleneckIndex]
+	v.Bottleneck = bn
+	sh := c.shards[bn]
+	agg := sh.aggregate("")
+	v.HeadroomRate = sh.node.Rate - sh.node.CrossRate - agg.Rate - contrib[bn].Rate
+	v.Reason = fmt.Sprintf(
+		"admitted: delay %v <= %s, backlog %v <= %s, throughput %v >= %s; bottleneck %s, residual headroom %v",
+		b.delay, orAny(f.SLO.MaxDelay > 0, f.SLO.MaxDelay),
+		b.backlog, orAny(f.SLO.MaxBacklog > 0, f.SLO.MaxBacklog),
+		b.throughput, orAny(f.SLO.MinThroughput > 0, f.SLO.MinThroughput),
+		bn, v.HeadroomRate)
+	return v, contrib
+}
+
+// orAny renders an SLO field, or "(any)" when unconstrained.
+func orAny(constrained bool, v any) string {
+	if !constrained {
+		return "(any)"
+	}
+	return fmt.Sprint(v)
+}
+
+// reservationFrom converts a standalone analysis into per-node leaky-bucket
+// reservations in node-local units. The propagated arrival bound AlphaIn is
+// input-referred; multiplying by the gain chain restores local bytes.
+// Using the standalone (uncontended) propagation makes the reservation a
+// deterministic function of (flow, platform): bookkeeping is associative
+// and independent of admission order. It is exact at the path entry and an
+// approximation downstream (contention smooths real traffic less than the
+// uncontended bound assumes); the -validate sim replay checks the promised
+// bounds end to end.
+func reservationFrom(f Flow, a *core.Analysis) map[string]core.Bucket {
+	out := make(map[string]core.Bucket, len(f.Path))
+	for i, na := range a.Nodes {
+		rate, offset := na.AlphaIn.UltimateAffine()
+		b := core.Bucket{
+			Rate:  units.Rate(rate * na.GainBefore),
+			Burst: units.Bytes(math.Max(0, offset) * na.GainBefore),
+		}
+		// A flow visiting the same node twice reserves the sum of both
+		// visits.
+		prev := out[f.Path[i]]
+		out[f.Path[i]] = core.Bucket{Rate: prev.Rate + b.Rate, Burst: prev.Burst + b.Burst}
+	}
+	return out
+}
+
+// standalonePipeline builds f's pipeline over the pristine platform: only
+// each node's static background cross traffic, no tenant reservations.
+func (c *Controller) standalonePipeline(f Flow) core.Pipeline {
+	p := core.Pipeline{Name: c.name + "/" + f.ID, Arrival: f.Arrival}
+	for _, name := range f.Path {
+		p.Nodes = append(p.Nodes, c.shards[name].node)
+	}
+	return p
+}
+
+// pipelineFor builds the core pipeline for flow f over the platform, with
+// cross traffic at each node = the node's static background + the reserved
+// buckets of all admitted flows except exclude + extra (a candidate's
+// reservation during victim checks). Callers must hold the registry lock.
+func (c *Controller) pipelineFor(f Flow, exclude string, extra map[string]core.Bucket) core.Pipeline {
+	p := core.Pipeline{Name: c.name + "/" + f.ID, Arrival: f.Arrival}
+	for _, name := range f.Path {
+		sh := c.shards[name]
+		n := sh.node
+		agg := sh.aggregate(exclude)
+		n.CrossRate += agg.Rate
+		n.CrossBurst += agg.Burst
+		if extra != nil {
+			if b, ok := extra[name]; ok {
+				n.CrossRate += b.Rate
+				n.CrossBurst += b.Burst
+			}
+		}
+		p.Nodes = append(p.Nodes, n)
+	}
+	return p
+}
+
+// bounds are the end-to-end figures admission checks and verdicts promise.
+type bounds struct {
+	delay      time.Duration
+	backlog    units.Bytes
+	throughput units.Rate
+}
+
+// boundsOf derives the promised bounds from the exact concatenation of the
+// per-node packetized service curves (Analysis.ConcatenatedBeta). The
+// paper's folded closed form carries the packetizer term l_max only once on
+// the arrival side, but a multi-hop store-and-forward chain pays a
+// serialization delay at every hop; the concatenated curve keeps the
+// promise sound against a packetized execution (checked by Replay).
+func boundsOf(a *core.Analysis) bounds {
+	b := bounds{throughput: a.ThroughputLower}
+	if a.Overloaded {
+		b.delay = time.Duration(math.MaxInt64)
+		b.backlog = units.Bytes(math.Inf(1))
+		return b
+	}
+	beta := a.ConcatenatedBeta()
+	d := curve.HDev(a.AlphaPrime, beta)
+	if math.IsInf(d, 1) {
+		b.delay = time.Duration(math.MaxInt64)
+	} else {
+		b.delay = time.Duration(d * float64(time.Second))
+	}
+	b.backlog = units.Bytes(curve.VDev(a.AlphaPrime, beta))
+	return b
+}
+
+// sloCheck describes a violated SLO dimension.
+type sloCheck struct {
+	binding string
+	detail  string
+}
+
+// sloViolation checks the promised bounds against an SLO, returning the
+// first violated dimension (delay, then backlog, then throughput) or nil.
+func sloViolation(s SLO, a *core.Analysis, b bounds) *sloCheck {
+	if a.Overloaded {
+		return &sloCheck{"saturation", fmt.Sprintf(
+			"arrival rate exceeds the residual service rate at node %d (steady-state bounds are infinite)",
+			a.BottleneckIndex)}
+	}
+	if s.MaxDelay > 0 && b.delay > s.MaxDelay {
+		return &sloCheck{"max_delay", fmt.Sprintf(
+			"delay bound %v exceeds max_delay %v (bottleneck %s)",
+			b.delay, s.MaxDelay, a.Bottleneck().Node.Name)}
+	}
+	if s.MaxBacklog > 0 && b.backlog > s.MaxBacklog {
+		return &sloCheck{"max_backlog", fmt.Sprintf(
+			"backlog bound %v exceeds max_backlog %v (bottleneck %s)",
+			b.backlog, s.MaxBacklog, a.Bottleneck().Node.Name)}
+	}
+	if s.MinThroughput > 0 && b.throughput < s.MinThroughput {
+		return &sloCheck{"min_throughput", fmt.Sprintf(
+			"guaranteed throughput %v below min_throughput %v (bottleneck %s)",
+			b.throughput, s.MinThroughput, a.Bottleneck().Node.Name)}
+	}
+	return nil
+}
+
+// sharesNode reports whether two paths visit a common node.
+func sharesNode(a, b []string) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (c *Controller) sortedFlowIDs() []string {
+	ids := make([]string, 0, len(c.flows))
+	for id := range c.flows {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// --- Release ---------------------------------------------------------------
+
+// Release removes an admitted flow, freeing its reservations. It reports
+// whether the flow was present.
+func (c *Controller) Release(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.flows[id]
+	if !ok {
+		return false
+	}
+	for name := range st.contrib {
+		sh := c.shards[name]
+		sh.mu.Lock()
+		delete(sh.contrib, id)
+		sh.mu.Unlock()
+	}
+	delete(c.flows, id)
+	c.epoch.Add(1)
+	return true
+}
+
+// --- Queries ---------------------------------------------------------------
+
+// AdmittedFlow is a registry snapshot entry: the flow and the bounds the
+// controller promised at admission.
+type AdmittedFlow struct {
+	Flow    Flow
+	Verdict Verdict
+}
+
+// Flows returns a snapshot of admitted flows sorted by ID.
+func (c *Controller) Flows() []AdmittedFlow {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]AdmittedFlow, 0, len(c.flows))
+	for _, id := range c.sortedFlowIDs() {
+		st := c.flows[id]
+		out = append(out, AdmittedFlow{Flow: st.flow, Verdict: st.verdict})
+	}
+	return out
+}
+
+// Residual describes a node's leftover service after all admitted
+// reservations.
+type Residual struct {
+	Node core.Node
+	// Flows hosted on the node, sorted by ID.
+	Flows []string
+	// Cross is the aggregate reserved cross traffic (plus the node's
+	// static background), local units.
+	Cross core.Bucket
+	// Curve is the residual service curve [beta - cross]⁺; Starved reports
+	// that reservations consume the full service rate (Curve is zero).
+	Curve   curve.Curve
+	Starved bool
+	// Rate is the residual sustained rate (ultimate slope of Curve).
+	Rate units.Rate
+}
+
+// ResidualService returns the residual service of one platform node, taking
+// only that node's shard lock.
+func (c *Controller) ResidualService(node string) (Residual, error) {
+	sh, ok := c.shards[node]
+	if !ok {
+		return Residual{}, fmt.Errorf("admit: unknown platform node %q", node)
+	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	r := Residual{Node: sh.node}
+	for id := range sh.contrib {
+		r.Flows = append(r.Flows, id)
+	}
+	sort.Strings(r.Flows)
+	agg := sh.aggregate("")
+	r.Cross = core.Bucket{
+		Rate:  agg.Rate + sh.node.CrossRate,
+		Burst: agg.Burst + sh.node.CrossBurst,
+	}
+	beta := curve.RateLatency(float64(sh.node.Rate), sh.node.Latency.Seconds())
+	if r.Cross.Rate <= 0 {
+		r.Curve = beta
+		r.Rate = sh.node.Rate
+		return r, nil
+	}
+	resid, ok := curve.ResidualService(beta, curve.Affine(float64(r.Cross.Rate), float64(r.Cross.Burst)))
+	if !ok {
+		r.Starved = true
+		r.Curve = curve.Zero()
+		return r, nil
+	}
+	r.Curve = resid
+	r.Rate = units.Rate(resid.UltimateSlope())
+	return r, nil
+}
+
+// --- Verdict cache ---------------------------------------------------------
+
+// canonical renders a flow spec as a deterministic string for hashing and
+// collision checks.
+func canonical(f Flow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%g|%g|%g", f.ID, float64(f.Arrival.Rate), float64(f.Arrival.Burst), float64(f.Arrival.MaxPacket))
+	for _, e := range f.Arrival.Extra {
+		fmt.Fprintf(&b, "|x%g,%g", float64(e.Rate), float64(e.Burst))
+	}
+	for _, p := range f.Path {
+		b.WriteString("|p")
+		b.WriteString(p)
+	}
+	fmt.Fprintf(&b, "|s%d,%g,%g", f.SLO.MaxDelay, float64(f.SLO.MaxBacklog), float64(f.SLO.MinThroughput))
+	return b.String()
+}
+
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// cached returns a verdict stored at the current epoch. Only rejections
+// survive in the cache: a committed admission bumps the epoch, flushing it.
+func (c *Controller) cached(h uint64, key string, epoch uint64) (Verdict, bool) {
+	c.cacheMu.Lock()
+	defer c.cacheMu.Unlock()
+	if c.cacheEpoch != epoch {
+		return Verdict{}, false
+	}
+	e, ok := c.cache[h]
+	if !ok || e.key != key {
+		return Verdict{}, false
+	}
+	v := e.verdict
+	v.Cached = true
+	return v, true
+}
+
+func (c *Controller) store(h uint64, key string, epoch uint64, v Verdict) {
+	c.cacheMu.Lock()
+	defer c.cacheMu.Unlock()
+	if c.cacheEpoch != epoch {
+		// The platform changed while computing; flush and rebase.
+		c.cache = make(map[uint64]cacheEntry)
+		c.cacheEpoch = epoch
+	}
+	c.cache[h] = cacheEntry{key: key, verdict: v}
+}

@@ -1,0 +1,141 @@
+package admit
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"streamcalc/internal/core"
+	"streamcalc/internal/units"
+)
+
+// TestConcurrentAdmitRelease hammers one controller with 64 goroutines
+// admitting, querying, and releasing flows concurrently (run under -race).
+// Afterwards every reservation must be gone and the residual state must
+// equal the pristine platform.
+func TestConcurrentAdmitRelease(t *testing.T) {
+	const (
+		workers = 64
+		rounds  = 25
+	)
+	nodes := make([]core.Node, 8)
+	names := make([]string, 8)
+	for i := range nodes {
+		names[i] = fmt.Sprintf("n%d", i)
+		nodes[i] = core.Node{
+			Name: names[i], Rate: 400 * units.MiBPerSec, Latency: 100 * time.Microsecond,
+			JobIn: 4 * units.KiB, JobOut: 4 * units.KiB, MaxPacket: 4 * units.KiB,
+		}
+	}
+	c, err := New("stress", nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine := make(map[string]Residual)
+	for _, n := range names {
+		r, err := c.ResidualService(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pristine[n] = r
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				// Each worker walks a different subchain of the platform.
+				from := (g + i) % (len(names) - 1)
+				to := from + 1 + (g+i)%(len(names)-from-1) + 1
+				f := Flow{
+					ID:      fmt.Sprintf("g%d-%d", g, i),
+					Arrival: core.Arrival{Rate: units.Rate(1+g%5) * units.MiBPerSec, Burst: 16 * units.KiB, MaxPacket: 4 * units.KiB},
+					Path:    names[from:to],
+					SLO:     SLO{MaxDelay: time.Second, MaxBacklog: 64 * units.MiB},
+				}
+				v := c.Admit(f)
+				// Interleave queries with mutations.
+				if _, err := c.ResidualService(names[(g+i)%len(names)]); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%3 == 0 {
+					c.Flows()
+				}
+				if v.Admitted {
+					if !c.Release(f.ID) {
+						t.Errorf("admitted flow %s vanished", f.ID)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if n := len(c.Flows()); n != 0 {
+		t.Fatalf("%d flows leaked after release", n)
+	}
+	for _, n := range names {
+		r, err := c.ResidualService(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Cross != pristine[n].Cross {
+			t.Errorf("node %s: leaked cross traffic %+v", n, r.Cross)
+		}
+		if !r.Curve.Equal(pristine[n].Curve) {
+			t.Errorf("node %s: residual differs from pristine", n)
+		}
+	}
+}
+
+// TestConcurrentCapacityNeverOversubscribed runs concurrent admits without
+// releases and checks the committed reservations never exceed any node's
+// service rate (the controller must enforce this regardless of
+// interleaving).
+func TestConcurrentCapacityNeverOversubscribed(t *testing.T) {
+	nodes := []core.Node{
+		{Name: "shared", Rate: 100 * units.MiBPerSec, Latency: 100 * time.Microsecond,
+			JobIn: 4 * units.KiB, JobOut: 4 * units.KiB, MaxPacket: 4 * units.KiB},
+	}
+	c, err := New("cap", nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 64; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			f := Flow{
+				ID:      fmt.Sprintf("w%d", g),
+				Arrival: core.Arrival{Rate: 9 * units.MiBPerSec, Burst: 16 * units.KiB, MaxPacket: 4 * units.KiB},
+				Path:    []string{"shared"},
+				SLO:     SLO{MinThroughput: 9 * units.MiBPerSec},
+			}
+			c.Admit(f)
+		}(g)
+	}
+	wg.Wait()
+
+	r, err := c.ResidualService("shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := len(c.Flows())
+	if admitted == 0 {
+		t.Fatal("no flow admitted at all")
+	}
+	if float64(r.Cross.Rate) >= float64(100*units.MiBPerSec) {
+		t.Fatalf("committed %d flows oversubscribe the node: cross %v", admitted, r.Cross.Rate)
+	}
+	// 9 MiB/s tenants on a 100 MiB/s node: at most 11 can hold their
+	// min_throughput SLO.
+	if admitted > 11 {
+		t.Errorf("admitted %d tenants, capacity allows at most 11", admitted)
+	}
+}

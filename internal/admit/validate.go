@@ -1,0 +1,201 @@
+package admit
+
+import (
+	"fmt"
+	"time"
+
+	"streamcalc/internal/sim"
+	"streamcalc/internal/units"
+)
+
+// TraceOp is one step of an admitted-flow trace: an admission attempt or a
+// release.
+type TraceOp struct {
+	Op   string // "admit" or "release"
+	Flow Flow   // admission candidate (Op == "admit")
+	ID   string // flow to release (Op == "release")
+}
+
+// ReplayOptions tunes the validation replay.
+type ReplayOptions struct {
+	// Total is the input volume each admitted flow is simulated with
+	// (default 8 MiB).
+	Total units.Bytes
+	// Seed seeds the simulator (replays are deterministic per seed).
+	Seed uint64
+	// ThroughputSlack is the relative tolerance when checking the measured
+	// finite-run throughput against the promised sustained bound (drain
+	// tails bias short runs low). Default 0.05.
+	ThroughputSlack float64
+}
+
+// StepReport records one replayed trace operation and, for committed
+// admissions, the simulated measurements against the promised bounds.
+type StepReport struct {
+	Index   int
+	Op      string
+	FlowID  string
+	Verdict Verdict
+
+	// Simulated reports that the flow was admitted and replayed through
+	// the discrete-event simulator.
+	Simulated     bool
+	SimDelayMax   time.Duration
+	SimMaxBacklog units.Bytes
+	SimThroughput units.Rate
+
+	// Violations lists promised bounds the simulation broke (empty when
+	// the controller's promises held).
+	Violations []string
+}
+
+// ReplayReport summarizes a trace replay.
+type ReplayReport struct {
+	Steps []StepReport
+	// Admitted and Rejected count admission verdicts; Violations counts
+	// simulated SLO violations across all steps (0 means every promise
+	// held).
+	Admitted, Rejected, Violations int
+}
+
+// Replay drives the controller through a trace of admit/release operations
+// and validates every admission the controller grants by simulating the
+// flow over its path at the residual service the co-resident reservations
+// leave, asserting the promised delay, backlog, and throughput bounds hold.
+func Replay(c *Controller, ops []TraceOp, opt ReplayOptions) (*ReplayReport, error) {
+	if opt.Total <= 0 {
+		opt.Total = 8 * units.MiB
+	}
+	if opt.ThroughputSlack <= 0 {
+		opt.ThroughputSlack = 0.05
+	}
+	rep := &ReplayReport{}
+	for i, op := range ops {
+		step := StepReport{Index: i, Op: op.Op}
+		switch op.Op {
+		case "admit":
+			step.FlowID = op.Flow.ID
+			v := c.Admit(op.Flow)
+			step.Verdict = v
+			if !v.Admitted {
+				rep.Rejected++
+				break
+			}
+			rep.Admitted++
+			if err := simulateAdmitted(c, op.Flow, v, opt, &step); err != nil {
+				return nil, fmt.Errorf("admit: replay step %d (%s): %w", i, op.Flow.ID, err)
+			}
+		case "release":
+			step.FlowID = op.ID
+			if !c.Release(op.ID) {
+				step.Violations = append(step.Violations,
+					fmt.Sprintf("release of unknown flow %q", op.ID))
+			}
+		default:
+			return nil, fmt.Errorf("admit: replay step %d: unknown op %q", i, op.Op)
+		}
+		rep.Violations += len(step.Violations)
+		rep.Steps = append(rep.Steps, step)
+	}
+	return rep, nil
+}
+
+// simulateAdmitted replays one admitted flow through internal/sim. Each
+// path node serves deterministically at its residual sustained rate (the
+// worst case the admission analysis assumed), with the residual latency as
+// a one-time startup; the measured delay, backlog, and throughput must
+// respect the promised bounds.
+func simulateAdmitted(c *Controller, f Flow, v Verdict, opt ReplayOptions, step *StepReport) error {
+	stages, packet, err := c.residualStages(f)
+	if err != nil {
+		return err
+	}
+	if f.Arrival.MaxPacket > 0 {
+		packet = f.Arrival.MaxPacket
+	}
+	src := sim.SourceConfig{
+		Rate:       f.Arrival.Rate,
+		PacketSize: packet,
+		Burst:      f.Arrival.Burst,
+		TotalInput: opt.Total,
+	}
+	if len(f.Arrival.Extra) > 0 {
+		src.Envelope = append(src.Envelope, sim.EnvelopeBucket{
+			Rate: f.Arrival.Rate, Burst: f.Arrival.Burst + f.Arrival.MaxPacket,
+		})
+		for _, b := range f.Arrival.Extra {
+			src.Envelope = append(src.Envelope, sim.EnvelopeBucket{Rate: b.Rate, Burst: b.Burst})
+		}
+	}
+	sp := sim.New(src, opt.Seed)
+	for _, cfg := range stages {
+		sp.Add(cfg)
+	}
+
+	res, err := sp.Run()
+	if err != nil {
+		return err
+	}
+	step.Simulated = true
+	step.SimDelayMax = res.DelayMax
+	step.SimMaxBacklog = res.MaxBacklog
+	step.SimThroughput = res.Throughput
+
+	if res.DelayMax > v.Delay+time.Microsecond {
+		step.Violations = append(step.Violations, fmt.Sprintf(
+			"simulated delay %v exceeds promised bound %v", res.DelayMax, v.Delay))
+	}
+	if float64(res.MaxBacklog) > float64(v.Backlog)+1 {
+		step.Violations = append(step.Violations, fmt.Sprintf(
+			"simulated backlog %v exceeds promised bound %v", res.MaxBacklog, v.Backlog))
+	}
+	if float64(res.Throughput) < float64(v.Throughput)*(1-opt.ThroughputSlack) {
+		step.Violations = append(step.Violations, fmt.Sprintf(
+			"simulated throughput %v below promised bound %v", res.Throughput, v.Throughput))
+	}
+	s := f.SLO
+	if s.MaxDelay > 0 && res.DelayMax > s.MaxDelay {
+		step.Violations = append(step.Violations, fmt.Sprintf(
+			"simulated delay %v exceeds SLO max_delay %v", res.DelayMax, s.MaxDelay))
+	}
+	if s.MaxBacklog > 0 && float64(res.MaxBacklog) > float64(s.MaxBacklog)+1 {
+		step.Violations = append(step.Violations, fmt.Sprintf(
+			"simulated backlog %v exceeds SLO max_backlog %v", res.MaxBacklog, s.MaxBacklog))
+	}
+	if s.MinThroughput > 0 && float64(res.Throughput) < float64(s.MinThroughput)*(1-opt.ThroughputSlack) {
+		step.Violations = append(step.Violations, fmt.Sprintf(
+			"simulated throughput %v below SLO min_throughput %v", res.Throughput, s.MinThroughput))
+	}
+	return nil
+}
+
+// residualStages builds the simulator stages for f's path: each node serves
+// deterministically at its residual sustained rate under the co-resident
+// reservations (excluding f's own), with the residual latency
+// (b_cross + R·T)/(R - r) — the rate-latency form of [beta - cross]⁺ for
+// leaky-bucket cross traffic — as a one-time startup. It also returns the
+// first node's job size as the default source packet.
+func (c *Controller) residualStages(f Flow) ([]sim.StageConfig, units.Bytes, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []sim.StageConfig
+	for _, name := range f.Path {
+		sh := c.shards[name]
+		sh.mu.RLock()
+		node := sh.node
+		agg := sh.aggregate(f.ID)
+		sh.mu.RUnlock()
+
+		crossRate := node.CrossRate + agg.Rate
+		residRate := node.Rate - crossRate
+		if residRate <= 0 {
+			return nil, 0, fmt.Errorf("node %s: reservations starve the node", node.Name)
+		}
+		cfg := sim.StageFromRate(node.Name, residRate, residRate, node.JobIn, node.JobOut)
+		crossBurst := node.CrossBurst + agg.Burst
+		latency := (float64(crossBurst) + float64(node.Rate)*node.Latency.Seconds()) / float64(residRate)
+		cfg.Startup = time.Duration(latency * float64(time.Second))
+		out = append(out, cfg)
+	}
+	return out, c.shards[f.Path[0]].node.JobIn, nil
+}

@@ -174,20 +174,13 @@ func Analyze(p Pipeline) (*Analysis, error) {
 			na.Rate -= crossRate
 		}
 
-		// Aggregation: the node collects JobIn before dispatching; if that
-		// exceeds the burst the upstream flow can deliver at once (the
-		// paper's b_n > b*_{n-1}, where b* is the burst of the propagated
-		// output bound), collecting a job costs b_n / R_alpha,n-1.
-		if float64(na.JobIn) > alphaIn.Burst()*(1+1e-12) {
-			na.Aggregates = true
-			na.AggregationDelay = na.JobIn.Time(arrRate)
-		}
-		na.CumulativeLatency = cumLatency + na.AggregationDelay + n.Latency
-		cumLatency = na.CumulativeLatency
-
 		// Packetized service curves (input-referred). With cross traffic the
-		// base curve is the residual [beta_full - alpha_cross]⁺.
+		// base curve is the residual [beta_full - alpha_cross]⁺, whose
+		// latency (b_c + R·T)/(R - r_c) — not the raw T — is what the node
+		// contributes to the end-to-end latency recursion: the folded chain
+		// curve must stay below the concatenation of the residual curves.
 		lmax := float64(n.MaxPacket.Mul(1 / gain))
+		effLatency := n.Latency
 		var beta curve.Curve
 		if crossRate > 0 {
 			full := curve.RateLatency(float64(n.Rate.Mul(1/gain)), secs(n.Latency))
@@ -196,9 +189,21 @@ func Analyze(p Pipeline) (*Analysis, error) {
 				return nil, fmt.Errorf("core: node %d (%s): cross traffic starves the node", i, n.Name)
 			}
 			beta = resid
+			effLatency = dur(resid.Latency())
 		} else {
 			beta = curve.RateLatency(float64(na.Rate), secs(n.Latency))
 		}
+
+		// Aggregation: the node collects JobIn before dispatching; if that
+		// exceeds the burst the upstream flow can deliver at once (the
+		// paper's b_n > b*_{n-1}, where b* is the burst of the propagated
+		// output bound), collecting a job costs b_n / R_alpha,n-1.
+		if float64(na.JobIn) > alphaIn.Burst()*(1+1e-12) {
+			na.Aggregates = true
+			na.AggregationDelay = na.JobIn.Time(arrRate)
+		}
+		na.CumulativeLatency = cumLatency + na.AggregationDelay + effLatency
+		cumLatency = na.CumulativeLatency
 		if lmax > 0 {
 			beta = curve.SubConstantPositive(beta, lmax)
 		}
@@ -294,6 +299,26 @@ func Analyze(p Pipeline) (*Analysis, error) {
 		a.ThroughputUpper = minMaxRate
 	}
 	return a, nil
+}
+
+// ConcatenatedBeta returns the min-plus concatenation of the per-node
+// packetized service curves, with each node's aggregation delay inserted as
+// a pure-delay element. Unlike the folded rate-latency Beta (the paper's
+// closed form, which carries the packetizer adjustment on the arrival side
+// only), this curve subtracts l_max at every hop, so delay and backlog
+// bounds derived from it remain valid for multi-hop store-and-forward
+// chains — the sound choice when the bounds back admission promises.
+func (a *Analysis) ConcatenatedBeta() curve.Curve {
+	var out curve.Curve
+	for i, na := range a.Nodes {
+		b := curve.ShiftRight(na.Beta, secs(na.AggregationDelay))
+		if i == 0 {
+			out = b
+		} else {
+			out = curve.Convolve(out, b)
+		}
+	}
+	return out
 }
 
 // InputAt returns the arrival-curve bound on the flow entering node i (the

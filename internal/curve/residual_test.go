@@ -30,6 +30,68 @@ func TestResidualServiceStarved(t *testing.T) {
 	}
 }
 
+func TestResidualServiceZeroBurstCross(t *testing.T) {
+	// A burstless cross flow only steals rate: residual latency is the
+	// original work R*T respread over the leftover rate, RT/(R-r).
+	got, ok := ResidualService(RateLatency(10, 2), Affine(4, 0))
+	if !ok {
+		t.Fatal("expected residual service")
+	}
+	want := RateLatency(6, 20.0/6.0)
+	if !got.Equal(want) {
+		t.Errorf("residual = %v, want %v", got, want)
+	}
+
+	// Degenerate: no cross at all is the identity.
+	got, ok = ResidualService(RateLatency(10, 2), Affine(0, 0))
+	if !ok {
+		t.Fatal("expected residual service")
+	}
+	if !got.Equal(RateLatency(10, 2)) {
+		t.Errorf("residual under zero cross = %v, want the original", got)
+	}
+}
+
+// Repeated subtraction is associative: subtracting cross flows one at a time
+// — in any order — lands on the same curve as subtracting their sum at once,
+// [[beta-c1]⁺-c2]⁺ = [beta-(c1+c2)]⁺. (Exact for non-negative cross curves:
+// wherever the two sides differ the inner positive part is clamping at zero,
+// and subtracting more keeps both at zero.) This is what lets an admission
+// controller release flows in any order without replaying history.
+func TestResidualServiceAssociative(t *testing.T) {
+	beta := RateLatency(10, 2)
+	c1 := Affine(3, 4)
+	c2 := Affine(2, 7)
+
+	oneShot, ok := ResidualService(beta, Add(c1, c2))
+	if !ok {
+		t.Fatal("combined cross must not starve")
+	}
+	step12, ok := ResidualService(beta, c1)
+	if !ok {
+		t.Fatal("c1 must not starve")
+	}
+	step12, ok = ResidualService(step12, c2)
+	if !ok {
+		t.Fatal("c1 then c2 must not starve")
+	}
+	step21, ok := ResidualService(beta, c2)
+	if !ok {
+		t.Fatal("c2 must not starve")
+	}
+	step21, ok = ResidualService(step21, c1)
+	if !ok {
+		t.Fatal("c2 then c1 must not starve")
+	}
+
+	if !step12.Equal(oneShot) {
+		t.Errorf("sequential (c1,c2) = %v, one-shot = %v", step12, oneShot)
+	}
+	if !step21.Equal(step12) {
+		t.Errorf("release order matters: (c2,c1) = %v, (c1,c2) = %v", step21, step12)
+	}
+}
+
 func TestResidualServiceShapeRequirements(t *testing.T) {
 	// Non-convex beta or non-concave cross are rejected.
 	if _, ok := ResidualService(Affine(5, 2), Affine(1, 1)); ok {

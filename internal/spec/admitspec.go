@@ -1,0 +1,176 @@
+package spec
+
+// This file holds the admission-control wire formats: platforms, tenant
+// flows, SLOs, and admit/release traces, as consumed by cmd/ncadmitd.
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"streamcalc/internal/admit"
+	"streamcalc/internal/core"
+	"streamcalc/internal/units"
+)
+
+// SLO mirrors admit.SLO; the delay bound uses Go duration syntax.
+type SLO struct {
+	MaxDelay      string      `json:"max_delay,omitempty"`
+	MaxBacklog    units.Bytes `json:"max_backlog,omitempty"`
+	MinThroughput units.Rate  `json:"min_throughput,omitempty"`
+}
+
+// Flow mirrors admit.Flow: an admission candidate offered to the daemon.
+type Flow struct {
+	ID      string   `json:"id"`
+	Arrival Arrival  `json:"arrival"`
+	Path    []string `json:"path"`
+	SLO     SLO      `json:"slo,omitempty"`
+}
+
+// Platform describes an admission-controller platform: named nodes using
+// the pipeline Node schema (latency strings, optional background cross
+// traffic). Simulation hints are ignored by the controller.
+type Platform struct {
+	Name  string `json:"name"`
+	Nodes []Node `json:"nodes"`
+}
+
+// TraceOp is one wire-format step of an admitted-flow trace.
+type TraceOp struct {
+	Op   string `json:"op"` // "admit" or "release"
+	Flow *Flow  `json:"flow,omitempty"`
+	ID   string `json:"id,omitempty"`
+}
+
+// ParseFlow decodes a JSON flow description.
+func ParseFlow(data []byte) (*Flow, error) {
+	var f Flow
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	return &f, nil
+}
+
+// ParsePlatform decodes a JSON platform description.
+func ParsePlatform(data []byte) (*Platform, error) {
+	var p Platform
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	return &p, nil
+}
+
+// ParseTrace decodes a JSON array of trace operations.
+func ParseTrace(data []byte) ([]TraceOp, error) {
+	var ops []TraceOp
+	if err := json.Unmarshal(data, &ops); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	return ops, nil
+}
+
+// Admit converts the description to the controller's flow type.
+func (f *Flow) Admit() (admit.Flow, error) {
+	out := admit.Flow{
+		ID:   f.ID,
+		Path: append([]string(nil), f.Path...),
+		Arrival: core.Arrival{
+			Rate:      f.Arrival.Rate,
+			Burst:     f.Arrival.Burst,
+			MaxPacket: f.Arrival.MaxPacket,
+		},
+	}
+	for _, b := range f.Arrival.Extra {
+		out.Arrival.Extra = append(out.Arrival.Extra, core.Bucket{Rate: b.Rate, Burst: b.Burst})
+	}
+	if f.SLO.MaxDelay != "" {
+		d, err := time.ParseDuration(f.SLO.MaxDelay)
+		if err != nil {
+			return admit.Flow{}, fmt.Errorf("spec: flow %q: max_delay: %w", f.ID, err)
+		}
+		out.SLO.MaxDelay = d
+	}
+	out.SLO.MaxBacklog = f.SLO.MaxBacklog
+	out.SLO.MinThroughput = f.SLO.MinThroughput
+	return out, nil
+}
+
+// Core converts the platform node descriptions to model nodes.
+func (p *Platform) Core() ([]core.Node, error) {
+	out := make([]core.Node, 0, len(p.Nodes))
+	for i, n := range p.Nodes {
+		cn, err := n.core(i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cn)
+	}
+	return out, nil
+}
+
+// Controller builds an admission controller from the platform description.
+func (p *Platform) Controller() (*admit.Controller, error) {
+	nodes, err := p.Core()
+	if err != nil {
+		return nil, err
+	}
+	return admit.New(p.Name, nodes)
+}
+
+// TraceOps converts a wire trace to controller trace operations.
+func TraceOps(ops []TraceOp) ([]admit.TraceOp, error) {
+	out := make([]admit.TraceOp, 0, len(ops))
+	for i, op := range ops {
+		a := admit.TraceOp{Op: op.Op, ID: op.ID}
+		if op.Flow != nil {
+			f, err := op.Flow.Admit()
+			if err != nil {
+				return nil, fmt.Errorf("spec: trace step %d: %w", i, err)
+			}
+			a.Flow = f
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// ExamplePlatform returns a documented sample platform for cmd/ncadmitd: a
+// three-stage edge gateway shared by tenants.
+func ExamplePlatform() string {
+	return `{
+  "name": "edge-gateway",
+  "nodes": [
+    {"name": "ingest",  "rate": "200 MiB/s", "latency": "200us",
+     "job_in": "4 KiB", "job_out": "4 KiB", "max_packet": "4 KiB"},
+    {"name": "encrypt", "rate": "50 MiB/s",  "latency": "500us",
+     "job_in": "4 KiB", "job_out": "4 KiB", "max_packet": "4 KiB"},
+    {"name": "uplink",  "kind": "link", "rate": "120 MiB/s", "latency": "1ms",
+     "job_in": "4 KiB", "job_out": "4 KiB", "max_packet": "4 KiB"}
+  ]
+}`
+}
+
+// ExampleTrace returns a sample admitted-flow trace exercising admission,
+// rejection, and release against ExamplePlatform.
+func ExampleTrace() string {
+	return `[
+  {"op": "admit", "flow": {"id": "cam-1",
+    "arrival": {"rate": "10 MiB/s", "burst": "64 KiB", "max_packet": "4 KiB"},
+    "path": ["ingest", "encrypt", "uplink"],
+    "slo": {"max_delay": "200ms", "max_backlog": "16 MiB", "min_throughput": "10 MiB/s"}}},
+  {"op": "admit", "flow": {"id": "cam-2",
+    "arrival": {"rate": "15 MiB/s", "burst": "64 KiB", "max_packet": "4 KiB"},
+    "path": ["ingest", "encrypt", "uplink"],
+    "slo": {"max_delay": "200ms", "min_throughput": "15 MiB/s"}}},
+  {"op": "admit", "flow": {"id": "bulk",
+    "arrival": {"rate": "400 MiB/s", "burst": "1 MiB", "max_packet": "4 KiB"},
+    "path": ["ingest", "encrypt", "uplink"],
+    "slo": {"min_throughput": "400 MiB/s"}}},
+  {"op": "release", "id": "cam-1"},
+  {"op": "admit", "flow": {"id": "cam-3",
+    "arrival": {"rate": "20 MiB/s", "burst": "64 KiB", "max_packet": "4 KiB"},
+    "path": ["ingest", "encrypt", "uplink"],
+    "slo": {"max_delay": "200ms", "min_throughput": "20 MiB/s"}}}
+]`
+}

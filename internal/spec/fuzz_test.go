@@ -1,0 +1,37 @@
+package spec
+
+import "testing"
+
+// FuzzParseSpec feeds arbitrary bytes through every JSON entry point and
+// the conversions behind them: malformed input must surface as errors, never
+// as panics.
+func FuzzParseSpec(f *testing.F) {
+	f.Add([]byte(Example()))
+	f.Add([]byte(ExamplePlatform()))
+	f.Add([]byte(ExampleTrace()))
+	f.Add([]byte(`{"name":"x","arrival":{"rate":"1 MiB/s"},"nodes":[` +
+		`{"name":"n","rate":"2 MiB/s","job_in":"1 KiB","job_out":"1 KiB"}]}`))
+	f.Add([]byte(`{"id":"t","arrival":{"rate":"-3 MiB/s"},"path":["n"],"slo":{"max_delay":"5x"}}`))
+	f.Add([]byte(`{"nodes":[{"name":"n","kind":"gpu"}]}`))
+	f.Add([]byte(`[{"op":"admit"},{"op":"release","id":"t"}]`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if p, err := Parse(data); err == nil {
+			p.Core()
+			p.CoreGraph()
+			p.Queueing()
+			p.Sim(1024, 1)
+		}
+		if fl, err := ParseFlow(data); err == nil {
+			fl.Admit()
+		}
+		if pl, err := ParsePlatform(data); err == nil {
+			pl.Controller()
+		}
+		if ops, err := ParseTrace(data); err == nil {
+			TraceOps(ops)
+		}
+	})
+}

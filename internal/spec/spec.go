@@ -105,40 +105,50 @@ func (p *Pipeline) Core() (core.Pipeline, error) {
 		out.Arrival.Extra = append(out.Arrival.Extra, core.Bucket{Rate: b.Rate, Burst: b.Burst})
 	}
 	for i, n := range p.Nodes {
-		kind := core.Compute
-		switch n.Kind {
-		case "", "compute":
-		case "link":
-			kind = core.Link
-		default:
-			return core.Pipeline{}, fmt.Errorf("spec: node %d (%s): unknown kind %q", i, n.Name, n.Kind)
+		cn, err := n.core(i)
+		if err != nil {
+			return core.Pipeline{}, err
 		}
-		var lat time.Duration
-		if n.Latency != "" {
-			var err error
-			lat, err = time.ParseDuration(n.Latency)
-			if err != nil {
-				return core.Pipeline{}, fmt.Errorf("spec: node %d (%s): latency: %w", i, n.Name, err)
-			}
-		}
-		out.Nodes = append(out.Nodes, core.Node{
-			Name:       n.Name,
-			Kind:       kind,
-			Rate:       n.Rate,
-			MaxRate:    n.MaxRate,
-			Latency:    lat,
-			JobIn:      n.JobIn,
-			JobOut:     n.JobOut,
-			MaxPacket:  n.MaxPacket,
-			BestGain:   n.BestGain,
-			CrossRate:  n.CrossRate,
-			CrossBurst: n.CrossBurst,
-		})
+		out.Nodes = append(out.Nodes, cn)
 	}
 	if err := out.Validate(); err != nil {
 		return core.Pipeline{}, err
 	}
 	return out, nil
+}
+
+// core converts one node description to the model node (i for error
+// messages).
+func (n Node) core(i int) (core.Node, error) {
+	kind := core.Compute
+	switch n.Kind {
+	case "", "compute":
+	case "link":
+		kind = core.Link
+	default:
+		return core.Node{}, fmt.Errorf("spec: node %d (%s): unknown kind %q", i, n.Name, n.Kind)
+	}
+	var lat time.Duration
+	if n.Latency != "" {
+		var err error
+		lat, err = time.ParseDuration(n.Latency)
+		if err != nil {
+			return core.Node{}, fmt.Errorf("spec: node %d (%s): latency: %w", i, n.Name, err)
+		}
+	}
+	return core.Node{
+		Name:       n.Name,
+		Kind:       kind,
+		Rate:       n.Rate,
+		MaxRate:    n.MaxRate,
+		Latency:    lat,
+		JobIn:      n.JobIn,
+		JobOut:     n.JobOut,
+		MaxPacket:  n.MaxPacket,
+		BestGain:   n.BestGain,
+		CrossRate:  n.CrossRate,
+		CrossBurst: n.CrossBurst,
+	}, nil
 }
 
 // CoreGraph converts a DAG description to the graph model input.
