@@ -16,7 +16,10 @@
 //	DELETE /flows/{id}             release an admitted flow
 //	GET    /flows                  list admitted flows with their verdicts
 //	GET    /nodes/{name}/residual  a node's residual service after reservations
-//	GET    /healthz                liveness and platform epoch
+//	GET    /healthz                liveness, platform epoch, cache/memo hit rates
+//
+// With -pprof the net/http/pprof profiling handlers are mounted under
+// /debug/pprof/ on the same listener.
 package main
 
 import (
@@ -39,6 +42,7 @@ func main() {
 		seed         = flag.Uint64("seed", 1, "simulation seed in -validate mode")
 		example      = flag.Bool("example", false, "print a sample platform and exit")
 		exampleTr    = flag.Bool("example-trace", false, "print a sample trace and exit")
+		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -76,7 +80,7 @@ func main() {
 
 	fmt.Printf("ncadmitd: platform %q (%d nodes), listening on %s\n",
 		c.Name(), len(c.NodeNames()), *addr)
-	if err := http.ListenAndServe(*addr, newServer(c)); err != nil {
+	if err := http.ListenAndServe(*addr, newServer(c, *pprofOn)); err != nil {
 		fail(err)
 	}
 }

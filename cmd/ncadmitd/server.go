@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"streamcalc/internal/admit"
@@ -72,8 +73,11 @@ type bucketJSON struct {
 	Burst units.Bytes `json:"burst"`
 }
 
-// newServer wires the admission API onto a Go 1.22 pattern mux.
-func newServer(c *admit.Controller) http.Handler {
+// newServer wires the admission API onto a Go 1.22 pattern mux. With pprofOn
+// the net/http/pprof handlers are mounted under /debug/pprof/ (off by
+// default: profiling endpoints leak heap contents and should only be exposed
+// deliberately).
+func newServer(c *admit.Controller, pprofOn bool) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /admit", func(w http.ResponseWriter, r *http.Request) {
@@ -138,15 +142,55 @@ func newServer(c *admit.Controller) http.Handler {
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		st := c.Stats()
 		writeJSON(w, http.StatusOK, map[string]any{
 			"ok":       true,
 			"platform": c.Name(),
 			"epoch":    c.Epoch(),
 			"flows":    len(c.Flows()),
+			"caches": map[string]any{
+				"verdict": map[string]any{
+					"hits":     st.VerdictHits,
+					"misses":   st.VerdictMisses,
+					"entries":  st.VerdictEntries,
+					"hit_rate": hitRate(st.VerdictHits, st.VerdictMisses),
+				},
+				"analysis": map[string]any{
+					"hits":     st.AnalysisHits,
+					"misses":   st.AnalysisMisses,
+					"entries":  st.AnalysisEntries,
+					"hit_rate": hitRate(st.AnalysisHits, st.AnalysisMisses),
+				},
+				"reservations": map[string]any{
+					"entries": st.ReservationEntries,
+				},
+				"curve_ops": map[string]any{
+					"hits":     st.CurveOps.Hits,
+					"misses":   st.CurveOps.Misses,
+					"entries":  st.CurveOps.Entries,
+					"hit_rate": st.CurveOps.HitRate(),
+				},
+			},
 		})
 	})
 
+	if pprofOn {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+
 	return mux
+}
+
+// hitRate renders hits/(hits+misses), 0 before any lookups.
+func hitRate(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
 }
 
 // parseFlowBody decodes a wire flow and converts it to the controller type.

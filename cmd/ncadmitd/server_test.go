@@ -20,7 +20,7 @@ func testServer(t *testing.T) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(c))
+	ts := httptest.NewServer(newServer(c, false))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -148,15 +148,63 @@ func TestAPIBadRequests(t *testing.T) {
 
 func TestAPIHealthz(t *testing.T) {
 	ts := testServer(t)
+
+	// Exercise the caches: a repeated probe should register a verdict hit.
+	postAdmit(t, ts, flowBody("hog", "400 MiB/s"))
+	postAdmit(t, ts, flowBody("hog", "400 MiB/s"))
+
 	var h struct {
 		OK       bool   `json:"ok"`
 		Platform string `json:"platform"`
 		Epoch    uint64 `json:"epoch"`
+		Caches   map[string]struct {
+			Hits    uint64  `json:"hits"`
+			Misses  uint64  `json:"misses"`
+			Entries int     `json:"entries"`
+			HitRate float64 `json:"hit_rate"`
+		} `json:"caches"`
 	}
 	if code := getJSON(t, ts, "/healthz", &h); code != http.StatusOK || !h.OK {
 		t.Fatalf("healthz: status %d, %+v", code, h)
 	}
 	if h.Platform != "edge-gateway" {
 		t.Errorf("platform = %q", h.Platform)
+	}
+	for _, name := range []string{"verdict", "analysis", "reservations", "curve_ops"} {
+		if _, ok := h.Caches[name]; !ok {
+			t.Errorf("healthz caches missing %q: %+v", name, h.Caches)
+		}
+	}
+	if v := h.Caches["verdict"]; v.Hits == 0 {
+		t.Errorf("verdict cache shows no hits after repeated rejection: %+v", v)
+	}
+}
+
+func TestPprofGating(t *testing.T) {
+	pl, err := spec.ParsePlatform([]byte(spec.ExamplePlatform()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := pl.Controller()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		on   bool
+		want int
+	}{
+		{on: false, want: http.StatusNotFound},
+		{on: true, want: http.StatusOK},
+	} {
+		ts := httptest.NewServer(newServer(c, tc.on))
+		resp, err := http.Get(ts.URL + "/debug/pprof/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("pprof on=%v: status %d, want %d", tc.on, resp.StatusCode, tc.want)
+		}
+		ts.Close()
 	}
 }

@@ -25,13 +25,17 @@
 // never contend with each other; admissions and releases serialize on a
 // registry lock (the network-calculus computations themselves are
 // microseconds — cf. Nancy, arXiv:2205.11449 — so the hot path is short).
-// Verdicts are cached keyed by (platform epoch, flow-spec hash); any commit
-// bumps the epoch, invalidating the cache.
+// Verdicts are cached keyed by (platform epoch, arrival-envelope digest,
+// path, SLO) — curve digests rather than spec hashes, so two specs with
+// identical curves share one cache entry within an epoch regardless of flow
+// ID; any commit bumps the epoch, invalidating the cache. Reservations are
+// likewise cached on (envelope digest, path), and all analyses run through a
+// controller-wide core.Memo so candidate and victim re-checks never
+// recompute an identical pipeline.
 package admit
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"sort"
 	"strings"
@@ -104,22 +108,41 @@ type shard struct {
 	mu      sync.RWMutex
 	node    core.Node
 	contrib map[string]core.Bucket // flow ID -> reserved bucket (local units)
+	ids     []string               // contrib keys, kept sorted incrementally
+}
+
+// insert registers a flow's bucket, keeping ids sorted. Callers must hold
+// the shard write lock.
+func (s *shard) insert(id string, b core.Bucket) {
+	if _, ok := s.contrib[id]; !ok {
+		i := sort.SearchStrings(s.ids, id)
+		s.ids = append(s.ids, "")
+		copy(s.ids[i+1:], s.ids[i:])
+		s.ids[i] = id
+	}
+	s.contrib[id] = b
+}
+
+// remove drops a flow's bucket. Callers must hold the shard write lock.
+func (s *shard) remove(id string) {
+	if _, ok := s.contrib[id]; !ok {
+		return
+	}
+	delete(s.contrib, id)
+	i := sort.SearchStrings(s.ids, id)
+	s.ids = append(s.ids[:i], s.ids[i+1:]...)
 }
 
 // aggregate sums the reserved buckets of hosted flows, skipping exclude.
 // Callers must hold the shard lock (any mode) or the registry write lock.
 func (s *shard) aggregate(exclude string) core.Bucket {
 	var b core.Bucket
-	// Summation order is fixed (sorted IDs) so the aggregate is bit-exact
-	// regardless of admission/release interleaving.
-	ids := make([]string, 0, len(s.contrib))
-	for id := range s.contrib {
-		if id != exclude {
-			ids = append(ids, id)
+	// Summation order is fixed (sorted IDs, maintained incrementally) so the
+	// aggregate is bit-exact regardless of admission/release interleaving.
+	for _, id := range s.ids {
+		if id == exclude {
+			continue
 		}
-	}
-	sort.Strings(ids)
-	for _, id := range ids {
 		c := s.contrib[id]
 		b.Rate += c.Rate
 		b.Burst += c.Burst
@@ -145,14 +168,33 @@ type Controller struct {
 
 	epoch atomic.Uint64
 
+	// memo caches whole-pipeline analyses across admission probes (the same
+	// standalone, candidate, and victim pipelines recur constantly).
+	memo *core.Memo
+
 	cacheMu    sync.Mutex
-	cache      map[uint64]cacheEntry
+	cache      map[verdictKey]Verdict
 	cacheEpoch uint64
+	cacheHits  atomic.Uint64
+	cacheMiss  atomic.Uint64
+
+	// resCache maps (arrival-envelope digest, path) to the flow's standalone
+	// per-node reservation — a deterministic function of curves and path, so
+	// it survives epochs and is shared across flow IDs.
+	resMu    sync.Mutex
+	resCache map[verdictKey]map[string]core.Bucket
 }
 
-type cacheEntry struct {
-	key     string // full canonical spec, to rule out hash collisions
-	verdict Verdict
+// verdictKey identifies an admission question independently of the flow ID:
+// the structural digest of the arrival envelope (curve.Curve.Digest), the
+// arrival packetizer size, the path, and (for verdicts; zero for
+// reservations) the SLO. Two specs with identical curves map to the same
+// key and share cache entries.
+type verdictKey struct {
+	alpha uint64 // arrival envelope digest
+	lmax  units.Bytes
+	path  string // node names joined with NUL
+	slo   SLO
 }
 
 // New builds a controller for a platform of uniquely named nodes. Node
@@ -163,10 +205,12 @@ func New(name string, nodes []core.Node) (*Controller, error) {
 		return nil, fmt.Errorf("admit: platform %q has no nodes", name)
 	}
 	c := &Controller{
-		name:   name,
-		shards: make(map[string]*shard, len(nodes)),
-		flows:  make(map[string]*flowState),
-		cache:  make(map[uint64]cacheEntry),
+		name:     name,
+		shards:   make(map[string]*shard, len(nodes)),
+		flows:    make(map[string]*flowState),
+		memo:     core.NewMemo(),
+		cache:    make(map[verdictKey]Verdict),
+		resCache: make(map[verdictKey]map[string]core.Bucket),
 	}
 	for i, n := range nodes {
 		if n.Name == "" {
@@ -204,10 +248,17 @@ func (c *Controller) NodeNames() []string { return append([]string(nil), c.order
 // committing the reservation when it can. The verdict always explains the
 // decision; rejected flows leave the platform untouched.
 func (c *Controller) Admit(f Flow) Verdict {
-	key := canonical(f)
-	h := hashKey(key)
 	epoch := c.epoch.Load()
-	if v, ok := c.cached(h, key, epoch); ok {
+	// Spec and identity checks run before the cache probe: the verdict cache
+	// is keyed on curves, not IDs, so ID problems (and arrivals too malformed
+	// to build a curve from) must never reach it.
+	if v, bad := c.precheck(f, epoch); bad {
+		return v
+	}
+	key := c.keyFor(f)
+	if v, ok := c.cachedVerdict(key, epoch); ok {
+		// The cached verdict is ID-independent; stamp the asking flow's ID.
+		v.FlowID = f.ID
 		return v
 	}
 
@@ -219,7 +270,7 @@ func (c *Controller) Admit(f Flow) Verdict {
 
 	v, contrib := c.decide(f, epoch)
 	if !v.Admitted {
-		c.store(h, key, epoch, v)
+		c.storeVerdict(key, epoch, v)
 		return v
 	}
 
@@ -228,7 +279,7 @@ func (c *Controller) Admit(f Flow) Verdict {
 	for name, b := range contrib {
 		sh := c.shards[name]
 		sh.mu.Lock()
-		sh.contrib[f.ID] = b
+		sh.insert(f.ID, b)
 		sh.mu.Unlock()
 	}
 	c.flows[f.ID] = state
@@ -236,23 +287,18 @@ func (c *Controller) Admit(f Flow) Verdict {
 	return v
 }
 
-// decide runs all admission checks without mutating state, returning the
-// verdict and (when admitted) the reservation to commit. The registry write
-// lock must be held.
-func (c *Controller) decide(f Flow, epoch uint64) (Verdict, map[string]core.Bucket) {
-	v := Verdict{FlowID: f.ID, Epoch: epoch}
-	reject := func(binding, format string, args ...any) (Verdict, map[string]core.Bucket) {
-		v.Admitted = false
+// precheck runs the ID and spec checks that must precede the (ID-agnostic)
+// verdict cache probe. bad is true when v is a rejection to return as-is;
+// these rejections are never cached.
+func (c *Controller) precheck(f Flow, epoch uint64) (v Verdict, bad bool) {
+	v = Verdict{FlowID: f.ID, Epoch: epoch, Admitted: false}
+	reject := func(binding, format string, args ...any) (Verdict, bool) {
 		v.Binding = binding
 		v.Reason = "rejected: " + fmt.Sprintf(format, args...)
-		return v, nil
+		return v, true
 	}
-
 	if f.ID == "" {
 		return reject("spec", "flow has no ID")
-	}
-	if _, dup := c.flows[f.ID]; dup {
-		return reject("spec", "flow %q is already admitted", f.ID)
 	}
 	if len(f.Path) == 0 {
 		return reject("spec", "flow %q has an empty path", f.ID)
@@ -262,27 +308,67 @@ func (c *Controller) decide(f Flow, epoch uint64) (Verdict, map[string]core.Buck
 			return reject("spec", "unknown platform node %q", name)
 		}
 	}
+	if err := f.Arrival.Validate(); err != nil {
+		return reject("spec", "%v", err)
+	}
+	c.mu.RLock()
+	_, dup := c.flows[f.ID]
+	c.mu.RUnlock()
+	if dup {
+		return reject("spec", "flow %q is already admitted", f.ID)
+	}
+	return v, false
+}
+
+// keyFor builds the ID-independent cache key for f. The arrival must have
+// passed precheck (Envelope panics on malformed buckets).
+func (c *Controller) keyFor(f Flow) verdictKey {
+	return verdictKey{
+		alpha: f.Arrival.Envelope().Digest(),
+		lmax:  f.Arrival.MaxPacket,
+		path:  strings.Join(f.Path, "\x00"),
+		slo:   f.SLO,
+	}
+}
+
+// decide runs all admission checks without mutating state, returning the
+// verdict and (when admitted) the reservation to commit. The registry write
+// lock must be held, and precheck must have passed. Rejection reasons never
+// mention the candidate's ID: they are cached and replayed for any flow with
+// the same curves, path, and SLO.
+func (c *Controller) decide(f Flow, epoch uint64) (Verdict, map[string]core.Bucket) {
+	v := Verdict{FlowID: f.ID, Epoch: epoch}
+	reject := func(binding, format string, args ...any) (Verdict, map[string]core.Bucket) {
+		v.Admitted = false
+		v.Binding = binding
+		v.Reason = "rejected: " + fmt.Sprintf(format, args...)
+		return v, nil
+	}
+
+	if _, dup := c.flows[f.ID]; dup {
+		// Re-check under the write lock (precheck ran before it).
+		return reject("spec", "flow %q is already admitted", f.ID)
+	}
 
 	// Standalone reservation: the flow's propagated arrival bound at each
 	// path node on the pristine platform (no co-resident reservations), so
 	// the reservation is a deterministic function of (flow, platform).
 	// Errors here are spec errors (bad arrival, starved platform node, ...).
-	standalone, err := core.Analyze(c.standalonePipeline(f))
+	contrib, err := c.reservationFor(f)
 	if err != nil {
 		return reject("spec", "%v", err)
 	}
-	contrib := reservationFrom(f, standalone)
 
 	// Candidate analysis under the current co-resident cross traffic.
 	// Saturation (aggregate cross >= node rate) surfaces as an Analyze
 	// validation error.
-	a, err := core.Analyze(c.pipelineFor(f, f.ID, nil))
+	a, err := core.AnalyzeMemo(c.pipelineFor(f, f.ID, nil), c.memo)
 	if err != nil {
 		return reject("saturation", "%v", err)
 	}
 	b := boundsOf(a)
 	if bad := sloViolation(f.SLO, a, b); bad != nil {
-		return reject(bad.binding, "flow %q: %s", f.ID, bad.detail)
+		return reject(bad.binding, "%s", bad.detail)
 	}
 
 	// Victim check: every admitted flow sharing a node must keep its SLO
@@ -292,12 +378,12 @@ func (c *Controller) decide(f Flow, epoch uint64) (Verdict, map[string]core.Buck
 		if !sharesNode(st.flow.Path, f.Path) {
 			continue
 		}
-		ga, err := core.Analyze(c.pipelineFor(st.flow, id, contrib))
+		ga, err := core.AnalyzeMemo(c.pipelineFor(st.flow, id, contrib), c.memo)
 		if err != nil {
-			return reject("victim:"+id, "admitting %q would starve flow %q: %v", f.ID, id, err)
+			return reject("victim:"+id, "admitting this flow would starve flow %q: %v", id, err)
 		}
 		if bad := sloViolation(st.flow.SLO, ga, boundsOf(ga)); bad != nil {
-			return reject("victim:"+id, "admitting %q would break flow %q: %s", f.ID, id, bad.detail)
+			return reject("victim:"+id, "admitting this flow would break flow %q: %s", id, bad.detail)
 		}
 	}
 
@@ -354,10 +440,43 @@ func reservationFrom(f Flow, a *core.Analysis) map[string]core.Bucket {
 	return out
 }
 
+// reservationFor returns f's standalone per-node reservation, cached on
+// (envelope digest, path) — flow-ID- and epoch-independent, since the
+// standalone propagation only sees the pristine platform. The returned map
+// is shared across cache hits and must be treated as read-only (all callers
+// are).
+func (c *Controller) reservationFor(f Flow) (map[string]core.Bucket, error) {
+	key := verdictKey{
+		alpha: f.Arrival.Envelope().Digest(),
+		lmax:  f.Arrival.MaxPacket,
+		path:  strings.Join(f.Path, "\x00"),
+	}
+	c.resMu.Lock()
+	contrib, ok := c.resCache[key]
+	c.resMu.Unlock()
+	if ok {
+		return contrib, nil
+	}
+	standalone, err := core.AnalyzeMemo(c.standalonePipeline(f), c.memo)
+	if err != nil {
+		return nil, err
+	}
+	contrib = reservationFrom(f, standalone)
+	c.resMu.Lock()
+	if len(c.resCache) >= 4096 {
+		c.resCache = make(map[verdictKey]map[string]core.Bucket)
+	}
+	c.resCache[key] = contrib
+	c.resMu.Unlock()
+	return contrib, nil
+}
+
 // standalonePipeline builds f's pipeline over the pristine platform: only
-// each node's static background cross traffic, no tenant reservations.
+// each node's static background cross traffic, no tenant reservations. The
+// pipeline name is ID-independent so the analysis memo can share results
+// across flows with identical curves and paths.
 func (c *Controller) standalonePipeline(f Flow) core.Pipeline {
-	p := core.Pipeline{Name: c.name + "/" + f.ID, Arrival: f.Arrival}
+	p := core.Pipeline{Name: c.name + "/standalone", Arrival: f.Arrival}
 	for _, name := range f.Path {
 		p.Nodes = append(p.Nodes, c.shards[name].node)
 	}
@@ -367,9 +486,10 @@ func (c *Controller) standalonePipeline(f Flow) core.Pipeline {
 // pipelineFor builds the core pipeline for flow f over the platform, with
 // cross traffic at each node = the node's static background + the reserved
 // buckets of all admitted flows except exclude + extra (a candidate's
-// reservation during victim checks). Callers must hold the registry lock.
+// reservation during victim checks). The name is ID-independent (see
+// standalonePipeline). Callers must hold the registry lock.
 func (c *Controller) pipelineFor(f Flow, exclude string, extra map[string]core.Bucket) core.Pipeline {
-	p := core.Pipeline{Name: c.name + "/" + f.ID, Arrival: f.Arrival}
+	p := core.Pipeline{Name: c.name + "/shared", Arrival: f.Arrival}
 	for _, name := range f.Path {
 		sh := c.shards[name]
 		n := sh.node
@@ -485,7 +605,7 @@ func (c *Controller) Release(id string) bool {
 	for name := range st.contrib {
 		sh := c.shards[name]
 		sh.mu.Lock()
-		delete(sh.contrib, id)
+		sh.remove(id)
 		sh.mu.Unlock()
 	}
 	delete(c.flows, id)
@@ -541,10 +661,7 @@ func (c *Controller) ResidualService(node string) (Residual, error) {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	r := Residual{Node: sh.node}
-	for id := range sh.contrib {
-		r.Flows = append(r.Flows, id)
-	}
-	sort.Strings(r.Flows)
+	r.Flows = append(r.Flows, sh.ids...)
 	agg := sh.aggregate("")
 	r.Cross = core.Bucket{
 		Rate:  agg.Rate + sh.node.CrossRate,
@@ -569,52 +686,66 @@ func (c *Controller) ResidualService(node string) (Residual, error) {
 
 // --- Verdict cache ---------------------------------------------------------
 
-// canonical renders a flow spec as a deterministic string for hashing and
-// collision checks.
-func canonical(f Flow) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s|%g|%g|%g", f.ID, float64(f.Arrival.Rate), float64(f.Arrival.Burst), float64(f.Arrival.MaxPacket))
-	for _, e := range f.Arrival.Extra {
-		fmt.Fprintf(&b, "|x%g,%g", float64(e.Rate), float64(e.Burst))
-	}
-	for _, p := range f.Path {
-		b.WriteString("|p")
-		b.WriteString(p)
-	}
-	fmt.Fprintf(&b, "|s%d,%g,%g", f.SLO.MaxDelay, float64(f.SLO.MaxBacklog), float64(f.SLO.MinThroughput))
-	return b.String()
-}
-
-func hashKey(key string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	return h.Sum64()
-}
-
-// cached returns a verdict stored at the current epoch. Only rejections
-// survive in the cache: a committed admission bumps the epoch, flushing it.
-func (c *Controller) cached(h uint64, key string, epoch uint64) (Verdict, bool) {
+// cachedVerdict returns a verdict stored at the current epoch. Only
+// rejections survive in the cache: a committed admission bumps the epoch,
+// flushing it.
+func (c *Controller) cachedVerdict(key verdictKey, epoch uint64) (Verdict, bool) {
 	c.cacheMu.Lock()
 	defer c.cacheMu.Unlock()
 	if c.cacheEpoch != epoch {
+		c.cacheMiss.Add(1)
 		return Verdict{}, false
 	}
-	e, ok := c.cache[h]
-	if !ok || e.key != key {
+	v, ok := c.cache[key]
+	if !ok {
+		c.cacheMiss.Add(1)
 		return Verdict{}, false
 	}
-	v := e.verdict
+	c.cacheHits.Add(1)
 	v.Cached = true
 	return v, true
 }
 
-func (c *Controller) store(h uint64, key string, epoch uint64, v Verdict) {
+func (c *Controller) storeVerdict(key verdictKey, epoch uint64, v Verdict) {
 	c.cacheMu.Lock()
 	defer c.cacheMu.Unlock()
 	if c.cacheEpoch != epoch {
 		// The platform changed while computing; flush and rebase.
-		c.cache = make(map[uint64]cacheEntry)
+		c.cache = make(map[verdictKey]Verdict)
 		c.cacheEpoch = epoch
 	}
-	c.cache[h] = cacheEntry{key: key, verdict: v}
+	c.cache[key] = v
+}
+
+// Stats is a snapshot of the controller's cache and memo effectiveness, for
+// the daemon's /healthz endpoint.
+type Stats struct {
+	// Verdict cache (epoch-scoped, digest-keyed).
+	VerdictHits    uint64 `json:"verdict_hits"`
+	VerdictMisses  uint64 `json:"verdict_misses"`
+	VerdictEntries int    `json:"verdict_entries"`
+	// Pipeline-analysis memo (core.Memo).
+	AnalysisHits    uint64 `json:"analysis_hits"`
+	AnalysisMisses  uint64 `json:"analysis_misses"`
+	AnalysisEntries int    `json:"analysis_entries"`
+	// Standalone reservation cache.
+	ReservationEntries int `json:"reservation_entries"`
+	// Process-wide curve operation memo.
+	CurveOps curve.CacheStats `json:"curve_ops"`
+}
+
+// Stats reports cumulative cache counters.
+func (c *Controller) Stats() Stats {
+	var s Stats
+	s.VerdictHits = c.cacheHits.Load()
+	s.VerdictMisses = c.cacheMiss.Load()
+	c.cacheMu.Lock()
+	s.VerdictEntries = len(c.cache)
+	c.cacheMu.Unlock()
+	s.AnalysisHits, s.AnalysisMisses, s.AnalysisEntries = c.memo.Stats()
+	c.resMu.Lock()
+	s.ReservationEntries = len(c.resCache)
+	c.resMu.Unlock()
+	s.CurveOps = curve.MemoStats()
+	return s
 }

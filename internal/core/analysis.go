@@ -126,8 +126,23 @@ func dur(s float64) time.Duration {
 }
 
 // Analyze applies the network-calculus model to the pipeline and returns
-// the bounds and curves.
-func Analyze(p Pipeline) (*Analysis, error) {
+// the bounds and curves. It is equivalent to AnalyzeMemo(p, nil).
+func Analyze(p Pipeline) (*Analysis, error) { return analyze(p) }
+
+// AnalyzeMemo is Analyze with a result cache: when m is non-nil and holds an
+// analysis for a structurally identical pipeline, that result is returned
+// directly (analyses are immutable once published — callers must not mutate
+// a shared *Analysis). The admission controller threads one Memo through its
+// standalone, candidate, and victim re-check analyses, where the same
+// pipelines recur for every probe.
+func AnalyzeMemo(p Pipeline, m *Memo) (*Analysis, error) {
+	if m == nil {
+		return analyze(p)
+	}
+	return m.analyze(p)
+}
+
+func analyze(p Pipeline) (*Analysis, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -135,10 +150,7 @@ func Analyze(p Pipeline) (*Analysis, error) {
 
 	// Arrival curves (input-referred by definition). Extra buckets tighten
 	// the envelope to a concave piecewise-linear minimum.
-	alpha := curve.Affine(float64(p.Arrival.Rate), float64(p.Arrival.Burst))
-	for _, b := range p.Arrival.Extra {
-		alpha = curve.Min(alpha, curve.Affine(float64(b.Rate), float64(b.Burst)))
-	}
+	alpha := p.Arrival.Envelope()
 	alphaPrime := alpha
 	if p.Arrival.MaxPacket > 0 {
 		alphaPrime = curve.AddBurst(alpha, float64(p.Arrival.MaxPacket))

@@ -182,13 +182,7 @@ func AnalyzeGraph(g Graph) (*GraphAnalysis, error) {
 		Order: order,
 		Nodes: map[string]*GraphNodeAnalysis{},
 	}
-	alpha := curve.Affine(float64(g.Arrival.Rate), float64(g.Arrival.Burst))
-	for _, b := range g.Arrival.Extra {
-		alpha = curve.Min(alpha, curve.Affine(float64(b.Rate), float64(b.Burst)))
-	}
-	if g.Arrival.MaxPacket > 0 {
-		alpha = curve.AddBurst(alpha, float64(g.Arrival.MaxPacket))
-	}
+	alpha := g.Arrival.PacketizedEnvelope()
 	outCurve := map[string]curve.Curve{SourceName: alpha}
 
 	res.Stable = true

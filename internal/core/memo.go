@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+	"sync"
+)
+
+// Memo is a bounded cache of Analyze results keyed by a structural digest of
+// the pipeline description (name, arrival buckets, and every node field).
+// Identical pipelines — the common case in admission control, where each
+// probe re-analyzes the same standalone flows and candidate paths — share
+// one immutable *Analysis.
+//
+// A Memo is safe for concurrent use. Cached analyses are returned by
+// pointer; callers must treat them as read-only.
+type Memo struct {
+	mu      sync.Mutex
+	entries map[uint64]memoEntry
+	hits    uint64
+	misses  uint64
+}
+
+type memoEntry struct {
+	a   *Analysis
+	err error
+}
+
+// memoCap bounds the number of cached analyses; on overflow roughly half
+// the entries are evicted (map order, effectively random).
+const memoCap = 1024
+
+// NewMemo returns an empty analysis cache.
+func NewMemo() *Memo { return &Memo{} }
+
+// Stats returns the cumulative hit/miss counters and current entry count.
+func (m *Memo) Stats() (hits, misses uint64, entries int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses, len(m.entries)
+}
+
+func (m *Memo) analyze(p Pipeline) (*Analysis, error) {
+	key := p.digest()
+	m.mu.Lock()
+	if e, ok := m.entries[key]; ok {
+		m.hits++
+		m.mu.Unlock()
+		return e.a, e.err
+	}
+	m.misses++
+	m.mu.Unlock()
+
+	a, err := analyze(p)
+
+	m.mu.Lock()
+	if m.entries == nil {
+		m.entries = make(map[uint64]memoEntry, 64)
+	}
+	if len(m.entries) >= memoCap {
+		drop := len(m.entries) / 2
+		for k := range m.entries {
+			if drop == 0 {
+				break
+			}
+			delete(m.entries, k)
+			drop--
+		}
+	}
+	m.entries[key] = memoEntry{a: a, err: err}
+	m.mu.Unlock()
+	return a, err
+}
+
+// digest hashes every field of the pipeline description that Analyze reads.
+// The Name is included because it is embedded verbatim in the Analysis (and
+// in Subrange-derived names); two pipelines differing only by name must not
+// share a cached result.
+func (p Pipeline) digest() uint64 {
+	h := newDigest()
+	h.str(p.Name)
+	h.f64(float64(p.Arrival.Rate))
+	h.f64(float64(p.Arrival.Burst))
+	h.f64(float64(p.Arrival.MaxPacket))
+	h.u64(uint64(len(p.Arrival.Extra)))
+	for _, b := range p.Arrival.Extra {
+		h.f64(float64(b.Rate))
+		h.f64(float64(b.Burst))
+	}
+	h.u64(uint64(len(p.Nodes)))
+	for _, n := range p.Nodes {
+		h.str(n.Name)
+		h.u64(uint64(n.Kind))
+		h.f64(float64(n.Rate))
+		h.f64(float64(n.MaxRate))
+		h.u64(uint64(n.Latency))
+		h.f64(float64(n.JobIn))
+		h.f64(float64(n.JobOut))
+		h.f64(float64(n.MaxPacket))
+		h.f64(n.BestGain)
+		h.f64(float64(n.CrossRate))
+		h.f64(float64(n.CrossBurst))
+	}
+	return h.sum()
+}
+
+// digestState is a small splitmix-style incremental hasher (FNV-quality
+// avalanche without allocations).
+type digestState struct{ h uint64 }
+
+func newDigest() *digestState { return &digestState{h: 0x9e3779b97f4a7c15} }
+
+func (d *digestState) u64(v uint64) {
+	h := d.h ^ v
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	d.h = h
+}
+
+func (d *digestState) f64(v float64) {
+	if v == 0 {
+		v = 0 // fold -0 into +0
+	}
+	d.u64(math.Float64bits(v))
+}
+
+func (d *digestState) str(s string) {
+	d.u64(uint64(len(s)))
+	// Fold 8 bytes at a time; the tail is zero-padded by the loop bound.
+	var acc uint64
+	n := 0
+	for i := 0; i < len(s); i++ {
+		acc = acc<<8 | uint64(s[i])
+		n++
+		if n == 8 {
+			d.u64(acc)
+			acc, n = 0, 0
+		}
+	}
+	if n > 0 {
+		d.u64(acc)
+	}
+}
+
+func (d *digestState) sum() uint64 {
+	h := d.h
+	h ^= h >> 29
+	h *= 0x94d049bb133111eb
+	h ^= h >> 32
+	return h
+}

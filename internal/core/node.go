@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"time"
 
+	"streamcalc/internal/curve"
 	"streamcalc/internal/units"
 )
 
@@ -197,6 +198,34 @@ func (a Arrival) validate() error {
 		}
 	}
 	return nil
+}
+
+// Validate checks the arrival description for structural errors. It is the
+// exported form of the check Analyze performs, for callers (like the
+// admission controller) that need to reject malformed specs before building
+// curves from them.
+func (a Arrival) Validate() error { return a.validate() }
+
+// Envelope returns the arrival curve: the concave envelope
+// min_i(Rate_i·t + Burst_i) over the primary bucket and all Extra buckets,
+// built in one pass by curve.Envelope. The arrival must be valid.
+func (a Arrival) Envelope() curve.Curve {
+	buckets := make([]curve.Bucket, 0, 1+len(a.Extra))
+	buckets = append(buckets, curve.Bucket{Rate: float64(a.Rate), Burst: float64(a.Burst)})
+	for _, b := range a.Extra {
+		buckets = append(buckets, curve.Bucket{Rate: float64(b.Rate), Burst: float64(b.Burst)})
+	}
+	return curve.Envelope(buckets)
+}
+
+// PacketizedEnvelope returns the packetizer-adjusted arrival curve
+// alpha' = alpha + l_max·1_{t>0} (equal to Envelope when MaxPacket is 0).
+func (a Arrival) PacketizedEnvelope() curve.Curve {
+	alpha := a.Envelope()
+	if a.MaxPacket > 0 {
+		alpha = curve.AddBurst(alpha, float64(a.MaxPacket))
+	}
+	return alpha
 }
 
 // Pipeline is a chain of nodes fed by an arrival flow. Data flows through

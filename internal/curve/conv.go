@@ -2,7 +2,6 @@ package curve
 
 import (
 	"math"
-	"sort"
 )
 
 // Convolve computes the min-plus convolution
@@ -23,6 +22,10 @@ import (
 // piece-decomposition algorithm (ConvolveExact). ConvolveSampled remains
 // available for cross-validation.
 func Convolve(f, g Curve) Curve {
+	return memoBinary(opConv, f, g, func() Curve { return convolveDispatch(f, g) })
+}
+
+func convolveDispatch(f, g Curve) Curve {
 	if f.IsConcave() && g.IsConcave() && f.AtZero() == 0 && g.AtZero() == 0 {
 		return Min(f, g)
 	}
@@ -83,36 +86,34 @@ func autoHorizon(f, g Curve) float64 {
 
 // convolveConvex implements the exact slope-merge rule for convex curves:
 // the convolution traverses the combined segments in increasing slope order,
-// starting from f(0)+g(0).
+// starting from f(0)+g(0). Convexity means each curve's finite pieces are
+// already sorted by slope, so the traversal is a two-pointer merge of the
+// two segment lists — O(n+m), no sort.
 func convolveConvex(f, g Curve) Curve {
-	type piece struct {
-		slope, length float64
-	}
-	var finite []piece
-	collect := func(c Curve) {
-		segs := c.Segments()
-		for i := 0; i+1 < len(segs); i++ {
-			finite = append(finite, piece{segs[i].Slope, segs[i+1].X - segs[i].X})
-		}
-	}
-	collect(f)
-	collect(g)
-	sort.Slice(finite, func(i, j int) bool { return finite[i].slope < finite[j].slope })
-
+	fs, gs := f.segs, g.segs
 	ultimate := math.Min(f.UltimateSlope(), g.UltimateSlope())
 	start := f.AtZero() + g.AtZero()
 	t, y := 0.0, start
-	segs := make([]Segment, 0, len(finite)+1)
-	for _, p := range finite {
-		if p.slope >= ultimate {
+	segs := make([]Segment, 0, len(fs)+len(gs))
+	i, j := 0, 0 // finite pieces are fs[:len-1], gs[:len-1]
+	for i+1 < len(fs) || j+1 < len(gs) {
+		var slope, length float64
+		if i+1 < len(fs) && (j+1 >= len(gs) || fs[i].Slope <= gs[j].Slope) {
+			slope, length = fs[i].Slope, fs[i+1].X-fs[i].X
+			i++
+		} else {
+			slope, length = gs[j].Slope, gs[j+1].X-gs[j].X
+			j++
+		}
+		if slope >= ultimate {
 			break // the infinite minimum-slope ray dominates from here on
 		}
-		segs = append(segs, Segment{t, y, p.slope})
-		t += p.length
-		y += p.length * p.slope
+		segs = append(segs, Segment{t, y, slope})
+		t += length
+		y += length * slope
 	}
 	segs = append(segs, Segment{t, y, ultimate})
-	return New(start, segs)
+	return newOwned(start, segs)
 }
 
 // ConvolveSampled evaluates (f ⊗ g) numerically on an n-point grid over

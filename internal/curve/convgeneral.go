@@ -175,11 +175,13 @@ func ConvolveExact(f, g Curve) Curve {
 			slope = v2 - v1
 			y = v1 - slope*1
 		}
-		if slope < 0 && slope > -1e-7 {
-			slope = 0
+		span := 1.0
+		if i+1 < len(xs) {
+			span = xs[i+1] - x
 		}
-		if y < 0 && y > -1e-9 {
-			y = 0
+		slope = clampSlope(slope, y, span)
+		if y < 0 && -y <= absEps(minAt(x+span/2)) {
+			y = 0 // cancellation noise, relative to the local value scale
 		}
 		segs = append(segs, Segment{x, y, slope})
 	}
@@ -196,7 +198,7 @@ func ConvolveExact(f, g Curve) Curve {
 	if y0 > segs[0].Y {
 		y0 = segs[0].Y
 	}
-	return New(y0, segs)
+	return newOwned(y0, segs)
 }
 
 // withOrigin returns c with its value at 0 replaced (clamped to the right
@@ -206,5 +208,5 @@ func withOrigin(c Curve, y0 float64) Curve {
 	if y0 > segs[0].Y {
 		y0 = segs[0].Y
 	}
-	return Curve{y0: y0, segs: segs}
+	return newOwned(y0, segs)
 }

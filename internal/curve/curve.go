@@ -24,8 +24,11 @@ import (
 	"strings"
 )
 
-// eps is the relative/absolute tolerance used when comparing breakpoint
-// coordinates and when merging collinear segments.
+// eps is the base relative/absolute tolerance used when comparing breakpoint
+// coordinates, values, and slopes. All comparisons derived from it are
+// relative-or-absolute (see absEps and slopeTol), so curves at byte/sec
+// magnitudes (1e9 slopes, 1e9 values) normalize as reliably as unit-scale
+// ones.
 const eps = 1e-9
 
 // Segment is one affine piece of a Curve: on [X, nextX) the curve has value
@@ -37,10 +40,13 @@ type Segment struct {
 }
 
 // Curve is a wide-sense-increasing piecewise-linear function on [0, +inf).
-// The zero value of Curve is not valid; use a constructor.
+// Curves are immutable after construction and carry a structural digest
+// (see Digest) computed once by the constructor. The zero value of Curve is
+// not valid; use a constructor.
 type Curve struct {
-	y0   float64 // value at exactly t = 0
-	segs []Segment
+	y0     float64 // value at exactly t = 0
+	segs   []Segment
+	digest uint64 // structural hash of the normalized representation
 }
 
 // New builds a curve from an explicit value at zero and a segment list.
@@ -48,34 +54,69 @@ type Curve struct {
 // non-negative slopes, and be wide-sense increasing overall. New panics on a
 // malformed description; it is intended for package-internal constructors
 // and tests (use the named constructors for common shapes).
+//
+// New copies segs; package-internal code that owns its slice uses newOwned
+// to skip the copy.
 func New(y0 float64, segs []Segment) Curve {
-	c := Curve{y0: y0, segs: append([]Segment(nil), segs...)}
+	return newOwned(y0, append([]Segment(nil), segs...))
+}
+
+// newOwned is the internal no-copy constructor: it takes ownership of segs,
+// normalizes, validates, and computes the structural digest. Every Curve in
+// the package is built through here so the digest invariant holds globally.
+func newOwned(y0 float64, segs []Segment) Curve {
+	c := Curve{y0: y0, segs: segs}
 	c.normalize()
 	if err := c.validate(); err != nil {
 		panic("curve: " + err.Error())
 	}
+	c.digest = digestCurve(c.y0, c.segs)
 	return c
 }
 
-// normalize merges adjacent collinear segments and drops zero-length
-// segments that carry no jump.
+// normalize clamps floating-point slope noise, merges adjacent collinear
+// segments, and drops zero-length segments that carry no jump.
 func (c *Curve) normalize() {
 	if len(c.segs) == 0 {
 		return
 	}
+	// Clamp slightly-negative slopes produced by catastrophic cancellation
+	// in upstream arithmetic (value differences divided by short intervals).
+	// The tolerance scales with the segment's value magnitude over its own
+	// span, so GB-scale curves with sub-microsecond breakpoints are handled
+	// the same as unit-scale ones; genuinely decreasing segments still fail
+	// validation below.
+	for i := range c.segs {
+		s := &c.segs[i]
+		if s.Slope < 0 {
+			dt := math.Inf(1)
+			if i+1 < len(c.segs) {
+				dt = c.segs[i+1].X - s.X
+			}
+			if -s.Slope <= slopeTol(s.Slope, 0, s.Y, dt) {
+				s.Slope = 0
+			}
+		}
+	}
 	out := c.segs[:0]
-	for _, s := range c.segs {
+	for i, s := range c.segs {
 		if len(out) > 0 {
 			p := &out[len(out)-1]
 			endV := p.Y + p.Slope*(s.X-p.X)
-			if math.Abs(s.X-p.X) <= eps*(1+math.Abs(s.X)) {
+			if math.Abs(s.X-p.X) <= absEps(s.X) {
 				// Coincident start: keep the later definition (it
 				// overrides), preserving any jump it encodes.
 				*p = s
 				continue
 			}
-			if math.Abs(s.Y-endV) <= absEps(endV) && math.Abs(s.Slope-p.Slope) <= absEps(p.Slope) {
-				// Collinear continuation: merge.
+			// Collinear continuation: merge when the value matches and the
+			// slopes agree to within what is distinguishable over this
+			// segment's own span at its value magnitude.
+			dt := math.Inf(1)
+			if i+1 < len(c.segs) {
+				dt = c.segs[i+1].X - s.X
+			}
+			if math.Abs(s.Y-endV) <= absEps(endV) && math.Abs(s.Slope-p.Slope) <= slopeTol(s.Slope, p.Slope, s.Y, dt) {
 				continue
 			}
 		}
@@ -85,6 +126,31 @@ func (c *Curve) normalize() {
 }
 
 func absEps(v float64) float64 { return eps * (1 + math.Abs(v)) }
+
+// slopeTol is the relative-or-absolute tolerance for comparing slopes s1 and
+// s2 on a segment of span dt at value magnitude y. Two slope contributions
+// are indistinguishable: noise proportional to the slopes themselves, and
+// noise from value-difference cancellation, which is relative to the value
+// magnitude divided by the span. The latter term is what makes GB/s curves
+// (|y| ~ 1e9) with microsecond spans normalize correctly — their slope noise
+// is orders of magnitude above any absolute cutoff.
+func slopeTol(s1, s2, y, dt float64) float64 {
+	t := 8 * eps * (1 + math.Abs(s1) + math.Abs(s2))
+	if dt > 0 && !math.IsInf(dt, 1) {
+		t += 8 * eps * (1 + math.Abs(y)) / dt
+	}
+	return t
+}
+
+// clampSlope zeroes a computed slope that is negative only by cancellation
+// noise (relative to value magnitude y over span dt); larger negatives pass
+// through for validation to reject.
+func clampSlope(slope, y, dt float64) float64 {
+	if slope < 0 && -slope <= slopeTol(slope, 0, y, dt) {
+		return 0
+	}
+	return slope
+}
 
 func (c *Curve) validate() error {
 	if len(c.segs) == 0 {
@@ -121,13 +187,13 @@ func (c *Curve) validate() error {
 
 // Zero returns the identically-zero curve.
 func Zero() Curve {
-	return Curve{y0: 0, segs: []Segment{{0, 0, 0}}}
+	return newOwned(0, []Segment{{0, 0, 0}})
 }
 
 // Constant returns the curve that is 0 at t=0 and c for all t>0 (c >= 0).
 // For c == 0 it is the zero curve.
 func Constant(c float64) Curve {
-	return Curve{y0: 0, segs: []Segment{{0, c, 0}}}
+	return newOwned(0, []Segment{{0, c, 0}})
 }
 
 // Affine returns the leaky-bucket (token-bucket) arrival curve
@@ -136,7 +202,7 @@ func Constant(c float64) Curve {
 //
 // This is the curve the paper uses for arrival constraints.
 func Affine(rate, burst float64) Curve {
-	return Curve{y0: 0, segs: []Segment{{0, burst, rate}}}
+	return newOwned(0, []Segment{{0, burst, rate}})
 }
 
 // RateLatency returns the rate-latency service curve
@@ -144,9 +210,9 @@ func Affine(rate, burst float64) Curve {
 //	beta(t) = rate * max(0, t-latency).
 func RateLatency(rate, latency float64) Curve {
 	if latency <= 0 {
-		return Curve{y0: 0, segs: []Segment{{0, 0, rate}}}
+		return newOwned(0, []Segment{{0, 0, rate}})
 	}
-	return Curve{y0: 0, segs: []Segment{{0, 0, 0}, {latency, 0, rate}}}
+	return newOwned(0, []Segment{{0, 0, 0}, {latency, 0, rate}})
 }
 
 // Line returns the curve rate*t (an affine curve with zero burst).
@@ -158,7 +224,77 @@ func Step(height, at float64) Curve {
 	if at <= 0 {
 		return Constant(height)
 	}
-	return Curve{y0: 0, segs: []Segment{{0, 0, 0}, {at, height, 0}}}
+	return newOwned(0, []Segment{{0, 0, 0}, {at, height, 0}})
+}
+
+// Bucket is a (rate, burst) leaky-bucket descriptor for Envelope.
+type Bucket struct {
+	Rate  float64
+	Burst float64
+}
+
+// Envelope builds the concave arrival envelope min_i(Rate_i·t + Burst_i)
+// over one or more leaky buckets, with f(0) = 0, in a single O(k log k)
+// lower-envelope construction instead of folding Min over k affine curves.
+// All rates and bursts must be non-negative and at least one bucket is
+// required.
+func Envelope(buckets []Bucket) Curve {
+	if len(buckets) == 0 {
+		panic("curve: Envelope needs at least one bucket")
+	}
+	if len(buckets) == 1 {
+		return Affine(buckets[0].Rate, buckets[0].Burst)
+	}
+	// Lower envelope of lines y = r·t + b on t >= 0, via a monotone
+	// convex-hull sweep: sort by rate descending (envelope pieces appear in
+	// decreasing slope order from t = 0 outward), keep min burst among equal
+	// rates, then stack-prune lines that never attain the minimum.
+	lines := append([]Bucket(nil), buckets...)
+	sort.Slice(lines, func(i, j int) bool {
+		if lines[i].Rate != lines[j].Rate {
+			return lines[i].Rate > lines[j].Rate
+		}
+		return lines[i].Burst < lines[j].Burst
+	})
+	// hull[k] holds envelope lines in decreasing rate order; start[k] is
+	// where hull[k] becomes the minimum.
+	hull := make([]Bucket, 0, len(lines))
+	start := make([]float64, 0, len(lines))
+	for _, l := range lines {
+		if len(hull) > 0 && l.Rate == hull[len(hull)-1].Rate {
+			continue // same rate, larger-or-equal burst: dominated
+		}
+		for len(hull) > 0 {
+			top := hull[len(hull)-1]
+			if l.Burst >= top.Burst {
+				// Flatter and no cheaper at t=0 ... still wins eventually
+				// (strictly smaller rate), at the crossing below.
+				x := (l.Burst - top.Burst) / (top.Rate - l.Rate)
+				if x > start[len(start)-1] {
+					hull = append(hull, l)
+					start = append(start, x)
+					break
+				}
+				// Crossing at or before top's own start: top never attains
+				// the minimum; pop and retry against the previous line.
+				hull = hull[:len(hull)-1]
+				start = start[:len(start)-1]
+				continue
+			}
+			// Cheaper at t=0 and flatter: top is dominated everywhere.
+			hull = hull[:len(hull)-1]
+			start = start[:len(start)-1]
+		}
+		if len(hull) == 0 {
+			hull = append(hull, l)
+			start = append(start, 0)
+		}
+	}
+	segs := make([]Segment, len(hull))
+	for i, l := range hull {
+		segs[i] = Segment{X: start[i], Y: l.Rate*start[i] + l.Burst, Slope: l.Rate}
+	}
+	return newOwned(0, segs)
 }
 
 // Staircase returns the packetized-flow staircase arrival curve
@@ -182,7 +318,7 @@ func Staircase(height, period float64, n int) Curve {
 		segs = append(segs, Segment{float64(k) * period, float64(k+1) * height, 0})
 	}
 	segs = append(segs, Segment{float64(n) * period, float64(n+1) * height, height / period})
-	return New(0, segs)
+	return newOwned(0, segs)
 }
 
 // FromPoints builds a continuous curve passing through the given (x, y)
@@ -207,7 +343,7 @@ func FromPoints(xs, ys []float64, finalSlope float64) Curve {
 		}
 		segs[i] = Segment{xs[i], ys[i], slope}
 	}
-	return New(ys[0], segs)
+	return newOwned(ys[0], segs)
 }
 
 // --- Inspection -----------------------------------------------------------
@@ -302,9 +438,10 @@ func (c Curve) Latency() float64 {
 // applies over positive-length windows), the conventional normalization is
 // f(0) = 0.
 func (c Curve) ZeroAtOrigin() Curve {
-	c.segs = append([]Segment(nil), c.segs...)
-	c.y0 = 0
-	return c
+	if c.y0 == 0 {
+		return c // immutable, digest unchanged: safe to share
+	}
+	return newOwned(0, append([]Segment(nil), c.segs...))
 }
 
 // Segments returns a copy of the curve's segment list.
@@ -355,8 +492,13 @@ func (c Curve) IsConvex() bool {
 }
 
 // Equal reports whether two curves agree to within tolerance at all
-// breakpoints of both and in their ultimate affine behavior.
+// breakpoints of both and in their ultimate affine behavior. Equal digests
+// short-circuit to true: they mean structurally identical normalized
+// representations (up to the accepted 2^-64 collision risk).
 func (c Curve) Equal(d Curve) bool {
+	if c.digest == d.digest && len(c.segs) > 0 && len(d.segs) > 0 {
+		return true
+	}
 	if math.Abs(c.y0-d.y0) > absEps(c.y0) {
 		return false
 	}

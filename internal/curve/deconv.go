@@ -29,6 +29,10 @@ import (
 //
 // The result is the pointwise maximum of all candidates.
 func Deconvolve(f, g Curve) (res Curve, ok bool) {
+	return memoBinaryOK(opDeconv, f, g, func() (Curve, bool) { return deconvolve(f, g) })
+}
+
+func deconvolve(f, g Curve) (res Curve, ok bool) {
 	fr, fo := f.UltimateAffine()
 	gr, gOff := g.UltimateAffine()
 	if fr > gr+absEps(gr) {
@@ -58,12 +62,14 @@ func Deconvolve(f, g Curve) (res Curve, ok bool) {
 	// Family C: asymptote when ultimate rates coincide.
 	if math.Abs(fr-gr) <= absEps(gr) {
 		off := fo - gOff
-		candidates = append(candidates, Curve{y0: off, segs: []Segment{{0, off, fr}}})
+		candidates = append(candidates, newOwned(off, []Segment{{0, off, fr}}))
 	}
 
+	// Fold with the raw kernel rather than the memoized Max: the
+	// intermediates are unique to this call and would only churn the memo.
 	res = candidates[0]
 	for _, c := range candidates[1:] {
-		res = Max(res, c)
+		res = combine(res, c, binMax)
 	}
 	return res, true
 }
@@ -75,7 +81,7 @@ func shiftDown(c Curve, d float64) Curve {
 	for i := range segs {
 		segs[i].Y -= d
 	}
-	return Curve{y0: c.AtZero() - d, segs: segs}
+	return newOwned(c.AtZero()-d, segs)
 }
 
 // pinnedCandidate builds t -> f(x) - g(x - t) on [0, x], extended with the
@@ -110,15 +116,12 @@ func pinnedCandidate(f, g Curve, x float64) Curve {
 			uNext := x - pts[i+1].t
 			endVal := fx - g.ValueRight(uNext)
 			if dt > 0 {
-				slope = (endVal - pts[i].y) / dt
+				slope = clampSlope((endVal-pts[i].y)/dt, fx, dt)
 			}
-		}
-		if slope < 0 && slope > -1e-7 {
-			slope = 0
 		}
 		segs = append(segs, Segment{pts[i].t, pts[i].y, slope})
 	}
-	return New(pts[0].y, segs)
+	return newOwned(pts[0].y, segs)
 }
 
 // DeconvolveSampled evaluates (f ⊘ g) numerically: the supremum over u is

@@ -59,6 +59,25 @@ func FuzzCurveOps(f *testing.F) {
 		conv := Convolve(a, b)
 		checkMonotone("conv", conv)
 
+		// Differential: the O(n+m) merge kernel must agree with the
+		// sort-based reference on every fuzzed pair.
+		horizon := 1.5*math.Max(a.LastBreak(), b.LastBreak()) + 1
+		for _, tc := range []struct {
+			name string
+			op   binOp
+			got  Curve
+		}{{"min", binMin, m}, {"max", binMax, x}, {"add", binAdd, s}} {
+			ref := combineSorted(a, b, tc.op)
+			for i := 0; i <= 120; i++ {
+				xx := horizon * float64(i) / 120
+				gv, rv := tc.got.Value(xx), ref.Value(xx)
+				if math.Abs(gv-rv) > 1e-6*(1+math.Abs(gv)+math.Abs(rv)) {
+					t.Fatalf("%s kernel diverges from reference at %g: %g vs %g",
+						tc.name, xx, gv, rv)
+				}
+			}
+		}
+
 		for i := 0; i <= 40; i++ {
 			tt := 20 * float64(i) / 40
 			if m.Value(tt) > math.Min(a.Value(tt), b.Value(tt))+1e-6 {

@@ -1,0 +1,107 @@
+package curve
+
+import (
+	"math"
+	"testing"
+)
+
+// Regression tests for scale-dependent tolerances: with GB/s-magnitude
+// slopes (1e9 and up), the old absolute eps = 1e-9 comparisons failed to
+// merge collinear pieces whose slopes differ only by float64 cancellation
+// noise, and clamped nothing, leaving curves with spurious micro-segments.
+
+// A curve whose middle piece has slope 2.5e9+4 over a 1e-7-wide span — pure
+// cancellation noise from reconstructing a 2.5 GB/s line through computed
+// points. The relative slope tolerance must merge all three pieces into
+// one.
+func TestNormalizeMergesGBScaleCollinear(t *testing.T) {
+	c := New(0, []Segment{
+		{0, 0, 2.5e9},
+		{0.4, 1.0e9, 2.5e9 + 4},
+		{0.4 + 1e-7, 1.0e9 + 250, 2.5e9},
+	})
+	if got := len(c.Segments()); got != 1 {
+		t.Fatalf("GB-scale collinear pieces not merged: %d segments: %v", got, c)
+	}
+	if s := c.UltimateSlope(); math.Abs(s-2.5e9) > 1e-3 {
+		t.Fatalf("merged slope %g, want 2.5e9", s)
+	}
+}
+
+// The same curve at unit scale must NOT merge: a slope difference of 4 on a
+// slope of 2.5 is a real kink, not noise.
+func TestNormalizeKeepsUnitScaleKinks(t *testing.T) {
+	c := New(0, []Segment{
+		{0, 0, 2.5},
+		{0.4, 1.0, 6.5},
+		{0.6, 2.3, 2.5},
+	})
+	if got := len(c.Segments()); got != 3 {
+		t.Fatalf("real unit-scale kinks merged away: %d segments: %v", got, c)
+	}
+}
+
+// An operation chain on GB/s rate-latency and leaky-bucket curves must stay
+// well-formed: residual service and deconvolution at 1e9 magnitudes hit the
+// value and slope clamps, which used to be absolute (1e-9, 1e-7) and
+// therefore inert at this scale.
+func TestGBScaleOperationChain(t *testing.T) {
+	alpha := AddBurst(Affine(1.0e9, 6.4e7), 4096) // 1 GB/s, 64 MB burst, 4 KiB packets
+	beta := RateLatency(2.5e9, 0.002)             // 2.5 GB/s, 2 ms latency
+
+	d := HDev(alpha, beta)
+	if d <= 0 || math.IsInf(d, 0) || math.IsNaN(d) {
+		t.Fatalf("HDev = %v", d)
+	}
+	v := VDev(alpha, beta)
+	if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Fatalf("VDev = %v", v)
+	}
+
+	cross := Affine(8.0e8, 1.0e7)
+	resid, ok := ResidualService(beta, cross)
+	if !ok {
+		t.Fatal("residual must stay positive: 2.5 GB/s service vs 0.8 GB/s cross")
+	}
+	if s := resid.UltimateSlope(); math.Abs(s-(2.5e9-8.0e8)) > 1 {
+		t.Fatalf("residual rate %g, want %g", s, 2.5e9-8.0e8)
+	}
+	for i := 0; i <= 100; i++ {
+		x := 0.05 * float64(i) / 100
+		if resid.Value(x) < 0 {
+			t.Fatalf("residual negative at %g: %g", x, resid.Value(x))
+		}
+	}
+
+	out, ok := Deconvolve(alpha, resid)
+	if !ok {
+		t.Fatal("deconvolution must be bounded")
+	}
+	// The output envelope keeps the arrival's long-run rate and is
+	// monotone despite GB-scale slope arithmetic.
+	if s := out.UltimateSlope(); math.Abs(s-1.0e9) > 1 {
+		t.Fatalf("output rate %g, want 1e9", s)
+	}
+	prev := out.AtZero()
+	for i := 0; i <= 200; i++ {
+		x := 0.1 * float64(i) / 200
+		v := out.Value(x)
+		if v < prev-absEps(prev) {
+			t.Fatalf("output not monotone at %g: %g < %g", x, v, prev)
+		}
+		prev = v
+	}
+}
+
+// Min/Max on GB/s curves via both kernels: the merge kernel's tie tolerance
+// is value-relative, so coincident GB-scale curves collapse instead of
+// producing crossing chatter.
+func TestGBScaleKernelAgreement(t *testing.T) {
+	a := Min(Affine(2.5e9, 1.0e8), Affine(1.0e9, 6.4e8))
+	b := Min(Affine(2.5e9+0.5, 1.0e8), Affine(1.2e9, 5.0e8)) // 0.5 B/s apart: noise
+	for _, op := range []binOp{binMin, binMax, binAdd} {
+		merged := combineMerge(a, b, op)
+		sorted := combineSorted(a, b, op)
+		sameOnGrid(t, merged, sorted, 3, "GB-scale kernels")
+	}
+}

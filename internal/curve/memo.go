@@ -1,0 +1,237 @@
+package curve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Operation memo.
+//
+// Because curves are immutable and hash-consed, an operator result is fully
+// determined by (op, digest(a), digest(b)) — or (op, digest(a), scalar bits)
+// for the unary-with-scalar transforms. The memo exploits that: repeated
+// sub-expressions across an analysis run (and across admission probes, which
+// re-fold the same platform service curves for every candidate and victim)
+// are computed once and shared.
+//
+// Shared results are safe because Curve is immutable after construction:
+// every accessor that exposes segments copies, so a memoized Curve can be
+// handed to any number of goroutines.
+//
+// The memo is bounded and sharded: memoShardCount shards, each holding at
+// most memoShardCap entries under its own mutex. On overflow a shard evicts
+// roughly half its entries at random (map iteration order), which is cheap,
+// keeps the hot working set with high probability, and needs no LRU
+// bookkeeping on the hit path.
+
+type memoOp uint8
+
+const (
+	opMin memoOp = iota + 1
+	opMax
+	opAdd
+	opConv
+	opDeconv
+	opResidual
+	opHDev
+	opVDev
+	opShiftRight
+	opAddBurst
+	opSubConst
+)
+
+// commutative reports whether the op's operands may be swapped, letting the
+// memo canonicalize the key order and share entries across argument order.
+func (op memoOp) commutative() bool {
+	switch op {
+	case opMin, opMax, opAdd, opConv:
+		return true
+	}
+	return false
+}
+
+type memoKey struct {
+	op     memoOp
+	da, db uint64
+}
+
+// memoVal holds either a curve result, a scalar result, or a (curve, ok)
+// pair, depending on the op.
+type memoVal struct {
+	c      Curve
+	scalar float64
+	ok     bool
+}
+
+const (
+	memoShardCount = 16 // power of two
+	memoShardCap   = 4096
+)
+
+type memoShard struct {
+	mu sync.Mutex
+	m  map[memoKey]memoVal
+}
+
+var (
+	memoShards  [memoShardCount]memoShard
+	memoEnabled atomic.Bool
+	memoHits    atomic.Uint64
+	memoMisses  atomic.Uint64
+)
+
+func init() { memoEnabled.Store(true) }
+
+func (k memoKey) shard() *memoShard {
+	// Digests are already avalanche-mixed; fold both plus the op tag.
+	h := k.da ^ (k.db * 0x9e3779b97f4a7c15) ^ uint64(k.op)
+	return &memoShards[h&(memoShardCount-1)]
+}
+
+func memoLoad(k memoKey) (memoVal, bool) {
+	s := k.shard()
+	s.mu.Lock()
+	v, ok := s.m[k]
+	s.mu.Unlock()
+	if ok {
+		memoHits.Add(1)
+	} else {
+		memoMisses.Add(1)
+	}
+	return v, ok
+}
+
+func memoStore(k memoKey, v memoVal) {
+	s := k.shard()
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[memoKey]memoVal, 64)
+	}
+	if len(s.m) >= memoShardCap {
+		// Evict about half the shard; map iteration order is effectively
+		// random, so this approximates random replacement.
+		drop := len(s.m) / 2
+		for key := range s.m {
+			if drop == 0 {
+				break
+			}
+			delete(s.m, key)
+			drop--
+		}
+	}
+	s.m[k] = v
+	s.mu.Unlock()
+}
+
+// memoBinary caches a Curve-valued binary op keyed on both digests.
+func memoBinary(op memoOp, a, b Curve, compute func() Curve) Curve {
+	if !memoEnabled.Load() {
+		return compute()
+	}
+	k := memoKey{op, a.digest, b.digest}
+	if op.commutative() && k.db < k.da {
+		k.da, k.db = k.db, k.da
+	}
+	if v, ok := memoLoad(k); ok {
+		return v.c
+	}
+	c := compute()
+	memoStore(k, memoVal{c: c})
+	return c
+}
+
+// memoBinaryOK caches a (Curve, bool)-valued binary op.
+func memoBinaryOK(op memoOp, a, b Curve, compute func() (Curve, bool)) (Curve, bool) {
+	if !memoEnabled.Load() {
+		return compute()
+	}
+	k := memoKey{op, a.digest, b.digest}
+	if v, ok := memoLoad(k); ok {
+		return v.c, v.ok
+	}
+	c, ok := compute()
+	memoStore(k, memoVal{c: c, ok: ok})
+	return c, ok
+}
+
+// memoScalar caches a float64-valued binary op (HDev, VDev).
+func memoScalar(op memoOp, a, b Curve, compute func() float64) float64 {
+	if !memoEnabled.Load() {
+		return compute()
+	}
+	k := memoKey{op, a.digest, b.digest}
+	if v, ok := memoLoad(k); ok {
+		return v.scalar
+	}
+	s := compute()
+	memoStore(k, memoVal{scalar: s})
+	return s
+}
+
+// memoUnary caches a Curve-valued unary op with one scalar parameter,
+// keyed on (digest, scalar bits).
+func memoUnary(op memoOp, a Curve, scalar float64, compute func() Curve) Curve {
+	if !memoEnabled.Load() {
+		return compute()
+	}
+	k := memoKey{op, a.digest, fbits(scalar)}
+	if v, ok := memoLoad(k); ok {
+		return v.c
+	}
+	c := compute()
+	memoStore(k, memoVal{c: c})
+	return c
+}
+
+// CacheStats is a snapshot of the operation memo counters.
+type CacheStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookups.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// MemoStats reports the operation memo's cumulative hit/miss counters and
+// current entry count.
+func MemoStats() CacheStats {
+	st := CacheStats{
+		Hits:   memoHits.Load(),
+		Misses: memoMisses.Load(),
+	}
+	for i := range memoShards {
+		s := &memoShards[i]
+		s.mu.Lock()
+		st.Entries += len(s.m)
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// ResetMemo drops all memoized results and zeroes the counters. Mainly for
+// tests and benchmarks that need cold-cache numbers.
+func ResetMemo() {
+	for i := range memoShards {
+		s := &memoShards[i]
+		s.mu.Lock()
+		s.m = nil
+		s.mu.Unlock()
+	}
+	memoHits.Store(0)
+	memoMisses.Store(0)
+}
+
+// EnableMemo toggles operation memoization and returns the previous setting.
+// Disabling does not drop existing entries; use ResetMemo for that.
+func EnableMemo(on bool) bool {
+	prev := memoEnabled.Load()
+	memoEnabled.Store(on)
+	return prev
+}

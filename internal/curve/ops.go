@@ -5,39 +5,168 @@ import (
 	"sort"
 )
 
-// combine computes op applied pointwise to a and b. When crossings is true
-// (required for min/max), intersection points of the two curves inside
-// segment interiors are added as breakpoints so the result is exactly
-// piecewise linear.
-func combine(a, b Curve, op func(x, y float64) float64, crossings bool) Curve {
+// binOp identifies a pointwise binary operation for the merge kernels.
+type binOp uint8
+
+const (
+	binMin binOp = iota
+	binMax
+	binAdd
+	binSub
+)
+
+func (op binOp) apply(x, y float64) float64 {
+	switch op {
+	case binMin:
+		return math.Min(x, y)
+	case binMax:
+		return math.Max(x, y)
+	case binAdd:
+		return x + y
+	default:
+		return x - y
+	}
+}
+
+// needsCrossings reports whether the op's result can kink strictly inside a
+// segment pair (min/max switch attaining operand where the curves cross).
+func (op binOp) needsCrossings() bool { return op == binMin || op == binMax }
+
+// combine computes op applied pointwise to a and b, dispatching to the
+// O(n+m) two-pointer merge kernel, with the sort-based path kept as a
+// fallback for pathological inputs (non-finite breakpoints) and as the
+// reference implementation for differential tests.
+func combine(a, b Curve, op binOp) Curve {
+	if !kernelSafe(a) || !kernelSafe(b) {
+		return combineSorted(a, b, op)
+	}
+	return combineMerge(a, b, op)
+}
+
+// kernelSafe reports whether the merge kernel's preconditions hold: finite,
+// strictly increasing breakpoints (guaranteed by validation except for
+// curves deliberately built with infinite abscissas).
+func kernelSafe(c Curve) bool {
+	for i, s := range c.segs {
+		if math.IsInf(s.X, 0) {
+			return false
+		}
+		if i > 0 && !(s.X > c.segs[i-1].X) {
+			return false
+		}
+	}
+	return true
+}
+
+// combineMerge is the O(n+m+k) two-pointer kernel (k = crossings inserted):
+// it walks both already-sorted segment lists once, evaluating each curve
+// incrementally at merged breakpoints and, for min/max, inserting the
+// crossing abscissa where the attaining operand switches inside an interval.
+func combineMerge(a, b Curve, op binOp) Curve {
+	as, bs := a.segs, b.segs
+	segs := make([]Segment, 0, len(as)+len(bs)+4)
+	ia, ib := 0, 0
+	x := 0.0
+	for {
+		sa, sb := as[ia], bs[ib]
+		// End of the current interval: the nearest upcoming breakpoint.
+		nx := math.Inf(1)
+		if ia+1 < len(as) {
+			nx = as[ia+1].X
+		}
+		if ib+1 < len(bs) && bs[ib+1].X < nx {
+			nx = bs[ib+1].X
+		}
+		va := sa.Y + sa.Slope*(x-sa.X)
+		vb := sb.Y + sb.Slope*(x-sb.X)
+		for {
+			y := op.apply(va, vb)
+			var slope float64
+			switch op {
+			case binAdd:
+				slope = sa.Slope + sb.Slope
+			case binSub:
+				slope = sa.Slope - sb.Slope
+			default:
+				// Min/max: the slope is the attaining operand's; on a tie the
+				// lower (for min) or higher (for max) slope wins going forward.
+				tol := absEps(math.Max(math.Abs(va), math.Abs(vb)))
+				switch {
+				case math.Abs(va-vb) <= tol:
+					if op == binMin {
+						slope = math.Min(sa.Slope, sb.Slope)
+					} else {
+						slope = math.Max(sa.Slope, sb.Slope)
+					}
+				case (va < vb) == (op == binMin):
+					slope = sa.Slope
+				default:
+					slope = sb.Slope
+				}
+			}
+			if op.needsCrossings() && sa.Slope != sb.Slope {
+				// Crossing strictly inside the remaining interval: emit the
+				// current piece and restart from the crossing, where the
+				// attaining operand flips.
+				tc := x + (vb-va)/(sa.Slope-sb.Slope)
+				inside := tc > x+absEps(x) && (math.IsInf(nx, 1) || tc < nx-absEps(nx))
+				if inside {
+					segs = append(segs, Segment{x, y, slope})
+					x = tc
+					va = sa.Y + sa.Slope*(x-sa.X)
+					vb = sb.Y + sb.Slope*(x-sb.X)
+					continue
+				}
+			}
+			segs = append(segs, Segment{x, y, slope})
+			break
+		}
+		if math.IsInf(nx, 1) {
+			break
+		}
+		x = nx
+		if ia+1 < len(as) && as[ia+1].X <= nx {
+			ia++
+		}
+		if ib+1 < len(bs) && bs[ib+1].X <= nx {
+			ib++
+		}
+	}
+	return newOwned(op.apply(a.y0, b.y0), segs)
+}
+
+// combineSorted is the original sort-based implementation: merge all
+// breakpoints, insert crossings by bisection, and evaluate both curves from
+// scratch (O(log n) per point) at every breakpoint. Kept as the reference
+// semantics for the differential tests and as the fallback for inputs the
+// merge kernel does not accept.
+func combineSorted(a, b Curve, op binOp) Curve {
 	xs := mergeBreakpoints(a.Breakpoints(), b.Breakpoints())
-	if crossings {
+	if op.needsCrossings() {
 		xs = insertCrossings(xs, a, b)
 	}
 	segs := make([]Segment, 0, len(xs))
 	for i, x := range xs {
 		var y float64
 		if x == 0 {
-			y = op(a.Burst(), b.Burst())
+			y = op.apply(a.Burst(), b.Burst())
 		} else {
-			y = op(a.Value(x), b.Value(x))
+			y = op.apply(a.Value(x), b.Value(x))
 		}
 		var slope float64
 		if i+1 < len(xs) {
 			next := xs[i+1]
-			vL := op(a.ValueLeft(next), b.ValueLeft(next))
-			slope = (vL - y) / (next - x)
+			vL := op.apply(a.ValueLeft(next), b.ValueLeft(next))
+			slope = clampSlope((vL-y)/(next-x), y, next-x)
 		} else {
 			// Final ray: both curves are affine past the last breakpoint.
 			p1, p2 := x+1, x+2
-			slope = op(a.Value(p2), b.Value(p2)) - op(a.Value(p1), b.Value(p1))
-		}
-		if slope < 0 && slope > -1e-7 {
-			slope = 0
+			slope = op.apply(a.Value(p2), b.Value(p2)) - op.apply(a.Value(p1), b.Value(p1))
+			slope = clampSlope(slope, y, math.Inf(1))
 		}
 		segs = append(segs, Segment{x, y, slope})
 	}
-	return New(op(a.AtZero(), b.AtZero()), segs)
+	return newOwned(op.apply(a.AtZero(), b.AtZero()), segs)
 }
 
 func mergeBreakpoints(a, b []float64) []float64 {
@@ -85,20 +214,24 @@ func insertCrossings(xs []float64, a, b Curve) []float64 {
 
 // Min returns the pointwise minimum of a and b. For concave curves that are
 // 0 at the origin this equals their min-plus convolution.
-func Min(a, b Curve) Curve { return combine(a, b, math.Min, true) }
+func Min(a, b Curve) Curve {
+	return memoBinary(opMin, a, b, func() Curve { return combine(a, b, binMin) })
+}
 
 // Max returns the pointwise maximum of a and b.
-func Max(a, b Curve) Curve { return combine(a, b, math.Max, true) }
+func Max(a, b Curve) Curve {
+	return memoBinary(opMax, a, b, func() Curve { return combine(a, b, binMax) })
+}
 
 // Add returns the pointwise sum a + b.
-func Add(a, b Curve) Curve { return combine(a, b, func(x, y float64) float64 { return x + y }, false) }
+func Add(a, b Curve) Curve {
+	return memoBinary(opAdd, a, b, func() Curve { return combine(a, b, binAdd) })
+}
 
 // Sub returns the pointwise difference a - b. The result must still be
 // wide-sense increasing (e.g. b is a constant curve, as in the packetizer
 // transform); Sub panics otherwise.
-func Sub(a, b Curve) Curve {
-	return combine(a, b, func(x, y float64) float64 { return x - y }, false)
-}
+func Sub(a, b Curve) Curve { return combine(a, b, binSub) }
 
 // PositivePart returns max(a, 0) — the [·]⁺ operator.
 func PositivePart(a Curve) Curve { return Max(a, Zero()) }
@@ -113,7 +246,7 @@ func Scale(a Curve, k float64) Curve {
 		segs[i].Y *= k
 		segs[i].Slope *= k
 	}
-	return New(a.AtZero()*k, segs)
+	return newOwned(a.AtZero()*k, segs)
 }
 
 // ScaleTime returns g(t) = a(t/k) for k > 0 (time stretched by factor k):
@@ -127,7 +260,7 @@ func ScaleTime(a Curve, k float64) Curve {
 		segs[i].X *= k
 		segs[i].Slope /= k
 	}
-	return New(a.AtZero(), segs)
+	return newOwned(a.AtZero(), segs)
 }
 
 // ShiftRight delays the curve by T >= 0:
@@ -144,13 +277,14 @@ func ShiftRight(a Curve, T float64) Curve {
 	if T == 0 {
 		return a
 	}
-	src := a.Segments()
-	segs := make([]Segment, 0, len(src)+1)
-	segs = append(segs, Segment{0, 0, 0})
-	for _, s := range src {
-		segs = append(segs, Segment{s.X + T, s.Y, s.Slope})
-	}
-	return New(0, segs)
+	return memoUnary(opShiftRight, a, T, func() Curve {
+		segs := make([]Segment, 0, len(a.segs)+1)
+		segs = append(segs, Segment{0, 0, 0})
+		for _, s := range a.segs {
+			segs = append(segs, Segment{s.X + T, s.Y, s.Slope})
+		}
+		return newOwned(0, segs)
+	})
 }
 
 // ShiftLeft advances the curve by T >= 0: g(t) = a(t+T). The value at the
@@ -162,7 +296,7 @@ func ShiftLeft(a Curve, T float64) Curve {
 	if T == 0 {
 		return a
 	}
-	src := a.Segments()
+	src := a.segs
 	segs := make([]Segment, 0, len(src))
 	for _, s := range src {
 		switch {
@@ -179,7 +313,7 @@ func ShiftLeft(a Curve, T float64) Curve {
 			segs = append(segs, Segment{s.X - T, s.Y, s.Slope})
 		}
 	}
-	return New(segs[0].Y, segs)
+	return newOwned(segs[0].Y, segs)
 }
 
 // AddBurst adds c to the curve for all t > 0, leaving the value at 0
@@ -188,11 +322,13 @@ func AddBurst(a Curve, c float64) Curve {
 	if c < 0 {
 		panic("curve: AddBurst with negative c")
 	}
-	segs := a.Segments()
-	for i := range segs {
-		segs[i].Y += c
-	}
-	return New(a.AtZero(), segs)
+	return memoUnary(opAddBurst, a, c, func() Curve {
+		segs := a.Segments()
+		for i := range segs {
+			segs[i].Y += c
+		}
+		return newOwned(a.AtZero(), segs)
+	})
 }
 
 // SubConstantPositive returns [a - c]⁺ for c >= 0 — the packetizer service
@@ -204,26 +340,28 @@ func SubConstantPositive(a Curve, c float64) Curve {
 	if c == 0 {
 		return a
 	}
-	tc := a.InverseLower(c)
-	if math.IsInf(tc, 1) {
-		return Zero() // a never reaches c
-	}
-	if tc == 0 {
-		// Positive from the origin (a(0+) >= c); every later value is >= c
-		// by monotonicity.
-		segs := a.Segments()
-		for i := range segs {
-			segs[i].Y = math.Max(0, segs[i].Y-c)
+	return memoUnary(opSubConst, a, c, func() Curve {
+		tc := a.InverseLower(c)
+		if math.IsInf(tc, 1) {
+			return Zero() // a never reaches c
 		}
-		return New(math.Max(0, a.AtZero()-c), segs)
-	}
-	segs := []Segment{{0, 0, 0}}
-	at := a.segAt(tc)
-	segs = append(segs, Segment{tc, math.Max(0, a.Value(tc)-c), at.Slope})
-	for _, s := range a.Segments() {
-		if s.X > tc {
-			segs = append(segs, Segment{s.X, s.Y - c, s.Slope})
+		if tc == 0 {
+			// Positive from the origin (a(0+) >= c); every later value is >= c
+			// by monotonicity.
+			segs := a.Segments()
+			for i := range segs {
+				segs[i].Y = math.Max(0, segs[i].Y-c)
+			}
+			return newOwned(math.Max(0, a.AtZero()-c), segs)
 		}
-	}
-	return New(0, segs)
+		segs := []Segment{{0, 0, 0}}
+		at := a.segAt(tc)
+		segs = append(segs, Segment{tc, math.Max(0, a.Value(tc)-c), at.Slope})
+		for _, s := range a.segs {
+			if s.X > tc {
+				segs = append(segs, Segment{s.X, s.Y - c, s.Slope})
+			}
+		}
+		return newOwned(0, segs)
+	})
 }

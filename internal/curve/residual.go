@@ -17,6 +17,10 @@ import "math"
 // so the positive part is wide-sense increasing past its zero crossing and
 // stays piecewise linear).
 func ResidualService(beta, cross Curve) (res Curve, ok bool) {
+	return memoBinaryOK(opResidual, beta, cross, func() (Curve, bool) { return residualService(beta, cross) })
+}
+
+func residualService(beta, cross Curve) (res Curve, ok bool) {
 	if !beta.IsConvex() || !cross.IsConcave() {
 		return Zero(), false
 	}
@@ -87,7 +91,7 @@ func ResidualService(beta, cross Curve) (res Curve, ok bool) {
 		segs = append(segs, Segment{x, diffAt(x), math.Max(0, slopeAt(math.Nextafter(x, math.Inf(1))))})
 	}
 	y0 := math.Max(0, beta.AtZero()-cross.AtZero())
-	return New(y0, segs), true
+	return newOwned(y0, segs), true
 }
 
 // Shape returns the arrival bound of a flow constrained by alpha after it

@@ -75,6 +75,9 @@ type (
 	Curve = curve.Curve
 	// Segment is one affine piece of a Curve.
 	Segment = curve.Segment
+	// CurveBucket is one leaky-bucket term of an Envelope, in raw
+	// bytes/second and bytes.
+	CurveBucket = curve.Bucket
 )
 
 // Curve constructors and operations.
@@ -85,6 +88,9 @@ var (
 	RateLatency = curve.RateLatency
 	// Staircase is the packetized arrival curve (one packet per period).
 	Staircase = curve.Staircase
+	// Envelope builds the lower envelope min_i(rate_i·t + burst_i) of a
+	// set of leaky buckets in O(k log k).
+	Envelope = curve.Envelope
 
 	// Convolve is min-plus convolution (service concatenation).
 	Convolve = curve.Convolve
