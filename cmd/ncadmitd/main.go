@@ -17,18 +17,23 @@
 //	GET    /flows                  list admitted flows with their verdicts
 //	GET    /nodes/{name}/residual  a node's residual service after reservations
 //	GET    /healthz                liveness, platform epoch, cache/memo hit rates
+//	GET    /metrics                Prometheus text metrics (?format=json for JSON),
+//	                               including per-flow bound-tightness gauges
 //
-// With -pprof the net/http/pprof profiling handlers are mounted under
-// /debug/pprof/ on the same listener.
+// Every admission decision and release is audited as a structured log line
+// on stderr (disable with -audit=false). With -pprof the net/http/pprof
+// profiling handlers are mounted under /debug/pprof/ on the same listener.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 
 	"streamcalc/internal/admit"
+	"streamcalc/internal/obs"
 	"streamcalc/internal/spec"
 	"streamcalc/internal/units"
 )
@@ -39,7 +44,9 @@ func main() {
 		addr         = flag.String("addr", ":8080", "listen address")
 		validate     = flag.String("validate", "", "replay this admitted-flow trace through the simulator and exit")
 		simTotal     = flag.String("simtotal", "8 MiB", "input volume per simulated flow in -validate mode")
-		seed         = flag.Uint64("seed", 1, "simulation seed in -validate mode")
+		seed         = flag.Uint64("seed", 1, "simulation seed (-validate replay and /metrics tightness replay)")
+		tightTotal   = flag.String("tightness-total", "1 MiB", "input volume per flow for the /metrics bound-tightness replay")
+		audit        = flag.Bool("audit", true, "log every admission decision and release as a structured line on stderr")
 		example      = flag.Bool("example", false, "print a sample platform and exit")
 		exampleTr    = flag.Bool("example-trace", false, "print a sample trace and exit")
 		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
@@ -78,9 +85,24 @@ func main() {
 		return
 	}
 
+	reg := obs.NewRegistry()
+	c.EnableObs(reg)
+	if *audit {
+		c.SetAudit(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	}
+	tt, err := units.ParseBytes(*tightTotal)
+	if err != nil {
+		fail(fmt.Errorf("tightness-total: %w", err))
+	}
+	srv := newServer(c, serverOptions{
+		pprof:   *pprofOn,
+		metrics: reg,
+		replay:  admit.ReplayOptions{Total: tt, Seed: *seed},
+	})
+
 	fmt.Printf("ncadmitd: platform %q (%d nodes), listening on %s\n",
 		c.Name(), len(c.NodeNames()), *addr)
-	if err := http.ListenAndServe(*addr, newServer(c, *pprofOn)); err != nil {
+	if err := http.ListenAndServe(*addr, srv); err != nil {
 		fail(err)
 	}
 }

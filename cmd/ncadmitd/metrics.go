@@ -1,0 +1,123 @@
+package main
+
+import (
+	"net/http"
+	"sync"
+
+	"streamcalc/internal/admit"
+	"streamcalc/internal/obs"
+)
+
+// tightnessProbe publishes bound-vs-observed gauges for every admitted flow:
+// the analytic delay/backlog bound next to the sim-replayed p50/p99/max, and
+// their ratio (nc_bound_tightness, ≥ 1 when the network-calculus promise is
+// sound). Replays are cached per (flow, platform epoch) so a scrape after a
+// quiet period costs nothing; an admission or release bumps the epoch and the
+// next scrape re-replays the flows that remain.
+type tightnessProbe struct {
+	c   *admit.Controller
+	opt admit.ReplayOptions
+
+	mu    sync.Mutex
+	cache map[string]tightEntry
+}
+
+type tightEntry struct {
+	epoch uint64
+	t     admit.Tightness
+	err   error
+}
+
+func newTightnessProbe(c *admit.Controller, opt admit.ReplayOptions) *tightnessProbe {
+	return &tightnessProbe{c: c, opt: opt, cache: make(map[string]tightEntry)}
+}
+
+// tightnessFamilies are reset on every scrape so released flows' series
+// disappear instead of lingering at their last value.
+var tightnessFamilies = []string{
+	"nc_bound_tightness",
+	"nc_bound_delay_seconds",
+	"nc_sim_delay_seconds",
+	"nc_bound_backlog_bytes",
+	"nc_sim_backlog_bytes",
+}
+
+// collect runs at scrape time as an obs.Registry collector.
+func (p *tightnessProbe) collect(r *obs.Registry) {
+	for _, fam := range tightnessFamilies {
+		r.ResetFamily(fam)
+	}
+	epoch := p.c.Epoch()
+	live := make(map[string]bool)
+	for _, af := range p.c.Flows() {
+		id := af.Flow.ID
+		live[id] = true
+
+		p.mu.Lock()
+		e, ok := p.cache[id]
+		p.mu.Unlock()
+		if !ok || e.epoch != epoch {
+			t, err := p.c.Tightness(id, p.opt)
+			e = tightEntry{epoch: epoch, t: t, err: err}
+			p.mu.Lock()
+			p.cache[id] = e
+			p.mu.Unlock()
+		}
+		if e.err != nil {
+			// The flow was released mid-scrape (or the replay failed);
+			// skip its series this round.
+			continue
+		}
+
+		fl := obs.Label{Key: "flow", Value: id}
+		dim := func(d string) []obs.Label {
+			return []obs.Label{fl, {Key: "dimension", Value: d}}
+		}
+		r.Gauge("nc_bound_tightness",
+			"analytic bound over sim-observed max (>= 1 means the promise held)",
+			dim("delay")...).Set(e.t.DelayTightness)
+		r.Gauge("nc_bound_tightness",
+			"analytic bound over sim-observed max (>= 1 means the promise held)",
+			dim("backlog")...).Set(e.t.BacklogTightness)
+
+		r.Gauge("nc_bound_delay_seconds", "analytic end-to-end delay bound", fl).
+			Set(e.t.DelayBound.Seconds())
+		q := func(name string) []obs.Label {
+			return []obs.Label{fl, {Key: "quantile", Value: name}}
+		}
+		r.Gauge("nc_sim_delay_seconds", "sim-replayed sojourn quantiles", q("p50")...).
+			Set(e.t.SimDelayP50.Seconds())
+		r.Gauge("nc_sim_delay_seconds", "sim-replayed sojourn quantiles", q("p99")...).
+			Set(e.t.SimDelayP99.Seconds())
+		r.Gauge("nc_sim_delay_seconds", "sim-replayed sojourn quantiles", q("max")...).
+			Set(e.t.SimDelayMax.Seconds())
+
+		r.Gauge("nc_bound_backlog_bytes", "analytic end-to-end backlog bound", fl).
+			Set(float64(e.t.BacklogBound))
+		r.Gauge("nc_sim_backlog_bytes", "sim-replayed peak backlog", fl).
+			Set(float64(e.t.SimBacklogMax))
+	}
+
+	// Drop cache entries for flows that are gone.
+	p.mu.Lock()
+	for id := range p.cache {
+		if !live[id] {
+			delete(p.cache, id)
+		}
+	}
+	p.mu.Unlock()
+}
+
+// metricsHandler serves the registry: Prometheus text exposition by default,
+// the JSON snapshot with ?format=json.
+func metricsHandler(reg *obs.Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			reg.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"streamcalc/internal/admit"
+	"streamcalc/internal/obs"
 	"streamcalc/internal/spec"
 	"streamcalc/internal/units"
 )
@@ -73,11 +74,21 @@ type bucketJSON struct {
 	Burst units.Bytes `json:"burst"`
 }
 
-// newServer wires the admission API onto a Go 1.22 pattern mux. With pprofOn
-// the net/http/pprof handlers are mounted under /debug/pprof/ (off by
-// default: profiling endpoints leak heap contents and should only be exposed
-// deliberately).
-func newServer(c *admit.Controller, pprofOn bool) http.Handler {
+// serverOptions tunes the HTTP surface beyond the core admission API.
+type serverOptions struct {
+	// pprof mounts net/http/pprof under /debug/pprof/ (off by default:
+	// profiling endpoints leak heap contents and should only be exposed
+	// deliberately).
+	pprof bool
+	// metrics, when non-nil, serves the registry on GET /metrics and
+	// registers the bound-tightness collector on it.
+	metrics *obs.Registry
+	// replay tunes the tightness replay (input volume per flow, seed).
+	replay admit.ReplayOptions
+}
+
+// newServer wires the admission API onto a Go 1.22 pattern mux.
+func newServer(c *admit.Controller, opt serverOptions) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /admit", func(w http.ResponseWriter, r *http.Request) {
@@ -153,13 +164,13 @@ func newServer(c *admit.Controller, pprofOn bool) http.Handler {
 					"hits":     st.VerdictHits,
 					"misses":   st.VerdictMisses,
 					"entries":  st.VerdictEntries,
-					"hit_rate": hitRate(st.VerdictHits, st.VerdictMisses),
+					"hit_rate": obs.HitRate(st.VerdictHits, st.VerdictMisses),
 				},
 				"analysis": map[string]any{
 					"hits":     st.AnalysisHits,
 					"misses":   st.AnalysisMisses,
 					"entries":  st.AnalysisEntries,
-					"hit_rate": hitRate(st.AnalysisHits, st.AnalysisMisses),
+					"hit_rate": obs.HitRate(st.AnalysisHits, st.AnalysisMisses),
 				},
 				"reservations": map[string]any{
 					"entries": st.ReservationEntries,
@@ -174,7 +185,12 @@ func newServer(c *admit.Controller, pprofOn bool) http.Handler {
 		})
 	})
 
-	if pprofOn {
+	if opt.metrics != nil {
+		opt.metrics.AddCollector(newTightnessProbe(c, opt.replay).collect)
+		mux.HandleFunc("GET /metrics", metricsHandler(opt.metrics))
+	}
+
+	if opt.pprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -183,14 +199,6 @@ func newServer(c *admit.Controller, pprofOn bool) http.Handler {
 	}
 
 	return mux
-}
-
-// hitRate renders hits/(hits+misses), 0 before any lookups.
-func hitRate(hits, misses uint64) float64 {
-	if hits+misses == 0 {
-		return 0
-	}
-	return float64(hits) / float64(hits+misses)
 }
 
 // parseFlowBody decodes a wire flow and converts it to the controller type.

@@ -2,12 +2,19 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 
+	"streamcalc/internal/admit"
+	"streamcalc/internal/curve"
+	"streamcalc/internal/obs"
 	"streamcalc/internal/spec"
+	"streamcalc/internal/units"
 )
 
 func testServer(t *testing.T) *httptest.Server {
@@ -20,7 +27,30 @@ func testServer(t *testing.T) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(c, false))
+	ts := httptest.NewServer(newServer(c, serverOptions{}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// metricsServer is testServer plus a wired telemetry registry, so /metrics
+// is live with the bound-tightness collector.
+func metricsServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	pl, err := spec.ParsePlatform([]byte(spec.ExamplePlatform()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := pl.Controller()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	c.EnableObs(reg)
+	defer curve.SetOpTimer(nil)
+	ts := httptest.NewServer(newServer(c, serverOptions{
+		metrics: reg,
+		replay:  admit.ReplayOptions{Total: 512 * units.KiB, Seed: 1},
+	}))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -180,6 +210,99 @@ func TestAPIHealthz(t *testing.T) {
 	}
 }
 
+func TestMetricsEndpoint(t *testing.T) {
+	ts := metricsServer(t)
+
+	resp, v := postAdmit(t, ts, flowBody("cam-1", "10 MiB/s"))
+	if resp.StatusCode != http.StatusOK || !v.Admitted {
+		t.Fatalf("cam-1: status %d, verdict %+v", resp.StatusCode, v)
+	}
+	postAdmit(t, ts, flowBody("hog", "400 MiB/s"))
+
+	get := func() string {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/metrics: status %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+			t.Errorf("content type %q", ct)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	text := get()
+
+	for _, want := range []string{
+		"# TYPE nc_admit_verdicts_total counter",
+		`nc_admit_verdicts_total{result="admitted"} 1`,
+		`nc_admit_verdicts_total{result="rejected"} 1`,
+		"# TYPE nc_admit_decision_seconds histogram",
+		`nc_node_utilization{node="encrypt"}`,
+		`nc_sim_delay_seconds{flow="cam-1",quantile="max"}`,
+		`nc_bound_delay_seconds{flow="cam-1"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Acceptance: the admitted flow exposes a bound-tightness gauge and the
+	// analytic bound dominates the observed max sojourn (ratio >= 1).
+	re := regexp.MustCompile(`nc_bound_tightness\{dimension="(delay|backlog)",flow="cam-1"\} (\S+)`)
+	ms := re.FindAllStringSubmatch(text, -1)
+	if len(ms) != 2 {
+		t.Fatalf("want 2 nc_bound_tightness series for cam-1, got %d in:\n%s", len(ms), text)
+	}
+	for _, m := range ms {
+		ratio, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", m[0], err)
+		}
+		if ratio < 1.0 {
+			t.Errorf("%s tightness %v < 1.0: analytic bound below observation", m[1], ratio)
+		}
+	}
+	// The rejected flow must not get tightness series.
+	if strings.Contains(text, `flow="hog"`) {
+		t.Error("rejected flow leaked into per-flow gauges")
+	}
+
+	// Releasing the flow removes its series on the next scrape.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/flows/cam-1", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if text := get(); strings.Contains(text, `flow="cam-1"`) {
+		t.Error("released flow's series linger after re-scrape")
+	}
+
+	// JSON rendering.
+	jresp, err := http.Get(ts.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jresp.Body.Close()
+	if ct := jresp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("json content type %q", ct)
+	}
+	var snap []map[string]any
+	if err := json.NewDecoder(jresp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decoding JSON metrics: %v", err)
+	}
+	if len(snap) == 0 {
+		t.Error("JSON snapshot is empty")
+	}
+}
+
 func TestPprofGating(t *testing.T) {
 	pl, err := spec.ParsePlatform([]byte(spec.ExamplePlatform()))
 	if err != nil {
@@ -196,7 +319,7 @@ func TestPprofGating(t *testing.T) {
 		{on: false, want: http.StatusNotFound},
 		{on: true, want: http.StatusOK},
 	} {
-		ts := httptest.NewServer(newServer(c, tc.on))
+		ts := httptest.NewServer(newServer(c, serverOptions{pprof: tc.on}))
 		resp, err := http.Get(ts.URL + "/debug/pprof/")
 		if err != nil {
 			t.Fatal(err)

@@ -36,6 +36,7 @@ package admit
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 	"strings"
@@ -183,6 +184,11 @@ type Controller struct {
 	// it survives epochs and is shared across flow IDs.
 	resMu    sync.Mutex
 	resCache map[verdictKey]map[string]core.Bucket
+
+	// Telemetry sinks (nil when detached): metric handles from EnableObs and
+	// the structured audit logger from SetAudit (obs.go).
+	obsm  *ctrlObs
+	audit *slog.Logger
 }
 
 // verdictKey identifies an admission question independently of the flow ID:
@@ -246,8 +252,20 @@ func (c *Controller) NodeNames() []string { return append([]string(nil), c.order
 
 // Admit decides whether f can join the platform without breaking any SLO,
 // committing the reservation when it can. The verdict always explains the
-// decision; rejected flows leave the platform untouched.
+// decision; rejected flows leave the platform untouched. With telemetry
+// attached (EnableObs/SetAudit) every decision is counted, its latency
+// recorded, and an audit line emitted.
 func (c *Controller) Admit(f Flow) Verdict {
+	if !c.instrumented() {
+		return c.admit(f)
+	}
+	start := time.Now()
+	v := c.admit(f)
+	c.observeAdmit(v, time.Since(start))
+	return v
+}
+
+func (c *Controller) admit(f Flow) Verdict {
 	epoch := c.epoch.Load()
 	// Spec and identity checks run before the cache probe: the verdict cache
 	// is keyed on curves, not IDs, so ID problems (and arrivals too malformed
@@ -596,6 +614,16 @@ func (c *Controller) sortedFlowIDs() []string {
 // Release removes an admitted flow, freeing its reservations. It reports
 // whether the flow was present.
 func (c *Controller) Release(id string) bool {
+	if !c.instrumented() {
+		return c.release(id)
+	}
+	start := time.Now()
+	ok := c.release(id)
+	c.observeRelease(id, ok, time.Since(start))
+	return ok
+}
+
+func (c *Controller) release(id string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st, ok := c.flows[id]

@@ -1,0 +1,170 @@
+package admit
+
+import (
+	"log/slog"
+	"time"
+
+	"streamcalc/internal/core"
+	"streamcalc/internal/curve"
+	"streamcalc/internal/obs"
+)
+
+// DecisionBuckets are the histogram bounds for admission-decision latency
+// (seconds): 1µs (cached rejections) up to ~1s (deep victim re-checks).
+var DecisionBuckets = obs.ExponentialBuckets(1e-6, 4, 11)
+
+// OpBuckets are the histogram bounds for individual curve operations and
+// pipeline analyses (seconds).
+var OpBuckets = obs.ExponentialBuckets(1e-7, 4, 12)
+
+// ctrlObs bundles the controller's metric handles.
+type ctrlObs struct {
+	reg      *obs.Registry
+	admitted *obs.Counter
+	rejected *obs.Counter
+	cached   *obs.Counter
+	releases *obs.Counter
+	decision *obs.Histogram
+}
+
+// EnableObs wires the controller onto reg:
+//
+//   - verdict counters (nc_admit_verdicts_total by result, nc_admit_cached_total,
+//     nc_admit_releases_total) and a decision-latency histogram;
+//   - scrape-time gauges for admitted flows, platform epoch, per-node
+//     reservation utilization, and every cache layer's hits/misses/entries
+//     (verdict cache, analysis memo, reservation cache, curve-op memo);
+//   - process-wide per-operation timing: curve.SetOpTimer and
+//     core.SetAnalysisTimer feed nc_curve_op_seconds{op=...} and
+//     nc_analysis_seconds histograms (global hooks — the daemon runs one
+//     controller; a second EnableObs call rebinds them).
+//
+// Call once, before serving traffic.
+func (c *Controller) EnableObs(reg *obs.Registry) {
+	m := &ctrlObs{
+		reg:      reg,
+		admitted: reg.Counter("nc_admit_verdicts_total", "admission decisions by result", obs.Label{Key: "result", Value: "admitted"}),
+		rejected: reg.Counter("nc_admit_verdicts_total", "admission decisions by result", obs.Label{Key: "result", Value: "rejected"}),
+		cached:   reg.Counter("nc_admit_cached_total", "verdicts served from the epoch cache"),
+		releases: reg.Counter("nc_admit_releases_total", "admitted flows released"),
+		decision: reg.Histogram("nc_admit_decision_seconds", "admission decision latency", DecisionBuckets),
+	}
+	c.obsm = m
+
+	curve.SetOpTimer(func(op string, seconds float64) {
+		reg.Histogram("nc_curve_op_seconds", "computed (memo-miss) curve operation cost",
+			OpBuckets, obs.Label{Key: "op", Value: op}).Observe(seconds)
+	})
+	core.SetAnalysisTimer(func(seconds float64) {
+		reg.Histogram("nc_analysis_seconds", "computed (memo-miss) pipeline analysis cost",
+			OpBuckets).Observe(seconds)
+	})
+
+	reg.AddCollector(func(r *obs.Registry) { c.collect(r) })
+}
+
+// collect snapshots registry-independent controller state into gauges; runs
+// at scrape time.
+func (c *Controller) collect(r *obs.Registry) {
+	st := c.Stats()
+	set := func(name, help string, v float64, labels ...obs.Label) {
+		r.Gauge(name, help, labels...).Set(v)
+	}
+	set("nc_admit_epoch", "platform epoch (bumps on every commit/release)", float64(c.Epoch()))
+
+	c.mu.RLock()
+	set("nc_admit_flows", "currently admitted flows", float64(len(c.flows)))
+	c.mu.RUnlock()
+
+	cache := func(layer string, hits, misses uint64, entries int) {
+		l := obs.Label{Key: "cache", Value: layer}
+		set("nc_cache_hits_total", "cache hits by layer", float64(hits), l)
+		set("nc_cache_misses_total", "cache misses by layer", float64(misses), l)
+		set("nc_cache_entries", "cache entries by layer", float64(entries), l)
+		set("nc_cache_hit_rate", "hits/(hits+misses) by layer", obs.HitRate(hits, misses), l)
+	}
+	cache("verdict", st.VerdictHits, st.VerdictMisses, st.VerdictEntries)
+	cache("analysis", st.AnalysisHits, st.AnalysisMisses, st.AnalysisEntries)
+	cache("reservation", 0, 0, st.ReservationEntries)
+	cache("curve_ops", st.CurveOps.Hits, st.CurveOps.Misses, st.CurveOps.Entries)
+
+	// Per-node reservation pressure: reserved rate (tenants + static
+	// background) over the node's service rate — the live utilization figure
+	// behind every verdict.
+	for _, name := range c.order {
+		sh := c.shards[name]
+		sh.mu.RLock()
+		agg := sh.aggregate("")
+		rate := sh.node.Rate
+		reserved := agg.Rate + sh.node.CrossRate
+		burst := agg.Burst + sh.node.CrossBurst
+		nflows := len(sh.ids)
+		sh.mu.RUnlock()
+
+		l := obs.Label{Key: "node", Value: name}
+		set("nc_node_reserved_rate_bytes_per_second", "aggregate reserved cross-traffic rate (local units)", float64(reserved), l)
+		set("nc_node_reserved_burst_bytes", "aggregate reserved cross-traffic burst (local units)", float64(burst), l)
+		set("nc_node_flows", "flows holding reservations on the node", float64(nflows), l)
+		util := 0.0
+		if rate > 0 {
+			util = float64(reserved) / float64(rate)
+		}
+		set("nc_node_utilization", "reserved rate over service rate", util, l)
+	}
+}
+
+// SetAudit attaches a structured audit logger: every admission decision and
+// release emits one slog record with the flow, verdict, binding constraint,
+// promised bounds, and decision latency. Nil detaches (the default).
+func (c *Controller) SetAudit(l *slog.Logger) { c.audit = l }
+
+// observeAdmit records one decision on the attached metrics/audit sinks.
+func (c *Controller) observeAdmit(v Verdict, took time.Duration) {
+	if m := c.obsm; m != nil {
+		if v.Admitted {
+			m.admitted.Inc()
+		} else {
+			m.rejected.Inc()
+		}
+		if v.Cached {
+			m.cached.Inc()
+		}
+		m.decision.Observe(took.Seconds())
+	}
+	if c.audit != nil {
+		attrs := []any{
+			"flow_id", v.FlowID,
+			"admitted", v.Admitted,
+			"binding", v.Binding,
+			"epoch", v.Epoch,
+			"cached", v.Cached,
+			"decision_us", took.Microseconds(),
+		}
+		if v.Admitted {
+			attrs = append(attrs,
+				"delay", v.Delay.String(),
+				"backlog_bytes", float64(v.Backlog),
+				"throughput", v.Throughput.String(),
+				"bottleneck", v.Bottleneck,
+				"headroom_rate", v.HeadroomRate.String(),
+			)
+		} else {
+			attrs = append(attrs, "reason", v.Reason)
+		}
+		c.audit.Info("admit.verdict", attrs...)
+	}
+}
+
+// observeRelease records one release on the attached sinks.
+func (c *Controller) observeRelease(id string, ok bool, took time.Duration) {
+	if m := c.obsm; m != nil && ok {
+		m.releases.Inc()
+	}
+	if c.audit != nil {
+		c.audit.Info("admit.release", "flow_id", id, "released", ok,
+			"decision_us", took.Microseconds())
+	}
+}
+
+// instrumented reports whether any decision sink is attached.
+func (c *Controller) instrumented() bool { return c.obsm != nil || c.audit != nil }

@@ -1,0 +1,129 @@
+package admit
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"streamcalc/internal/curve"
+	"streamcalc/internal/obs"
+	"streamcalc/internal/units"
+)
+
+func scrape(t *testing.T, reg *obs.Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestEnableObsMetrics(t *testing.T) {
+	defer curve.SetOpTimer(nil)
+	c := testPlatform(t)
+	reg := obs.NewRegistry()
+	c.EnableObs(reg)
+
+	if v := c.Admit(tenant("t1", 10*units.MiBPerSec)); !v.Admitted {
+		t.Fatalf("expected admission: %s", v.Reason)
+	}
+	// Same oversized spec twice: the second rejection is served from the
+	// epoch-scoped verdict cache (keyed on curves, not IDs).
+	c.Admit(tenant("hog", 500*units.MiBPerSec))
+	if v := c.Admit(tenant("hog2", 500*units.MiBPerSec)); !v.Cached {
+		t.Error("identical rejection at same epoch should be cached")
+	}
+	if !c.Release("t1") {
+		t.Fatal("release failed")
+	}
+
+	text := scrape(t, reg)
+	for _, want := range []string{
+		`nc_admit_verdicts_total{result="admitted"} 1`,
+		`nc_admit_verdicts_total{result="rejected"} 2`,
+		"nc_admit_cached_total 1",
+		"nc_admit_releases_total 1",
+		"nc_admit_decision_seconds_count 3",
+		`nc_cache_hit_rate{cache="verdict"}`,
+		`nc_node_utilization{node="encrypt"}`,
+		"nc_admit_epoch",
+		"nc_admit_flows 0",
+		"nc_curve_op_seconds_bucket",
+		"nc_analysis_seconds_count",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}
+
+func TestAuditLog(t *testing.T) {
+	c := testPlatform(t)
+	var buf bytes.Buffer
+	c.SetAudit(slog.New(slog.NewTextHandler(&buf, nil)))
+
+	c.Admit(tenant("aud", 10*units.MiBPerSec))
+	c.Admit(tenant("hog", 500*units.MiBPerSec))
+	c.Release("aud")
+
+	out := buf.String()
+	for _, want := range []string{
+		"admit.verdict", "flow_id=aud", "admitted=true", "bottleneck=encrypt",
+		"flow_id=hog", "admitted=false", "reason=",
+		"admit.release", "released=true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("audit log missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTightness(t *testing.T) {
+	c := testPlatform(t)
+	if v := c.Admit(tenant("t1", 10*units.MiBPerSec)); !v.Admitted {
+		t.Fatalf("expected admission: %s", v.Reason)
+	}
+	// A co-resident so the residual service is genuinely degraded.
+	if v := c.Admit(tenant("t2", 10*units.MiBPerSec)); !v.Admitted {
+		t.Fatalf("expected admission: %s", v.Reason)
+	}
+
+	tt, err := c.Tightness("t1", ReplayOptions{Total: 2 * units.MiB, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.SimDelayMax <= 0 || tt.SimBacklogMax <= 0 {
+		t.Fatalf("replay observed nothing: %+v", tt)
+	}
+	// Soundness: the analytic bound must dominate every observation.
+	if tt.DelayTightness < 1 {
+		t.Errorf("delay tightness %.3f < 1 (bound %v, observed max %v)",
+			tt.DelayTightness, tt.DelayBound, tt.SimDelayMax)
+	}
+	if tt.BacklogTightness < 1 {
+		t.Errorf("backlog tightness %.3f < 1 (bound %v, observed max %v)",
+			tt.BacklogTightness, tt.BacklogBound, tt.SimBacklogMax)
+	}
+	if tt.SimDelayP50 > tt.SimDelayP99 || tt.SimDelayP99 > tt.SimDelayMax {
+		t.Errorf("quantiles out of order: p50=%v p99=%v max=%v",
+			tt.SimDelayP50, tt.SimDelayP99, tt.SimDelayMax)
+	}
+	if tt.Capped {
+		t.Error("short replay should not hit the event cap")
+	}
+
+	// Determinism per seed.
+	tt2, err := c.Tightness("t1", ReplayOptions{Total: 2 * units.MiB, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt2.SimDelayMax != tt.SimDelayMax || tt2.Events != tt.Events {
+		t.Errorf("replay not deterministic: %+v vs %+v", tt, tt2)
+	}
+
+	if _, err := c.Tightness("ghost", ReplayOptions{}); err == nil {
+		t.Error("expected error for unknown flow")
+	}
+}

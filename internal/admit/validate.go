@@ -106,32 +106,10 @@ func Replay(c *Controller, ops []TraceOp, opt ReplayOptions) (*ReplayReport, err
 // a one-time startup; the measured delay, backlog, and throughput must
 // respect the promised bounds.
 func simulateAdmitted(c *Controller, f Flow, v Verdict, opt ReplayOptions, step *StepReport) error {
-	stages, packet, err := c.residualStages(f)
+	sp, err := c.replaySim(f, opt)
 	if err != nil {
 		return err
 	}
-	if f.Arrival.MaxPacket > 0 {
-		packet = f.Arrival.MaxPacket
-	}
-	src := sim.SourceConfig{
-		Rate:       f.Arrival.Rate,
-		PacketSize: packet,
-		Burst:      f.Arrival.Burst,
-		TotalInput: opt.Total,
-	}
-	if len(f.Arrival.Extra) > 0 {
-		src.Envelope = append(src.Envelope, sim.EnvelopeBucket{
-			Rate: f.Arrival.Rate, Burst: f.Arrival.Burst + f.Arrival.MaxPacket,
-		})
-		for _, b := range f.Arrival.Extra {
-			src.Envelope = append(src.Envelope, sim.EnvelopeBucket{Rate: b.Rate, Burst: b.Burst})
-		}
-	}
-	sp := sim.New(src, opt.Seed)
-	for _, cfg := range stages {
-		sp.Add(cfg)
-	}
-
 	res, err := sp.Run()
 	if err != nil {
 		return err
@@ -167,6 +145,39 @@ func simulateAdmitted(c *Controller, f Flow, v Verdict, opt ReplayOptions, step 
 			"simulated throughput %v below SLO min_throughput %v", res.Throughput, s.MinThroughput))
 	}
 	return nil
+}
+
+// replaySim builds the replay simulation for admitted flow f: its offered
+// envelope played into the residual service its co-residents leave (see
+// residualStages). Shared by the -validate replay and the bound-tightness
+// probe.
+func (c *Controller) replaySim(f Flow, opt ReplayOptions) (*sim.Pipeline, error) {
+	stages, packet, err := c.residualStages(f)
+	if err != nil {
+		return nil, err
+	}
+	if f.Arrival.MaxPacket > 0 {
+		packet = f.Arrival.MaxPacket
+	}
+	src := sim.SourceConfig{
+		Rate:       f.Arrival.Rate,
+		PacketSize: packet,
+		Burst:      f.Arrival.Burst,
+		TotalInput: opt.Total,
+	}
+	if len(f.Arrival.Extra) > 0 {
+		src.Envelope = append(src.Envelope, sim.EnvelopeBucket{
+			Rate: f.Arrival.Rate, Burst: f.Arrival.Burst + f.Arrival.MaxPacket,
+		})
+		for _, b := range f.Arrival.Extra {
+			src.Envelope = append(src.Envelope, sim.EnvelopeBucket{Rate: b.Rate, Burst: b.Burst})
+		}
+	}
+	sp := sim.New(src, opt.Seed)
+	for _, cfg := range stages {
+		sp.Add(cfg)
+	}
+	return sp, nil
 }
 
 // residualStages builds the simulator stages for f's path: each node serves

@@ -127,7 +127,7 @@ func dur(s float64) time.Duration {
 
 // Analyze applies the network-calculus model to the pipeline and returns
 // the bounds and curves. It is equivalent to AnalyzeMemo(p, nil).
-func Analyze(p Pipeline) (*Analysis, error) { return analyze(p) }
+func Analyze(p Pipeline) (*Analysis, error) { return timedAnalyze(p) }
 
 // AnalyzeMemo is Analyze with a result cache: when m is non-nil and holds an
 // analysis for a structurally identical pipeline, that result is returned
@@ -137,7 +137,7 @@ func Analyze(p Pipeline) (*Analysis, error) { return analyze(p) }
 // pipelines recur for every probe.
 func AnalyzeMemo(p Pipeline, m *Memo) (*Analysis, error) {
 	if m == nil {
-		return analyze(p)
+		return timedAnalyze(p)
 	}
 	return m.analyze(p)
 }

@@ -50,7 +50,7 @@ func (m *Memo) analyze(p Pipeline) (*Analysis, error) {
 	m.misses++
 	m.mu.Unlock()
 
-	a, err := analyze(p)
+	a, err := timedAnalyze(p)
 
 	m.mu.Lock()
 	if m.entries == nil {

@@ -1,0 +1,96 @@
+package curve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Per-operation timing instrumentation.
+//
+// The memo layer already knows every operator entry point, so it doubles as
+// the timing seam: when an OpTimer is attached, each *computed* (memo-miss
+// or memo-disabled) operation reports its wall-clock cost under the
+// operator's name. Memo hits are not timed — they are two map operations —
+// so the histogram measures real kernel work, matching Nancy's per-operation
+// cost accounting (arXiv:2205.11449).
+//
+// Detached (the default) the hot path pays a single atomic pointer load per
+// computed operation and nothing per hit.
+
+// OpTimer receives the wall-clock duration of one computed curve operation.
+type OpTimer func(op string, seconds float64)
+
+var opTimer atomic.Pointer[OpTimer]
+
+// SetOpTimer attaches fn as the process-wide operation timer; nil detaches.
+// The previous timer is returned so callers can restore it.
+func SetOpTimer(fn OpTimer) (prev OpTimer) {
+	var old *OpTimer
+	if fn == nil {
+		old = opTimer.Swap(nil)
+	} else {
+		old = opTimer.Swap(&fn)
+	}
+	if old == nil {
+		return nil
+	}
+	return *old
+}
+
+// opNames maps memo op tags to their exported metric label values.
+var opNames = [...]string{
+	opMin:        "min",
+	opMax:        "max",
+	opAdd:        "add",
+	opConv:       "convolve",
+	opDeconv:     "deconvolve",
+	opResidual:   "residual",
+	opHDev:       "hdev",
+	opVDev:       "vdev",
+	opShiftRight: "shift_right",
+	opAddBurst:   "add_burst",
+	opSubConst:   "sub_const",
+}
+
+func (op memoOp) name() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return "unknown"
+}
+
+// timedCurve runs compute, reporting its duration when a timer is attached.
+func timedCurve(op memoOp, compute func() Curve) Curve {
+	t := opTimer.Load()
+	if t == nil {
+		return compute()
+	}
+	start := time.Now()
+	c := compute()
+	(*t)(op.name(), time.Since(start).Seconds())
+	return c
+}
+
+// timedCurveOK is timedCurve for (Curve, bool)-valued operations.
+func timedCurveOK(op memoOp, compute func() (Curve, bool)) (Curve, bool) {
+	t := opTimer.Load()
+	if t == nil {
+		return compute()
+	}
+	start := time.Now()
+	c, ok := compute()
+	(*t)(op.name(), time.Since(start).Seconds())
+	return c, ok
+}
+
+// timedScalar is timedCurve for float64-valued operations (HDev, VDev).
+func timedScalar(op memoOp, compute func() float64) float64 {
+	t := opTimer.Load()
+	if t == nil {
+		return compute()
+	}
+	start := time.Now()
+	s := compute()
+	(*t)(op.name(), time.Since(start).Seconds())
+	return s
+}

@@ -124,9 +124,11 @@ func memoStore(k memoKey, v memoVal) {
 }
 
 // memoBinary caches a Curve-valued binary op keyed on both digests.
+// Computed (non-hit) operations report their duration to the attached
+// OpTimer, if any (see instr.go).
 func memoBinary(op memoOp, a, b Curve, compute func() Curve) Curve {
 	if !memoEnabled.Load() {
-		return compute()
+		return timedCurve(op, compute)
 	}
 	k := memoKey{op, a.digest, b.digest}
 	if op.commutative() && k.db < k.da {
@@ -135,7 +137,7 @@ func memoBinary(op memoOp, a, b Curve, compute func() Curve) Curve {
 	if v, ok := memoLoad(k); ok {
 		return v.c
 	}
-	c := compute()
+	c := timedCurve(op, compute)
 	memoStore(k, memoVal{c: c})
 	return c
 }
@@ -143,13 +145,13 @@ func memoBinary(op memoOp, a, b Curve, compute func() Curve) Curve {
 // memoBinaryOK caches a (Curve, bool)-valued binary op.
 func memoBinaryOK(op memoOp, a, b Curve, compute func() (Curve, bool)) (Curve, bool) {
 	if !memoEnabled.Load() {
-		return compute()
+		return timedCurveOK(op, compute)
 	}
 	k := memoKey{op, a.digest, b.digest}
 	if v, ok := memoLoad(k); ok {
 		return v.c, v.ok
 	}
-	c, ok := compute()
+	c, ok := timedCurveOK(op, compute)
 	memoStore(k, memoVal{c: c, ok: ok})
 	return c, ok
 }
@@ -157,13 +159,13 @@ func memoBinaryOK(op memoOp, a, b Curve, compute func() (Curve, bool)) (Curve, b
 // memoScalar caches a float64-valued binary op (HDev, VDev).
 func memoScalar(op memoOp, a, b Curve, compute func() float64) float64 {
 	if !memoEnabled.Load() {
-		return compute()
+		return timedScalar(op, compute)
 	}
 	k := memoKey{op, a.digest, b.digest}
 	if v, ok := memoLoad(k); ok {
 		return v.scalar
 	}
-	s := compute()
+	s := timedScalar(op, compute)
 	memoStore(k, memoVal{scalar: s})
 	return s
 }
@@ -172,13 +174,13 @@ func memoScalar(op memoOp, a, b Curve, compute func() float64) float64 {
 // keyed on (digest, scalar bits).
 func memoUnary(op memoOp, a Curve, scalar float64, compute func() Curve) Curve {
 	if !memoEnabled.Load() {
-		return compute()
+		return timedCurve(op, compute)
 	}
 	k := memoKey{op, a.digest, fbits(scalar)}
 	if v, ok := memoLoad(k); ok {
 		return v.c
 	}
-	c := compute()
+	c := timedCurve(op, compute)
 	memoStore(k, memoVal{c: c})
 	return c
 }

@@ -42,7 +42,8 @@ type Simulator struct {
 	now    float64
 	seq    uint64
 	events eventHeap
-	count  uint64 // events executed
+	count  uint64   // events executed
+	obs    Observer // nil when detached (the common case)
 }
 
 // Now returns the current simulation time in seconds.
@@ -72,6 +73,9 @@ func (s *Simulator) ScheduleAt(t float64, fn func()) {
 	}
 	s.seq++
 	heap.Push(&s.events, event{t: t, seq: s.seq, fn: fn})
+	if s.obs != nil {
+		s.obs.OnSchedule(s.now, t, len(s.events))
+	}
 }
 
 // Step executes the next event, advancing the clock. It reports false when
@@ -81,8 +85,14 @@ func (s *Simulator) Step() bool {
 		return false
 	}
 	e := heap.Pop(&s.events).(event)
+	if s.obs != nil && e.t > s.now {
+		s.obs.OnAdvance(s.now, e.t)
+	}
 	s.now = e.t
 	s.count++
+	if s.obs != nil {
+		s.obs.OnExecute(e.t, len(s.events))
+	}
 	e.fn()
 	return true
 }

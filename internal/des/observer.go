@@ -1,0 +1,59 @@
+package des
+
+// Observer receives kernel-level probes from a Simulator. All callbacks run
+// synchronously on the simulation goroutine; implementations must not call
+// back into the Simulator.
+//
+// The hooks are designed so an unattached simulator pays only a nil
+// interface check per event (see BenchmarkEventLoop vs
+// BenchmarkEventLoopObserved): the kernel never allocates or computes
+// anything on the observer's behalf.
+type Observer interface {
+	// OnSchedule fires after an event is pushed onto the calendar: now is
+	// the current clock, at the event's activation time, pending the
+	// calendar size including the new event.
+	OnSchedule(now, at float64, pending int)
+	// OnExecute fires immediately before an event's callback runs, after
+	// the clock advanced to t; pending is the calendar size without the
+	// executing event.
+	OnExecute(t float64, pending int)
+	// OnAdvance fires when executing an event moves the clock strictly
+	// forward, before OnExecute.
+	OnAdvance(from, to float64)
+}
+
+// SetObserver attaches o to the simulator (nil detaches). Attaching mid-run
+// is allowed; hooks fire from the next operation on.
+func (s *Simulator) SetObserver(o Observer) { s.obs = o }
+
+// Observer returns the attached observer, or nil.
+func (s *Simulator) Observer() Observer { return s.obs }
+
+// FuncObserver adapts three optional funcs into an Observer; nil fields are
+// skipped. Handy for tests and one-off probes.
+type FuncObserver struct {
+	Schedule func(now, at float64, pending int)
+	Execute  func(t float64, pending int)
+	Advance  func(from, to float64)
+}
+
+// OnSchedule implements Observer.
+func (f *FuncObserver) OnSchedule(now, at float64, pending int) {
+	if f.Schedule != nil {
+		f.Schedule(now, at, pending)
+	}
+}
+
+// OnExecute implements Observer.
+func (f *FuncObserver) OnExecute(t float64, pending int) {
+	if f.Execute != nil {
+		f.Execute(t, pending)
+	}
+}
+
+// OnAdvance implements Observer.
+func (f *FuncObserver) OnAdvance(from, to float64) {
+	if f.Advance != nil {
+		f.Advance(from, to)
+	}
+}

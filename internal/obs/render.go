@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family in the text exposition format
+// (version 0.0.4), running collectors first. Families appear in
+// registration order, series in sorted label order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.runCollectors()
+
+	bw := bufio.NewWriter(w)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, name := range r.order {
+		f := r.families[name]
+		if len(f.keys) == 0 {
+			continue
+		}
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(strings.ReplaceAll(f.help, "\n", " "))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, key := range f.keys {
+			s := f.series[key]
+			switch f.kind {
+			case kindCounter:
+				writeSample(bw, f.name, "", key, float64(s.c.Value()))
+			case kindGauge:
+				v := 0.0
+				if s.fn != nil {
+					v = s.fn()
+				} else {
+					v = s.g.Value()
+				}
+				writeSample(bw, f.name, "", key, v)
+			case kindHistogram:
+				writeHistogram(bw, f.name, key, s.h)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one "name[suffix]{labels} value" line.
+func writeSample(bw *bufio.Writer, name, suffix, labels string, v float64) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	bw.WriteString(labels)
+	bw.WriteByte(' ')
+	bw.WriteString(formatValue(v))
+	bw.WriteByte('\n')
+}
+
+// writeHistogram emits the cumulative _bucket series plus _sum and _count.
+func writeHistogram(bw *bufio.Writer, name, key string, h *Histogram) {
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		writeSample(bw, name, "_bucket", withLabel(key, "le", formatValue(bound)), float64(cum))
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	writeSample(bw, name, "_bucket", withLabel(key, "le", "+Inf"), float64(cum))
+	writeSample(bw, name, "_sum", key, h.Sum())
+	writeSample(bw, name, "_count", key, float64(h.Count()))
+}
+
+// withLabel splices an extra label into a rendered label block.
+func withLabel(key, k, v string) string {
+	extra := k + `="` + escapeLabel(v) + `"`
+	if key == "" {
+		return "{" + extra + "}"
+	}
+	return key[:len(key)-1] + "," + extra + "}"
+}
+
+// formatValue renders a float the way Prometheus expects: shortest
+// round-trip decimal, with +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// --- JSON snapshot ----------------------------------------------------------
+
+// BucketSnapshot is one histogram bucket in a snapshot: the upper bound
+// (inclusive; +Inf for the overflow bucket) and its non-cumulative count.
+type BucketSnapshot struct {
+	UpperBound float64 `json:"le"`
+	Count      uint64  `json:"count"`
+}
+
+// SeriesSnapshot is one labelled series in a snapshot.
+type SeriesSnapshot struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value holds counter and gauge readings.
+	Value float64 `json:"value"`
+	// Histogram payload (nil for counters and gauges).
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+	Sum     float64          `json:"sum,omitempty"`
+	Count   uint64           `json:"count,omitempty"`
+}
+
+// FamilySnapshot is one metric family in a snapshot.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Type   string           `json:"type"`
+	Help   string           `json:"help,omitempty"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot captures every family after running collectors. The result is
+// detached: mutating it does not affect the registry.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	r.runCollectors()
+
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]FamilySnapshot, 0, len(r.order))
+	for _, name := range r.order {
+		f := r.families[name]
+		if len(f.keys) == 0 {
+			continue
+		}
+		fs := FamilySnapshot{Name: f.name, Type: f.kind.String(), Help: f.help}
+		for _, key := range f.keys {
+			s := f.series[key]
+			ss := SeriesSnapshot{}
+			if len(s.labels) > 0 {
+				ss.Labels = make(map[string]string, len(s.labels))
+				for _, l := range s.labels {
+					ss.Labels[l.Key] = l.Value
+				}
+			}
+			switch f.kind {
+			case kindCounter:
+				ss.Value = float64(s.c.Value())
+			case kindGauge:
+				if s.fn != nil {
+					ss.Value = s.fn()
+				} else {
+					ss.Value = s.g.Value()
+				}
+			case kindHistogram:
+				h := s.h
+				for i, bound := range h.bounds {
+					ss.Buckets = append(ss.Buckets, BucketSnapshot{UpperBound: bound, Count: h.counts[i].Load()})
+				}
+				ss.Buckets = append(ss.Buckets, BucketSnapshot{
+					UpperBound: math.Inf(1), Count: h.counts[len(h.bounds)].Load(),
+				})
+				ss.Sum = h.Sum()
+				ss.Count = h.Count()
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+// WriteJSON renders the snapshot as indented JSON. Histogram +Inf bounds
+// are emitted as the string "+Inf" (JSON has no infinity literal).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := r.Snapshot()
+	type bucketJSON struct {
+		UpperBound any    `json:"le"`
+		Count      uint64 `json:"count"`
+	}
+	type seriesJSON struct {
+		Labels  map[string]string `json:"labels,omitempty"`
+		Value   float64           `json:"value"`
+		Buckets []bucketJSON      `json:"buckets,omitempty"`
+		Sum     float64           `json:"sum,omitempty"`
+		Count   uint64            `json:"count,omitempty"`
+	}
+	type familyJSON struct {
+		Name   string       `json:"name"`
+		Type   string       `json:"type"`
+		Help   string       `json:"help,omitempty"`
+		Series []seriesJSON `json:"series"`
+	}
+	out := make([]familyJSON, 0, len(snap))
+	for _, f := range snap {
+		fj := familyJSON{Name: f.Name, Type: f.Type, Help: f.Help}
+		for _, s := range f.Series {
+			sj := seriesJSON{Labels: s.Labels, Value: s.Value, Sum: s.Sum, Count: s.Count}
+			for _, b := range s.Buckets {
+				var le any = b.UpperBound
+				if math.IsInf(b.UpperBound, 1) {
+					le = "+Inf"
+				}
+				sj.Buckets = append(sj.Buckets, bucketJSON{UpperBound: le, Count: b.Count})
+			}
+			fj.Series = append(fj.Series, sj)
+		}
+		out = append(out, fj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

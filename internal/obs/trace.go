@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sync"
+)
+
+// Trace collects events in the Chrome trace_event JSON format (the "JSON
+// Array Format" with an object wrapper), loadable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing. The discrete-event
+// simulator writes one complete ("X") event per stage service span, plus
+// instant and counter events for stalls and queue levels; timestamps are
+// simulation seconds converted to trace microseconds.
+//
+// A Trace is safe for concurrent use (the simulator is single-goroutine,
+// but scrapers may export mid-run).
+type Trace struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// TraceEvent is one trace_event record. Fields follow the Trace Event
+// Format spec: Phase is the single-character event type ("X" complete,
+// "i" instant, "C" counter, "M" metadata), Ts and Dur are microseconds.
+type TraceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int64          `json:"pid"`
+	Tid   int64          `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant-event scope: t/p/g
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the on-disk wrapper object.
+type traceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+const usPerSec = 1e6
+
+// Complete records a complete event: a span of durSec seconds starting at
+// startSec on thread tid.
+func (t *Trace) Complete(name, cat string, tid int64, startSec, durSec float64, args map[string]any) {
+	t.append(TraceEvent{
+		Name: name, Cat: cat, Phase: "X",
+		Ts: startSec * usPerSec, Dur: durSec * usPerSec,
+		Tid: tid, Args: args,
+	})
+}
+
+// Instant records a thread-scoped instant event at tSec.
+func (t *Trace) Instant(name, cat string, tid int64, tSec float64, args map[string]any) {
+	t.append(TraceEvent{
+		Name: name, Cat: cat, Phase: "i", Scope: "t",
+		Ts: tSec * usPerSec, Tid: tid, Args: args,
+	})
+}
+
+// Counter records a counter event: the named series takes the given values
+// at tSec (rendered as a stacked area track).
+func (t *Trace) Counter(name string, tid int64, tSec float64, values map[string]float64) {
+	args := make(map[string]any, len(values))
+	for k, v := range values {
+		args[k] = v
+	}
+	t.append(TraceEvent{
+		Name: name, Phase: "C",
+		Ts: tSec * usPerSec, Tid: tid, Args: args,
+	})
+}
+
+// ThreadName records metadata naming thread tid in the viewer.
+func (t *Trace) ThreadName(tid int64, name string) {
+	t.append(TraceEvent{
+		Name: "thread_name", Phase: "M", Tid: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+func (t *Trace) append(e TraceEvent) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the recorded events.
+func (t *Trace) Events() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.events...)
+}
+
+// WriteJSON writes the trace as a Chrome trace_event JSON object.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	events := append([]TraceEvent(nil), t.events...)
+	t.mu.Unlock()
+	if events == nil {
+		events = []TraceEvent{} // render "traceEvents": [], not null
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// ValidateTraceBytes checks data against the Chrome trace_event JSON Object
+// Format: a "traceEvents" array whose entries each have a name, a known
+// single-character phase, a finite non-negative microsecond timestamp, and —
+// for complete ("X") events — a finite non-negative duration. Used by unit
+// tests to assert exported traces stay loadable in Perfetto.
+func ValidateTraceBytes(data []byte) error {
+	var f struct {
+		TraceEvents *[]TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	if f.TraceEvents == nil {
+		return fmt.Errorf("obs: trace has no traceEvents array")
+	}
+	for i, e := range *f.TraceEvents {
+		if e.Name == "" {
+			return fmt.Errorf("obs: trace event %d has no name", i)
+		}
+		switch e.Phase {
+		case "X", "B", "E", "i", "I", "C", "M", "b", "e", "n", "s", "t", "f":
+		default:
+			return fmt.Errorf("obs: trace event %d (%s) has unknown phase %q", i, e.Name, e.Phase)
+		}
+		if math.IsNaN(e.Ts) || math.IsInf(e.Ts, 0) || e.Ts < 0 {
+			return fmt.Errorf("obs: trace event %d (%s) has bad timestamp %v", i, e.Name, e.Ts)
+		}
+		if e.Phase == "X" && (math.IsNaN(e.Dur) || math.IsInf(e.Dur, 0) || e.Dur < 0) {
+			return fmt.Errorf("obs: trace event %d (%s) has bad duration %v", i, e.Name, e.Dur)
+		}
+	}
+	return nil
+}
+
+// WriteFile writes the trace to path (0644).
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

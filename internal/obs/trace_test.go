@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// validateTraceJSON checks data against the Chrome trace_event "JSON Object
+// Format": a traceEvents array whose entries carry the required fields with
+// legal phase codes, finite non-negative microsecond timestamps, and
+// non-negative durations on complete events. Shared by the sim integration
+// test via ValidateTraceBytes.
+func validateTraceJSON(t *testing.T, data []byte) {
+	t.Helper()
+	if err := ValidateTraceBytes(data); err != nil {
+		t.Fatalf("trace schema: %v", err)
+	}
+}
+
+func TestTraceEventSchema(t *testing.T) {
+	tr := NewTrace()
+	tr.ThreadName(1, "compress")
+	tr.Complete("job", "stage", 1, 0.5, 0.25, map[string]any{"bytes": 4096})
+	tr.Instant("stall", "stage", 1, 0.9, nil)
+	tr.Counter("queue", 1, 1.0, map[string]float64{"bytes": 123})
+
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	validateTraceJSON(t, []byte(sb.String()))
+
+	// Spot-check unit conversion: seconds in, microseconds out.
+	var f struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.TraceEvents) != 4 {
+		t.Fatalf("events = %d, want 4", len(f.TraceEvents))
+	}
+	x := f.TraceEvents[1]
+	if x.Phase != "X" || x.Ts != 0.5*1e6 || x.Dur != 0.25*1e6 {
+		t.Errorf("complete event wrong: %+v", x)
+	}
+}
+
+func TestTraceEmptyRendersArray(t *testing.T) {
+	var sb strings.Builder
+	if err := NewTrace().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"traceEvents":[]`) {
+		t.Errorf("empty trace should render an empty array:\n%s", sb.String())
+	}
+	validateTraceJSON(t, []byte(sb.String()))
+}
+
+func TestTraceWriteFile(t *testing.T) {
+	tr := NewTrace()
+	tr.Complete("job", "stage", 2, 0, 1, nil)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validateTraceJSON(t, data)
+}
+
+func TestValidateTraceBytesRejects(t *testing.T) {
+	for name, bad := range map[string]string{
+		"not json":      "nope",
+		"missing array": `{"displayTimeUnit":"ms"}`,
+		"bad phase":     `{"traceEvents":[{"name":"x","ph":"ZZ","ts":0,"pid":0,"tid":0}]}`,
+		"negative ts":   `{"traceEvents":[{"name":"x","ph":"i","ts":-1,"pid":0,"tid":0}]}`,
+		"negative dur":  `{"traceEvents":[{"name":"x","ph":"X","ts":0,"dur":-5,"pid":0,"tid":0}]}`,
+		"unnamed":       `{"traceEvents":[{"ph":"i","ts":0,"pid":0,"tid":0}]}`,
+	} {
+		if err := ValidateTraceBytes([]byte(bad)); err == nil {
+			t.Errorf("%s: validated unexpectedly", name)
+		}
+	}
+}
+
+func TestTraceTimestampsFinite(t *testing.T) {
+	tr := NewTrace()
+	tr.Complete("job", "stage", 1, 2, math.Inf(1), nil)
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err == nil {
+		// json.Marshal fails on +Inf, so WriteTo must surface an error rather
+		// than emit a broken file.
+		t.Error("expected an encoding error for an infinite duration")
+	}
+}

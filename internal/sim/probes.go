@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"streamcalc/internal/des"
+	"streamcalc/internal/obs"
+)
+
+// SojournBuckets are the default histogram bounds for per-stage sojourn
+// times (seconds): 1µs to ~4500s in powers of 4, wide enough for both the
+// BLASTN batch pipelines and millisecond-scale live flows.
+var SojournBuckets = obs.ExponentialBuckets(1e-6, 4, 16)
+
+// probes holds the per-run metric handles. A nil *probes (no registry
+// attached) costs one pointer check at each instrumentation site.
+type probes struct {
+	reg *obs.Registry
+
+	events  *obs.Counter
+	clock   *obs.Gauge
+	pending *obs.Gauge
+	capHits *obs.Counter
+
+	backlog    *obs.Gauge
+	inputBytes *obs.Gauge
+	outBytes   *obs.Gauge
+
+	queue   []*obs.Gauge     // per stage, local bytes
+	jobs    []*obs.Counter   // per stage activations
+	sojourn []*obs.Histogram // per stage residence seconds
+	stalls  []*obs.Counter   // per stage injected interruptions
+	stallT  []*obs.Gauge     // per stage accumulated stall seconds
+	blocked []*obs.Gauge     // per stage accumulated backpressure seconds
+}
+
+// newProbes registers the run's metric families on reg.
+func newProbes(reg *obs.Registry, stages []StageConfig) *probes {
+	p := &probes{
+		reg:        reg,
+		events:     reg.Counter("nc_sim_events_total", "discrete events executed by the kernel"),
+		clock:      reg.Gauge("nc_sim_clock_seconds", "current simulation time"),
+		pending:    reg.Gauge("nc_sim_pending_events", "events waiting on the calendar"),
+		capHits:    reg.Counter("nc_sim_event_cap_total", "runs truncated by the event-count safety cap"),
+		backlog:    reg.Gauge("nc_sim_backlog_bytes", "input-referred data in flight (all queues and in-service)"),
+		inputBytes: reg.Gauge("nc_sim_input_bytes", "cumulative data offered by the source"),
+		outBytes:   reg.Gauge("nc_sim_output_input_bytes", "cumulative input-referred data delivered"),
+	}
+	for _, cfg := range stages {
+		l := obs.Label{Key: "stage", Value: cfg.Name}
+		p.queue = append(p.queue, reg.Gauge("nc_sim_stage_queue_bytes", "stage input-queue occupancy, local bytes", l))
+		p.jobs = append(p.jobs, reg.Counter("nc_sim_stage_jobs_total", "stage activations", l))
+		p.sojourn = append(p.sojourn, reg.Histogram("nc_sim_stage_sojourn_seconds",
+			"per-job stage residence time: oldest byte arrival to job completion", SojournBuckets, l))
+		p.stalls = append(p.stalls, reg.Counter("nc_sim_stage_stalls_total", "injected service interruptions", l))
+		p.stallT = append(p.stallT, reg.Gauge("nc_sim_stage_stall_seconds", "accumulated injected stall time", l))
+		p.blocked = append(p.blocked, reg.Gauge("nc_sim_stage_blocked_seconds", "accumulated downstream-backpressure time", l))
+	}
+	return p
+}
+
+// observer returns a des.Observer that streams kernel counters onto the
+// registry.
+func (p *probes) observer() des.Observer {
+	return &des.FuncObserver{
+		Execute: func(t float64, pending int) {
+			p.events.Inc()
+			p.clock.Set(t)
+			p.pending.Set(float64(pending))
+		},
+	}
+}
+
+// tracer wraps the trace writer with the run's thread layout: tid 0 is the
+// source, tids 1..N the stages, tid N+1 the sink.
+type tracer struct {
+	tw     *obs.Trace
+	sink   int64
+	queues []string // per-stage counter-track names
+}
+
+func newTracer(tw *obs.Trace, stages []StageConfig) *tracer {
+	tr := &tracer{tw: tw, sink: int64(len(stages)) + 1}
+	tw.ThreadName(0, "source")
+	for i, cfg := range stages {
+		tw.ThreadName(int64(i)+1, cfg.Name)
+		tr.queues = append(tr.queues, "queue "+cfg.Name)
+	}
+	tw.ThreadName(tr.sink, "sink")
+	return tr
+}
+
+func (tr *tracer) jobSpan(stageIdx int, name string, start, dur float64, localIn, localOut, input float64) {
+	tr.tw.Complete(name, "stage", int64(stageIdx)+1, start, dur, map[string]any{
+		"local_in":  localIn,
+		"local_out": localOut,
+		"input":     input,
+	})
+}
+
+func (tr *tracer) stall(stageIdx int, t, dur float64) {
+	tr.tw.Instant("stall", "stage", int64(stageIdx)+1, t, map[string]any{"seconds": dur})
+}
+
+func (tr *tracer) blockedSpan(stageIdx int, start, dur float64) {
+	tr.tw.Complete("blocked", "backpressure", int64(stageIdx)+1, start, dur, nil)
+}
+
+func (tr *tracer) queueLevel(stageIdx int, t, localBytes float64) {
+	tr.tw.Counter(tr.queues[stageIdx], int64(stageIdx)+1, t, map[string]float64{"bytes": localBytes})
+}
+
+func (tr *tracer) input(t, cum float64) {
+	tr.tw.Counter("input", 0, t, map[string]float64{"bytes": cum})
+}
+
+func (tr *tracer) output(t, cum float64) {
+	tr.tw.Counter("output", tr.sink, t, map[string]float64{"bytes": cum})
+}

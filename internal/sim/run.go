@@ -132,12 +132,17 @@ type run struct {
 	emitCum []float64
 
 	// Sink state.
-	cumOut  float64
-	delays  stats.Summary
-	backlog stats.Watermark
-	lastT   float64
+	cumOut       float64
+	delays       stats.Summary
+	delaySamples []float64 // raw per-departure delays, for quantiles
+	backlog      stats.Watermark
+	lastT        float64
 
 	inTrace, outTrace *trace
+
+	// Telemetry (nil when detached; every probe site is one nil check).
+	pr *probes
+	tr *tracer
 }
 
 func newRun(p *Pipeline) *run {
@@ -145,6 +150,13 @@ func newRun(p *Pipeline) *run {
 	r.srcRNG = des.NewRNG(p.seed, 0)
 	r.inTrace = newTrace(4096)
 	r.outTrace = newTrace(4096)
+	if p.reg != nil {
+		r.pr = newProbes(p.reg, p.stages)
+		r.sim.SetObserver(r.pr.observer())
+	}
+	if p.tw != nil {
+		r.tr = newTracer(p.tw, p.stages)
+	}
 	var next *stage
 	for i := len(p.stages) - 1; i >= 0; i-- {
 		st := &stage{cfg: p.stages[i], run: r, idx: i, next: next}
@@ -215,6 +227,13 @@ func (r *run) emit(size float64) {
 	r.emitCum = append(r.emitCum, r.emitted)
 	r.inTrace.add(r.sim.Now(), r.emitted)
 	r.backlog.Set(r.emitted - r.cumOut)
+	if r.pr != nil {
+		r.pr.inputBytes.Set(r.emitted)
+		r.pr.backlog.Set(r.emitted - r.cumOut)
+	}
+	if r.tr != nil {
+		r.tr.input(r.sim.Now(), r.emitted)
+	}
 	first := r.stages[0]
 	first.onArrival(span{local: size, input: size})
 }
@@ -249,7 +268,15 @@ func (r *run) deliver(s span) {
 		d = 0
 	}
 	r.delays.Add(d)
+	r.delaySamples = append(r.delaySamples, d)
 	r.lastT = now
+	if r.pr != nil {
+		r.pr.outBytes.Set(r.cumOut)
+		r.pr.backlog.Set(r.emitted - r.cumOut)
+	}
+	if r.tr != nil {
+		r.tr.output(now, r.cumOut)
+	}
 }
 
 // onArrival receives a span into the stage's input queue.
@@ -260,7 +287,20 @@ func (st *stage) onArrival(s span) {
 	}
 	s.tIn = st.run.sim.Now()
 	st.in.push(s)
+	st.noteQueueLevel()
 	st.tryStart()
+}
+
+// noteQueueLevel publishes the stage's current input-queue occupancy to the
+// attached metrics registry and trace, if any.
+func (st *stage) noteQueueLevel() {
+	r := st.run
+	if r.pr != nil {
+		r.pr.queue[st.idx].Set(st.in.localBytes)
+	}
+	if r.tr != nil {
+		r.tr.queueLevel(st.idx, r.sim.Now(), st.in.localBytes)
+	}
 }
 
 // ready reports whether a job (full or flush) can start.
@@ -285,6 +325,7 @@ func (st *stage) tryStart() {
 		return
 	}
 	job := st.in.pop(amount)
+	st.noteQueueLevel()
 	st.notifyUpstreamSpace()
 	frac := amount / float64(st.cfg.JobIn)
 	if frac > 1 {
@@ -306,10 +347,22 @@ func (st *stage) tryStart() {
 	}
 	if st.cfg.StallEvery > 0 && st.cfg.StallFor > 0 {
 		st.stallAccum += exec
+		var jobStalls int64
 		for st.stallAccum >= st.cfg.StallEvery.Seconds() {
 			st.stallAccum -= st.cfg.StallEvery.Seconds()
 			exec += st.cfg.StallFor.Seconds()
 			st.stalls++
+			jobStalls++
+		}
+		if jobStalls > 0 {
+			r := st.run
+			if r.pr != nil {
+				r.pr.stalls[st.idx].Add(uint64(jobStalls))
+				r.pr.stallT[st.idx].Add(float64(jobStalls) * st.cfg.StallFor.Seconds())
+			}
+			if r.tr != nil {
+				r.tr.stall(st.idx, r.sim.Now(), float64(jobStalls)*st.cfg.StallFor.Seconds())
+			}
 		}
 	}
 	gain := 1.0
@@ -320,8 +373,17 @@ func (st *stage) tryStart() {
 	st.busy = true
 	st.jobs++
 	st.busyTime += exec
+	if st.run.pr != nil {
+		st.run.pr.jobs[st.idx].Inc()
+	}
 	jobArrival := job.tIn
+	startT := st.run.sim.Now()
+	execDur := exec
+	jobLocal := job.local
 	st.run.sim.Schedule(exec, func() {
+		if st.run.tr != nil {
+			st.run.tr.jobSpan(st.idx, st.cfg.Name, startT, execDur, jobLocal, out.local, out.input)
+		}
 		st.recordSojourn(jobArrival)
 		st.finish(out)
 	})
@@ -337,7 +399,11 @@ func (st *stage) finish(out span) {
 // byte arrived at tIn.
 func (st *stage) recordSojourn(tIn float64) {
 	if !math.IsInf(tIn, 1) {
-		st.sojourn.Add(st.run.sim.Now() - tIn)
+		d := st.run.sim.Now() - tIn
+		st.sojourn.Add(d)
+		if st.run.pr != nil {
+			st.run.pr.sojourn[st.idx].Observe(d)
+		}
 	}
 }
 
@@ -384,7 +450,14 @@ func (st *stage) notifyUpstreamSpace() {
 	up := r.stages[st.idx-1]
 	if up.blocked && st.in.hasSpace(up.pendingOut.local) {
 		up.blocked = false
-		up.blockedTime += r.sim.Now() - up.blockedSince
+		blockedFor := r.sim.Now() - up.blockedSince
+		up.blockedTime += blockedFor
+		if r.pr != nil {
+			r.pr.blocked[up.idx].Add(blockedFor)
+		}
+		if r.tr != nil && blockedFor > 0 {
+			r.tr.blockedSpan(up.idx, up.blockedSince, blockedFor)
+		}
 		out := up.pendingOut
 		up.pendingOut = span{}
 		r.sim.Schedule(0, func() {
@@ -438,6 +511,8 @@ func (r *run) result() (*Result, error) {
 		res.DelayMin = dur(r.delays.Min())
 		res.DelayMean = dur(r.delays.Mean())
 		res.DelayMax = dur(r.delays.Max())
+		res.DelayP50 = dur(stats.Quantile(r.delaySamples, 0.5))
+		res.DelayP99 = dur(stats.Quantile(r.delaySamples, 0.99))
 	}
 	for _, st := range r.stages {
 		sr := StageResult{

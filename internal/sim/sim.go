@@ -15,10 +15,12 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"time"
 
 	"streamcalc/internal/des"
+	"streamcalc/internal/obs"
 	"streamcalc/internal/units"
 )
 
@@ -142,9 +144,17 @@ type Result struct {
 	// DelayMin/Mean/Max summarize per-departure virtual delay: the age of
 	// the newest input byte covered by the cumulative output.
 	DelayMin, DelayMean, DelayMax time.Duration
+	// DelayP50 and DelayP99 are per-departure virtual-delay quantiles, for
+	// bound-tightness comparison against the analytic worst case.
+	DelayP50, DelayP99 time.Duration
 	// MaxBacklog is the system-wide high-water mark of input-referred data
 	// in flight (all queues and in-service data).
 	MaxBacklog units.Bytes
+	// Events is the number of discrete events the kernel executed; Capped
+	// reports that the run was truncated by the event-count safety cap
+	// (see Pipeline.WithMaxEvents) and the measurements are partial.
+	Events uint64
+	Capped bool
 	// Stages holds per-stage summaries in pipeline order.
 	Stages []StageResult
 	// Input and Output are (decimated) cumulative trajectories in
@@ -159,6 +169,10 @@ type Pipeline struct {
 	src    SourceConfig
 	stages []StageConfig
 	seed   uint64
+
+	reg       *obs.Registry
+	tw        *obs.Trace
+	maxEvents uint64
 }
 
 // New creates a pipeline simulation fed by src, reproducible for a given
@@ -170,6 +184,32 @@ func New(src SourceConfig, seed uint64) *Pipeline {
 // Add appends a stage and returns the pipeline for chaining.
 func (p *Pipeline) Add(cfg StageConfig) *Pipeline {
 	p.stages = append(p.stages, cfg)
+	return p
+}
+
+// WithMetrics streams run telemetry onto reg: kernel event counters, queue
+// depth gauges, per-stage sojourn histograms, stall and backpressure
+// accounting. Detached (the default) the run pays only nil checks.
+func (p *Pipeline) WithMetrics(reg *obs.Registry) *Pipeline {
+	p.reg = reg
+	return p
+}
+
+// WithTrace records a Chrome trace_event timeline of the run onto tw: one
+// span per stage activation, instants for stalls, spans for backpressure
+// blocking, and counter tracks for queue levels and cumulative input/output.
+// Load the exported file in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func (p *Pipeline) WithTrace(tw *obs.Trace) *Pipeline {
+	p.tw = tw
+	return p
+}
+
+// WithMaxEvents caps the number of kernel events (0 restores the default,
+// effectively unlimited). A capped run returns partial measurements with
+// Result.Capped set, increments nc_sim_event_cap_total when metrics are
+// attached, and logs a warning.
+func (p *Pipeline) WithMaxEvents(n uint64) *Pipeline {
+	p.maxEvents = n
 	return p
 }
 
@@ -212,14 +252,33 @@ func (p *Pipeline) validate() error {
 }
 
 // Run executes the simulation to completion and returns the measurements.
+// A run truncated by the event cap (WithMaxEvents) is not an error: it
+// returns the partial measurements with Result.Capped set, alongside a
+// logged warning and an nc_sim_event_cap_total increment when metrics are
+// attached — silent truncation would read as a finished run.
 func (p *Pipeline) Run() (*Result, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
 	r := newRun(p)
 	r.start()
-	if _, capped := r.sim.RunAll(math.MaxUint64 - 1); capped {
-		return nil, errors.New("sim: event cap exceeded")
+	max := p.maxEvents
+	if max == 0 {
+		max = math.MaxUint64 - 1
 	}
-	return r.result()
+	executed, capped := r.sim.RunAll(max)
+	if capped {
+		if r.pr != nil {
+			r.pr.capHits.Inc()
+		}
+		slog.Warn("sim: event cap hit, returning partial measurements",
+			"max_events", max, "sim_time_s", r.sim.Now(), "pending", r.sim.Pending())
+	}
+	res, err := r.result()
+	if err != nil {
+		return nil, err
+	}
+	res.Events = executed
+	res.Capped = capped
+	return res, nil
 }
