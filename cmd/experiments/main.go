@@ -2,11 +2,15 @@
 //
 // Usage:
 //
-//	experiments [-run name] [-out dir] [-seed n] [-quick] [-list]
+//	experiments [-run name] [-out dir] [-seed n] [-quick] [-parallel N] [-list]
 //
 // With no -run flag every experiment executes in order. -out writes CSV
 // series for the figures (fig1.csv, fig4_curves.csv, fig4_sim.csv,
-// fig10_curves.csv, fig10_sim.csv).
+// fig10_curves.csv, fig10_sim.csv). -parallel runs independent experiments
+// (and sweep points within them) on up to N workers, with per-experiment
+// output buffered and flushed in presentation order; results are identical
+// to a sequential run (0 means GOMAXPROCS, 1 disables). Experiments that
+// measure real software-kernel wall-clock rates always run alone.
 package main
 
 import (
@@ -19,11 +23,12 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "", "experiment to run (default: all)")
-		out   = flag.String("out", "", "directory for CSV figure series")
-		seed  = flag.Uint64("seed", 0, "simulation seed (0 = default)")
-		quick = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
-		list  = flag.Bool("list", false, "list available experiments")
+		run      = flag.String("run", "", "experiment to run (default: all)")
+		out      = flag.String("out", "", "directory for CSV figure series")
+		seed     = flag.Uint64("seed", 0, "simulation seed (0 = default)")
+		quick    = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+		parallel = flag.Int("parallel", 1, "worker count for experiments and sweeps (0 = GOMAXPROCS, 1 = sequential)")
+		list     = flag.Bool("list", false, "list available experiments")
 	)
 	flag.Parse()
 
@@ -33,9 +38,9 @@ func main() {
 		}
 		return
 	}
-	opts := experiments.Options{OutDir: *out, Seed: *seed, Quick: *quick}
+	opts := experiments.Options{OutDir: *out, Seed: *seed, Quick: *quick, Workers: *parallel}
 	if *run == "" {
-		if err := experiments.RunAll(os.Stdout, opts); err != nil {
+		if err := experiments.RunParallel(os.Stdout, opts, *parallel); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}

@@ -16,6 +16,10 @@
 //	DELETE /flows/{id}             release an admitted flow
 //	GET    /flows                  list admitted flows with their verdicts
 //	GET    /nodes/{name}/residual  a node's residual service after reservations
+//	POST   /revalidate             re-check every admitted flow by sim replay at
+//	                               its current residual service, fanned across a
+//	                               worker pool (?workers=N, default GOMAXPROCS);
+//	                               409 when any bound or SLO is violated
 //	GET    /healthz                liveness, platform epoch, cache/memo hit rates
 //	GET    /metrics                Prometheus text metrics (?format=json for JSON),
 //	                               including per-flow bound-tightness gauges

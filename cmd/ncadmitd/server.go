@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"streamcalc/internal/admit"
@@ -72,6 +73,24 @@ type residualJSON struct {
 type bucketJSON struct {
 	Rate  units.Rate  `json:"rate"`
 	Burst units.Bytes `json:"burst"`
+}
+
+// revalidateJSON is the wire form of a batch revalidation report.
+type revalidateJSON struct {
+	Epoch      uint64                 `json:"epoch"`
+	Violations int                    `json:"violations"`
+	Flows      []flowRevalidationJSON `json:"flows"`
+}
+
+type flowRevalidationJSON struct {
+	FlowID        string      `json:"flow_id"`
+	Delay         string      `json:"delay"`
+	Backlog       units.Bytes `json:"backlog"`
+	Throughput    units.Rate  `json:"throughput"`
+	SimDelayMax   string      `json:"sim_delay_max"`
+	SimMaxBacklog units.Bytes `json:"sim_max_backlog"`
+	SimThroughput units.Rate  `json:"sim_throughput"`
+	Violations    []string    `json:"violations,omitempty"`
 }
 
 // serverOptions tunes the HTTP surface beyond the core admission API.
@@ -150,6 +169,46 @@ func newServer(c *admit.Controller, opt serverOptions) http.Handler {
 			Starved: res.Starved,
 			Service: res.Node.Rate,
 		})
+	})
+
+	mux.HandleFunc("POST /revalidate", func(w http.ResponseWriter, r *http.Request) {
+		workers := 0 // GOMAXPROCS
+		if q := r.URL.Query().Get("workers"); q != "" {
+			n, err := strconv.Atoi(q)
+			if err != nil || n < 0 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad workers %q", q))
+				return
+			}
+			workers = n
+		}
+		rep, err := c.RevalidateAll(admit.RevalidateOptions{
+			Replay:  opt.replay,
+			Workers: workers,
+			Context: r.Context(),
+			Metrics: opt.metrics,
+		})
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		out := revalidateJSON{Epoch: rep.Epoch, Violations: rep.Violations}
+		for _, fr := range rep.Flows {
+			out.Flows = append(out.Flows, flowRevalidationJSON{
+				FlowID:        fr.FlowID,
+				Delay:         fr.Delay.String(),
+				Backlog:       fr.Backlog,
+				Throughput:    fr.Throughput,
+				SimDelayMax:   fr.SimDelayMax.String(),
+				SimMaxBacklog: fr.SimMaxBacklog,
+				SimThroughput: fr.SimThroughput,
+				Violations:    fr.Violations,
+			})
+		}
+		status := http.StatusOK
+		if rep.Violations > 0 {
+			status = http.StatusConflict
+		}
+		writeJSON(w, status, out)
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {

@@ -331,3 +331,61 @@ func TestPprofGating(t *testing.T) {
 		ts.Close()
 	}
 }
+
+func TestRevalidateEndpoint(t *testing.T) {
+	ts := testServer(t)
+
+	// Empty platform: trivially sound.
+	resp, err := http.Post(ts.URL+"/revalidate", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep revalidateJSON
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || rep.Violations != 0 || len(rep.Flows) != 0 {
+		t.Fatalf("empty revalidate: status %d, report %+v", resp.StatusCode, rep)
+	}
+
+	// Admit two flows, then batch-revalidate with an explicit worker count.
+	for _, id := range []string{"r1", "r2"} {
+		if resp, v := postAdmit(t, ts, flowBody(id, "10 MiB/s")); !v.Admitted {
+			t.Fatalf("admit %s: status %d, %s", id, resp.StatusCode, v.Reason)
+		}
+	}
+	resp, err = http.Post(ts.URL+"/revalidate?workers=2", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep = revalidateJSON{}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("revalidate status %d, report %+v", resp.StatusCode, rep)
+	}
+	if len(rep.Flows) != 2 || rep.Flows[0].FlowID != "r1" || rep.Flows[1].FlowID != "r2" {
+		t.Fatalf("flows = %+v, want r1, r2 in ID order", rep.Flows)
+	}
+	if rep.Violations != 0 {
+		t.Errorf("violations: %+v", rep.Flows)
+	}
+	for _, fr := range rep.Flows {
+		if fr.SimDelayMax == "" || fr.Delay == "" {
+			t.Errorf("flow %s: missing bounds/measurements: %+v", fr.FlowID, fr)
+		}
+	}
+
+	// Bad worker count is a 400.
+	resp, err = http.Post(ts.URL+"/revalidate?workers=bogus", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus workers: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,155 @@
+package admit
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"streamcalc/internal/core"
+	"streamcalc/internal/obs"
+	"streamcalc/internal/pool"
+	"streamcalc/internal/units"
+)
+
+// RevalidateOptions tunes a batch revalidation pass.
+type RevalidateOptions struct {
+	// Replay configures each flow's simulation (input volume, seed,
+	// throughput slack), exactly as in -validate trace replay.
+	Replay ReplayOptions
+	// Workers bounds the concurrent per-flow re-checks; < 1 means
+	// GOMAXPROCS. The report is identical at every worker count.
+	Workers int
+	// Context cancels outstanding re-checks early (nil means Background).
+	Context context.Context
+	// Metrics, when non-nil, receives the revalidation pool telemetry
+	// (pool label "revalidate").
+	Metrics *obs.Registry
+}
+
+// FlowRevalidation is one admitted flow's re-check: the analytic bounds
+// recomputed under the platform's current reservations, the simulated
+// replay measurements, and any violations of bounds or SLO.
+type FlowRevalidation struct {
+	FlowID string
+	// Delay/Backlog/Throughput are the current analytic bounds for the flow
+	// given today's co-resident reservations (not the possibly looser
+	// bounds promised at admission time).
+	Delay      time.Duration
+	Backlog    units.Bytes
+	Throughput units.Rate
+	// Sim measurements from the residual-service replay.
+	SimDelayMax   time.Duration
+	SimMaxBacklog units.Bytes
+	SimThroughput units.Rate
+	// Violations lists broken bounds/SLO dimensions (empty when sound).
+	Violations []string
+}
+
+// RevalidateReport summarizes a batch revalidation.
+type RevalidateReport struct {
+	// Epoch is the platform epoch the snapshot was taken at.
+	Epoch uint64
+	// Flows holds one re-check per admitted flow, sorted by flow ID.
+	Flows []FlowRevalidation
+	// Violations totals the violation entries across all flows.
+	Violations int
+}
+
+// RevalidateAll re-checks every admitted flow against the platform's
+// current state: each flow's end-to-end bounds are recomputed with its
+// co-residents' reservations as cross traffic (the same victim analysis an
+// admission probe runs), its replay simulation is re-run at the current
+// residual service, and the measurements are asserted against both the
+// recomputed bounds and the flow's SLO. The per-flow re-checks — the
+// expensive part, one full DES replay each — fan out across a bounded
+// worker pool; results are assembled in flow-ID order, so the report is
+// deterministic for every worker count.
+//
+// The snapshot is taken once up front: admissions or releases that commit
+// while the batch runs are not reflected (compare Report.Epoch with
+// Controller.Epoch to detect that).
+func (c *Controller) RevalidateAll(opt RevalidateOptions) (*RevalidateReport, error) {
+	c.mu.RLock()
+	epoch := c.epoch.Load()
+	ids := c.sortedFlowIDs()
+	flows := make([]Flow, len(ids))
+	for i, id := range ids {
+		flows[i] = c.flows[id].flow
+	}
+	c.mu.RUnlock()
+
+	rep := &RevalidateReport{Epoch: epoch, Flows: make([]FlowRevalidation, len(flows))}
+	pm := pool.NewMetrics(opt.Metrics, "revalidate")
+	err := pool.ForEach(opt.Context, opt.Workers, len(flows), pm, func(i int) error {
+		fr, err := c.revalidateFlow(flows[i], opt.Replay)
+		if err != nil {
+			return fmt.Errorf("admit: revalidate %q: %w", flows[i].ID, err)
+		}
+		rep.Flows[i] = fr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range rep.Flows {
+		rep.Violations += len(rep.Flows[i].Violations)
+	}
+	return rep, nil
+}
+
+// revalidateFlow re-checks one admitted flow: fresh analytic bounds under
+// the current co-resident cross traffic, then a residual-service replay
+// checked against those bounds and the SLO.
+func (c *Controller) revalidateFlow(f Flow, opt ReplayOptions) (FlowRevalidation, error) {
+	fr := FlowRevalidation{FlowID: f.ID}
+	if opt.Total <= 0 {
+		opt.Total = 8 * units.MiB
+	}
+	if opt.ThroughputSlack <= 0 {
+		opt.ThroughputSlack = 0.05
+	}
+
+	a, err := core.AnalyzeMemo(c.sharedPipelineSnapshot(f), c.memo)
+	if err != nil {
+		return fr, err
+	}
+	b := boundsOf(a)
+	fr.Delay, fr.Backlog, fr.Throughput = b.delay, b.backlog, b.throughput
+
+	sp, err := c.replaySim(f, opt)
+	if err != nil {
+		return fr, err
+	}
+	res, err := sp.Run()
+	if err != nil {
+		return fr, err
+	}
+	fr.SimDelayMax = res.DelayMax
+	fr.SimMaxBacklog = res.MaxBacklog
+	fr.SimThroughput = res.Throughput
+
+	promised := Verdict{Delay: b.delay, Backlog: b.backlog, Throughput: b.throughput}
+	fr.Violations = boundViolations(promised, f.SLO, res, opt.ThroughputSlack)
+	return fr, nil
+}
+
+// sharedPipelineSnapshot is the lock-taking sibling of pipelineFor for
+// concurrent readers: it builds f's pipeline with the co-resident cross
+// traffic (excluding f's own reservation) under the read locks each shard
+// needs, instead of assuming the registry write lock.
+func (c *Controller) sharedPipelineSnapshot(f Flow) core.Pipeline {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	p := core.Pipeline{Name: c.name + "/shared", Arrival: f.Arrival}
+	for _, name := range f.Path {
+		sh := c.shards[name]
+		sh.mu.RLock()
+		n := sh.node
+		agg := sh.aggregate(f.ID)
+		sh.mu.RUnlock()
+		n.CrossRate += agg.Rate
+		n.CrossBurst += agg.Burst
+		p.Nodes = append(p.Nodes, n)
+	}
+	return p
+}

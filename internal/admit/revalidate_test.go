@@ -1,0 +1,115 @@
+package admit
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"streamcalc/internal/obs"
+	"streamcalc/internal/units"
+)
+
+func revalidateFixture(t *testing.T) *Controller {
+	t.Helper()
+	c := testPlatform(t)
+	for _, f := range []Flow{
+		tenant("t1", 10*units.MiBPerSec),
+		tenant("t2", 15*units.MiBPerSec),
+		tenant("t3", 8*units.MiBPerSec),
+	} {
+		if v := c.Admit(f); !v.Admitted {
+			t.Fatalf("fixture admit %s: %s", f.ID, v.Reason)
+		}
+	}
+	return c
+}
+
+func TestRevalidateAllSound(t *testing.T) {
+	c := revalidateFixture(t)
+	rep, err := c.RevalidateAll(RevalidateOptions{
+		Replay:  ReplayOptions{Total: 2 * units.MiB, Seed: 11},
+		Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epoch != c.Epoch() {
+		t.Errorf("epoch %d, controller at %d", rep.Epoch, c.Epoch())
+	}
+	if len(rep.Flows) != 3 {
+		t.Fatalf("flows = %d, want 3", len(rep.Flows))
+	}
+	for i, want := range []string{"t1", "t2", "t3"} {
+		if rep.Flows[i].FlowID != want {
+			t.Errorf("slot %d = %s, want %s (ID order)", i, rep.Flows[i].FlowID, want)
+		}
+	}
+	if rep.Violations != 0 {
+		for _, fr := range rep.Flows {
+			for _, v := range fr.Violations {
+				t.Errorf("%s: %s", fr.FlowID, v)
+			}
+		}
+	}
+	for _, fr := range rep.Flows {
+		if fr.SimDelayMax <= 0 || fr.SimDelayMax > fr.Delay {
+			t.Errorf("%s: sim delay %v outside (0, bound %v]", fr.FlowID, fr.SimDelayMax, fr.Delay)
+		}
+		if fr.Throughput <= 0 {
+			t.Errorf("%s: no analytic throughput", fr.FlowID)
+		}
+	}
+}
+
+// TestRevalidateDeterministic requires identical reports at worker counts
+// 1, 2, and 8 — the parallel fan-out must not change a single field.
+func TestRevalidateDeterministic(t *testing.T) {
+	c := revalidateFixture(t)
+	opt := func(workers int) RevalidateOptions {
+		return RevalidateOptions{Replay: ReplayOptions{Total: units.MiB, Seed: 3}, Workers: workers}
+	}
+	want, err := c.RevalidateAll(opt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := c.RevalidateAll(opt(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: report differs:\n got %+v\nwant %+v", workers, got, want)
+		}
+	}
+}
+
+func TestRevalidateEmptyPlatform(t *testing.T) {
+	c := testPlatform(t)
+	rep, err := c.RevalidateAll(RevalidateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Flows) != 0 || rep.Violations != 0 {
+		t.Errorf("empty platform: %+v", rep)
+	}
+}
+
+func TestRevalidateMetrics(t *testing.T) {
+	c := revalidateFixture(t)
+	reg := obs.NewRegistry()
+	if _, err := c.RevalidateAll(RevalidateOptions{
+		Replay:  ReplayOptions{Total: units.MiB, Seed: 5},
+		Workers: 3,
+		Metrics: reg,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `nc_pool_tasks_total{pool="revalidate"} 3`) {
+		t.Errorf("pool metrics missing:\n%s", buf.String())
+	}
+}

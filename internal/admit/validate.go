@@ -118,33 +118,40 @@ func simulateAdmitted(c *Controller, f Flow, v Verdict, opt ReplayOptions, step 
 	step.SimDelayMax = res.DelayMax
 	step.SimMaxBacklog = res.MaxBacklog
 	step.SimThroughput = res.Throughput
+	step.Violations = append(step.Violations, boundViolations(v, f.SLO, res, opt.ThroughputSlack)...)
+	return nil
+}
 
+// boundViolations checks one replay's measurements against the promised
+// bounds and the flow's SLO, returning the violated dimensions. Shared by
+// the -validate trace replay and the batch revalidation path.
+func boundViolations(v Verdict, s SLO, res *sim.Result, slack float64) []string {
+	var out []string
 	if res.DelayMax > v.Delay+time.Microsecond {
-		step.Violations = append(step.Violations, fmt.Sprintf(
+		out = append(out, fmt.Sprintf(
 			"simulated delay %v exceeds promised bound %v", res.DelayMax, v.Delay))
 	}
 	if float64(res.MaxBacklog) > float64(v.Backlog)+1 {
-		step.Violations = append(step.Violations, fmt.Sprintf(
+		out = append(out, fmt.Sprintf(
 			"simulated backlog %v exceeds promised bound %v", res.MaxBacklog, v.Backlog))
 	}
-	if float64(res.Throughput) < float64(v.Throughput)*(1-opt.ThroughputSlack) {
-		step.Violations = append(step.Violations, fmt.Sprintf(
+	if float64(res.Throughput) < float64(v.Throughput)*(1-slack) {
+		out = append(out, fmt.Sprintf(
 			"simulated throughput %v below promised bound %v", res.Throughput, v.Throughput))
 	}
-	s := f.SLO
 	if s.MaxDelay > 0 && res.DelayMax > s.MaxDelay {
-		step.Violations = append(step.Violations, fmt.Sprintf(
+		out = append(out, fmt.Sprintf(
 			"simulated delay %v exceeds SLO max_delay %v", res.DelayMax, s.MaxDelay))
 	}
 	if s.MaxBacklog > 0 && float64(res.MaxBacklog) > float64(s.MaxBacklog)+1 {
-		step.Violations = append(step.Violations, fmt.Sprintf(
+		out = append(out, fmt.Sprintf(
 			"simulated backlog %v exceeds SLO max_backlog %v", res.MaxBacklog, s.MaxBacklog))
 	}
-	if s.MinThroughput > 0 && float64(res.Throughput) < float64(s.MinThroughput)*(1-opt.ThroughputSlack) {
-		step.Violations = append(step.Violations, fmt.Sprintf(
+	if s.MinThroughput > 0 && float64(res.Throughput) < float64(s.MinThroughput)*(1-slack) {
+		out = append(out, fmt.Sprintf(
 			"simulated throughput %v below SLO min_throughput %v", res.Throughput, s.MinThroughput))
 	}
-	return nil
+	return out
 }
 
 // replaySim builds the replay simulation for admitted flow f: its offered

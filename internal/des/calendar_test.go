@@ -1,0 +1,120 @@
+package des
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refHeap is the original container/heap-based calendar, kept as the
+// differential reference for the specialized 4-ary heap.
+type refHeap []event
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// TestCalendarDifferential drives the 4-ary calendar and the container/heap
+// reference through the same random interleaving of pushes and pops and
+// asserts identical pop sequences, including (time, seq) tie-breaks.
+func TestCalendarDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var cal calendar
+	var ref refHeap
+	var seq uint64
+	for step := 0; step < 20000; step++ {
+		if len(cal) != len(ref) {
+			t.Fatalf("step %d: size mismatch %d vs %d", step, len(cal), len(ref))
+		}
+		if len(ref) == 0 || rng.Intn(3) != 0 {
+			seq++
+			// Coarse time grid so duplicate times (tie-breaks) are frequent.
+			e := event{t: float64(rng.Intn(50)), seq: seq}
+			cal.push(e)
+			heap.Push(&ref, e)
+		} else {
+			got := cal.pop()
+			want := heap.Pop(&ref).(event)
+			if got.t != want.t || got.seq != want.seq {
+				t.Fatalf("step %d: pop (t=%g seq=%d), reference (t=%g seq=%d)",
+					step, got.t, got.seq, want.t, want.seq)
+			}
+		}
+	}
+	for len(ref) > 0 {
+		got := cal.pop()
+		want := heap.Pop(&ref).(event)
+		if got.t != want.t || got.seq != want.seq {
+			t.Fatalf("drain: pop (t=%g seq=%d), reference (t=%g seq=%d)",
+				got.t, got.seq, want.t, want.seq)
+		}
+	}
+}
+
+// TestScheduleAtNonFinite is the regression test for the NaN hole: Schedule
+// clamped NaN delays but ScheduleAt passed NaN straight into the calendar,
+// where every ordering comparison is false and the heap silently corrupts.
+// Non-finite times must now clamp to the current time, preserving the order
+// of every finite event around them.
+func TestScheduleAtNonFinite(t *testing.T) {
+	var s Simulator
+	var order []int
+	s.Schedule(1, func() { order = append(order, 1) })
+	s.ScheduleAt(math.NaN(), func() { order = append(order, -1) }) // runs now (t=0)
+	s.Schedule(2, func() { order = append(order, 2) })
+	s.ScheduleAt(math.Inf(1), func() { order = append(order, -2) }) // clamped to now
+	s.ScheduleAt(math.Inf(-1), func() { order = append(order, -3) })
+	s.Schedule(3, func() { order = append(order, 3) })
+	if n, capped := s.RunAll(100); n != 6 || capped {
+		t.Fatalf("RunAll = %d, capped %v", n, capped)
+	}
+	want := []int{-1, -2, -3, 1, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if s.Now() != 3 {
+		t.Errorf("clock = %v, want 3 (no Inf contamination)", s.Now())
+	}
+	// The clock must still accept ordinary scheduling afterwards.
+	s.Schedule(1, func() { order = append(order, 4) })
+	s.RunAll(10)
+	if s.Now() != 4 {
+		t.Errorf("clock after follow-up = %v, want 4", s.Now())
+	}
+}
+
+// BenchmarkScheduleStep isolates the ScheduleAt+Step steady state (calendar
+// capacity warm, one event in, one event out). The specialized calendar must
+// run this at 0 allocs/op — the container/heap version paid two interface
+// boxings per event.
+func BenchmarkScheduleStep(b *testing.B) {
+	var s Simulator
+	fn := func() {}
+	s.ScheduleAt(0, fn)
+	s.Step()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ScheduleAt(s.Now()+1e-6, fn)
+		s.Step()
+	}
+}

@@ -6,7 +6,6 @@
 package des
 
 import (
-	"container/heap"
 	"math"
 )
 
@@ -17,31 +16,12 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
-
 // Simulator owns the clock and the event calendar. The zero value is ready
 // to use (clock at 0, empty calendar).
 type Simulator struct {
 	now    float64
 	seq    uint64
-	events eventHeap
+	events calendar
 	count  uint64   // events executed
 	obs    Observer // nil when detached (the common case)
 }
@@ -66,13 +46,17 @@ func (s *Simulator) Schedule(delay float64, fn func()) {
 }
 
 // ScheduleAt runs fn at absolute time t (clamped to the current time if in
-// the past).
+// the past). Non-finite times are clamped to the current time as well: a NaN
+// in the calendar would make every ordering comparison false and silently
+// corrupt the heap, and a +Inf event would drag the clock to infinity and
+// forbid all further scheduling, so both degenerate to "run now" like
+// Schedule's NaN/negative-delay clamp.
 func (s *Simulator) ScheduleAt(t float64, fn func()) {
-	if t < s.now {
+	if t < s.now || math.IsNaN(t) || math.IsInf(t, 0) {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.events, event{t: t, seq: s.seq, fn: fn})
+	s.events.push(event{t: t, seq: s.seq, fn: fn})
 	if s.obs != nil {
 		s.obs.OnSchedule(s.now, t, len(s.events))
 	}
@@ -84,7 +68,7 @@ func (s *Simulator) Step() bool {
 	if len(s.events) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.events).(event)
+	e := s.events.pop()
 	if s.obs != nil && e.t > s.now {
 		s.obs.OnAdvance(s.now, e.t)
 	}

@@ -8,6 +8,8 @@
 package experiments
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -23,6 +25,8 @@ import (
 	"streamcalc/internal/curve"
 	"streamcalc/internal/gen"
 	"streamcalc/internal/lz4"
+	"streamcalc/internal/obs"
+	"streamcalc/internal/pool"
 	"streamcalc/internal/queueing"
 	"streamcalc/internal/stats"
 	"streamcalc/internal/units"
@@ -36,6 +40,13 @@ type Options struct {
 	Seed uint64
 	// Quick shrinks workload sizes for fast smoke runs (used by tests).
 	Quick bool
+	// Workers bounds intra-experiment parallelism (sweep points, replicated
+	// sims); < 1 means GOMAXPROCS, 1 disables. Results are deterministic at
+	// every worker count.
+	Workers int
+	// Metrics, when non-nil, receives worker-pool telemetry from the driver
+	// and the sweep helpers.
+	Metrics *obs.Registry
 }
 
 func (o Options) seed() uint64 {
@@ -50,28 +61,33 @@ type Experiment struct {
 	Name  string
 	Title string
 	Run   func(w io.Writer, o Options) error
+	// Serial marks experiments that measure wall-clock throughput of real
+	// software kernels (LZ4, AES, BLASTN): running them concurrently with
+	// anything else would contend for CPU and skew the measured rates, so
+	// the parallel driver runs them alone after the concurrent batch.
+	Serial bool
 }
 
 // All returns the registry in presentation order.
 func All() []Experiment {
 	return []Experiment{
-		{"fig1", "Figure 1: arrival/service curves, backlog, delay, output bound", Fig1},
-		{"table1", "Table 1: BLAST throughput (NC bounds vs sim vs queueing)", Table1},
-		{"fig4", "Figure 4: BLAST model curves and simulated output", Fig4},
-		{"blastbounds", "§4.2: BLAST delay and backlog corroboration", BlastBounds},
-		{"blaststages", "Figure 2/3: software BLASTN per-stage measurements", BlastStages},
-		{"table2", "Table 2: bump-in-the-wire per-stage throughputs (software kernels)", Table2},
-		{"table3", "Table 3: bump-in-the-wire throughput (NC bounds vs sim vs queueing)", Table3},
-		{"fig10", "Figure 10: bump-in-the-wire model curves and simulated output", Fig10},
-		{"bitwbounds", "§5: bump-in-the-wire delay and backlog corroboration", BitwBounds},
-		{"bitwcompare", "Figures 5-8: bump-in-the-wire vs traditional deployment", BitwCompare},
-		{"buffers", "Extension: per-node buffer plans from backlog attribution", Buffers},
-		{"overload", "Extension: R_alpha > R_beta transient analysis", Overload},
-		{"multiflow", "Extension: cross traffic (residual service) and shaped arrivals", Multiflow},
-		{"sweepjob", "Ablation: GPU job-aggregation size vs latency/backlog (BLAST)", SweepJobSize},
-		{"sweepchunk", "Ablation: transfer chunk size vs delay estimate and simulation (BITW)", SweepChunk},
-		{"mercator", "§4.1: Mercator-style occupancy scheduling of the BLASTN dataflow", Mercator},
-		{"crossval", "Future work: bound soundness/tightness over random pipelines", CrossVal},
+		{Name: "fig1", Title: "Figure 1: arrival/service curves, backlog, delay, output bound", Run: Fig1},
+		{Name: "table1", Title: "Table 1: BLAST throughput (NC bounds vs sim vs queueing)", Run: Table1},
+		{Name: "fig4", Title: "Figure 4: BLAST model curves and simulated output", Run: Fig4},
+		{Name: "blastbounds", Title: "§4.2: BLAST delay and backlog corroboration", Run: BlastBounds},
+		{Name: "blaststages", Title: "Figure 2/3: software BLASTN per-stage measurements", Run: BlastStages, Serial: true},
+		{Name: "table2", Title: "Table 2: bump-in-the-wire per-stage throughputs (software kernels)", Run: Table2, Serial: true},
+		{Name: "table3", Title: "Table 3: bump-in-the-wire throughput (NC bounds vs sim vs queueing)", Run: Table3},
+		{Name: "fig10", Title: "Figure 10: bump-in-the-wire model curves and simulated output", Run: Fig10},
+		{Name: "bitwbounds", Title: "§5: bump-in-the-wire delay and backlog corroboration", Run: BitwBounds},
+		{Name: "bitwcompare", Title: "Figures 5-8: bump-in-the-wire vs traditional deployment", Run: BitwCompare},
+		{Name: "buffers", Title: "Extension: per-node buffer plans from backlog attribution", Run: Buffers},
+		{Name: "overload", Title: "Extension: R_alpha > R_beta transient analysis", Run: Overload},
+		{Name: "multiflow", Title: "Extension: cross traffic (residual service) and shaped arrivals", Run: Multiflow},
+		{Name: "sweepjob", Title: "Ablation: GPU job-aggregation size vs latency/backlog (BLAST)", Run: SweepJobSize},
+		{Name: "sweepchunk", Title: "Ablation: transfer chunk size vs delay estimate and simulation (BITW)", Run: SweepChunk},
+		{Name: "mercator", Title: "§4.1: Mercator-style occupancy scheduling of the BLASTN dataflow", Run: Mercator},
+		{Name: "crossval", Title: "Future work: bound soundness/tightness over random pipelines", Run: CrossVal},
 	}
 }
 
@@ -85,14 +101,69 @@ func Lookup(name string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// RunAll executes every experiment in order.
+// RunAll executes every experiment sequentially in presentation order.
 func RunAll(w io.Writer, o Options) error {
-	for _, e := range All() {
-		fmt.Fprintf(w, "==== %s: %s ====\n", e.Name, e.Title)
-		if err := e.Run(w, o); err != nil {
-			return fmt.Errorf("%s: %w", e.Name, err)
+	return RunParallel(w, o, 1)
+}
+
+// RunParallel executes the registry with up to `workers` experiments in
+// flight (< 1 means GOMAXPROCS; 1 is the sequential RunAll). Every
+// experiment writes into a private buffer, and the buffers are flushed in
+// presentation order, so the report is byte-identical to a sequential run
+// for every deterministic experiment. Entries marked Serial (wall-clock
+// kernel measurements) run alone after the concurrent batch — their
+// measured rates must not contend with sibling experiments for CPU. On
+// failure the earliest (presentation-order) failing experiment's error is
+// returned, along with the reports of everything before it.
+func RunParallel(w io.Writer, o Options, workers int) error {
+	return runEntries(w, o, workers, All())
+}
+
+// runEntries is the RunParallel engine over an explicit entry list.
+func runEntries(w io.Writer, o Options, workers int, all []Experiment) error {
+	bufs := make([]bytes.Buffer, len(all))
+	errs := make([]error, len(all))
+	run := func(i int) {
+		e := all[i]
+		fmt.Fprintf(&bufs[i], "==== %s: %s ====\n", e.Name, e.Title)
+		if err := e.Run(&bufs[i], o); err != nil {
+			errs[i] = fmt.Errorf("%s: %w", e.Name, err)
+			return
 		}
-		fmt.Fprintln(w)
+		fmt.Fprintln(&bufs[i])
+	}
+
+	var concurrent []int
+	for i, e := range all {
+		if workers != 1 && e.Serial {
+			continue
+		}
+		concurrent = append(concurrent, i)
+	}
+	pm := pool.NewMetrics(o.Metrics, "experiments")
+	// Experiment errors are recorded per slot, not returned through the
+	// pool: the driver reports in presentation order below.
+	_ = pool.ForEach(context.Background(), workers, len(concurrent), pm, func(k int) error {
+		run(concurrent[k])
+		return nil
+	})
+	if workers != 1 {
+		for i, e := range all {
+			if e.Serial {
+				run(i)
+			}
+		}
+	}
+
+	for i := range all {
+		if errs[i] != nil {
+			// Flush everything completed before the failure, then stop —
+			// matching the sequential driver's partial report.
+			return errs[i]
+		}
+		if _, err := w.Write(bufs[i].Bytes()); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -2,6 +2,9 @@ package experiments
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -110,5 +113,77 @@ func TestRunAllQuick(t *testing.T) {
 	// Each section header contains "====" twice (prefix and suffix).
 	if c := strings.Count(buf.String(), "===="); c != 2*len(All()) {
 		t.Errorf("section marker count %d, want %d", c, 2*len(All()))
+	}
+}
+
+// TestRunParallelMatchesSequential runs a deterministic subset of the
+// registry (no wall-clock measurement experiments) through the sequential
+// and the parallel driver and requires byte-identical reports, flushed in
+// presentation order.
+func TestRunParallelMatchesSequential(t *testing.T) {
+	var entries []Experiment
+	for _, name := range []string{"fig1", "table1", "blastbounds", "sweepjob", "sweepchunk", "buffers"} {
+		e, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		entries = append(entries, e)
+	}
+	var seq bytes.Buffer
+	if err := runEntries(&seq, Options{Quick: true}, 1, entries); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		var par bytes.Buffer
+		if err := runEntries(&par, Options{Quick: true, Workers: workers}, workers, entries); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.String() != seq.String() {
+			t.Errorf("workers=%d: parallel report differs from sequential", workers)
+		}
+	}
+}
+
+// TestRunParallelSerialExperiments checks that Serial-marked entries still
+// appear in their presentation slot when the driver runs concurrently.
+func TestRunParallelSerialExperiments(t *testing.T) {
+	mk := func(name string, serial bool) Experiment {
+		return Experiment{Name: name, Title: name, Serial: serial,
+			Run: func(w io.Writer, o Options) error {
+				fmt.Fprintf(w, "body-%s\n", name)
+				return nil
+			}}
+	}
+	entries := []Experiment{mk("a", false), mk("b", true), mk("c", false)}
+	var buf bytes.Buffer
+	if err := runEntries(&buf, Options{}, 3, entries); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	ia, ib, ic := strings.Index(out, "body-a"), strings.Index(out, "body-b"), strings.Index(out, "body-c")
+	if ia < 0 || ib < 0 || ic < 0 || !(ia < ib && ib < ic) {
+		t.Errorf("presentation order broken (a=%d b=%d c=%d):\n%s", ia, ib, ic, out)
+	}
+}
+
+// TestRunParallelError requires the earliest failing experiment's error,
+// with the reports before it flushed — at any worker count.
+func TestRunParallelError(t *testing.T) {
+	ok := Experiment{Name: "ok", Title: "ok", Run: func(w io.Writer, o Options) error {
+		fmt.Fprintln(w, "fine")
+		return nil
+	}}
+	boom := Experiment{Name: "boom", Title: "boom", Run: func(w io.Writer, o Options) error {
+		return errors.New("exploded")
+	}}
+	for _, workers := range []int{1, 4} {
+		var buf bytes.Buffer
+		err := runEntries(&buf, Options{}, workers, []Experiment{ok, boom, ok})
+		if err == nil || !strings.Contains(err.Error(), "boom: exploded") {
+			t.Errorf("workers=%d: err = %v", workers, err)
+		}
+		if !strings.Contains(buf.String(), "fine") {
+			t.Errorf("workers=%d: pre-failure report not flushed", workers)
+		}
 	}
 }

@@ -1,15 +1,46 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"streamcalc/internal/apps/bitwmodel"
 	"streamcalc/internal/apps/blastmodel"
 	"streamcalc/internal/core"
+	"streamcalc/internal/pool"
 	"streamcalc/internal/sim"
 	"streamcalc/internal/units"
 )
+
+// sweepPoint is one evaluated sweep point: the formatted report line and the
+// CSV row it contributes.
+type sweepPoint struct {
+	line string
+	row  []float64
+}
+
+// sweepParallel evaluates n independent sweep points on the Options worker
+// pool (o.Workers; < 1 means GOMAXPROCS) and returns them in index order —
+// each point owns its simulator and seed, so the table is identical at
+// every worker count. The pool telemetry lands on o.Metrics under the
+// "sweep:<name>" label.
+func sweepParallel(o Options, name string, n int, eval func(i int) (sweepPoint, error)) ([]sweepPoint, error) {
+	pts := make([]sweepPoint, n)
+	pm := pool.NewMetrics(o.Metrics, "sweep:"+name)
+	err := pool.ForEach(context.Background(), o.Workers, n, pm, func(i int) error {
+		p, err := eval(i)
+		if err != nil {
+			return err
+		}
+		pts[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
 
 // SweepJobSize ablates the paper's job-aggregation term: the BLAST GPU (and
 // compose node) job size is swept and the resulting cumulative latency,
@@ -17,26 +48,37 @@ import (
 // as b_n / R_alpha, so halving the job size halves the aggregation
 // contribution — the knob the paper's T_n^tot recursion exposes.
 func SweepJobSize(w io.Writer, o Options) error {
-	fmt.Fprintf(w, "  %-12s %12s %12s %12s\n", "job size", "T_tot (ms)", "d est (ms)", "x est (MiB)")
-	var rows [][]float64
-	for _, j := range []units.Bytes{768 * units.KiB / 2, 768 * units.KiB, 2 * 768 * units.KiB, 4 * 768 * units.KiB} {
+	jobs := []units.Bytes{768 * units.KiB / 2, 768 * units.KiB, 2 * 768 * units.KiB, 4 * 768 * units.KiB}
+	pts, err := sweepParallel(o, "jobsize", len(jobs), func(i int) (sweepPoint, error) {
+		j := jobs[i]
 		p := blastmodel.Pipeline()
-		for i := range p.Nodes {
-			switch p.Nodes[i].Name {
+		for k := range p.Nodes {
+			switch p.Nodes[k].Name {
 			case "compose":
-				p.Nodes[i].JobIn, p.Nodes[i].JobOut, p.Nodes[i].MaxPacket = j, j, j
+				p.Nodes[k].JobIn, p.Nodes[k].JobOut, p.Nodes[k].MaxPacket = j, j, j
 			case "gpu-blast":
-				p.Nodes[i].JobIn = j
+				p.Nodes[k].JobIn = j
 			}
 		}
 		a, err := core.Analyze(p)
 		if err != nil {
-			return err
+			return sweepPoint{}, err
 		}
-		fmt.Fprintf(w, "  %-12s %12.2f %12.2f %12.2f\n",
-			units.Bytes(4*float64(j)).String(), // input-referred
-			ms(a.TotalLatency), ms(a.DelayEstimate), mib(a.BacklogEstimate))
-		rows = append(rows, []float64{4 * float64(j), ms(a.TotalLatency), ms(a.DelayEstimate), mib(a.BacklogEstimate)})
+		return sweepPoint{
+			line: fmt.Sprintf("  %-12s %12.2f %12.2f %12.2f\n",
+				units.Bytes(4*float64(j)).String(), // input-referred
+				ms(a.TotalLatency), ms(a.DelayEstimate), mib(a.BacklogEstimate)),
+			row: []float64{4 * float64(j), ms(a.TotalLatency), ms(a.DelayEstimate), mib(a.BacklogEstimate)},
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-12s %12s %12s %12s\n", "job size", "T_tot (ms)", "d est (ms)", "x est (MiB)")
+	var rows [][]float64
+	for _, p := range pts {
+		fmt.Fprint(w, p.line)
+		rows = append(rows, p.row)
 	}
 	fmt.Fprintf(w, "  (aggregation delay = job/R_alpha: linear in the job size)\n")
 	return writeCSV(o, "sweep_jobsize.csv",
@@ -48,25 +90,36 @@ func SweepJobSize(w io.Writer, o Options) error {
 // the delay estimate d = T_tot + b'/R_beta grows linearly with the chunk.
 // A quick traversal simulation is run at each point for comparison.
 func SweepChunk(w io.Writer, o Options) error {
-	fmt.Fprintf(w, "  %-10s %14s %14s %14s\n", "chunk", "d est (µs)", "sim max (µs)", "x est (KiB)")
-	var rows [][]float64
-	for _, chunk := range []units.Bytes{256, 512, units.KiB, 2 * units.KiB, 4 * units.KiB} {
+	chunks := []units.Bytes{256, 512, units.KiB, 2 * units.KiB, 4 * units.KiB}
+	pts, err := sweepParallel(o, "chunk", len(chunks), func(i int) (sweepPoint, error) {
+		chunk := chunks[i]
 		p := bitwmodel.Pipeline()
 		p.Arrival.MaxPacket = chunk
-		for i := range p.Nodes {
-			p.Nodes[i].JobIn, p.Nodes[i].JobOut, p.Nodes[i].MaxPacket = chunk, chunk, chunk
+		for j := range p.Nodes {
+			p.Nodes[j].JobIn, p.Nodes[j].JobOut, p.Nodes[j].MaxPacket = chunk, chunk, chunk
 		}
 		a, err := core.Analyze(p)
 		if err != nil {
-			return err
+			return sweepPoint{}, err
 		}
 		simMax, err := sweepChunkSim(chunk, o.seed())
 		if err != nil {
-			return err
+			return sweepPoint{}, err
 		}
-		fmt.Fprintf(w, "  %-10s %14.2f %14.2f %14.2f\n",
-			chunk.String(), us(a.DelayEstimate), simMax, kib(a.BacklogEstimate))
-		rows = append(rows, []float64{float64(chunk), us(a.DelayEstimate), simMax, kib(a.BacklogEstimate)})
+		return sweepPoint{
+			line: fmt.Sprintf("  %-10s %14.2f %14.2f %14.2f\n",
+				chunk.String(), us(a.DelayEstimate), simMax, kib(a.BacklogEstimate)),
+			row: []float64{float64(chunk), us(a.DelayEstimate), simMax, kib(a.BacklogEstimate)},
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-10s %14s %14s %14s\n", "chunk", "d est (µs)", "sim max (µs)", "x est (KiB)")
+	var rows [][]float64
+	for _, p := range pts {
+		fmt.Fprint(w, p.line)
+		rows = append(rows, p.row)
 	}
 	fmt.Fprintf(w, "  (the chunk adds to the packetized burst: d grows linearly with it)\n")
 	return writeCSV(o, "sweep_chunk.csv",

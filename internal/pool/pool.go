@@ -1,0 +1,143 @@
+// Package pool provides the bounded worker pool behind every parallel path
+// in the repo: simulation replications (sim.ReplicateParallel), the
+// experiments driver (experiments.RunParallel), parameter sweeps, and batch
+// flow revalidation (admit.RevalidateAll). Work is an index space [0, n)
+// dispatched to at most `workers` goroutines through a monotonic counter, so
+// tasks start in index order — the property the callers rely on to make
+// lowest-index error selection (and therefore the whole run) deterministic
+// regardless of worker count.
+//
+// With a Metrics handle attached the pool streams onto an obs.Registry: a
+// workers-busy gauge, a queue-wait histogram (submission to pick-up), a
+// per-task duration histogram, and a completed-task counter. Detached
+// (nil Metrics) the dispatch loop pays only nil checks.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamcalc/internal/obs"
+)
+
+// Metrics instruments a pool on an obs.Registry. All handles share a
+// "pool" label so several pools can coexist on one registry.
+type Metrics struct {
+	busy      *obs.Gauge
+	queueWait *obs.Histogram
+	taskDur   *obs.Histogram
+	done      *obs.Counter
+}
+
+// NewMetrics registers the pool metric family on reg under the given pool
+// name. A nil registry returns a nil handle, which every pool entry point
+// accepts as "detached".
+func NewMetrics(reg *obs.Registry, name string) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	l := obs.Label{Key: "pool", Value: name}
+	return &Metrics{
+		busy: reg.Gauge("nc_pool_workers_busy",
+			"Workers currently executing a task.", l),
+		queueWait: reg.Histogram("nc_pool_queue_wait_seconds",
+			"Wall time from task submission to worker pick-up.",
+			obs.ExponentialBuckets(1e-6, 4, 12), l),
+		taskDur: reg.Histogram("nc_pool_task_duration_seconds",
+			"Wall time each task spent executing.",
+			obs.ExponentialBuckets(1e-5, 4, 12), l),
+		done: reg.Counter("nc_pool_tasks_total",
+			"Tasks completed (success or failure).", l),
+	}
+}
+
+// Workers normalizes a worker-count knob: values < 1 mean GOMAXPROCS, and
+// the count is capped at n (spawning more workers than tasks buys nothing).
+func Workers(workers, n int) int {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most `workers` concurrent
+// goroutines (< 1 means GOMAXPROCS). Indices are handed out in increasing
+// order. On failure the pool stops handing out new indices, lets in-flight
+// tasks finish, and returns the error of the lowest failing index — since
+// every index below it was handed out earlier and ran to completion, the
+// returned error is identical for any worker count. A canceled ctx (nil
+// means context.Background) likewise stops dispatch; ctx.Err() is returned
+// only when no task failed first.
+func ForEach(ctx context.Context, workers, n int, m *Metrics, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers = Workers(workers, n)
+
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	submitted := time.Now()
+	work := func() {
+		defer wg.Done()
+		for !stop.Load() && ctx.Err() == nil {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			if m != nil {
+				m.queueWait.Observe(time.Since(submitted).Seconds())
+				m.busy.Add(1)
+			}
+			start := time.Now()
+			err := fn(i)
+			if m != nil {
+				m.busy.Add(-1)
+				m.taskDur.Observe(time.Since(start).Seconds())
+				m.done.Inc()
+			}
+			if err != nil {
+				mu.Lock()
+				if i < firstIdx {
+					firstIdx, firstErr = i, err
+				}
+				mu.Unlock()
+				stop.Store(true)
+			}
+		}
+	}
+
+	if workers == 1 {
+		// Inline fast path: no goroutine, no scheduling jitter — exactly the
+		// sequential loop the parallel form must reproduce bit-for-bit.
+		wg.Add(1)
+		work()
+	} else {
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go work()
+		}
+		wg.Wait()
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,131 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"streamcalc/internal/obs"
+)
+
+func TestForEachRunsEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		n := 100
+		seen := make([]atomic.Int32, n)
+		err := ForEach(context.Background(), workers, n, nil, func(i int) error {
+			seen[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndDefaults(t *testing.T) {
+	if err := ForEach(nil, 0, 0, nil, func(int) error { t.Fatal("ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	if err := ForEach(nil, -3, 1, nil, func(int) error { ran++; return nil }); err != nil || ran != 1 {
+		t.Fatalf("err=%v ran=%d", err, ran)
+	}
+	if w := Workers(0, 1000); w != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0, 1000) = %d", w)
+	}
+	if w := Workers(8, 3); w != 3 {
+		t.Errorf("Workers(8, 3) = %d", w)
+	}
+}
+
+// TestForEachLowestIndexError checks the determinism contract: the error of
+// the lowest failing index wins at every worker count, even when a higher
+// index fails earlier in wall time.
+func TestForEachLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		err := ForEach(context.Background(), workers, 20, nil, func(i int) error {
+			switch i {
+			case 5:
+				time.Sleep(5 * time.Millisecond) // fails late in wall time
+				return fmt.Errorf("task %d", i)
+			case 11:
+				return fmt.Errorf("task %d", i) // fails early in wall time
+			}
+			return nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "task 5") {
+			t.Errorf("workers=%d: err = %v, want task 5", workers, err)
+		}
+	}
+}
+
+func TestForEachStopsAfterError(t *testing.T) {
+	var ran atomic.Int32
+	err := ForEach(context.Background(), 1, 1000, nil, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := ran.Load(); got != 4 {
+		t.Errorf("sequential pool ran %d tasks after error at index 3, want 4", got)
+	}
+}
+
+func TestForEachContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := ForEach(ctx, 2, 10000, nil, func(i int) error {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= 10000 {
+		t.Errorf("cancellation did not stop dispatch (ran %d)", got)
+	}
+}
+
+func TestPoolMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg, "test")
+	if err := ForEach(context.Background(), 4, 32, m, func(i int) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.done.Value(); got != 32 {
+		t.Errorf("tasks_total = %d, want 32", got)
+	}
+	if got := m.busy.Value(); got != 0 {
+		t.Errorf("workers_busy = %g after drain, want 0", got)
+	}
+	if got := m.taskDur.Count(); got != 32 {
+		t.Errorf("task duration observations = %d, want 32", got)
+	}
+	if got := m.queueWait.Count(); got != 32 {
+		t.Errorf("queue wait observations = %d, want 32", got)
+	}
+	// NilMetrics is a valid detached handle.
+	if nm := NewMetrics(nil, "x"); nm != nil {
+		t.Error("NewMetrics(nil) must return nil")
+	}
+}

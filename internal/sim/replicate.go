@@ -1,8 +1,11 @@
 package sim
 
 import (
+	"context"
 	"time"
 
+	"streamcalc/internal/obs"
+	"streamcalc/internal/pool"
 	"streamcalc/internal/stats"
 	"streamcalc/internal/units"
 )
@@ -23,32 +26,85 @@ type Replication struct {
 	BacklogCI   units.Bytes
 }
 
+// ReplicateOptions tunes ReplicateParallel.
+type ReplicateOptions struct {
+	// Workers bounds the concurrent replications; < 1 means GOMAXPROCS.
+	// The aggregated result is bit-identical for every worker count.
+	Workers int
+	// Context cancels outstanding replications early (nil means Background).
+	Context context.Context
+	// Metrics, when non-nil, receives the replication pool telemetry:
+	// workers-busy gauge, queue-wait and per-replication duration
+	// histograms, completed-run counter (pool label "replicate").
+	Metrics *obs.Registry
+}
+
+// runSummary is one replication's contribution to the aggregate, extracted
+// on the worker and folded in seed order afterwards.
+type runSummary struct {
+	throughput float64
+	delayMaxNS float64 // float64(time.Duration): exact integer nanoseconds
+	backlog    float64
+}
+
 // Replicate builds and runs the pipeline n times with seeds base+1..base+n
 // and aggregates throughput, max delay, and backlog watermark. The build
-// function receives the seed for each replication.
+// function receives the seed for each replication. Replications run
+// concurrently on up to GOMAXPROCS workers; use ReplicateParallel to pick
+// the worker count or thread a context/metrics registry.
 func Replicate(build func(seed uint64) *Pipeline, base uint64, n int) (*Replication, error) {
+	return ReplicateParallel(build, base, n, ReplicateOptions{})
+}
+
+// ReplicateParallel is Replicate with an explicit worker pool: the n
+// seed-indexed replications are dispatched to opt.Workers goroutines, each
+// run's summary is recorded in its seed slot, and the statistics are folded
+// in seed order once all runs finish — so the aggregate is bit-identical
+// regardless of worker count or completion interleaving. Each replication
+// owns an independent Pipeline (its own RNG and kernel), making the fan-out
+// safe; errors surface as the lowest failing seed's error, also
+// deterministically.
+//
+// Per-run maxima are accumulated as float64 nanoseconds (exact for any
+// time.Duration below ~104 days), not float seconds — the seconds round trip
+// loses nanosecond precision on long runs.
+func ReplicateParallel(build func(seed uint64) *Pipeline, base uint64, n int, opt ReplicateOptions) (*Replication, error) {
 	if n < 1 {
 		n = 1
 	}
-	var tp, dmax, backlog stats.Summary
-	for i := 0; i < n; i++ {
+	sums := make([]runSummary, n)
+	pm := pool.NewMetrics(opt.Metrics, "replicate")
+	err := pool.ForEach(opt.Context, opt.Workers, n, pm, func(i int) error {
 		res, err := build(base + uint64(i) + 1).Run()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		tp.Add(float64(res.Throughput))
-		dmax.Add(res.DelayMax.Seconds())
-		backlog.Add(float64(res.MaxBacklog))
+		sums[i] = runSummary{
+			throughput: float64(res.Throughput),
+			delayMaxNS: float64(res.DelayMax),
+			backlog:    float64(res.MaxBacklog),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var tp, dmax, backlog stats.Summary
+	for _, s := range sums {
+		tp.Add(s.throughput)
+		dmax.Add(s.delayMaxNS)
+		backlog.Add(s.backlog)
 	}
 	rep := &Replication{
 		Runs:           n,
 		ThroughputMean: units.Rate(tp.Mean()),
-		DelayMaxMean:   time.Duration(dmax.Mean() * float64(time.Second)),
+		DelayMaxMean:   time.Duration(dmax.Mean()),
 		BacklogMean:    units.Bytes(backlog.Mean()),
 	}
 	if n >= 2 {
 		rep.ThroughputCI = units.Rate(tp.CI95())
-		rep.DelayMaxCI = time.Duration(dmax.CI95() * float64(time.Second))
+		rep.DelayMaxCI = time.Duration(dmax.CI95())
 		rep.BacklogCI = units.Bytes(backlog.CI95())
 	}
 	return rep, nil

@@ -1,7 +1,14 @@
 package sim
 
 import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"strings"
 	"testing"
+
+	"streamcalc/internal/obs"
 )
 
 func TestReplicateAggregates(t *testing.T) {
@@ -55,5 +62,96 @@ func TestReplicatePropagatesErrors(t *testing.T) {
 	}
 	if _, err := Replicate(build, 0, 3); err == nil {
 		t.Error("expected error")
+	}
+}
+
+// TestReplicateParallelDeterministic is the bit-identity contract: the same
+// seeds must aggregate to exactly the same Replication at worker counts 1,
+// 2, and GOMAXPROCS (the -race CI job runs this concurrently too).
+func TestReplicateParallelDeterministic(t *testing.T) {
+	build := func(seed uint64) *Pipeline {
+		return New(SourceConfig{Rate: 1000, PacketSize: 10, TotalInput: 20000}, seed).
+			Add(StageFromRate("a", 400, 600, 10, 10)).
+			Add(StageFromRate("b", 700, 900, 10, 10))
+	}
+	want, err := ReplicateParallel(build, 7, 12, ReplicateOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, runtime.GOMAXPROCS(0)} {
+		got, err := ReplicateParallel(build, 7, 12, ReplicateOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if *got != *want {
+			t.Errorf("workers=%d: aggregate differs:\n got %+v\nwant %+v", workers, *got, *want)
+		}
+	}
+}
+
+// TestReplicateDelayPrecision checks the nanosecond-exact aggregation path:
+// identical deterministic runs must average to exactly the single-run
+// DelayMax, with no float-seconds round-trip error.
+func TestReplicateDelayPrecision(t *testing.T) {
+	build := func(seed uint64) *Pipeline {
+		// Deterministic service (MinExec == MaxExec): every seed produces the
+		// same trajectory, so the mean of the per-run maxima must equal any
+		// single run's maximum to the nanosecond.
+		return New(SourceConfig{Rate: 1000, PacketSize: 7, TotalInput: 7001}, seed).
+			Add(StageFromRate("d", 500, 500, 7, 7))
+	}
+	single, err := build(1).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReplicateParallel(build, 0, 5, ReplicateOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DelayMaxMean != single.DelayMax {
+		t.Errorf("DelayMaxMean = %d ns, want exactly %d ns",
+			rep.DelayMaxMean.Nanoseconds(), single.DelayMax.Nanoseconds())
+	}
+	if rep.DelayMaxCI != 0 {
+		t.Errorf("identical runs must have zero CI, got %v", rep.DelayMaxCI)
+	}
+}
+
+func TestReplicateParallelCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	build := func(seed uint64) *Pipeline {
+		return New(SourceConfig{Rate: 1000, PacketSize: 10, TotalInput: 10000}, seed).
+			Add(StageFromRate("s", 400, 600, 10, 10))
+	}
+	_, err := ReplicateParallel(build, 0, 64, ReplicateOptions{Workers: 2, Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestReplicateParallelMetrics checks the pool telemetry wiring: one
+// completed task and one duration observation per replication.
+func TestReplicateParallelMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	build := func(seed uint64) *Pipeline {
+		return New(SourceConfig{Rate: 1000, PacketSize: 10, TotalInput: 5000}, seed).
+			Add(StageFromRate("s", 400, 600, 10, 10))
+	}
+	if _, err := ReplicateParallel(build, 0, 6, ReplicateOptions{Workers: 2, Metrics: reg}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`nc_pool_tasks_total{pool="replicate"} 6`,
+		`nc_pool_workers_busy{pool="replicate"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, text)
+		}
 	}
 }
