@@ -13,8 +13,13 @@
 // API:
 //
 //	POST   /admit                  submit a flow (spec.Flow JSON) for admission
+//	POST   /admit/batch            submit a flow array transactionally; returns
+//	                               a verdict array in input order
 //	DELETE /flows/{id}             release an admitted flow
 //	GET    /flows                  list admitted flows with their verdicts
+//	GET    /flows/{id}/recheck     re-run the analytic SLO check for one flow
+//	                               at the current platform state (409 when the
+//	                               promise no longer holds)
 //	GET    /nodes/{name}/residual  a node's residual service after reservations
 //	POST   /revalidate             re-check every admitted flow by sim replay at
 //	                               its current residual service, fanned across a
@@ -30,11 +35,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"streamcalc/internal/admit"
 	"streamcalc/internal/obs"
@@ -106,9 +115,39 @@ func main() {
 
 	fmt.Printf("ncadmitd: platform %q (%d nodes), listening on %s\n",
 		c.Name(), len(c.NodeNames()), *addr)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+	if err := serve(*addr, srv); err != nil {
 		fail(err)
 	}
+}
+
+// serve runs the HTTP server until SIGINT/SIGTERM, then drains in-flight
+// requests (bounded) before returning. ReadHeaderTimeout guards against
+// slow-header connection exhaustion.
+func serve(addr string, h http.Handler) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	s := &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- s.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+	fmt.Fprintln(os.Stderr, "ncadmitd: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return nil
 }
 
 // runValidate replays a trace through the controller, simulating every

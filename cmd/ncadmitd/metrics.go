@@ -42,11 +42,26 @@ var tightnessFamilies = []string{
 	"nc_sim_backlog_bytes",
 }
 
+// tightnessMaxFlows caps the per-flow replay fan-out: beyond this many
+// registered flows a scrape would spend seconds simulating (and the
+// per-flow series would blow up cardinality anyway), so the probe
+// publishes only nc_tightness_skipped_flows and bails.
+const tightnessMaxFlows = 512
+
 // collect runs at scrape time as an obs.Registry collector.
 func (p *tightnessProbe) collect(r *obs.Registry) {
 	for _, fam := range tightnessFamilies {
 		r.ResetFamily(fam)
 	}
+	if n := p.c.FlowCount(); n > tightnessMaxFlows {
+		r.Gauge("nc_tightness_skipped_flows",
+			"flows not replayed because the registry exceeds the tightness probe cap").
+			Set(float64(n))
+		return
+	}
+	r.Gauge("nc_tightness_skipped_flows",
+		"flows not replayed because the registry exceeds the tightness probe cap").
+		Set(0)
 	epoch := p.c.Epoch()
 	live := make(map[string]bool)
 	for _, af := range p.c.Flows() {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"strconv"
 	"time"
 
@@ -130,6 +131,48 @@ func newServer(c *admit.Controller, opt serverOptions) http.Handler {
 		writeJSON(w, status, toVerdictJSON(v))
 	})
 
+	mux.HandleFunc("POST /admit/batch", func(w http.ResponseWriter, r *http.Request) {
+		// Batch bodies carry whole populations; allow up to 64 MiB (a
+		// million-flow ramp arrives as ~60 batches of 16k flows each).
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<26))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		wire, err := spec.ParseFlows(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		flows := make([]admit.Flow, len(wire))
+		for i := range wire {
+			if flows[i], err = wire[i].Admit(); err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("flow %d: %w", i, err))
+				return
+			}
+		}
+		vs := c.AdmitBatch(flows)
+		out := make([]verdictJSON, len(vs))
+		for i, v := range vs {
+			out[i] = toVerdictJSON(v)
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /flows/{id}/recheck", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		v, err := c.Recheck(id)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		status := http.StatusOK
+		if !v.Admitted {
+			status = http.StatusConflict
+		}
+		writeJSON(w, status, toVerdictJSON(v))
+	})
+
 	mux.HandleFunc("DELETE /flows/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		if !c.Release(id) {
@@ -213,11 +256,16 @@ func newServer(c *admit.Controller, opt serverOptions) http.Handler {
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		st := c.Stats()
+		var mem runtime.MemStats
+		runtime.ReadMemStats(&mem)
 		writeJSON(w, http.StatusOK, map[string]any{
-			"ok":       true,
-			"platform": c.Name(),
-			"epoch":    c.Epoch(),
-			"flows":    len(c.Flows()),
+			"ok":               true,
+			"platform":         c.Name(),
+			"epoch":            c.Epoch(),
+			"flows":            c.FlowCount(),
+			"classes":          c.ClassCount(),
+			"heap_alloc_bytes": mem.HeapAlloc,
+			"heap_sys_bytes":   mem.HeapSys,
 			"caches": map[string]any{
 				"verdict": map[string]any{
 					"hits":     st.VerdictHits,

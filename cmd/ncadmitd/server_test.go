@@ -210,6 +210,67 @@ func TestAPIHealthz(t *testing.T) {
 	}
 }
 
+func TestAPIBatchAndRecheck(t *testing.T) {
+	ts := testServer(t)
+
+	// A batch with two fresh flows and one intra-batch duplicate: the
+	// duplicate must reject, the rest register transactionally.
+	batch := `[` + flowBody("b-1", "10 MiB/s") + `,` +
+		flowBody("b-2", "15 MiB/s") + `,` +
+		flowBody("b-1", "10 MiB/s") + `]`
+	resp, err := http.Post(ts.URL+"/admit/batch", "application/json", strings.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d", resp.StatusCode)
+	}
+	var vs []verdictJSON
+	if err := json.NewDecoder(resp.Body).Decode(&vs); err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 3 {
+		t.Fatalf("got %d verdicts, want 3", len(vs))
+	}
+	if !vs[0].Admitted || vs[0].FlowID != "b-1" {
+		t.Errorf("b-1 verdict: %+v", vs[0])
+	}
+	if !vs[1].Admitted || vs[1].FlowID != "b-2" {
+		t.Errorf("b-2 verdict: %+v", vs[1])
+	}
+	if vs[2].Admitted {
+		t.Errorf("intra-batch duplicate admitted: %+v", vs[2])
+	}
+
+	// Recheck an admitted flow (200), then an unknown one (404).
+	var v verdictJSON
+	if code := getJSON(t, ts, "/flows/b-1/recheck", &v); code != http.StatusOK || !v.Admitted {
+		t.Fatalf("recheck b-1: status %d, %+v", code, v)
+	}
+	var e map[string]string
+	if code := getJSON(t, ts, "/flows/ghost/recheck", &e); code != http.StatusNotFound {
+		t.Fatalf("recheck ghost: status %d", code)
+	}
+
+	// The enriched healthz reports O(1) registry and heap figures.
+	var h struct {
+		Flows     int    `json:"flows"`
+		Classes   int    `json:"classes"`
+		HeapAlloc uint64 `json:"heap_alloc_bytes"`
+		HeapSys   uint64 `json:"heap_sys_bytes"`
+	}
+	if code := getJSON(t, ts, "/healthz", &h); code != http.StatusOK {
+		t.Fatalf("healthz: status %d", code)
+	}
+	if h.Flows != 2 || h.Classes != 2 {
+		t.Errorf("healthz flows/classes = %d/%d, want 2/2", h.Flows, h.Classes)
+	}
+	if h.HeapAlloc == 0 || h.HeapSys == 0 {
+		t.Errorf("healthz heap figures missing: %+v", h)
+	}
+}
+
 func TestMetricsEndpoint(t *testing.T) {
 	ts := metricsServer(t)
 

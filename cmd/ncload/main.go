@@ -1,0 +1,211 @@
+// Command ncload ramps a generated tenant population into the admission
+// controller — in-process or against a running ncadmitd — and then drives a
+// paced open-loop churn schedule, reporting per-op latency percentiles,
+// pacing lateness, achieved vs target RPS, and registry/heap state as JSON.
+//
+// Usage:
+//
+//	ncload -flows 1000000 -measure 30s -out results/loadtest_1m.json -bench bench.txt
+//	ncload -mode http -addr http://127.0.0.1:8080 -flows 50000 -rps 400
+//	ncload -example-spec > population.json
+//	ncload -example-platform > platform.json
+//
+// The workload is deterministic at the request level: the same population
+// spec, seed, and flow target produce the same flow envelopes and the same
+// churn op sequence (kind, target flow, scheduled time). Only runtime
+// outcomes — verdicts, latencies, lateness — vary between runs.
+//
+// With no -platform, the built-in scenario sizes a three-node streaming
+// platform so the expected demand of -flows heavy-tailed flows fills half
+// of each node's capacity; with no -spec, the built-in heavy-tailed
+// population spec is used. The -bench output is Go-benchmark formatted for
+// the repo's .github/benchjson converter (BENCH_admitd.json in CI).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"streamcalc/internal/gen"
+	"streamcalc/internal/load"
+	"streamcalc/internal/obs"
+	"streamcalc/internal/spec"
+)
+
+func main() {
+	var (
+		mode         = flag.String("mode", "inproc", `"inproc" drives the controller directly; "http" drives a running ncadmitd`)
+		addr         = flag.String("addr", "http://127.0.0.1:8080", "ncadmitd base URL for -mode http")
+		platformPath = flag.String("platform", "", "platform JSON (default: built-in scenario sized for -flows; ignored in -mode http)")
+		specPath     = flag.String("spec", "", "population spec JSON (default: built-in heavy-tailed spec)")
+		flows        = flag.Int("flows", 1_000_000, "registered-flow target of the ramp phase")
+		rps          = flag.Float64("rps", 0, "target churn op rate (0 keeps the spec's base_rps)")
+		warmup       = flag.Duration("warmup", 2*time.Second, "churn ops before this elapses are issued but not measured")
+		measure      = flag.Duration("measure", 30*time.Second, "measured churn window")
+		batch        = flag.Int("batch", 16384, "ramp transaction size")
+		workers      = flag.Int("workers", 0, "ramp/churn worker count (0 = GOMAXPROCS)")
+		seed         = flag.Uint64("seed", 1, "population seed (same spec+seed+flows = same request sequence)")
+		out          = flag.String("out", "", "write the JSON report to this file (default stdout)")
+		benchOut     = flag.String("bench", "", "write Go-benchmark lines to this file (benchjson input)")
+		quiet        = flag.Bool("q", false, "suppress progress lines on stderr")
+		exampleSpec  = flag.Bool("example-spec", false, "print the built-in population spec and exit")
+		examplePlat  = flag.Bool("example-platform", false, "print the built-in platform (sized for -flows) and exit")
+	)
+	flag.Parse()
+
+	sc := load.DefaultScenario(*flows)
+	scenarioName := sc.Name
+
+	if *exampleSpec {
+		printJSON(sc.Spec)
+		return
+	}
+
+	if *specPath != "" {
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			fail(err)
+		}
+		ps, err := gen.ParsePopulationSpec(data)
+		if err != nil {
+			fail(err)
+		}
+		sc.Spec = ps
+		scenarioName = *specPath
+	}
+
+	pop, err := gen.NewPopulation(sc.Spec, *seed)
+	if err != nil {
+		fail(err)
+	}
+	// Resize the built-in platform against the realized template mix (the
+	// spec's analytic mean undersizes under heavy-tailed template draws).
+	sc = sc.Sized(pop, *flows, 2.0)
+
+	if *examplePlat {
+		printJSON(wirePlatform(sc))
+		return
+	}
+
+	var target load.Target
+	switch *mode {
+	case "inproc":
+		if *platformPath != "" {
+			data, err := os.ReadFile(*platformPath)
+			if err != nil {
+				fail(err)
+			}
+			pl, err := spec.ParsePlatform(data)
+			if err != nil {
+				fail(err)
+			}
+			c, err := pl.Controller()
+			if err != nil {
+				fail(err)
+			}
+			target = load.InProc{C: c}
+			scenarioName = pl.Name
+		} else {
+			c, err := sc.Controller()
+			if err != nil {
+				fail(err)
+			}
+			target = load.InProc{C: c}
+		}
+	case "http":
+		target = &load.HTTP{Base: *addr, Client: &http.Client{Timeout: 30 * time.Second}}
+	default:
+		fail(fmt.Errorf("unknown -mode %q (want inproc or http)", *mode))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := load.Config{
+		Target:    target,
+		Pop:       pop,
+		Flows:     *flows,
+		BatchSize: *batch,
+		Workers:   *workers,
+		TargetRPS: *rps,
+		Warmup:    *warmup,
+		Measure:   *measure,
+		Metrics:   obs.NewRegistry(),
+		Context:   ctx,
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "ncload: "+format+"\n", args...)
+		}
+	}
+
+	rep, err := load.Run(cfg)
+	if err != nil {
+		fail(err)
+	}
+	rep.Scenario = scenarioName
+	rep.Mode = *mode
+	rep.Seed = *seed
+
+	body, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	body = append(body, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, body, 0o644); err != nil {
+			fail(err)
+		}
+	} else {
+		os.Stdout.Write(body)
+	}
+	if *benchOut != "" {
+		if err := os.WriteFile(*benchOut, []byte(rep.BenchText()), 0o644); err != nil {
+			fail(err)
+		}
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr,
+			"ncload: done — %d flows (%d classes), admit p99 %v, achieved %.1f/%.1f rps, heap %.1f MiB\n",
+			rep.Final.Flows, rep.Final.Classes, rep.Churn.Ops["admit"].P99,
+			rep.Churn.AchievedRPS, rep.Churn.TargetRPS, float64(rep.Final.HeapAlloc)/(1<<20))
+	}
+}
+
+// wirePlatform renders a scenario's node set in the ncadmitd platform JSON
+// dialect, so `-example-platform > p.json` feeds both ncadmitd -platform and
+// ncload -platform.
+func wirePlatform(sc load.Scenario) spec.Platform {
+	p := spec.Platform{Name: sc.Name}
+	for _, n := range sc.Nodes {
+		p.Nodes = append(p.Nodes, spec.Node{
+			Name:      n.Name,
+			Rate:      n.Rate,
+			Latency:   n.Latency.String(),
+			JobIn:     n.JobIn,
+			JobOut:    n.JobOut,
+			MaxPacket: n.MaxPacket,
+		})
+	}
+	return p
+}
+
+func printJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ncload:", err)
+	os.Exit(1)
+}

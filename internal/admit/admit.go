@@ -21,6 +21,20 @@
 //     flow sharing a node is re-checked with the candidate's contributions
 //     added. Only if all SLOs hold is the candidate committed.
 //
+// # Scaling: flow classes
+//
+// The registry groups admitted flows into *classes*: flows with identical
+// arrival envelopes (by structural curve digest), paths, and SLOs. Every
+// member of a class has the same per-node reservation, the same analysis,
+// and the same admissibility — so victim re-checks run once per class, not
+// once per flow, and a node's aggregate cross traffic is the sorted-order
+// sum over classes of (per-member bucket × member count). With a bounded
+// number of tenant templates (the realistic shape: plans, tiers, device
+// models) a registry holding millions of flows does per-admission work
+// proportional to the number of *classes*, and per-flow state shrinks to
+// two map entries. The batch admission path (AdmitBatch, batch.go) rides
+// the same structure to ramp large populations transactionally.
+//
 // State is sharded by node with per-shard locks so residual-curve queries
 // never contend with each other; admissions and releases serialize on a
 // registry lock (the network-calculus computations themselves are
@@ -103,59 +117,170 @@ type Verdict struct {
 	Cached bool
 }
 
+// verdictKey identifies an admission question independently of the flow ID:
+// the structural digest of the arrival envelope (curve.Curve.Digest), the
+// arrival packetizer size, the path, and the SLO. Two specs with identical
+// curves map to the same key; the key doubles as the registry's flow-class
+// identity and (with a zero SLO) the reservation-cache key.
+type verdictKey struct {
+	alpha uint64 // arrival envelope digest
+	lmax  units.Bytes
+	path  string // node names joined with NUL
+	slo   SLO
+}
+
+// keyLess is a total order over class keys, fixing the summation order of
+// aggregates and the victim-check iteration order so both are deterministic
+// functions of the admitted population (independent of arrival order).
+func keyLess(a, b verdictKey) bool {
+	if a.alpha != b.alpha {
+		return a.alpha < b.alpha
+	}
+	if a.lmax != b.lmax {
+		return a.lmax < b.lmax
+	}
+	if a.path != b.path {
+		return a.path < b.path
+	}
+	if a.slo.MaxDelay != b.slo.MaxDelay {
+		return a.slo.MaxDelay < b.slo.MaxDelay
+	}
+	if a.slo.MaxBacklog != b.slo.MaxBacklog {
+		return a.slo.MaxBacklog < b.slo.MaxBacklog
+	}
+	return a.slo.MinThroughput < b.slo.MinThroughput
+}
+
+// shardEntry is one class's footprint on one node: the per-member reserved
+// bucket and how many admitted members hold it.
+type shardEntry struct {
+	b core.Bucket // per-member reservation (local units)
+	n int         // admitted members
+}
+
 // shard holds the per-node slice of controller state, guarded by its own
-// lock so residual queries on different nodes never contend.
+// lock so residual queries on different nodes never contend. Mutations
+// additionally happen only under the registry write lock, so holders of the
+// registry lock (either mode) may read shard state without the shard lock.
 type shard struct {
 	mu      sync.RWMutex
 	node    core.Node
-	contrib map[string]core.Bucket // flow ID -> reserved bucket (local units)
-	ids     []string               // contrib keys, kept sorted incrementally
+	classes map[verdictKey]*shardEntry
+	keys    []verdictKey // classes keys, kept sorted by keyLess
+	nflows  int          // total members hosted (sum of entry counts)
 }
 
-// insert registers a flow's bucket, keeping ids sorted. Callers must hold
-// the shard write lock.
-func (s *shard) insert(id string, b core.Bucket) {
-	if _, ok := s.contrib[id]; !ok {
-		i := sort.SearchStrings(s.ids, id)
-		s.ids = append(s.ids, "")
-		copy(s.ids[i+1:], s.ids[i:])
-		s.ids[i] = id
+// insert adds m members of class k reserving bucket b each. Callers must
+// hold the shard write lock.
+func (s *shard) insert(k verdictKey, b core.Bucket, m int) {
+	if e, ok := s.classes[k]; ok {
+		e.n += m
+	} else {
+		i := sort.Search(len(s.keys), func(i int) bool { return !keyLess(s.keys[i], k) })
+		s.keys = append(s.keys, verdictKey{})
+		copy(s.keys[i+1:], s.keys[i:])
+		s.keys[i] = k
+		s.classes[k] = &shardEntry{b: b, n: m}
 	}
-	s.contrib[id] = b
+	s.nflows += m
 }
 
-// remove drops a flow's bucket. Callers must hold the shard write lock.
-func (s *shard) remove(id string) {
-	if _, ok := s.contrib[id]; !ok {
+// remove drops m members of class k. Callers must hold the shard write lock.
+func (s *shard) remove(k verdictKey, m int) {
+	e, ok := s.classes[k]
+	if !ok {
 		return
 	}
-	delete(s.contrib, id)
-	i := sort.SearchStrings(s.ids, id)
-	s.ids = append(s.ids[:i], s.ids[i+1:]...)
+	e.n -= m
+	s.nflows -= m
+	if e.n <= 0 {
+		delete(s.classes, k)
+		i := sort.Search(len(s.keys), func(i int) bool { return !keyLess(s.keys[i], k) })
+		if i < len(s.keys) && s.keys[i] == k {
+			s.keys = append(s.keys[:i], s.keys[i+1:]...)
+		}
+	}
 }
 
-// aggregate sums the reserved buckets of hosted flows, skipping exclude.
-// Callers must hold the shard lock (any mode) or the registry write lock.
-func (s *shard) aggregate(exclude string) core.Bucket {
+// aggregate sums the reserved buckets of hosted members in sorted class
+// order — per class one multiply (bucket × count), so the cost is
+// O(classes) regardless of how many flows the node hosts, and the result is
+// a deterministic function of the admitted population. excludeN members of
+// class exclude are left out (0 means none). Callers must hold the shard
+// lock (any mode) or the registry lock.
+func (s *shard) aggregate(exclude verdictKey, excludeN int) core.Bucket {
 	var b core.Bucket
-	// Summation order is fixed (sorted IDs, maintained incrementally) so the
-	// aggregate is bit-exact regardless of admission/release interleaving.
-	for _, id := range s.ids {
-		if id == exclude {
+	for _, k := range s.keys {
+		e := s.classes[k]
+		n := e.n
+		if excludeN > 0 && k == exclude {
+			n -= excludeN
+		}
+		if n <= 0 {
 			continue
 		}
-		c := s.contrib[id]
-		b.Rate += c.Rate
-		b.Burst += c.Burst
+		b.Rate += e.b.Rate * units.Rate(n)
+		b.Burst += e.b.Burst * units.Bytes(n)
 	}
 	return b
 }
 
-// flowState is an admitted flow plus its reservation and promised bounds.
-type flowState struct {
-	flow    Flow
-	contrib map[string]core.Bucket // node name -> bucket (local units)
-	verdict Verdict
+// classState is one admitted flow class: the shared spec, reservation, the
+// latest admission verdict (ID-independent), and the member IDs.
+type classState struct {
+	key     verdictKey
+	arrival core.Arrival
+	path    []string
+	slo     SLO
+	contrib map[string]core.Bucket // node name -> per-member bucket (local units)
+	verdict Verdict                // latest admission verdict, FlowID blank
+	ids     map[string]struct{}    // member flow IDs
+
+	// minID caches the lexicographically smallest member for victim-naming;
+	// recomputed lazily after the minimum is released.
+	minID    string
+	minValid bool
+}
+
+// flowFor reconstructs the admit.Flow of member id.
+func (cs *classState) flowFor(id string) Flow {
+	return Flow{ID: id, Arrival: cs.arrival, Path: cs.path, SLO: cs.slo}
+}
+
+func (cs *classState) addID(id string) {
+	cs.ids[id] = struct{}{}
+	if !cs.minValid || id < cs.minID {
+		// A smaller id keeps the cache exact; when invalid it stays invalid
+		// unless this is the only member.
+		if cs.minValid || len(cs.ids) == 1 {
+			cs.minID, cs.minValid = id, true
+		} else if id < cs.minID {
+			cs.minID = id
+		}
+	}
+}
+
+func (cs *classState) removeID(id string) {
+	delete(cs.ids, id)
+	if cs.minValid && id == cs.minID {
+		cs.minValid = false
+	}
+}
+
+// representative returns the smallest member ID (for victim-naming in
+// rejection reasons), rescanning only when the cached minimum was released.
+func (cs *classState) representative() string {
+	if !cs.minValid {
+		first := true
+		for id := range cs.ids {
+			if first || id < cs.minID {
+				cs.minID = id
+				first = false
+			}
+		}
+		cs.minValid = len(cs.ids) > 0
+	}
+	return cs.minID
 }
 
 // Controller is a concurrent-safe admission controller over one platform.
@@ -164,8 +289,9 @@ type Controller struct {
 	shards map[string]*shard
 	order  []string // node names in platform order, for stable reports
 
-	mu    sync.RWMutex // guards flows and commit/release transactions
-	flows map[string]*flowState
+	mu      sync.RWMutex // guards flows/classes and commit/release transactions
+	flows   map[string]*classState
+	classes map[verdictKey]*classState
 
 	epoch atomic.Uint64
 
@@ -191,18 +317,6 @@ type Controller struct {
 	audit *slog.Logger
 }
 
-// verdictKey identifies an admission question independently of the flow ID:
-// the structural digest of the arrival envelope (curve.Curve.Digest), the
-// arrival packetizer size, the path, and (for verdicts; zero for
-// reservations) the SLO. Two specs with identical curves map to the same
-// key and share cache entries.
-type verdictKey struct {
-	alpha uint64 // arrival envelope digest
-	lmax  units.Bytes
-	path  string // node names joined with NUL
-	slo   SLO
-}
-
 // New builds a controller for a platform of uniquely named nodes. Node
 // parameters are validated with the core model's rules; nodes may carry
 // static CrossRate/CrossBurst for non-tenant background traffic.
@@ -213,7 +327,8 @@ func New(name string, nodes []core.Node) (*Controller, error) {
 	c := &Controller{
 		name:     name,
 		shards:   make(map[string]*shard, len(nodes)),
-		flows:    make(map[string]*flowState),
+		flows:    make(map[string]*classState),
+		classes:  make(map[verdictKey]*classState),
 		memo:     core.NewMemo(),
 		cache:    make(map[verdictKey]Verdict),
 		resCache: make(map[verdictKey]map[string]core.Bucket),
@@ -232,7 +347,7 @@ func New(name string, nodes []core.Node) (*Controller, error) {
 		if err := probe.Validate(); err != nil {
 			return nil, fmt.Errorf("admit: %w", err)
 		}
-		c.shards[n.Name] = &shard{node: n, contrib: make(map[string]core.Bucket)}
+		c.shards[n.Name] = &shard{node: n, classes: make(map[verdictKey]*shardEntry)}
 		c.order = append(c.order, n.Name)
 	}
 	return c, nil
@@ -247,6 +362,23 @@ func (c *Controller) Epoch() uint64 { return c.epoch.Load() }
 
 // NodeNames returns the platform node names in declaration order.
 func (c *Controller) NodeNames() []string { return append([]string(nil), c.order...) }
+
+// FlowCount returns the number of admitted flows in O(1) — unlike
+// len(Flows()), which materializes a sorted snapshot.
+func (c *Controller) FlowCount() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.flows)
+}
+
+// ClassCount returns the number of distinct flow classes (flows sharing
+// arrival curves, path, and SLO) currently admitted. Per-admission work
+// scales with this figure, not with FlowCount.
+func (c *Controller) ClassCount() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.classes)
+}
 
 // --- Admission -------------------------------------------------------------
 
@@ -293,16 +425,37 @@ func (c *Controller) admit(f Flow) Verdict {
 	}
 
 	// Commit the reservation under the shard locks and bump the epoch.
-	state := &flowState{flow: f, contrib: contrib, verdict: v}
+	c.commit(key, f, contrib, v)
+	c.epoch.Add(1)
+	return v
+}
+
+// commit registers flow f (already decided admissible) under class key.
+// Callers must hold the registry write lock.
+func (c *Controller) commit(key verdictKey, f Flow, contrib map[string]core.Bucket, v Verdict) {
+	cs, ok := c.classes[key]
+	if !ok {
+		cs = &classState{
+			key:     key,
+			arrival: f.Arrival,
+			path:    append([]string(nil), f.Path...),
+			slo:     f.SLO,
+			contrib: contrib,
+			ids:     make(map[string]struct{}),
+		}
+		c.classes[key] = cs
+	}
+	cs.addID(f.ID)
+	tv := v
+	tv.FlowID = "" // the stored template is ID-independent
+	cs.verdict = tv
+	c.flows[f.ID] = cs
 	for name, b := range contrib {
 		sh := c.shards[name]
 		sh.mu.Lock()
-		sh.insert(f.ID, b)
+		sh.insert(key, b, 1)
 		sh.mu.Unlock()
 	}
-	c.flows[f.ID] = state
-	c.epoch.Add(1)
-	return v
 }
 
 // precheck runs the ID and spec checks that must precede the (ID-agnostic)
@@ -380,7 +533,7 @@ func (c *Controller) decide(f Flow, epoch uint64) (Verdict, map[string]core.Buck
 	// Candidate analysis under the current co-resident cross traffic.
 	// Saturation (aggregate cross >= node rate) surfaces as an Analyze
 	// validation error.
-	a, err := core.AnalyzeMemo(c.pipelineFor(f, f.ID, nil), c.memo)
+	a, err := core.AnalyzeMemo(c.pipelineFor(f, nil), c.memo)
 	if err != nil {
 		return reject("saturation", "%v", err)
 	}
@@ -389,19 +542,23 @@ func (c *Controller) decide(f Flow, epoch uint64) (Verdict, map[string]core.Buck
 		return reject(bad.binding, "%s", bad.detail)
 	}
 
-	// Victim check: every admitted flow sharing a node must keep its SLO
-	// with the candidate's reservation added as cross traffic.
-	for _, id := range c.sortedFlowIDs() {
-		st := c.flows[id]
-		if !sharesNode(st.flow.Path, f.Path) {
+	// Victim check: every admitted class sharing a node must keep its SLO
+	// with the candidate's reservation added as cross traffic. One analysis
+	// covers every member of a class — they are interchangeable.
+	for _, k := range c.sortedClassKeys() {
+		cs := c.classes[k]
+		if !sharesNode(cs.path, f.Path) {
 			continue
 		}
-		ga, err := core.AnalyzeMemo(c.pipelineFor(st.flow, id, contrib), c.memo)
+		p := c.buildPipeline(cs.arrival, cs.path, k, 1, contrib)
+		ga, err := core.AnalyzeMemo(p, c.memo)
 		if err != nil {
-			return reject("victim:"+id, "admitting this flow would starve flow %q: %v", id, err)
+			return reject("victim:"+cs.representative(),
+				"admitting this flow would starve flow %q: %v", cs.representative(), err)
 		}
-		if bad := sloViolation(st.flow.SLO, ga, boundsOf(ga)); bad != nil {
-			return reject("victim:"+id, "admitting this flow would break flow %q: %s", id, bad.detail)
+		if bad := sloViolation(cs.slo, ga, boundsOf(ga)); bad != nil {
+			return reject("victim:"+cs.representative(),
+				"admitting this flow would break flow %q: %s", cs.representative(), bad.detail)
 		}
 	}
 
@@ -414,7 +571,7 @@ func (c *Controller) decide(f Flow, epoch uint64) (Verdict, map[string]core.Buck
 	bn := f.Path[a.BottleneckIndex]
 	v.Bottleneck = bn
 	sh := c.shards[bn]
-	agg := sh.aggregate("")
+	agg := sh.aggregate(verdictKey{}, 0)
 	v.HeadroomRate = sh.node.Rate - sh.node.CrossRate - agg.Rate - contrib[bn].Rate
 	v.Reason = fmt.Sprintf(
 		"admitted: delay %v <= %s, backlog %v <= %s, throughput %v >= %s; bottleneck %s, residual headroom %v",
@@ -501,17 +658,17 @@ func (c *Controller) standalonePipeline(f Flow) core.Pipeline {
 	return p
 }
 
-// pipelineFor builds the core pipeline for flow f over the platform, with
-// cross traffic at each node = the node's static background + the reserved
-// buckets of all admitted flows except exclude + extra (a candidate's
-// reservation during victim checks). The name is ID-independent (see
-// standalonePipeline). Callers must hold the registry lock.
-func (c *Controller) pipelineFor(f Flow, exclude string, extra map[string]core.Bucket) core.Pipeline {
-	p := core.Pipeline{Name: c.name + "/shared", Arrival: f.Arrival}
-	for _, name := range f.Path {
+// buildPipeline builds a pipeline for (arrival, path) over the platform,
+// with cross traffic at each node = the node's static background + the
+// hosted reservations minus excludeN members of class exclude + extra (a
+// candidate's reservation during victim checks). The name is ID-independent
+// (see standalonePipeline). Callers must hold the registry lock.
+func (c *Controller) buildPipeline(arrival core.Arrival, path []string, exclude verdictKey, excludeN int, extra map[string]core.Bucket) core.Pipeline {
+	p := core.Pipeline{Name: c.name + "/shared", Arrival: arrival}
+	for _, name := range path {
 		sh := c.shards[name]
 		n := sh.node
-		agg := sh.aggregate(exclude)
+		agg := sh.aggregate(exclude, excludeN)
 		n.CrossRate += agg.Rate
 		n.CrossBurst += agg.Burst
 		if extra != nil {
@@ -523,6 +680,19 @@ func (c *Controller) pipelineFor(f Flow, exclude string, extra map[string]core.B
 		p.Nodes = append(p.Nodes, n)
 	}
 	return p
+}
+
+// pipelineFor builds the core pipeline for flow f over the platform. When f
+// is itself admitted, its own reservation is excluded from the cross
+// traffic (one member of its class); extra adds a candidate's reservation
+// during victim checks. Callers must hold the registry lock.
+func (c *Controller) pipelineFor(f Flow, extra map[string]core.Bucket) core.Pipeline {
+	var exclude verdictKey
+	excludeN := 0
+	if cs, ok := c.flows[f.ID]; ok {
+		exclude, excludeN = cs.key, 1
+	}
+	return c.buildPipeline(f.Arrival, f.Path, exclude, excludeN, extra)
 }
 
 // bounds are the end-to-end figures admission checks and verdicts promise.
@@ -600,6 +770,21 @@ func sharesNode(a, b []string) bool {
 	return false
 }
 
+// sortedClassKeys returns the admitted class keys in keyLess order — the
+// deterministic victim-check iteration order. Callers must hold the
+// registry lock.
+func (c *Controller) sortedClassKeys() []verdictKey {
+	keys := make([]verdictKey, 0, len(c.classes))
+	for k := range c.classes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+	return keys
+}
+
+// sortedFlowIDs returns every admitted flow ID in sorted order. O(n log n):
+// reserved for snapshot queries (Flows, RevalidateAll), never the admission
+// hot path. Callers must hold the registry lock.
 func (c *Controller) sortedFlowIDs() []string {
 	ids := make([]string, 0, len(c.flows))
 	for id := range c.flows {
@@ -626,15 +811,19 @@ func (c *Controller) Release(id string) bool {
 func (c *Controller) release(id string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	st, ok := c.flows[id]
+	cs, ok := c.flows[id]
 	if !ok {
 		return false
 	}
-	for name := range st.contrib {
+	for name := range cs.contrib {
 		sh := c.shards[name]
 		sh.mu.Lock()
-		sh.remove(id)
+		sh.remove(cs.key, 1)
 		sh.mu.Unlock()
+	}
+	cs.removeID(id)
+	if len(cs.ids) == 0 {
+		delete(c.classes, cs.key)
 	}
 	delete(c.flows, id)
 	c.epoch.Add(1)
@@ -646,20 +835,57 @@ func (c *Controller) release(id string) bool {
 // AdmittedFlow is a registry snapshot entry: the flow and the bounds the
 // controller promised at admission.
 type AdmittedFlow struct {
-	Flow    Flow
+	Flow Flow
+	// Verdict is the latest admission verdict of the flow's class (flows
+	// with identical curves, path, and SLO share promised bounds).
 	Verdict Verdict
 }
 
-// Flows returns a snapshot of admitted flows sorted by ID.
+// Flows returns a snapshot of admitted flows sorted by ID. O(n log n) — use
+// FlowCount for the cheap cardinality query.
 func (c *Controller) Flows() []AdmittedFlow {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	out := make([]AdmittedFlow, 0, len(c.flows))
 	for _, id := range c.sortedFlowIDs() {
-		st := c.flows[id]
-		out = append(out, AdmittedFlow{Flow: st.flow, Verdict: st.verdict})
+		cs := c.flows[id]
+		v := cs.verdict
+		v.FlowID = id
+		out = append(out, AdmittedFlow{Flow: cs.flowFor(id), Verdict: v})
 	}
 	return out
+}
+
+// Recheck recomputes one admitted flow's analytic bounds under the current
+// co-resident reservations (excluding its own) and re-asserts its SLO — the
+// cheap, simulation-free sibling of RevalidateAll, suitable for sustained
+// churn. The verdict's Admitted field reports whether the SLO still holds.
+func (c *Controller) Recheck(id string) (Verdict, error) {
+	c.mu.RLock()
+	cs, ok := c.flows[id]
+	if !ok {
+		c.mu.RUnlock()
+		return Verdict{}, fmt.Errorf("admit: recheck: flow %q not admitted", id)
+	}
+	f := cs.flowFor(id)
+	a, err := core.AnalyzeMemo(c.pipelineFor(f, nil), c.memo)
+	epoch := c.epoch.Load()
+	c.mu.RUnlock()
+	if err != nil {
+		return Verdict{FlowID: id, Epoch: epoch, Binding: "saturation",
+			Reason: fmt.Sprintf("recheck: %v", err)}, nil
+	}
+	v := Verdict{FlowID: id, Epoch: epoch}
+	b := boundsOf(a)
+	v.Delay, v.Backlog, v.Throughput = b.delay, b.backlog, b.throughput
+	if bad := sloViolation(f.SLO, a, b); bad != nil {
+		v.Binding = bad.binding
+		v.Reason = "recheck violated: " + bad.detail
+		return v, nil
+	}
+	v.Admitted = true
+	v.Reason = "recheck ok"
+	return v, nil
 }
 
 // Residual describes a node's leftover service after all admitted
@@ -679,18 +905,31 @@ type Residual struct {
 	Rate units.Rate
 }
 
-// ResidualService returns the residual service of one platform node, taking
-// only that node's shard lock.
+// ResidualService returns the residual service of one platform node. The
+// aggregate needs only that node's shard lock; the hosted-flow listing
+// walks the classes under the registry read lock (O(hosted flows)).
 func (c *Controller) ResidualService(node string) (Residual, error) {
 	sh, ok := c.shards[node]
 	if !ok {
 		return Residual{}, fmt.Errorf("admit: unknown platform node %q", node)
 	}
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
 	r := Residual{Node: sh.node}
-	r.Flows = append(r.Flows, sh.ids...)
-	agg := sh.aggregate("")
+
+	c.mu.RLock()
+	for _, cs := range c.classes {
+		if _, hosted := cs.contrib[node]; !hosted {
+			continue
+		}
+		for id := range cs.ids {
+			r.Flows = append(r.Flows, id)
+		}
+	}
+	c.mu.RUnlock()
+	sort.Strings(r.Flows)
+
+	sh.mu.RLock()
+	agg := sh.aggregate(verdictKey{}, 0)
+	sh.mu.RUnlock()
 	r.Cross = core.Bucket{
 		Rate:  agg.Rate + sh.node.CrossRate,
 		Burst: agg.Burst + sh.node.CrossBurst,
@@ -748,6 +987,9 @@ func (c *Controller) storeVerdict(key verdictKey, epoch uint64, v Verdict) {
 // Stats is a snapshot of the controller's cache and memo effectiveness, for
 // the daemon's /healthz endpoint.
 type Stats struct {
+	// Registry cardinality: admitted flows and distinct flow classes.
+	Flows   int `json:"flows"`
+	Classes int `json:"classes"`
 	// Verdict cache (epoch-scoped, digest-keyed).
 	VerdictHits    uint64 `json:"verdict_hits"`
 	VerdictMisses  uint64 `json:"verdict_misses"`
@@ -765,6 +1007,10 @@ type Stats struct {
 // Stats reports cumulative cache counters.
 func (c *Controller) Stats() Stats {
 	var s Stats
+	c.mu.RLock()
+	s.Flows = len(c.flows)
+	s.Classes = len(c.classes)
+	c.mu.RUnlock()
 	s.VerdictHits = c.cacheHits.Load()
 	s.VerdictMisses = c.cacheMiss.Load()
 	c.cacheMu.Lock()

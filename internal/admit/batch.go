@@ -1,0 +1,329 @@
+package admit
+
+import (
+	"sort"
+	"time"
+
+	"streamcalc/internal/core"
+	"streamcalc/internal/units"
+)
+
+// batchCand is one batch candidate that passed prechecks: its input
+// position, class key, and standalone reservation.
+type batchCand struct {
+	idx     int
+	f       Flow
+	key     verdictKey
+	contrib map[string]core.Bucket
+}
+
+// feasResult is the outcome of one transactional feasibility check: whether
+// every SLO (existing and candidate) holds at the hypothetical final state,
+// and the per-class admitted verdict templates (FlowID blank) when it does.
+type feasResult struct {
+	ok       bool
+	verdicts map[verdictKey]Verdict
+}
+
+// AdmitBatch decides a batch of candidate flows as one transaction,
+// returning one verdict per input in order. Either the whole batch commits
+// under a single feasibility check of the final state — one analysis per
+// flow *class* rather than per flow, and a single epoch bump — or the
+// controller commits the largest prefix it can verify feasible, rejects the
+// first infeasible candidate with an exact per-flow verdict, and continues
+// with the remainder.
+//
+// Soundness never relies on bound monotonicity in cross traffic: a batch
+// commit is atomic, so intermediate admission orders never exist — only
+// explicitly verified states are ever committed. (Greediness does: in the
+// model's non-monotone corners — see the job-aggregation cliff notes in the
+// tests — the committed prefix may be smaller than what sequential
+// admission would have reached.) Relative order within the batch is
+// preserved, so the sequence of committed states is a deterministic
+// function of (registry state, batch).
+//
+// This is the bulk-ramp path for cmd/ncload: populating a million-flow
+// registry through AdmitBatch costs O(batches × classes) analyses instead
+// of O(flows × classes).
+func (c *Controller) AdmitBatch(flows []Flow) []Verdict {
+	start := time.Now()
+	out := make([]Verdict, len(flows))
+
+	// Phase 1, outside the registry lock: spec prechecks and intra-batch
+	// duplicate detection.
+	cands := make([]batchCand, 0, len(flows))
+	seen := make(map[string]struct{}, len(flows))
+	epoch := c.epoch.Load()
+	for i, f := range flows {
+		if v, bad := c.precheck(f, epoch); bad {
+			out[i] = v
+			continue
+		}
+		if _, dup := seen[f.ID]; dup {
+			out[i] = Verdict{FlowID: f.ID, Epoch: epoch, Binding: "spec",
+				Reason: "rejected: duplicate flow ID within batch"}
+			continue
+		}
+		seen[f.ID] = struct{}{}
+		cands = append(cands, batchCand{idx: i, f: f, key: c.keyFor(f)})
+	}
+
+	c.mu.Lock()
+	// Phase 2, under the lock: re-check against flows committed since the
+	// precheck, and resolve each candidate's standalone reservation.
+	rem := cands[:0]
+	for _, cd := range cands {
+		if _, dup := c.flows[cd.f.ID]; dup {
+			out[cd.idx] = Verdict{FlowID: cd.f.ID, Epoch: c.epoch.Load(), Binding: "spec",
+				Reason: "rejected: flow \"" + cd.f.ID + "\" is already admitted"}
+			continue
+		}
+		contrib, err := c.reservationFor(cd.f)
+		if err != nil {
+			out[cd.idx] = Verdict{FlowID: cd.f.ID, Epoch: c.epoch.Load(), Binding: "spec",
+				Reason: "rejected: " + err.Error()}
+			continue
+		}
+		cd.contrib = contrib
+		rem = append(rem, cd)
+	}
+
+	// Phase 3: transactional feasibility, largest-verified-prefix fallback.
+	for len(rem) > 0 {
+		res := c.feasible(rem)
+		if res.ok {
+			c.commitBatch(rem, res, out)
+			break
+		}
+		// The full remainder is infeasible. Search for a large prefix that
+		// verifies feasible (lo is always verified; hi always failed).
+		lo, hi := 0, len(rem)
+		var good feasResult
+		for lo+1 < hi {
+			mid := (lo + hi) / 2
+			if r := c.feasible(rem[:mid]); r.ok {
+				lo, good = mid, r
+			} else {
+				hi = mid
+			}
+		}
+		if lo > 0 {
+			c.commitBatch(rem[:lo], good, out)
+		}
+		// Boundary candidate: run the exact sequential decision so its
+		// rejection names the binding constraint (or, in the model's
+		// non-monotone corners, admits after all).
+		bd := rem[lo]
+		ep := c.epoch.Load()
+		v, contrib := c.decide(bd.f, ep)
+		if v.Admitted {
+			c.commit(bd.key, bd.f, contrib, v)
+			c.epoch.Add(1)
+		}
+		out[bd.idx] = v
+		// Replay the rejection onto same-class candidates further down the
+		// batch — the platform hasn't changed since the decision, exactly the
+		// epoch-scoped verdict-cache contract.
+		rest := rem[lo+1:]
+		next := make([]batchCand, 0, len(rest))
+		for _, cd := range rest {
+			if !v.Admitted && cd.key == bd.key {
+				vc := v
+				vc.FlowID = cd.f.ID
+				vc.Cached = true
+				out[cd.idx] = vc
+				continue
+			}
+			next = append(next, cd)
+		}
+		rem = next
+	}
+	c.mu.Unlock()
+
+	c.observeBatch(out, time.Since(start))
+	return out
+}
+
+// feasible checks whether committing every candidate in cands on top of the
+// current registry keeps every SLO: each admitted class sharing a node with
+// the additions, and each added class, is analyzed once at the hypothetical
+// final state (its own single membership excluded from its cross traffic,
+// as in sequential admission). The registry write lock must be held.
+func (c *Controller) feasible(cands []batchCand) feasResult {
+	// Added-class roster: member counts, a representative spec per class,
+	// and the set of touched nodes.
+	addN := make(map[verdictKey]int)
+	addRep := make(map[verdictKey]*batchCand)
+	nodes := make(map[string]struct{})
+	for i := range cands {
+		cd := &cands[i]
+		addN[cd.key]++
+		if _, ok := addRep[cd.key]; !ok {
+			addRep[cd.key] = cd
+			for name := range cd.contrib {
+				nodes[name] = struct{}{}
+			}
+		}
+	}
+	addKeys := make([]verdictKey, 0, len(addN))
+	for k := range addN {
+		addKeys = append(addKeys, k)
+	}
+	sort.Slice(addKeys, func(i, j int) bool { return keyLess(addKeys[i], addKeys[j]) })
+
+	epoch := c.epoch.Load()
+	res := feasResult{verdicts: make(map[verdictKey]Verdict, len(addKeys))}
+
+	check := func(arrival core.Arrival, path []string, slo SLO, self verdictKey) (*core.Analysis, bounds, bool) {
+		p := core.Pipeline{Name: c.name + "/shared", Arrival: arrival}
+		for _, name := range path {
+			sh := c.shards[name]
+			n := sh.node
+			agg := c.hypAggregate(sh, addKeys, addN, addRep, name, self)
+			n.CrossRate += agg.Rate
+			n.CrossBurst += agg.Burst
+			p.Nodes = append(p.Nodes, n)
+		}
+		a, err := core.AnalyzeMemo(p, c.memo)
+		if err != nil {
+			return nil, bounds{}, false
+		}
+		b := boundsOf(a)
+		if sloViolation(slo, a, b) != nil {
+			return nil, bounds{}, false
+		}
+		return a, b, true
+	}
+
+	// Existing classes touching any added node must keep their SLOs.
+	for _, k := range c.sortedClassKeys() {
+		cs := c.classes[k]
+		touched := false
+		for _, name := range cs.path {
+			if _, hit := nodes[name]; hit {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			continue
+		}
+		if _, _, ok := check(cs.arrival, cs.path, cs.slo, k); !ok {
+			return feasResult{}
+		}
+	}
+
+	// Added classes must meet their own SLOs at the final state; their
+	// analyses become the admitted verdict templates.
+	for _, k := range addKeys {
+		rep := addRep[k]
+		a, b, ok := check(rep.f.Arrival, rep.f.Path, rep.f.SLO, k)
+		if !ok {
+			return feasResult{}
+		}
+		v := Verdict{Admitted: true, Epoch: epoch}
+		v.Delay, v.Backlog, v.Throughput = b.delay, b.backlog, b.throughput
+		bn := rep.f.Path[a.BottleneckIndex]
+		v.Bottleneck = bn
+		sh := c.shards[bn]
+		full := c.hypAggregate(sh, addKeys, addN, addRep, bn, verdictKey{})
+		v.HeadroomRate = sh.node.Rate - sh.node.CrossRate - full.Rate
+		v.Reason = "admitted (batch): delay " + b.delay.String() +
+			" <= " + orAny(rep.f.SLO.MaxDelay > 0, rep.f.SLO.MaxDelay) +
+			", throughput " + b.throughput.String() +
+			" >= " + orAny(rep.f.SLO.MinThroughput > 0, rep.f.SLO.MinThroughput) +
+			"; bottleneck " + bn
+		res.verdicts[k] = v
+	}
+	res.ok = true
+	return res
+}
+
+// hypAggregate sums the node's hosted reservations plus the batch additions
+// in global keyLess order (a sorted merge of the shard's classes and the
+// added classes), minus one member of class self — the same deterministic
+// summation discipline as shard.aggregate, extended with the hypothetical
+// members. The registry write lock must be held.
+func (c *Controller) hypAggregate(sh *shard, addKeys []verdictKey, addN map[verdictKey]int, addRep map[verdictKey]*batchCand, node string, self verdictKey) core.Bucket {
+	var out core.Bucket
+	add := func(b core.Bucket, n int) {
+		if n <= 0 {
+			return
+		}
+		out.Rate += b.Rate * units.Rate(n)
+		out.Burst += b.Burst * units.Bytes(n)
+	}
+	i, j := 0, 0
+	for i < len(sh.keys) || j < len(addKeys) {
+		var k verdictKey
+		var b core.Bucket
+		n := 0
+		takeShard := j >= len(addKeys) ||
+			(i < len(sh.keys) && !keyLess(addKeys[j], sh.keys[i]))
+		takeAdd := i >= len(sh.keys) ||
+			(j < len(addKeys) && !keyLess(sh.keys[i], addKeys[j]))
+		if takeShard {
+			k = sh.keys[i]
+			e := sh.classes[k]
+			b, n = e.b, e.n
+			i++
+		}
+		if takeAdd {
+			k = addKeys[j]
+			if ab, hosted := addRep[k].contrib[node]; hosted {
+				b = ab // equals the shard entry's bucket when both exist
+				n += addN[k]
+			}
+			j++
+		}
+		if k == self {
+			n--
+		}
+		add(b, n)
+	}
+	return out
+}
+
+// commitBatch registers every candidate under its class template verdict
+// and bumps the epoch once. The registry write lock must be held.
+func (c *Controller) commitBatch(cands []batchCand, res feasResult, out []Verdict) {
+	for i := range cands {
+		cd := &cands[i]
+		v := res.verdicts[cd.key]
+		v.FlowID = cd.f.ID
+		out[cd.idx] = v
+		c.commit(cd.key, cd.f, cd.contrib, v)
+	}
+	c.epoch.Add(1)
+}
+
+// observeBatch records one batch transaction on the attached telemetry
+// sinks: per-verdict counters, a batch counter, and a single audit line
+// (per-flow audit at bulk-ramp rates would swamp the log).
+func (c *Controller) observeBatch(out []Verdict, took time.Duration) {
+	if !c.instrumented() {
+		return
+	}
+	admitted, rejected := 0, 0
+	for i := range out {
+		if out[i].Admitted {
+			admitted++
+		} else {
+			rejected++
+		}
+	}
+	if m := c.obsm; m != nil {
+		m.admitted.Add(uint64(admitted))
+		m.rejected.Add(uint64(rejected))
+		m.reg.Counter("nc_admit_batches_total", "batch admission transactions").Inc()
+		m.decision.Observe(took.Seconds())
+	}
+	if c.audit != nil {
+		c.audit.Info("admit.batch",
+			"flows", len(out),
+			"admitted", admitted,
+			"rejected", rejected,
+			"decision_us", took.Microseconds(),
+		)
+	}
+}

@@ -1,0 +1,162 @@
+package admit
+
+import (
+	"fmt"
+	"testing"
+
+	"streamcalc/internal/units"
+)
+
+func TestAdmitBatchAllFit(t *testing.T) {
+	c := testPlatform(t)
+	flows := make([]Flow, 8)
+	for i := range flows {
+		flows[i] = tenant(fmt.Sprintf("b%d", i), units.MiBPerSec)
+	}
+	vs := c.AdmitBatch(flows)
+	if len(vs) != len(flows) {
+		t.Fatalf("got %d verdicts for %d flows", len(vs), len(flows))
+	}
+	for i, v := range vs {
+		if !v.Admitted {
+			t.Fatalf("flow %d rejected: %s", i, v.Reason)
+		}
+		if v.FlowID != flows[i].ID {
+			t.Errorf("verdict %d carries id %q, want %q", i, v.FlowID, flows[i].ID)
+		}
+	}
+	if n := c.FlowCount(); n != len(flows) {
+		t.Fatalf("registry holds %d flows, want %d", n, len(flows))
+	}
+	// One transaction bumps the epoch once, not once per flow.
+	if e := c.Epoch(); e != 1 {
+		t.Errorf("epoch %d after one batch, want 1", e)
+	}
+}
+
+// A batch that overcommits the platform admits a prefix-consistent subset
+// whose members all still pass an analytic recheck (the transactional
+// guarantee: only explicitly verified states are ever committed).
+func TestAdmitBatchPartialRejection(t *testing.T) {
+	c := testPlatform(t)
+	flows := make([]Flow, 16)
+	for i := range flows {
+		// 16 × 8 MiB/s = 128 MiB/s offered against the 50 MiB/s encrypt
+		// stage: only a handful can fit.
+		flows[i] = tenant(fmt.Sprintf("p%d", i), 8*units.MiBPerSec)
+	}
+	vs := c.AdmitBatch(flows)
+	admitted, rejected := 0, 0
+	for _, v := range vs {
+		if v.Admitted {
+			admitted++
+		} else {
+			rejected++
+		}
+	}
+	if admitted == 0 {
+		t.Fatal("expected some admissions")
+	}
+	if rejected == 0 {
+		t.Fatal("expected some rejections (batch overcommits encrypt)")
+	}
+	if n := c.FlowCount(); n != admitted {
+		t.Fatalf("registry holds %d flows, %d verdicts say admitted", n, admitted)
+	}
+	for _, v := range vs {
+		if !v.Admitted {
+			continue
+		}
+		rv, err := c.Recheck(v.FlowID)
+		if err != nil {
+			t.Fatalf("recheck %s: %v", v.FlowID, err)
+		}
+		if !rv.Admitted {
+			t.Fatalf("committed flow %s fails recheck: %s", v.FlowID, rv.Reason)
+		}
+	}
+}
+
+func TestAdmitBatchDuplicateIDs(t *testing.T) {
+	c := testPlatform(t)
+	if !c.Admit(tenant("dup", units.MiBPerSec)).Admitted {
+		t.Fatal("seed admission failed")
+	}
+	vs := c.AdmitBatch([]Flow{
+		tenant("dup", units.MiBPerSec),   // already registered
+		tenant("fresh", units.MiBPerSec), // fine
+		tenant("twice", units.MiBPerSec), // first of an intra-batch pair
+		tenant("twice", units.MiBPerSec), // intra-batch duplicate
+	})
+	if vs[0].Admitted {
+		t.Error("registered duplicate must reject")
+	}
+	if !vs[1].Admitted {
+		t.Errorf("fresh flow rejected: %s", vs[1].Reason)
+	}
+	if !vs[2].Admitted {
+		t.Errorf("first of intra-batch pair rejected: %s", vs[2].Reason)
+	}
+	if vs[3].Admitted {
+		t.Error("intra-batch duplicate must reject")
+	}
+	if n := c.FlowCount(); n != 3 { // dup (pre-seeded) + fresh + twice
+		t.Errorf("registry holds %d flows, want 3", n)
+	}
+}
+
+// Identical batches against identically built controllers must return
+// identical verdict sequences — the batch path shares the deterministic
+// decision core.
+func TestAdmitBatchDeterministic(t *testing.T) {
+	mk := func() []Verdict {
+		c := testPlatform(t)
+		flows := make([]Flow, 24)
+		for i := range flows {
+			flows[i] = tenant(fmt.Sprintf("d%d", i), 6*units.MiBPerSec)
+		}
+		return c.AdmitBatch(flows)
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i].Admitted != b[i].Admitted || a[i].Reason != b[i].Reason {
+			t.Fatalf("verdict %d differs between identical runs:\n  %+v\n  %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// Flows sharing one equivalence class collapse to a single analyzed class
+// regardless of member count.
+func TestAdmitBatchClassCollapse(t *testing.T) {
+	c := testPlatform(t)
+	flows := make([]Flow, 32)
+	for i := range flows {
+		flows[i] = tenant(fmt.Sprintf("c%d", i), units.MiBPerSec)
+	}
+	for _, v := range c.AdmitBatch(flows) {
+		if !v.Admitted {
+			t.Fatalf("rejected: %s", v.Reason)
+		}
+	}
+	if n := c.ClassCount(); n != 1 {
+		t.Errorf("32 identical flows occupy %d classes, want 1", n)
+	}
+	if n := c.FlowCount(); n != 32 {
+		t.Errorf("registry holds %d flows, want 32", n)
+	}
+	// Releasing one member keeps the class; releasing all drops it.
+	for i := 0; i < 31; i++ {
+		if !c.Release(fmt.Sprintf("c%d", i)) {
+			t.Fatalf("release c%d failed", i)
+		}
+	}
+	if n := c.ClassCount(); n != 1 {
+		t.Errorf("class count %d with one member left, want 1", n)
+	}
+	if !c.Release("c31") {
+		t.Fatal("release c31 failed")
+	}
+	if n := c.ClassCount(); n != 0 {
+		t.Errorf("class count %d after releasing all members, want 0", n)
+	}
+}

@@ -74,6 +74,7 @@ func (c *Controller) collect(r *obs.Registry) {
 
 	c.mu.RLock()
 	set("nc_admit_flows", "currently admitted flows", float64(len(c.flows)))
+	set("nc_admit_classes", "distinct admitted flow classes (shared curves+path+SLO)", float64(len(c.classes)))
 	c.mu.RUnlock()
 
 	cache := func(layer string, hits, misses uint64, entries int) {
@@ -94,11 +95,11 @@ func (c *Controller) collect(r *obs.Registry) {
 	for _, name := range c.order {
 		sh := c.shards[name]
 		sh.mu.RLock()
-		agg := sh.aggregate("")
+		agg := sh.aggregate(verdictKey{}, 0)
 		rate := sh.node.Rate
 		reserved := agg.Rate + sh.node.CrossRate
 		burst := agg.Burst + sh.node.CrossBurst
-		nflows := len(sh.ids)
+		nflows := sh.nflows
 		sh.mu.RUnlock()
 
 		l := obs.Label{Key: "node", Value: name}

@@ -74,7 +74,7 @@ func (c *Controller) RevalidateAll(opt RevalidateOptions) (*RevalidateReport, er
 	ids := c.sortedFlowIDs()
 	flows := make([]Flow, len(ids))
 	for i, id := range ids {
-		flows[i] = c.flows[id].flow
+		flows[i] = c.flows[id].flowFor(id)
 	}
 	c.mu.RUnlock()
 
@@ -140,12 +140,17 @@ func (c *Controller) revalidateFlow(f Flow, opt ReplayOptions) (FlowRevalidation
 func (c *Controller) sharedPipelineSnapshot(f Flow) core.Pipeline {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	var exclude verdictKey
+	excludeN := 0
+	if cs, ok := c.flows[f.ID]; ok {
+		exclude, excludeN = cs.key, 1
+	}
 	p := core.Pipeline{Name: c.name + "/shared", Arrival: f.Arrival}
 	for _, name := range f.Path {
 		sh := c.shards[name]
 		sh.mu.RLock()
 		n := sh.node
-		agg := sh.aggregate(f.ID)
+		agg := sh.aggregate(exclude, excludeN)
 		sh.mu.RUnlock()
 		n.CrossRate += agg.Rate
 		n.CrossBurst += agg.Burst

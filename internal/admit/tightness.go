@@ -56,12 +56,12 @@ func (c *Controller) Tightness(id string, opt ReplayOptions) (Tightness, error) 
 		c.mu.RUnlock()
 		return Tightness{}, fmt.Errorf("admit: tightness: flow %q not admitted", id)
 	}
-	f := fs.flow
+	f := fs.flowFor(id)
 	// Current analytic bounds: the flow under today's co-resident cross
 	// traffic (the registry read lock excludes commits, so the shard state is
 	// stable). The admission-time verdict may be looser or tighter — flows
 	// admitted or released since then changed the residual service.
-	a, err := core.AnalyzeMemo(c.pipelineFor(f, id, nil), c.memo)
+	a, err := core.AnalyzeMemo(c.pipelineFor(f, nil), c.memo)
 	c.mu.RUnlock()
 	if err != nil {
 		return Tightness{}, fmt.Errorf("admit: tightness: flow %q: %w", id, err)

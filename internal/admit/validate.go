@@ -196,12 +196,17 @@ func (c *Controller) replaySim(f Flow, opt ReplayOptions) (*sim.Pipeline, error)
 func (c *Controller) residualStages(f Flow) ([]sim.StageConfig, units.Bytes, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	var exclude verdictKey
+	excludeN := 0
+	if cs, ok := c.flows[f.ID]; ok {
+		exclude, excludeN = cs.key, 1
+	}
 	var out []sim.StageConfig
 	for _, name := range f.Path {
 		sh := c.shards[name]
 		sh.mu.RLock()
 		node := sh.node
-		agg := sh.aggregate(f.ID)
+		agg := sh.aggregate(exclude, excludeN)
 		sh.mu.RUnlock()
 
 		crossRate := node.CrossRate + agg.Rate

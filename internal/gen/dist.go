@@ -1,0 +1,153 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"streamcalc/internal/des"
+)
+
+// Dist is a declarative scalar distribution, JSON-encodable so population
+// specs can carry heavy-tailed rate/burst laws as data. Supported kinds:
+//
+//   - "const":     always Min
+//   - "uniform":   uniform on [Min, Max)
+//   - "pareto":    Pareto with scale Min and tail index Alpha (P[X>x] =
+//     (Min/x)^Alpha) — the classic heavy-tailed law for flow rates; the
+//     mean is Min·Alpha/(Alpha−1) for Alpha > 1
+//   - "lognormal": exp(N(Mu, Sigma²)), the other standard heavy-ish tail
+//
+// Max, when positive, truncates any law from above (resampling would bias
+// the quantized class templates; a hard clip keeps Sample a pure function
+// of one underlying draw).
+type Dist struct {
+	Kind  string  `json:"kind"`
+	Min   float64 `json:"min,omitempty"`
+	Max   float64 `json:"max,omitempty"`
+	Alpha float64 `json:"alpha,omitempty"`
+	Mu    float64 `json:"mu,omitempty"`
+	Sigma float64 `json:"sigma,omitempty"`
+}
+
+// Validate checks the parameterization.
+func (d Dist) Validate() error {
+	switch d.Kind {
+	case "const":
+		if d.Min <= 0 {
+			return fmt.Errorf("gen: const dist needs min > 0")
+		}
+	case "uniform":
+		if d.Min <= 0 || d.Max < d.Min {
+			return fmt.Errorf("gen: uniform dist needs 0 < min <= max")
+		}
+	case "pareto":
+		if d.Min <= 0 || d.Alpha <= 0 {
+			return fmt.Errorf("gen: pareto dist needs min > 0 and alpha > 0")
+		}
+	case "lognormal":
+		if d.Sigma < 0 {
+			return fmt.Errorf("gen: lognormal dist needs sigma >= 0")
+		}
+	default:
+		return fmt.Errorf("gen: unknown dist kind %q", d.Kind)
+	}
+	return nil
+}
+
+// Sample draws one value. Exactly one (kind "const": zero) uniform draw is
+// consumed per call except for "lognormal", which consumes two (Box-Muller)
+// — callers that need stream alignment across kinds should dedicate an RNG
+// stream per distribution, as Population does.
+func (d Dist) Sample(r *des.RNG) float64 {
+	var v float64
+	switch d.Kind {
+	case "const":
+		v = d.Min
+	case "uniform":
+		v = r.Uniform(d.Min, d.Max)
+	case "pareto":
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		// Inverse transform: X = min · U^(−1/α).
+		v = d.Min * math.Pow(u, -1/d.Alpha)
+	case "lognormal":
+		v = math.Exp(d.Mu + d.Sigma*normal(r))
+	}
+	if d.Max > 0 && v > d.Max {
+		v = d.Max
+	}
+	return v
+}
+
+// Mean returns the distribution's expectation (ignoring truncation), used
+// by scenario builders to size platform capacity against the offered load.
+// Pareto with Alpha <= 1 has an infinite mean; +Inf is returned.
+func (d Dist) Mean() float64 {
+	switch d.Kind {
+	case "const":
+		return d.Min
+	case "uniform":
+		return (d.Min + d.Max) / 2
+	case "pareto":
+		if d.Alpha <= 1 {
+			return math.Inf(1)
+		}
+		return d.Min * d.Alpha / (d.Alpha - 1)
+	case "lognormal":
+		return math.Exp(d.Mu + d.Sigma*d.Sigma/2)
+	}
+	return 0
+}
+
+// normal returns one standard normal draw via Box-Muller (two uniforms per
+// call; the second variate is discarded to keep Sample stateless).
+func normal(r *des.RNG) float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// zipfWeights returns n weights w_i ∝ 1/(i+1)^s, normalized to sum 1 — the
+// standard skew law for template popularity (s = 0 is uniform).
+func zipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	var sum float64
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// pick draws an index from cumulative weights cum (cum[len-1] == 1).
+func pick(r *des.RNG, cum []float64) int {
+	u := r.Float64()
+	for i, c := range cum {
+		if u < c {
+			return i
+		}
+	}
+	return len(cum) - 1
+}
+
+// cumulative converts weights into a cumulative distribution.
+func cumulative(w []float64) []float64 {
+	cum := make([]float64, len(w))
+	var s float64
+	for i, v := range w {
+		s += v
+		cum[i] = s
+	}
+	if len(cum) > 0 {
+		cum[len(cum)-1] = 1
+	}
+	return cum
+}

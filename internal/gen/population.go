@@ -1,0 +1,377 @@
+package gen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+
+	"streamcalc/internal/admit"
+	"streamcalc/internal/core"
+	"streamcalc/internal/des"
+	"streamcalc/internal/units"
+)
+
+// RNG stream IDs for the population generator (the package convention:
+// every generator owns fixed streams so adding one never perturbs another).
+const (
+	streamTemplates = 110 // template rate/burst/path/tier draws
+	streamArrival   = 111 // churn arrival process (interarrivals, burst phases)
+	streamChurn     = 112 // churn op kinds and release/recheck targets
+	streamAssign    = 113 // base of the per-flow template assignment streams
+)
+
+// SLOTier is one service tier of a population: the SLO template and its
+// popularity weight. MinThroughputFrac asks for that fraction of the flow's
+// own sustained rate as guaranteed throughput (0 leaves it unconstrained).
+type SLOTier struct {
+	Weight            float64 `json:"weight"`
+	MaxDelayMs        float64 `json:"max_delay_ms,omitempty"`
+	MaxBacklogBytes   float64 `json:"max_backlog_bytes,omitempty"`
+	MinThroughputFrac float64 `json:"min_throughput_frac,omitempty"`
+}
+
+// ChurnMix weighs the op kinds of the sustained-churn phase. Weights are
+// relative; they need not sum to 1.
+type ChurnMix struct {
+	Admit   float64 `json:"admit"`
+	Release float64 `json:"release"`
+	Recheck float64 `json:"recheck"`
+}
+
+// ArrivalProcess shapes the op-arrival intensity of the churn phase: a base
+// Poisson rate modulated by a sinusoidal diurnal profile and a two-state
+// (on/off) burst process with exponentially distributed phase durations —
+// rate(t) = BaseRPS · (1 + DiurnalAmplitude·sin(2πt/Period)) · (BurstFactor
+// while bursting, 1 otherwise).
+type ArrivalProcess struct {
+	BaseRPS          float64 `json:"base_rps"`
+	DiurnalAmplitude float64 `json:"diurnal_amplitude,omitempty"` // [0, 1)
+	DiurnalPeriodSec float64 `json:"diurnal_period_sec,omitempty"`
+	BurstFactor      float64 `json:"burst_factor,omitempty"` // >= 1
+	BurstOnSec       float64 `json:"burst_on_sec,omitempty"` // mean burst duration
+	BurstOffSec      float64 `json:"burst_off_sec,omitempty"`
+}
+
+// PopulationSpec declaratively describes a synthetic tenant population:
+// how many distinct flow templates exist, the (heavy-tailed) laws their
+// rates and bursts are drawn from, the path and SLO-tier popularity, the
+// churn mix, and the op-arrival process. The spec is JSON-encodable so load
+// scenarios are data, and — with a seed — fully determines every flow and
+// every op the generator emits.
+type PopulationSpec struct {
+	// Templates is the number of distinct flow classes sampled from the
+	// distributions below (default 64). Individual flows draw a template by
+	// Zipf(TemplateSkew) popularity, so per-admission analysis cost stays
+	// O(templates) while the population's rates remain heavy-tailed.
+	Templates    int     `json:"templates,omitempty"`
+	TemplateSkew float64 `json:"template_skew,omitempty"` // Zipf exponent, 0 = uniform
+
+	RateDist       Dist    `json:"rate_dist"`  // sustained rate, bytes/second
+	BurstDist      Dist    `json:"burst_dist"` // token-bucket burst, bytes
+	MaxPacketBytes float64 `json:"max_packet_bytes,omitempty"`
+
+	// Paths lists the candidate node paths through the platform; PathSkew is
+	// the Zipf exponent of their popularity.
+	Paths    [][]string `json:"paths"`
+	PathSkew float64    `json:"path_skew,omitempty"`
+
+	SLOTiers []SLOTier      `json:"slo_tiers"`
+	Churn    ChurnMix       `json:"churn"`
+	Arrival  ArrivalProcess `json:"arrival"`
+}
+
+// Validate checks the spec and reports the first problem.
+func (s *PopulationSpec) Validate() error {
+	if s.Templates < 0 {
+		return fmt.Errorf("gen: population templates must be >= 0")
+	}
+	if err := s.RateDist.Validate(); err != nil {
+		return fmt.Errorf("rate_dist: %w", err)
+	}
+	if err := s.BurstDist.Validate(); err != nil {
+		return fmt.Errorf("burst_dist: %w", err)
+	}
+	if len(s.Paths) == 0 {
+		return fmt.Errorf("gen: population needs at least one path")
+	}
+	for i, p := range s.Paths {
+		if len(p) == 0 {
+			return fmt.Errorf("gen: population path %d is empty", i)
+		}
+	}
+	if len(s.SLOTiers) == 0 {
+		return fmt.Errorf("gen: population needs at least one SLO tier")
+	}
+	for i, t := range s.SLOTiers {
+		if t.Weight < 0 {
+			return fmt.Errorf("gen: SLO tier %d has negative weight", i)
+		}
+	}
+	if s.Churn.Admit < 0 || s.Churn.Release < 0 || s.Churn.Recheck < 0 {
+		return fmt.Errorf("gen: churn weights must be >= 0")
+	}
+	if s.Churn.Admit+s.Churn.Release+s.Churn.Recheck == 0 {
+		return fmt.Errorf("gen: churn weights are all zero")
+	}
+	if s.Arrival.BaseRPS <= 0 {
+		return fmt.Errorf("gen: arrival base_rps must be > 0")
+	}
+	if s.Arrival.DiurnalAmplitude < 0 || s.Arrival.DiurnalAmplitude >= 1 {
+		return fmt.Errorf("gen: diurnal_amplitude must be in [0, 1)")
+	}
+	return nil
+}
+
+// FlowTemplate is one sampled flow class: every flow assigned the template
+// shares its arrival envelope, path, and SLO (and therefore its admission
+// class in the controller).
+type FlowTemplate struct {
+	Arrival core.Arrival
+	Path    []string
+	SLO     admit.SLO
+}
+
+// OpKind discriminates churn operations.
+type OpKind uint8
+
+const (
+	OpAdmit OpKind = iota
+	OpRelease
+	OpRecheck
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpAdmit:
+		return "admit"
+	case OpRelease:
+		return "release"
+	case OpRecheck:
+		return "recheck"
+	}
+	return "unknown"
+}
+
+// Op is one scheduled operation of the churn phase. At is the offset from
+// the phase start at which an open-loop harness should issue it.
+type Op struct {
+	At   time.Duration
+	Kind OpKind
+	Flow admit.Flow // populated for OpAdmit
+	ID   string     // populated for OpRelease and OpRecheck
+}
+
+// Population deterministically expands a PopulationSpec under a seed: flow
+// i is a pure function of (spec, seed, i) — random access, safe to generate
+// from concurrent workers — and PlanOps extends the same determinism to the
+// churn schedule. Same spec + seed → identical flows and op sequence.
+type Population struct {
+	spec      PopulationSpec
+	seed      uint64
+	templates []FlowTemplate
+	tplCum    []float64 // Zipf popularity over templates
+}
+
+// NewPopulation validates the spec, applies defaults (64 templates, skew 1,
+// 1500-byte packets), and samples the template table.
+func NewPopulation(spec PopulationSpec, seed uint64) (*Population, error) {
+	if spec.Templates == 0 {
+		spec.Templates = 64
+	}
+	if spec.TemplateSkew == 0 {
+		spec.TemplateSkew = 1
+	}
+	if spec.MaxPacketBytes == 0 {
+		spec.MaxPacketBytes = 1500
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Population{spec: spec, seed: seed}
+
+	r := des.NewRNG(seed, streamTemplates)
+	pathCum := cumulative(zipfWeights(len(spec.Paths), spec.PathSkew))
+	tierW := make([]float64, len(spec.SLOTiers))
+	var tierSum float64
+	for i, t := range spec.SLOTiers {
+		tierW[i] = t.Weight
+		tierSum += t.Weight
+	}
+	if tierSum == 0 {
+		for i := range tierW {
+			tierW[i] = 1
+		}
+		tierSum = float64(len(tierW))
+	}
+	for i := range tierW {
+		tierW[i] /= tierSum
+	}
+	tierCum := cumulative(tierW)
+
+	p.templates = make([]FlowTemplate, spec.Templates)
+	for i := range p.templates {
+		rate := spec.RateDist.Sample(r)
+		burst := spec.BurstDist.Sample(r)
+		path := spec.Paths[pick(r, pathCum)]
+		tier := spec.SLOTiers[pick(r, tierCum)]
+		slo := admit.SLO{}
+		if tier.MaxDelayMs > 0 {
+			slo.MaxDelay = time.Duration(tier.MaxDelayMs * float64(time.Millisecond))
+		}
+		if tier.MaxBacklogBytes > 0 {
+			slo.MaxBacklog = units.Bytes(tier.MaxBacklogBytes)
+		}
+		if tier.MinThroughputFrac > 0 {
+			slo.MinThroughput = units.Rate(rate * tier.MinThroughputFrac)
+		}
+		p.templates[i] = FlowTemplate{
+			Arrival: core.Arrival{
+				Rate:      units.Rate(rate),
+				Burst:     units.Bytes(burst),
+				MaxPacket: units.Bytes(spec.MaxPacketBytes),
+			},
+			Path: path,
+			SLO:  slo,
+		}
+	}
+	p.tplCum = cumulative(zipfWeights(spec.Templates, spec.TemplateSkew))
+	return p, nil
+}
+
+// Templates returns the sampled template table (shared slices; read-only).
+func (p *Population) Templates() []FlowTemplate { return p.templates }
+
+// TemplateWeights returns each template's Zipf popularity (sums to 1):
+// the expected fraction of flows assigned to it. Together with Templates
+// this gives the realized expected demand of the population — the quantity
+// a load scenario should size its platform against, since heavy-tailed
+// rate draws make the realized template mean differ widely from the
+// distribution's analytic mean.
+func (p *Population) TemplateWeights() []float64 {
+	w := make([]float64, len(p.tplCum))
+	prev := 0.0
+	for i, c := range p.tplCum {
+		w[i] = c - prev
+		prev = c
+	}
+	return w
+}
+
+// Spec returns the normalized spec the population was built from.
+func (p *Population) Spec() PopulationSpec { return p.spec }
+
+// FlowID returns the canonical ID of flow i.
+func FlowID(i int) string { return fmt.Sprintf("f%08d", i) }
+
+// Flow materializes flow i — a pure function of (spec, seed, i), so workers
+// may generate disjoint index ranges concurrently and an HTTP client and an
+// in-process harness given the same spec and seed produce byte-identical
+// request streams.
+func (p *Population) Flow(i int) admit.Flow {
+	r := des.NewRNG(p.seed, streamAssign+uint64(i)<<8)
+	tpl := p.templates[pick(r, p.tplCum)]
+	return admit.Flow{ID: FlowID(i), Arrival: tpl.Arrival, Path: tpl.Path, SLO: tpl.SLO}
+}
+
+// Flows materializes flows [lo, hi).
+func (p *Population) Flows(lo, hi int) []admit.Flow {
+	out := make([]admit.Flow, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, p.Flow(i))
+	}
+	return out
+}
+
+// PlanOps builds the open-loop churn schedule: n ops whose timestamps
+// follow the spec's nonhomogeneous arrival process and whose kinds follow
+// the churn mix. Flows [0, rampN) are assumed registered at time zero (the
+// ramp phase); admits allocate fresh indexes from rampN upward, releases
+// and rechecks target a uniformly drawn planned-alive flow. The schedule is
+// planned, not reactive: it never observes runtime verdicts, so the request
+// sequence is a deterministic function of (spec, seed, rampN, n) — a
+// release may target a flow the controller actually rejected, which the
+// harness accounts as a miss rather than perturbing the sequence.
+func (p *Population) PlanOps(rampN, n int) []Op {
+	arr := des.NewRNG(p.seed, streamArrival)
+	churn := des.NewRNG(p.seed, streamChurn)
+
+	cw := []float64{p.spec.Churn.Admit, p.spec.Churn.Release, p.spec.Churn.Recheck}
+	sum := cw[0] + cw[1] + cw[2]
+	for i := range cw {
+		cw[i] /= sum
+	}
+	churnCum := cumulative(cw)
+
+	a := p.spec.Arrival
+	burstFactor := a.BurstFactor
+	if burstFactor < 1 {
+		burstFactor = 1
+	}
+	bursting := false
+	phaseEnd := math.Inf(1)
+	if burstFactor > 1 && a.BurstOnSec > 0 && a.BurstOffSec > 0 {
+		phaseEnd = arr.Exp(a.BurstOffSec)
+	}
+
+	alive := make([]int, rampN)
+	for i := range alive {
+		alive[i] = i
+	}
+	next := rampN
+
+	ops := make([]Op, 0, n)
+	now := 0.0
+	for len(ops) < n {
+		rate := a.BaseRPS
+		if a.DiurnalAmplitude > 0 && a.DiurnalPeriodSec > 0 {
+			rate *= 1 + a.DiurnalAmplitude*math.Sin(2*math.Pi*now/a.DiurnalPeriodSec)
+		}
+		if bursting {
+			rate *= burstFactor
+		}
+		now += arr.Exp(1 / rate)
+		for now >= phaseEnd {
+			bursting = !bursting
+			if bursting {
+				phaseEnd += arr.Exp(a.BurstOnSec)
+			} else {
+				phaseEnd += arr.Exp(a.BurstOffSec)
+			}
+		}
+
+		kind := OpKind(pick(churn, churnCum))
+		if kind != OpAdmit && len(alive) == 0 {
+			kind = OpAdmit
+		}
+		op := Op{At: time.Duration(now * float64(time.Second)), Kind: kind}
+		switch kind {
+		case OpAdmit:
+			op.Flow = p.Flow(next)
+			alive = append(alive, next)
+			next++
+		case OpRelease:
+			j := churn.Intn(len(alive))
+			op.ID = FlowID(alive[j])
+			alive[j] = alive[len(alive)-1]
+			alive = alive[:len(alive)-1]
+		case OpRecheck:
+			op.ID = FlowID(alive[churn.Intn(len(alive))])
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// ParsePopulationSpec decodes a JSON spec, rejecting unknown fields so
+// typos in scenario files fail loudly.
+func ParsePopulationSpec(data []byte) (PopulationSpec, error) {
+	var s PopulationSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return s, fmt.Errorf("gen: population spec: %w", err)
+	}
+	return s, nil
+}

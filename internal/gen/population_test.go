@@ -1,0 +1,234 @@
+package gen
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"streamcalc/internal/des"
+)
+
+func testSpec() PopulationSpec {
+	return PopulationSpec{
+		Templates:    32,
+		TemplateSkew: 1,
+		RateDist:     Dist{Kind: "pareto", Min: 64 << 10, Alpha: 1.6, Max: 64 << 20},
+		BurstDist:    Dist{Kind: "lognormal", Mu: math.Log(32 << 10), Sigma: 0.7},
+		Paths:        [][]string{{"ingest", "transcode", "egress"}, {"ingest", "egress"}},
+		PathSkew:     0.8,
+		SLOTiers: []SLOTier{
+			{Weight: 0.7, MaxDelayMs: 500},
+			{Weight: 0.3, MaxDelayMs: 100, MinThroughputFrac: 0.9},
+		},
+		Churn:   ChurnMix{Admit: 0.5, Release: 0.3, Recheck: 0.2},
+		Arrival: ArrivalProcess{BaseRPS: 500, DiurnalAmplitude: 0.4, DiurnalPeriodSec: 60, BurstFactor: 3, BurstOnSec: 2, BurstOffSec: 10},
+	}
+}
+
+// Same spec + seed must reproduce the exact flow and op sequences; a
+// different seed must not.
+func TestPopulationDeterminism(t *testing.T) {
+	for _, seed := range []uint64{1, 42, 0xdeadbeef} {
+		a, err := NewPopulation(testSpec(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewPopulation(testSpec(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Flows(0, 500), b.Flows(0, 500)) {
+			t.Fatalf("seed %d: flow sequences diverge", seed)
+		}
+		if !reflect.DeepEqual(a.PlanOps(200, 1000), b.PlanOps(200, 1000)) {
+			t.Fatalf("seed %d: op schedules diverge", seed)
+		}
+	}
+	a, _ := NewPopulation(testSpec(), 1)
+	b, _ := NewPopulation(testSpec(), 2)
+	if reflect.DeepEqual(a.Flows(0, 100), b.Flows(0, 100)) {
+		t.Fatal("different seeds produced identical flows")
+	}
+}
+
+// Flow(i) is random-access pure: materializing out of order or repeatedly
+// gives the same flow.
+func TestPopulationRandomAccess(t *testing.T) {
+	p, err := NewPopulation(testSpec(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.Flows(0, 200)
+	for _, i := range []int{199, 3, 77, 0, 150, 3} {
+		if !reflect.DeepEqual(p.Flow(i), want[i]) {
+			t.Fatalf("flow %d differs on re-access", i)
+		}
+	}
+}
+
+// hillIndex is the Hill estimator of the tail index over the top-k order
+// statistics.
+func hillIndex(samples []float64, k int) float64 {
+	sort.Float64s(samples)
+	n := len(samples)
+	xk := samples[n-k-1]
+	var s float64
+	for i := n - k; i < n; i++ {
+		s += math.Log(samples[i] / xk)
+	}
+	return float64(k) / s
+}
+
+// The Pareto sampler's empirical tail index must match its alpha.
+func TestParetoTailIndex(t *testing.T) {
+	for _, alpha := range []float64{1.3, 1.8, 2.5} {
+		d := Dist{Kind: "pareto", Min: 1000, Alpha: alpha}
+		r := des.NewRNG(9, 1)
+		n := 60000
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = d.Sample(r)
+		}
+		got := hillIndex(samples, n/20)
+		if math.Abs(got-alpha) > 0.15*alpha {
+			t.Errorf("alpha %.2f: Hill estimate %.3f out of tolerance", alpha, got)
+		}
+	}
+}
+
+// Sampled means must track the analytic Mean (loose tolerance for the
+// heavy-tailed laws at this sample size).
+func TestDistMeans(t *testing.T) {
+	dists := []Dist{
+		{Kind: "const", Min: 5},
+		{Kind: "uniform", Min: 2, Max: 10},
+		{Kind: "pareto", Min: 100, Alpha: 2.5},
+		{Kind: "lognormal", Mu: 3, Sigma: 0.5},
+	}
+	for _, d := range dists {
+		r := des.NewRNG(11, 2)
+		var sum float64
+		n := 200000
+		for i := 0; i < n; i++ {
+			sum += d.Sample(r)
+		}
+		got, want := sum/float64(n), d.Mean()
+		if math.Abs(got-want) > 0.05*want {
+			t.Errorf("%s: empirical mean %.3f vs analytic %.3f", d.Kind, got, want)
+		}
+	}
+}
+
+// The planned op mix must converge to the configured churn ratios, and the
+// schedule must be causally ordered with release/recheck targets drawn from
+// planned-alive flows only.
+func TestChurnMixConvergence(t *testing.T) {
+	p, err := NewPopulation(testSpec(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rampN, n = 5000, 40000
+	ops := p.PlanOps(rampN, n)
+	if len(ops) != n {
+		t.Fatalf("planned %d ops, want %d", len(ops), n)
+	}
+	counts := map[OpKind]int{}
+	alive := map[string]bool{}
+	for i := 0; i < rampN; i++ {
+		alive[FlowID(i)] = true
+	}
+	last := ops[0].At
+	for _, op := range ops {
+		counts[op.Kind]++
+		if op.At < last {
+			t.Fatal("op schedule is not time-ordered")
+		}
+		last = op.At
+		switch op.Kind {
+		case OpAdmit:
+			if alive[op.Flow.ID] {
+				t.Fatalf("admit of already-planned flow %s", op.Flow.ID)
+			}
+			alive[op.Flow.ID] = true
+		case OpRelease:
+			if !alive[op.ID] {
+				t.Fatalf("release of non-alive flow %s", op.ID)
+			}
+			delete(alive, op.ID)
+		case OpRecheck:
+			if !alive[op.ID] {
+				t.Fatalf("recheck of non-alive flow %s", op.ID)
+			}
+		}
+	}
+	mix := testSpec().Churn
+	total := mix.Admit + mix.Release + mix.Recheck
+	for kind, weight := range map[OpKind]float64{
+		OpAdmit: mix.Admit, OpRelease: mix.Release, OpRecheck: mix.Recheck,
+	} {
+		got := float64(counts[kind]) / float64(n)
+		want := weight / total
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("%v ratio %.4f, want %.4f ±0.02", kind, got, want)
+		}
+	}
+}
+
+// The op-arrival process must realize roughly the configured mean intensity
+// (diurnal modulation averages out; bursts raise it by the duty-cycled
+// factor).
+func TestArrivalIntensity(t *testing.T) {
+	spec := testSpec()
+	spec.Arrival = ArrivalProcess{BaseRPS: 1000} // plain Poisson
+	p, err := NewPopulation(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50000
+	ops := p.PlanOps(1000, n)
+	span := ops[n-1].At.Seconds()
+	got := float64(n) / span
+	if math.Abs(got-1000) > 50 {
+		t.Errorf("achieved planning rate %.1f ops/s, want ~1000", got)
+	}
+}
+
+func TestPopulationSpecValidation(t *testing.T) {
+	bad := testSpec()
+	bad.Paths = nil
+	if _, err := NewPopulation(bad, 1); err == nil {
+		t.Error("empty paths accepted")
+	}
+	bad = testSpec()
+	bad.RateDist = Dist{Kind: "nope"}
+	if _, err := NewPopulation(bad, 1); err == nil {
+		t.Error("unknown dist kind accepted")
+	}
+	bad = testSpec()
+	bad.Churn = ChurnMix{}
+	if _, err := NewPopulation(bad, 1); err == nil {
+		t.Error("zero churn mix accepted")
+	}
+}
+
+func TestParsePopulationSpec(t *testing.T) {
+	doc := []byte(`{
+		"rate_dist": {"kind": "pareto", "min": 65536, "alpha": 1.6},
+		"burst_dist": {"kind": "const", "min": 32768},
+		"paths": [["a", "b"]],
+		"slo_tiers": [{"weight": 1, "max_delay_ms": 200}],
+		"churn": {"admit": 1, "release": 1, "recheck": 1},
+		"arrival": {"base_rps": 100}
+	}`)
+	s, err := ParsePopulationSpec(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPopulation(s, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParsePopulationSpec([]byte(`{"rate_dist": {"kind": "const", "min": 1}, "typo_field": 1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}

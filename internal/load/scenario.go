@@ -1,0 +1,114 @@
+package load
+
+import (
+	"math"
+	"time"
+
+	"streamcalc/internal/admit"
+	"streamcalc/internal/core"
+	"streamcalc/internal/gen"
+	"streamcalc/internal/units"
+)
+
+// Scenario bundles a platform and a population spec sized for each other.
+type Scenario struct {
+	Name  string
+	Nodes []core.Node
+	Spec  gen.PopulationSpec
+}
+
+// Controller builds an admission controller over the scenario platform.
+func (s Scenario) Controller() (*admit.Controller, error) {
+	return admit.New(s.Name, s.Nodes)
+}
+
+// Sized returns a copy of the scenario whose node rates are recomputed from
+// the population's realized template mix: each node's expected per-flow
+// demand is the popularity-weighted sum of the template rates crossing it,
+// and the node gets headroom × that demand at `flows` registered flows.
+// DefaultScenario sizes from the rate distribution's analytic mean, which a
+// heavy-tailed template draw can exceed severalfold — realized sizing keeps
+// the admission profile (loose tiers fit, the tightest tier rejects at the
+// margin) stable across seeds and scales.
+func (s Scenario) Sized(pop *gen.Population, flows int, headroom float64) Scenario {
+	demand := make(map[string]float64, len(s.Nodes))
+	ws := pop.TemplateWeights()
+	for i, t := range pop.Templates() {
+		for _, n := range t.Path {
+			demand[n] += ws[i] * float64(t.Arrival.Rate)
+		}
+	}
+	nodes := make([]core.Node, len(s.Nodes))
+	copy(nodes, s.Nodes)
+	for i := range nodes {
+		if d := demand[nodes[i].Name]; d > 0 {
+			nodes[i].Rate = units.Rate(headroom * d * float64(flows))
+		}
+	}
+	s.Nodes = nodes
+	return s
+}
+
+// DefaultScenario builds the canonical million-flow scenario: a three-node
+// streaming platform (ingest → transcode → egress, with a transcode-less
+// bypass path) and a heavy-tailed population whose aggregate expected
+// demand at `flows` registered flows consumes 1/headroom of each node's
+// capacity (headroom 2.0). The SLO tier mix is deliberately sized so the
+// loosest tiers always fit while the tightest tier starts rejecting as the
+// registry fills — a realistic admission profile rather than a pure
+// pass-through.
+func DefaultScenario(flows int) Scenario {
+	spec := gen.PopulationSpec{
+		Templates:    64,
+		TemplateSkew: 1,
+		// Flow sustained rates: Pareto(α=1.6) from 64 KiB/s, clipped at
+		// 64 MiB/s — mean ≈ 171 KiB/s with a heavy tail.
+		RateDist: gen.Dist{Kind: "pareto", Min: 64 << 10, Alpha: 1.6, Max: 64 << 20},
+		// Bursts: lognormal around 4 KiB (σ=0.8, mean ≈ 5.6 KiB).
+		BurstDist:      gen.Dist{Kind: "lognormal", Mu: math.Log(4 << 10), Sigma: 0.8},
+		MaxPacketBytes: 1500,
+		Paths: [][]string{
+			{"ingest", "transcode", "egress"},
+			{"ingest", "egress"},
+		},
+		PathSkew: 0.8,
+		SLOTiers: []gen.SLOTier{
+			{Weight: 0.7, MaxDelayMs: 500},
+			{Weight: 0.2, MaxDelayMs: 250},
+			{Weight: 0.1, MaxDelayMs: 120, MinThroughputFrac: 0.9},
+		},
+		Churn: gen.ChurnMix{Admit: 0.4, Release: 0.4, Recheck: 0.2},
+		Arrival: gen.ArrivalProcess{
+			BaseRPS:          500,
+			DiurnalAmplitude: 0.3,
+			DiurnalPeriodSec: 60,
+			BurstFactor:      2,
+			BurstOnSec:       2,
+			BurstOffSec:      10,
+		},
+	}
+
+	// Expected hosted rate per node: every flow crosses ingest and egress;
+	// only the Zipf-favored 3-node path crosses transcode.
+	meanRate := spec.RateDist.Mean()
+	w0 := 1.0 / (1.0 + math.Pow(2, -spec.PathSkew)) // popularity of path 0
+	const headroom = 2.0
+	size := func(share float64) units.Rate {
+		return units.Rate(headroom * share * meanRate * float64(flows))
+	}
+	node := func(name string, rate units.Rate, lat time.Duration) core.Node {
+		return core.Node{
+			Name: name, Rate: rate, Latency: lat,
+			JobIn: 4 << 10, JobOut: 4 << 10, MaxPacket: 4 << 10,
+		}
+	}
+	return Scenario{
+		Name: "default-streaming",
+		Nodes: []core.Node{
+			node("ingest", size(1.0), 200*time.Microsecond),
+			node("transcode", size(w0), 500*time.Microsecond),
+			node("egress", size(1.0), 300*time.Microsecond),
+		},
+		Spec: spec,
+	}
+}

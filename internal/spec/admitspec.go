@@ -52,6 +52,40 @@ func ParseFlow(data []byte) (*Flow, error) {
 	return &f, nil
 }
 
+// ParseFlows decodes a JSON array of flow descriptions (the batch-admission
+// request body).
+func ParseFlows(data []byte) ([]Flow, error) {
+	var fs []Flow
+	if err := json.Unmarshal(data, &fs); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	return fs, nil
+}
+
+// FromAdmit converts a controller flow back to its wire description — the
+// inverse of Flow.Admit, used by HTTP clients (the load harness) that
+// generate admit.Flow values and must serialize them.
+func FromAdmit(f admit.Flow) Flow {
+	out := Flow{
+		ID:   f.ID,
+		Path: f.Path,
+		Arrival: Arrival{
+			Rate:      f.Arrival.Rate,
+			Burst:     f.Arrival.Burst,
+			MaxPacket: f.Arrival.MaxPacket,
+		},
+	}
+	for _, b := range f.Arrival.Extra {
+		out.Arrival.Extra = append(out.Arrival.Extra, Bucket{Rate: b.Rate, Burst: b.Burst})
+	}
+	if f.SLO.MaxDelay > 0 {
+		out.SLO.MaxDelay = f.SLO.MaxDelay.String()
+	}
+	out.SLO.MaxBacklog = f.SLO.MaxBacklog
+	out.SLO.MinThroughput = f.SLO.MinThroughput
+	return out
+}
+
 // ParsePlatform decodes a JSON platform description.
 func ParsePlatform(data []byte) (*Platform, error) {
 	var p Platform
