@@ -258,14 +258,21 @@ func newServer(c *admit.Controller, opt serverOptions) http.Handler {
 		st := c.Stats()
 		var mem runtime.MemStats
 		runtime.ReadMemStats(&mem)
+		// epoch is the coarse global commit counter; epoch_max and
+		// epoch_distinct_nodes summarize the per-node modification epochs in
+		// one O(nodes) pass (the epoch vector itself is on /metrics as
+		// nc_node_epoch).
 		writeJSON(w, http.StatusOK, map[string]any{
-			"ok":               true,
-			"platform":         c.Name(),
-			"epoch":            c.Epoch(),
-			"flows":            c.FlowCount(),
-			"classes":          c.ClassCount(),
-			"heap_alloc_bytes": mem.HeapAlloc,
-			"heap_sys_bytes":   mem.HeapSys,
+			"ok":                   true,
+			"platform":             c.Name(),
+			"epoch":                c.Epoch(),
+			"epoch_max":            st.EpochMax,
+			"epoch_distinct_nodes": st.EpochDistinctNode,
+			"commit_conflicts":     st.CommitConflicts,
+			"flows":                c.FlowCount(),
+			"classes":              c.ClassCount(),
+			"heap_alloc_bytes":     mem.HeapAlloc,
+			"heap_sys_bytes":       mem.HeapSys,
 			"caches": map[string]any{
 				"verdict": map[string]any{
 					"hits":     st.VerdictHits,

@@ -51,6 +51,7 @@ func main() {
 		measure      = flag.Duration("measure", 30*time.Second, "measured churn window")
 		batch        = flag.Int("batch", 16384, "ramp transaction size")
 		workers      = flag.Int("workers", 0, "ramp/churn worker count (0 = GOMAXPROCS)")
+		clients      = flag.Int("clients", 0, "concurrent churn client lanes with per-client lateness (0 = workers default)")
 		seed         = flag.Uint64("seed", 1, "population seed (same spec+seed+flows = same request sequence)")
 		out          = flag.String("out", "", "write the JSON report to this file (default stdout)")
 		benchOut     = flag.String("bench", "", "write Go-benchmark lines to this file (benchjson input)")
@@ -134,6 +135,7 @@ func main() {
 		Flows:     *flows,
 		BatchSize: *batch,
 		Workers:   *workers,
+		Clients:   *clients,
 		TargetRPS: *rps,
 		Warmup:    *warmup,
 		Measure:   *measure,

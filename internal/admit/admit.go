@@ -35,17 +35,37 @@
 // two map entries. The batch admission path (AdmitBatch, batch.go) rides
 // the same structure to ramp large populations transactionally.
 //
+// # Concurrency: optimistic analysis, per-node epochs, group commit
+//
 // State is sharded by node with per-shard locks so residual-curve queries
-// never contend with each other; admissions and releases serialize on a
-// registry lock (the network-calculus computations themselves are
-// microseconds — cf. Nancy, arXiv:2205.11449 — so the hot path is short).
-// Verdicts are cached keyed by (platform epoch, arrival-envelope digest,
-// path, SLO) — curve digests rather than spec hashes, so two specs with
-// identical curves share one cache entry within an epoch regardless of flow
-// ID; any commit bumps the epoch, invalidating the cache. Reservations are
-// likewise cached on (envelope digest, path), and all analyses run through a
-// controller-wide core.Memo so candidate and victim re-checks never
-// recompute an identical pipeline.
+// never contend with each other. Every node carries its own epoch,
+// advanced whenever its hosted reservation set changes. The expensive part
+// of an admission — the candidate analysis and the victim sweep — runs
+// under the registry *read* lock against an epoch-stamped snapshot,
+// recording the epoch of every node it reads (the candidate's path plus
+// the path of every analyzed victim class); a short validate-and-commit
+// write section then re-checks exactly those epochs and commits, retrying
+// the sweep on conflict — re-analyzing only classes whose node epochs
+// actually moved — and falling back to the fully write-locked classic path
+// after bounded retries. Only analyzed states ever commit: a conflicted
+// retry re-analyzes rather than assuming the bounds are monotone in cross
+// traffic (the job-aggregation cliff breaks monotonicity).
+//
+// Concurrent Admit/Release callers coalesce through a group-commit
+// combiner (group.go): one caller at a time becomes the leader, drains the
+// queue, commits pending releases first, and decides the queued admissions
+// as one transactional group — a single sweep amortized over every waiting
+// caller, which is what turns k concurrent clients into ~k× admission
+// throughput even on one core.
+//
+// Verdict rejections are cached keyed by (arrival-envelope digest, path,
+// SLO) — curve digests rather than spec hashes, so two specs with
+// identical curves share one cache entry regardless of flow ID — and each
+// entry pins the node epochs its analysis observed, so a commit on a
+// disjoint path invalidates nothing. Reservations are likewise cached on
+// (envelope digest, path), and all analyses run through a controller-wide
+// core.Memo so candidate and victim re-checks never recompute an identical
+// pipeline.
 package admit
 
 import (
@@ -162,9 +182,17 @@ type shardEntry struct {
 // lock so residual queries on different nodes never contend. Mutations
 // additionally happen only under the registry write lock, so holders of the
 // registry lock (either mode) may read shard state without the shard lock.
+//
+// epoch is the node's own modification counter: it advances (under the
+// registry write lock) whenever the node's hosted reservation set changes.
+// Optimistic admissions snapshot the epochs of every node their analysis
+// read and re-check them at commit time; the verdict cache validates its
+// entries the same way, so a commit on a disjoint path invalidates nothing.
 type shard struct {
 	mu      sync.RWMutex
 	node    core.Node
+	idx     int // position in Controller.byIdx (dense epoch addressing)
+	epoch   atomic.Uint64
 	classes map[verdictKey]*shardEntry
 	keys    []verdictKey // classes keys, kept sorted by keyLess
 	nflows  int          // total members hosted (sum of entry counts)
@@ -288,22 +316,38 @@ type Controller struct {
 	name   string
 	shards map[string]*shard
 	order  []string // node names in platform order, for stable reports
+	byIdx  []*shard // shards addressed by shard.idx (platform order)
 
 	mu      sync.RWMutex // guards flows/classes and commit/release transactions
 	flows   map[string]*classState
 	classes map[verdictKey]*classState
 
+	// epoch is the coarse global commit counter (one bump per committed
+	// admission, release, or batch transaction) kept for external
+	// observability and snapshot comparison; fine-grained invalidation is
+	// per-node (shard.epoch).
 	epoch atomic.Uint64
+
+	// Group-commit combiner (group.go): concurrent Admit/Release callers
+	// enqueue tickets; one caller at a time becomes the leader, drains the
+	// queue, and decides the whole group in a single read-locked sweep with
+	// one validate-and-commit write section.
+	qmu       sync.Mutex
+	queue     []*ticket
+	leaderSem chan struct{}
+
+	// conflicts counts validate-and-commit sections that found a stale
+	// node epoch and had to retry (or fall back to the write-locked path).
+	conflicts atomic.Uint64
 
 	// memo caches whole-pipeline analyses across admission probes (the same
 	// standalone, candidate, and victim pipelines recur constantly).
 	memo *core.Memo
 
-	cacheMu    sync.Mutex
-	cache      map[verdictKey]Verdict
-	cacheEpoch uint64
-	cacheHits  atomic.Uint64
-	cacheMiss  atomic.Uint64
+	cacheMu   sync.Mutex
+	cache     map[verdictKey]cacheEntry
+	cacheHits atomic.Uint64
+	cacheMiss atomic.Uint64
 
 	// resCache maps (arrival-envelope digest, path) to the flow's standalone
 	// per-node reservation — a deterministic function of curves and path, so
@@ -325,13 +369,14 @@ func New(name string, nodes []core.Node) (*Controller, error) {
 		return nil, fmt.Errorf("admit: platform %q has no nodes", name)
 	}
 	c := &Controller{
-		name:     name,
-		shards:   make(map[string]*shard, len(nodes)),
-		flows:    make(map[string]*classState),
-		classes:  make(map[verdictKey]*classState),
-		memo:     core.NewMemo(),
-		cache:    make(map[verdictKey]Verdict),
-		resCache: make(map[verdictKey]map[string]core.Bucket),
+		name:      name,
+		shards:    make(map[string]*shard, len(nodes)),
+		flows:     make(map[string]*classState),
+		classes:   make(map[verdictKey]*classState),
+		leaderSem: make(chan struct{}, 1),
+		memo:      core.NewMemo(),
+		cache:     make(map[verdictKey]cacheEntry),
+		resCache:  make(map[verdictKey]map[string]core.Bucket),
 	}
 	for i, n := range nodes {
 		if n.Name == "" {
@@ -347,7 +392,9 @@ func New(name string, nodes []core.Node) (*Controller, error) {
 		if err := probe.Validate(); err != nil {
 			return nil, fmt.Errorf("admit: %w", err)
 		}
-		c.shards[n.Name] = &shard{node: n, classes: make(map[verdictKey]*shardEntry)}
+		sh := &shard{node: n, idx: len(c.byIdx), classes: make(map[verdictKey]*shardEntry)}
+		c.shards[n.Name] = sh
+		c.byIdx = append(c.byIdx, sh)
 		c.order = append(c.order, n.Name)
 	}
 	return c, nil
@@ -357,8 +404,42 @@ func New(name string, nodes []core.Node) (*Controller, error) {
 func (c *Controller) Name() string { return c.name }
 
 // Epoch returns the current platform epoch; it increments on every
-// successful admit or release.
+// successful admit or release (once per batch transaction). It is a coarse
+// change detector for snapshots and replays; cache invalidation is scoped
+// by the per-node epochs (see EpochStats).
 func (c *Controller) Epoch() uint64 { return c.epoch.Load() }
+
+// EpochStats summarizes the per-node epoch vector in O(nodes): the maximum
+// node epoch and the number of distinct epoch values across nodes. A
+// distinct count above 1 is the signature of path-scoped commits — disjoint
+// paths advancing independently instead of every commit touching every
+// node.
+func (c *Controller) EpochStats() (max uint64, distinct int) {
+	seen := make(map[uint64]struct{}, len(c.byIdx))
+	for _, sh := range c.byIdx {
+		e := sh.epoch.Load()
+		if e > max {
+			max = e
+		}
+		seen[e] = struct{}{}
+	}
+	return max, len(seen)
+}
+
+// NodeEpochs returns the per-node epoch of every platform node in
+// declaration order, keyed by node name. O(nodes), lock-free.
+func (c *Controller) NodeEpochs() map[string]uint64 {
+	out := make(map[string]uint64, len(c.byIdx))
+	for _, sh := range c.byIdx {
+		out[sh.node.Name] = sh.epoch.Load()
+	}
+	return out
+}
+
+// CommitConflicts returns the cumulative count of optimistic
+// validate-and-commit sections that observed a stale node epoch and had to
+// retry or fall back.
+func (c *Controller) CommitConflicts() uint64 { return c.conflicts.Load() }
 
 // NodeNames returns the platform node names in declaration order.
 func (c *Controller) NodeNames() []string { return append([]string(nil), c.order...) }
@@ -406,32 +487,21 @@ func (c *Controller) admit(f Flow) Verdict {
 		return v
 	}
 	key := c.keyFor(f)
-	if v, ok := c.cachedVerdict(key, epoch); ok {
+	if v, ok := c.cachedVerdict(key); ok {
 		// The cached verdict is ID-independent; stamp the asking flow's ID.
 		v.FlowID = f.ID
 		return v
 	}
-
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	// Re-read under the lock: an admit that committed between the cache
-	// probe and here bumped the epoch.
-	epoch = c.epoch.Load()
-
-	v, contrib := c.decide(f, epoch)
-	if !v.Admitted {
-		c.storeVerdict(key, epoch, v)
-		return v
-	}
-
-	// Commit the reservation under the shard locks and bump the epoch.
-	c.commit(key, f, contrib, v)
-	c.epoch.Add(1)
-	return v
+	// Hand the decision to the group-commit combiner (group.go): an
+	// uncontended caller becomes the leader and decides immediately via the
+	// optimistic read-locked path; under concurrency, queued admissions are
+	// analyzed together so one victim sweep serves the whole group.
+	return c.submit(&ticket{kind: tkAdmit, f: f, key: key}).v
 }
 
-// commit registers flow f (already decided admissible) under class key.
-// Callers must hold the registry write lock.
+// commit registers flow f (already decided admissible) under class key and
+// advances the epoch of every node the reservation touches. Callers must
+// hold the registry write lock.
 func (c *Controller) commit(key verdictKey, f Flow, contrib map[string]core.Bucket, v Verdict) {
 	cs, ok := c.classes[key]
 	if !ok {
@@ -455,6 +525,7 @@ func (c *Controller) commit(key verdictKey, f Flow, contrib map[string]core.Buck
 		sh.mu.Lock()
 		sh.insert(key, b, 1)
 		sh.mu.Unlock()
+		sh.epoch.Add(1)
 	}
 }
 
@@ -503,11 +574,15 @@ func (c *Controller) keyFor(f Flow) verdictKey {
 }
 
 // decide runs all admission checks without mutating state, returning the
-// verdict and (when admitted) the reservation to commit. The registry write
-// lock must be held, and precheck must have passed. Rejection reasons never
-// mention the candidate's ID: they are cached and replayed for any flow with
-// the same curves, path, and SLO.
-func (c *Controller) decide(f Flow, epoch uint64) (Verdict, map[string]core.Bucket) {
+// verdict and (when admitted) the reservation to commit. The registry lock
+// must be held — the write lock on the classic path (sw == nil), or the
+// read lock on the optimistic path, where sw records every node whose state
+// the analysis read (the dependency closure: the candidate's path plus the
+// path of every victim class analyzed) so the commit section can validate
+// the snapshot against the per-node epochs. Precheck must have passed.
+// Rejection reasons never mention the candidate's ID: they are cached and
+// replayed for any flow with the same curves, path, and SLO.
+func (c *Controller) decide(f Flow, epoch uint64, sw *sweep) (Verdict, map[string]core.Bucket) {
 	v := Verdict{FlowID: f.ID, Epoch: epoch}
 	reject := func(binding, format string, args ...any) (Verdict, map[string]core.Bucket) {
 		v.Admitted = false
@@ -517,7 +592,7 @@ func (c *Controller) decide(f Flow, epoch uint64) (Verdict, map[string]core.Buck
 	}
 
 	if _, dup := c.flows[f.ID]; dup {
-		// Re-check under the write lock (precheck ran before it).
+		// Re-check under the lock (precheck ran before it).
 		return reject("spec", "flow %q is already admitted", f.ID)
 	}
 
@@ -529,6 +604,8 @@ func (c *Controller) decide(f Flow, epoch uint64) (Verdict, map[string]core.Buck
 	if err != nil {
 		return reject("spec", "%v", err)
 	}
+
+	sw.addPath(c, f.Path)
 
 	// Candidate analysis under the current co-resident cross traffic.
 	// Saturation (aggregate cross >= node rate) surfaces as an Analyze
@@ -544,10 +621,16 @@ func (c *Controller) decide(f Flow, epoch uint64) (Verdict, map[string]core.Buck
 
 	// Victim check: every admitted class sharing a node must keep its SLO
 	// with the candidate's reservation added as cross traffic. One analysis
-	// covers every member of a class — they are interchangeable.
+	// covers every member of a class — they are interchangeable. On a
+	// conflict retry, classes whose node epochs are unchanged since the
+	// previous attempt analyzed them are reused without re-analysis: the
+	// sweep is scoped to the classes whose aggregates actually changed.
 	for _, k := range c.sortedClassKeys() {
 		cs := c.classes[k]
 		if !sharesNode(cs.path, f.Path) {
+			continue
+		}
+		if sw.victimOK(c, k, cs.path) {
 			continue
 		}
 		p := c.buildPipeline(cs.arrival, cs.path, k, 1, contrib)
@@ -560,6 +643,7 @@ func (c *Controller) decide(f Flow, epoch uint64) (Verdict, map[string]core.Buck
 			return reject("victim:"+cs.representative(),
 				"admitting this flow would break flow %q: %s", cs.representative(), bad.detail)
 		}
+		sw.recordVictim(c, k, cs.path)
 	}
 
 	// Admitted: promised bounds, bottleneck, and residual headroom with
@@ -809,8 +893,17 @@ func (c *Controller) Release(id string) bool {
 }
 
 func (c *Controller) release(id string) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	// Releases ride the same combiner as admissions: while a leader is
+	// mid-sweep, pending releases queue instead of mutating node state
+	// underneath the analysis, and each drain cycle commits them first so
+	// admissions are decided against the freshest state.
+	return c.submit(&ticket{kind: tkRelease, id: id}).ok
+}
+
+// releaseLocked removes an admitted flow, freeing its reservations and
+// advancing the touched nodes' epochs. Callers must hold the registry write
+// lock.
+func (c *Controller) releaseLocked(id string) bool {
 	cs, ok := c.flows[id]
 	if !ok {
 		return false
@@ -820,6 +913,7 @@ func (c *Controller) release(id string) bool {
 		sh.mu.Lock()
 		sh.remove(cs.key, 1)
 		sh.mu.Unlock()
+		sh.epoch.Add(1)
 	}
 	cs.removeID(id)
 	if len(cs.ids) == 0 {
@@ -953,35 +1047,67 @@ func (c *Controller) ResidualService(node string) (Residual, error) {
 
 // --- Verdict cache ---------------------------------------------------------
 
-// cachedVerdict returns a verdict stored at the current epoch. Only
-// rejections survive in the cache: a committed admission bumps the epoch,
-// flushing it.
-func (c *Controller) cachedVerdict(key verdictKey, epoch uint64) (Verdict, bool) {
+// nodeDep pins one node's epoch as observed during an analysis. A set of
+// nodeDeps is a consistency witness: if every pinned epoch still matches
+// the live shard epoch, no state the analysis read has changed since.
+type nodeDep struct {
+	idx   int
+	epoch uint64
+}
+
+// cacheEntry is one cached (rejection) verdict plus the epochs of every
+// node its analysis read. The entry stays valid exactly as long as those
+// nodes are untouched — commits and releases on disjoint paths invalidate
+// nothing.
+type cacheEntry struct {
+	v    Verdict
+	deps []nodeDep
+}
+
+// cachedVerdict returns a stored verdict whose node dependencies are all
+// still at their recorded epochs. Only rejections are ever stored: an
+// admission commits state, so replaying it from a cache would skip the
+// commit.
+func (c *Controller) cachedVerdict(key verdictKey) (Verdict, bool) {
 	c.cacheMu.Lock()
-	defer c.cacheMu.Unlock()
-	if c.cacheEpoch != epoch {
-		c.cacheMiss.Add(1)
-		return Verdict{}, false
+	e, ok := c.cache[key]
+	c.cacheMu.Unlock()
+	if ok {
+		for _, d := range e.deps {
+			if c.byIdx[d.idx].epoch.Load() != d.epoch {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			// Stale: drop it so the map doesn't accumulate dead entries.
+			c.cacheMu.Lock()
+			delete(c.cache, key)
+			c.cacheMu.Unlock()
+		}
 	}
-	v, ok := c.cache[key]
 	if !ok {
 		c.cacheMiss.Add(1)
 		return Verdict{}, false
 	}
 	c.cacheHits.Add(1)
-	v.Cached = true
-	return v, true
+	e.v.Cached = true
+	return e.v, true
 }
 
-func (c *Controller) storeVerdict(key verdictKey, epoch uint64, v Verdict) {
+// storeVerdict caches a rejection against the node epochs its analysis
+// observed (deps, as recorded by the sweep). Node epochs only grow, so a
+// verdict stored against an already-stale snapshot is harmless: the probe
+// validation can never match it again.
+func (c *Controller) storeVerdict(key verdictKey, deps []nodeDep, v Verdict) {
+	v.Cached = false
+	v.FlowID = "" // the stored verdict is ID-independent
 	c.cacheMu.Lock()
 	defer c.cacheMu.Unlock()
-	if c.cacheEpoch != epoch {
-		// The platform changed while computing; flush and rebase.
-		c.cache = make(map[verdictKey]Verdict)
-		c.cacheEpoch = epoch
+	if len(c.cache) >= 8192 {
+		c.cache = make(map[verdictKey]cacheEntry)
 	}
-	c.cache[key] = v
+	c.cache[key] = cacheEntry{v: v, deps: deps}
 }
 
 // Stats is a snapshot of the controller's cache and memo effectiveness, for
@@ -1002,6 +1128,12 @@ type Stats struct {
 	ReservationEntries int `json:"reservation_entries"`
 	// Process-wide curve operation memo.
 	CurveOps curve.CacheStats `json:"curve_ops"`
+	// Optimistic-concurrency counters: failed validate-and-commit sections
+	// (each one retried or fell back to the write-locked path) and the
+	// per-node epoch summary (see EpochStats).
+	CommitConflicts   uint64 `json:"commit_conflicts"`
+	EpochMax          uint64 `json:"epoch_max"`
+	EpochDistinctNode int    `json:"epoch_distinct_nodes"`
 }
 
 // Stats reports cumulative cache counters.
@@ -1021,5 +1153,7 @@ func (c *Controller) Stats() Stats {
 	s.ReservationEntries = len(c.resCache)
 	c.resMu.Unlock()
 	s.CurveOps = curve.MemoStats()
+	s.CommitConflicts = c.conflicts.Load()
+	s.EpochMax, s.EpochDistinctNode = c.EpochStats()
 	return s
 }

@@ -45,6 +45,14 @@ type feasResult struct {
 // This is the bulk-ramp path for cmd/ncload: populating a million-flow
 // registry through AdmitBatch costs O(batches × classes) analyses instead
 // of O(flows × classes).
+//
+// The feasibility analysis first runs optimistically under the registry
+// read lock with per-node epoch dependency tracking; a short write-locked
+// validate-and-commit section re-checks exactly those epochs. Batches whose
+// dependency footprints are disjoint therefore analyze concurrently. A
+// validation conflict (or an infeasible batch) falls back to the classic
+// fully write-locked path below, which re-analyzes at a state that cannot
+// move — conflicted analyses are never committed.
 func (c *Controller) AdmitBatch(flows []Flow) []Verdict {
 	start := time.Now()
 	out := make([]Verdict, len(flows))
@@ -66,6 +74,13 @@ func (c *Controller) AdmitBatch(flows []Flow) []Verdict {
 		}
 		seen[f.ID] = struct{}{}
 		cands = append(cands, batchCand{idx: i, f: f, key: c.keyFor(f)})
+	}
+
+	// Optimistic fast path: analyze under the read lock, validate the
+	// observed per-node epochs under the write lock, commit.
+	if c.admitBatchOptimistic(cands, out) {
+		c.observeBatch(out, time.Since(start))
+		return out
 	}
 
 	c.mu.Lock()
@@ -90,7 +105,7 @@ func (c *Controller) AdmitBatch(flows []Flow) []Verdict {
 
 	// Phase 3: transactional feasibility, largest-verified-prefix fallback.
 	for len(rem) > 0 {
-		res := c.feasible(rem)
+		res := c.feasibleAt(rem, nil)
 		if res.ok {
 			c.commitBatch(rem, res, out)
 			break
@@ -101,7 +116,7 @@ func (c *Controller) AdmitBatch(flows []Flow) []Verdict {
 		var good feasResult
 		for lo+1 < hi {
 			mid := (lo + hi) / 2
-			if r := c.feasible(rem[:mid]); r.ok {
+			if r := c.feasibleAt(rem[:mid], nil); r.ok {
 				lo, good = mid, r
 			} else {
 				hi = mid
@@ -115,7 +130,7 @@ func (c *Controller) AdmitBatch(flows []Flow) []Verdict {
 		// non-monotone corners, admits after all).
 		bd := rem[lo]
 		ep := c.epoch.Load()
-		v, contrib := c.decide(bd.f, ep)
+		v, contrib := c.decide(bd.f, ep, nil)
 		if v.Admitted {
 			c.commit(bd.key, bd.f, contrib, v)
 			c.epoch.Add(1)
@@ -144,12 +159,91 @@ func (c *Controller) AdmitBatch(flows []Flow) []Verdict {
 	return out
 }
 
-// feasible checks whether committing every candidate in cands on top of the
-// current registry keeps every SLO: each admitted class sharing a node with
-// the additions, and each added class, is analyzed once at the hypothetical
-// final state (its own single membership excluded from its cross traffic,
-// as in sequential admission). The registry write lock must be held.
-func (c *Controller) feasible(cands []batchCand) feasResult {
+// admitBatchOptimistic attempts the whole batch under the registry read
+// lock: phase-2 duplicate/reservation checks and the full-batch feasibility
+// analysis run against an epoch-stamped snapshot, then a short write-locked
+// section validates that no observed node epoch moved and commits. It
+// reports false — having written only state-independent verdicts into out —
+// when the batch must take the classic write-locked path instead: on a
+// validation conflict, or when the batch is infeasible as a whole (the
+// prefix search wants the write lock anyway).
+func (c *Controller) admitBatchOptimistic(cands []batchCand, out []Verdict) bool {
+	type dupRej struct {
+		idx int
+		id  string
+		v   Verdict
+	}
+
+	c.mu.RLock()
+	rem := make([]batchCand, 0, len(cands))
+	var dups []dupRej
+	for _, cd := range cands {
+		if _, dup := c.flows[cd.f.ID]; dup {
+			dups = append(dups, dupRej{idx: cd.idx, id: cd.f.ID,
+				v: Verdict{FlowID: cd.f.ID, Epoch: c.epoch.Load(), Binding: "spec",
+					Reason: "rejected: flow \"" + cd.f.ID + "\" is already admitted"}})
+			continue
+		}
+		contrib, err := c.reservationFor(cd.f)
+		if err != nil {
+			// Standalone reservations depend only on the pristine platform,
+			// so this rejection holds regardless of how validation goes.
+			out[cd.idx] = Verdict{FlowID: cd.f.ID, Epoch: c.epoch.Load(), Binding: "spec",
+				Reason: "rejected: " + err.Error()}
+			continue
+		}
+		cd.contrib = contrib
+		rem = append(rem, cd)
+	}
+	var res feasResult
+	sw := newSweep()
+	sw.begin()
+	if len(rem) > 0 {
+		res = c.feasibleAt(rem, sw)
+	}
+	c.mu.RUnlock()
+	if len(rem) > 0 && !res.ok {
+		return false
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.depsCurrent(sw) {
+		c.noteConflict()
+		return false
+	}
+	// A candidate's ID appearing, or a snapshot-time duplicate vanishing
+	// (released concurrently), both invalidate the snapshot's verdicts.
+	for i := range rem {
+		if _, dup := c.flows[rem[i].f.ID]; dup {
+			c.noteConflict()
+			return false
+		}
+	}
+	for _, d := range dups {
+		if _, still := c.flows[d.id]; !still {
+			c.noteConflict()
+			return false
+		}
+	}
+	for _, d := range dups {
+		out[d.idx] = d.v
+	}
+	if len(rem) > 0 {
+		c.commitBatch(rem, res, out)
+	}
+	return true
+}
+
+// feasibleAt checks whether committing every candidate in cands on top of
+// the current registry keeps every SLO: each admitted class sharing a node
+// with the additions, and each added class, is analyzed once at the
+// hypothetical final state (its own single membership excluded from its
+// cross traffic, as in sequential admission). The registry lock must be
+// held in either mode — shard state only mutates under the write lock. A
+// non-nil sw records the per-node epochs the analysis depended on, for
+// optimistic validate-and-commit.
+func (c *Controller) feasibleAt(cands []batchCand, sw *sweep) feasResult {
 	// Added-class roster: member counts, a representative spec per class,
 	// and the set of touched nodes.
 	addN := make(map[verdictKey]int)
@@ -175,6 +269,7 @@ func (c *Controller) feasible(cands []batchCand) feasResult {
 	res := feasResult{verdicts: make(map[verdictKey]Verdict, len(addKeys))}
 
 	check := func(arrival core.Arrival, path []string, slo SLO, self verdictKey) (*core.Analysis, bounds, bool) {
+		sw.addPath(c, path)
 		p := core.Pipeline{Name: c.name + "/shared", Arrival: arrival}
 		for _, name := range path {
 			sh := c.shards[name]
@@ -243,7 +338,7 @@ func (c *Controller) feasible(cands []batchCand) feasResult {
 // in global keyLess order (a sorted merge of the shard's classes and the
 // added classes), minus one member of class self — the same deterministic
 // summation discipline as shard.aggregate, extended with the hypothetical
-// members. The registry write lock must be held.
+// members. The registry lock must be held in either mode.
 func (c *Controller) hypAggregate(sh *shard, addKeys []verdictKey, addN map[verdictKey]int, addRep map[verdictKey]*batchCand, node string, self verdictKey) core.Bucket {
 	var out core.Bucket
 	add := func(b core.Bucket, n int) {

@@ -1,0 +1,394 @@
+package admit
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file implements the optimistic admission engine:
+//
+//   - sweep: the dependency tracker of one analysis attempt. It records the
+//     epoch of every node the analysis read (candidate path + every analyzed
+//     victim class's path), so the commit section can validate that exactly
+//     that state is still current. On a conflict retry it also lets the
+//     victim sweep skip classes whose node epochs never moved.
+//   - ticket/submit/drain: the group-commit combiner. Concurrent
+//     Admit/Release callers enqueue tickets; one caller at a time becomes
+//     the leader (leaderSem), drains the queue, commits pending releases
+//     first, and decides the queued admissions together. A group of
+//     admissions costs ONE victim sweep (the transactional feasibility
+//     check shared with AdmitBatch), so k concurrent clients amortize the
+//     sweep k ways — the throughput lever that a read-locked analysis alone
+//     cannot provide when the analysis itself is the CPU cost.
+//
+// Soundness rule (same as AdmitBatch): only analyzed states commit. A
+// conflicted validate-and-commit section re-analyzes at the new state —
+// never assumes the bounds are monotone in cross traffic — and after
+// maxCommitRetries falls back to the fully write-locked classic decision.
+
+// maxCommitRetries bounds optimistic re-analysis before an admission falls
+// back to deciding under the write lock (which cannot conflict).
+const maxCommitRetries = 3
+
+// --- Dependency tracking ----------------------------------------------------
+
+// sweep records the per-node epochs one optimistic analysis observed, plus
+// the per-victim dependency snapshots that allow conflict-scoped retries.
+// A nil *sweep disables tracking (the classic write-locked paths).
+type sweep struct {
+	deps    map[int]uint64          // shard idx -> epoch observed this attempt
+	victims map[verdictKey][]nodeDep // passing victim class -> its path's epochs
+}
+
+func newSweep() *sweep {
+	return &sweep{victims: make(map[verdictKey][]nodeDep)}
+}
+
+// begin starts a new analysis attempt: the dependency set is rebuilt from
+// scratch (epochs may have moved), while victim results persist so
+// unchanged classes can be reused.
+func (sw *sweep) begin() {
+	if sw == nil {
+		return
+	}
+	sw.deps = make(map[int]uint64)
+}
+
+// addPath pins the current epoch of every node on path (first observation
+// wins; epochs cannot move while the registry lock is held in any mode).
+func (sw *sweep) addPath(c *Controller, path []string) {
+	if sw == nil {
+		return
+	}
+	for _, name := range path {
+		sh := c.shards[name]
+		if _, ok := sw.deps[sh.idx]; !ok {
+			sw.deps[sh.idx] = sh.epoch.Load()
+		}
+	}
+}
+
+// victimOK reports whether class k passed the victim check on a previous
+// attempt AND none of its path nodes changed since — in which case the
+// prior analysis still holds, its dependencies are merged into the current
+// attempt, and the class can be skipped. This is what restricts a retry
+// sweep to the classes whose aggregates actually changed.
+func (sw *sweep) victimOK(c *Controller, k verdictKey, path []string) bool {
+	if sw == nil {
+		return false
+	}
+	deps, ok := sw.victims[k]
+	if !ok {
+		return false
+	}
+	for _, d := range deps {
+		if c.byIdx[d.idx].epoch.Load() != d.epoch {
+			delete(sw.victims, k)
+			return false
+		}
+	}
+	sw.addPath(c, path) // unchanged epochs: recording current == recorded
+	return true
+}
+
+// recordVictim stores a passing victim check with its path's epochs and
+// merges them into the attempt's dependency set.
+func (sw *sweep) recordVictim(c *Controller, k verdictKey, path []string) {
+	if sw == nil {
+		return
+	}
+	sw.addPath(c, path)
+	deps := make([]nodeDep, 0, len(path))
+	seen := make(map[int]struct{}, len(path))
+	for _, name := range path {
+		sh := c.shards[name]
+		if _, dup := seen[sh.idx]; dup {
+			continue
+		}
+		seen[sh.idx] = struct{}{}
+		deps = append(deps, nodeDep{idx: sh.idx, epoch: sh.epoch.Load()})
+	}
+	sw.victims[k] = deps
+}
+
+// depList flattens the attempt's dependency set for the verdict cache.
+func (sw *sweep) depList() []nodeDep {
+	if sw == nil {
+		return nil
+	}
+	out := make([]nodeDep, 0, len(sw.deps))
+	for idx, e := range sw.deps {
+		out = append(out, nodeDep{idx: idx, epoch: e})
+	}
+	return out
+}
+
+// depsCurrent reports whether every node epoch the sweep observed is still
+// live — the validate step of validate-and-commit. Callers must hold the
+// registry write lock (so a true answer stays true through the commit).
+func (c *Controller) depsCurrent(sw *sweep) bool {
+	if sw == nil {
+		return true
+	}
+	for idx, e := range sw.deps {
+		if c.byIdx[idx].epoch.Load() != e {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Group-commit combiner --------------------------------------------------
+
+const (
+	tkAdmit = iota
+	tkRelease
+)
+
+// ticket is one queued Admit or Release awaiting the combiner.
+type ticket struct {
+	kind int
+	f    Flow       // tkAdmit
+	key  verdictKey // tkAdmit
+	id   string     // tkRelease
+	done chan ticketResult
+}
+
+type ticketResult struct {
+	v  Verdict // tkAdmit
+	ok bool    // tkRelease
+}
+
+// submit enqueues t and waits for its result, volunteering as the combiner
+// leader whenever leadership is free. An uncontended caller becomes the
+// leader immediately and decides its own ticket; under contention, waiting
+// callers' tickets accumulate and the next leader decides them as a group.
+func (c *Controller) submit(t *ticket) ticketResult {
+	t.done = make(chan ticketResult, 1)
+	c.qmu.Lock()
+	c.queue = append(c.queue, t)
+	c.qmu.Unlock()
+	for {
+		select {
+		case r := <-t.done:
+			return r
+		default:
+		}
+		select {
+		case r := <-t.done:
+			return r
+		case c.leaderSem <- struct{}{}:
+			c.drain()
+			<-c.leaderSem
+		}
+	}
+}
+
+// drain processes queued tickets until the queue is empty. Only the leader
+// (holder of leaderSem) runs this.
+func (c *Controller) drain() {
+	for {
+		c.qmu.Lock()
+		q := c.queue
+		c.queue = nil
+		c.qmu.Unlock()
+		if len(q) == 0 {
+			return
+		}
+		c.processGroup(q)
+	}
+}
+
+// processGroup decides one drained batch of tickets: releases first (so
+// admissions see the freshest state and releases never conflict with a
+// sweep in flight), then the admissions as one group.
+func (c *Controller) processGroup(q []*ticket) {
+	var rel, adm []*ticket
+	for _, t := range q {
+		if t.kind == tkRelease {
+			rel = append(rel, t)
+		} else {
+			adm = append(adm, t)
+		}
+	}
+	if len(rel) > 0 {
+		c.mu.Lock()
+		for _, t := range rel {
+			t.done <- ticketResult{ok: c.releaseLocked(t.id)}
+		}
+		c.mu.Unlock()
+	}
+	if m := c.obsm; m != nil && len(adm) > 0 {
+		m.groupSize.Observe(float64(len(adm)))
+	}
+	switch {
+	case len(adm) == 1:
+		t := adm[0]
+		t.done <- ticketResult{v: c.admitOne(t.f, t.key)}
+	case len(adm) > 1:
+		c.admitGroup(adm)
+	}
+}
+
+// --- Single-flow optimistic admission ---------------------------------------
+
+// admitOne is the optimistic single-flow path: analyze under the read lock
+// with dependency tracking, then validate-and-commit under the write lock.
+// Conflicts retry with a sweep scoped to the changed classes; after
+// maxCommitRetries the decision falls back to the write-locked classic
+// path. Semantics (verdict text, epoch accounting) are identical to the
+// historical write-locked decide.
+func (c *Controller) admitOne(f Flow, key verdictKey) Verdict {
+	sw := newSweep()
+	for attempt := 0; attempt <= maxCommitRetries; attempt++ {
+		c.mu.RLock()
+		epoch := c.epoch.Load()
+		sw.begin()
+		v, contrib := c.decide(f, epoch, sw)
+		c.mu.RUnlock()
+		if !v.Admitted {
+			// Rejections commit nothing; the verdict was computed at a
+			// consistent snapshot and is cached against exactly the node
+			// epochs that snapshot pinned.
+			c.storeVerdict(key, sw.depList(), v)
+			v.FlowID = f.ID
+			return v
+		}
+		waitStart := time.Now()
+		c.mu.Lock()
+		if _, dup := c.flows[f.ID]; dup {
+			c.mu.Unlock()
+			return Verdict{FlowID: f.ID, Epoch: c.epoch.Load(), Binding: "spec",
+				Reason: fmt.Sprintf("rejected: flow %q is already admitted", f.ID)}
+		}
+		if c.depsCurrent(sw) {
+			c.commit(key, f, contrib, v)
+			c.epoch.Add(1)
+			c.mu.Unlock()
+			c.observeCommitWait(time.Since(waitStart))
+			return v
+		}
+		c.mu.Unlock()
+		c.noteConflict()
+	}
+
+	// Retries exhausted: decide under the write lock, where state cannot
+	// move between analysis and commit.
+	waitStart := time.Now()
+	c.mu.Lock()
+	epoch := c.epoch.Load()
+	sw.begin()
+	v, contrib := c.decide(f, epoch, sw)
+	if v.Admitted {
+		c.commit(key, f, contrib, v)
+		c.epoch.Add(1)
+	}
+	c.mu.Unlock()
+	c.observeCommitWait(time.Since(waitStart))
+	if !v.Admitted {
+		c.storeVerdict(key, sw.depList(), v)
+		v.FlowID = f.ID
+	}
+	return v
+}
+
+// --- Grouped admission ------------------------------------------------------
+
+// admitGroup decides two or more queued admissions as one transaction: the
+// whole group is feasibility-checked at the hypothetical final state under
+// the read lock (one analysis per class — the same transactional core as
+// AdmitBatch), then committed in a single validate-and-commit section with
+// one global epoch bump. If the group is infeasible, or conflicts persist,
+// every ticket falls back to the exact sequential admitOne path so each
+// flow gets the precise verdict sequential admission would have produced.
+func (c *Controller) admitGroup(ts []*ticket) {
+	// Intra-group duplicate IDs get the sequential path (their verdict
+	// depends on what happens to the first occurrence).
+	seen := make(map[string]struct{}, len(ts))
+	uniq := make([]*ticket, 0, len(ts))
+	var dups []*ticket
+	for _, t := range ts {
+		if _, ok := seen[t.f.ID]; ok {
+			dups = append(dups, t)
+			continue
+		}
+		seen[t.f.ID] = struct{}{}
+		uniq = append(uniq, t)
+	}
+
+	sequential := func(ts []*ticket) {
+		for _, t := range ts {
+			t.done <- ticketResult{v: c.admitOne(t.f, t.key)}
+		}
+	}
+
+	for attempt := 0; attempt < 2; attempt++ {
+		c.mu.RLock()
+		epoch := c.epoch.Load()
+		cands := make([]batchCand, 0, len(uniq))
+		rejected := make(map[*ticket]Verdict)
+		for _, t := range uniq {
+			if _, dup := c.flows[t.f.ID]; dup {
+				rejected[t] = Verdict{FlowID: t.f.ID, Epoch: epoch, Binding: "spec",
+					Reason: fmt.Sprintf("rejected: flow %q is already admitted", t.f.ID)}
+				continue
+			}
+			contrib, err := c.reservationFor(t.f)
+			if err != nil {
+				rejected[t] = Verdict{FlowID: t.f.ID, Epoch: epoch, Binding: "spec",
+					Reason: "rejected: " + err.Error()}
+				continue
+			}
+			cands = append(cands, batchCand{idx: len(cands), f: t.f, key: t.key, contrib: contrib})
+		}
+		sw := newSweep()
+		sw.begin()
+		res := c.feasibleAt(cands, sw)
+		c.mu.RUnlock()
+		if !res.ok {
+			// Someone in the group doesn't fit at the final state: decide
+			// everyone sequentially so rejections carry exact per-flow
+			// verdicts and admissible members still get in.
+			sequential(uniq)
+			sequential(dups)
+			return
+		}
+		waitStart := time.Now()
+		c.mu.Lock()
+		valid := c.depsCurrent(sw)
+		if valid {
+			for i := range cands {
+				if _, dup := c.flows[cands[i].f.ID]; dup {
+					valid = false
+					break
+				}
+			}
+		}
+		if valid {
+			live := uniq[:0]
+			for _, t := range uniq {
+				if v, ok := rejected[t]; ok {
+					t.done <- ticketResult{v: v}
+					continue
+				}
+				live = append(live, t)
+			}
+			for i := range cands {
+				cd := &cands[i]
+				v := res.verdicts[cd.key]
+				v.FlowID = cd.f.ID
+				c.commit(cd.key, cd.f, cd.contrib, v)
+				live[cd.idx].done <- ticketResult{v: v}
+			}
+			c.epoch.Add(1)
+			c.mu.Unlock()
+			c.observeCommitWait(time.Since(waitStart))
+			sequential(dups)
+			return
+		}
+		c.mu.Unlock()
+		c.noteConflict()
+	}
+	sequential(uniq)
+	sequential(dups)
+}

@@ -17,14 +17,21 @@ var DecisionBuckets = obs.ExponentialBuckets(1e-6, 4, 11)
 // pipeline analyses (seconds).
 var OpBuckets = obs.ExponentialBuckets(1e-7, 4, 12)
 
+// GroupSizeBuckets are the histogram bounds for combiner group sizes
+// (tickets decided per group commit).
+var GroupSizeBuckets = obs.ExponentialBuckets(1, 2, 8)
+
 // ctrlObs bundles the controller's metric handles.
 type ctrlObs struct {
-	reg      *obs.Registry
-	admitted *obs.Counter
-	rejected *obs.Counter
-	cached   *obs.Counter
-	releases *obs.Counter
-	decision *obs.Histogram
+	reg        *obs.Registry
+	admitted   *obs.Counter
+	rejected   *obs.Counter
+	cached     *obs.Counter
+	releases   *obs.Counter
+	decision   *obs.Histogram
+	conflicts  *obs.Counter
+	commitWait *obs.Histogram
+	groupSize  *obs.Histogram
 }
 
 // EnableObs wires the controller onto reg:
@@ -48,8 +55,23 @@ func (c *Controller) EnableObs(reg *obs.Registry) {
 		cached:   reg.Counter("nc_admit_cached_total", "verdicts served from the epoch cache"),
 		releases: reg.Counter("nc_admit_releases_total", "admitted flows released"),
 		decision: reg.Histogram("nc_admit_decision_seconds", "admission decision latency", DecisionBuckets),
+		conflicts: reg.Counter("nc_admit_commit_conflict_total",
+			"optimistic validate-and-commit sections retried because an observed node epoch moved"),
+		commitWait: reg.Histogram("nc_admit_commit_wait_seconds",
+			"time spent in the write-locked validate-and-commit section per committed decision", DecisionBuckets),
+		groupSize: reg.Histogram("nc_admit_group_size",
+			"admissions decided together per combiner group commit", GroupSizeBuckets),
 	}
 	c.obsm = m
+
+	// Pre-register the timing families so they exist (at zero) from startup:
+	// the timers below only fire on memo *misses*, and a warm process-global
+	// op memo would otherwise keep the families off /metrics indefinitely.
+	for _, op := range curve.OpNames() {
+		reg.Histogram("nc_curve_op_seconds", "computed (memo-miss) curve operation cost",
+			OpBuckets, obs.Label{Key: "op", Value: op})
+	}
+	reg.Histogram("nc_analysis_seconds", "computed (memo-miss) pipeline analysis cost", OpBuckets)
 
 	curve.SetOpTimer(func(op string, seconds float64) {
 		reg.Histogram("nc_curve_op_seconds", "computed (memo-miss) curve operation cost",
@@ -71,6 +93,9 @@ func (c *Controller) collect(r *obs.Registry) {
 		r.Gauge(name, help, labels...).Set(v)
 	}
 	set("nc_admit_epoch", "platform epoch (bumps on every commit/release)", float64(c.Epoch()))
+	emax, edistinct := c.EpochStats()
+	set("nc_admit_epoch_max", "highest per-node epoch (modification counter of the busiest node)", float64(emax))
+	set("nc_admit_epoch_distinct_nodes", "number of distinct per-node epoch values across the platform", float64(edistinct))
 
 	c.mu.RLock()
 	set("nc_admit_flows", "currently admitted flows", float64(len(c.flows)))
@@ -103,6 +128,7 @@ func (c *Controller) collect(r *obs.Registry) {
 		sh.mu.RUnlock()
 
 		l := obs.Label{Key: "node", Value: name}
+		set("nc_node_epoch", "per-node modification epoch (bumps when the node's aggregate changes)", float64(sh.epoch.Load()), l)
 		set("nc_node_reserved_rate_bytes_per_second", "aggregate reserved cross-traffic rate (local units)", float64(reserved), l)
 		set("nc_node_reserved_burst_bytes", "aggregate reserved cross-traffic burst (local units)", float64(burst), l)
 		set("nc_node_flows", "flows holding reservations on the node", float64(nflows), l)
@@ -153,6 +179,23 @@ func (c *Controller) observeAdmit(v Verdict, took time.Duration) {
 			attrs = append(attrs, "reason", v.Reason)
 		}
 		c.audit.Info("admit.verdict", attrs...)
+	}
+}
+
+// noteConflict counts one failed optimistic validate-and-commit (an
+// observed node epoch moved between analysis and commit).
+func (c *Controller) noteConflict() {
+	c.conflicts.Add(1)
+	if m := c.obsm; m != nil {
+		m.conflicts.Inc()
+	}
+}
+
+// observeCommitWait records the duration of one write-locked
+// validate-and-commit section.
+func (c *Controller) observeCommitWait(d time.Duration) {
+	if m := c.obsm; m != nil {
+		m.commitWait.Observe(d.Seconds())
 	}
 }
 

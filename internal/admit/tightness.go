@@ -16,10 +16,11 @@ import (
 // tightness ratio below 1 means the network-calculus promise was violated.
 type Tightness struct {
 	FlowID string
-	// Epoch is the platform epoch the comparison was taken at. The analytic
-	// bounds are recomputed at this epoch (under the co-resident reservations
-	// of the moment), not copied from the possibly older admission verdict —
-	// both sides of the comparison must see the same platform state.
+	// Epoch is the global platform epoch (the coarse per-commit counter, not
+	// a per-node epoch) the comparison was taken at. The analytic bounds are
+	// recomputed at this epoch (under the co-resident reservations of the
+	// moment), not copied from the possibly older admission verdict — both
+	// sides of the comparison must see the same platform state.
 	Epoch uint64
 
 	// Delay: analytic HDev bound vs. the replayed sojourn distribution.

@@ -52,6 +52,19 @@ var opNames = [...]string{
 	opSubConst:   "sub_const",
 }
 
+// OpNames returns every metric label value a computed-operation timer can
+// report, so metric registries can pre-register the full timing family
+// eagerly instead of waiting for the first memo miss of each operator.
+func OpNames() []string {
+	out := make([]string, 0, len(opNames))
+	for _, n := range opNames {
+		if n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
 func (op memoOp) name() string {
 	if int(op) < len(opNames) && opNames[op] != "" {
 		return opNames[op]

@@ -28,6 +28,11 @@ type Config struct {
 	// Workers bounds concurrent ramp batches and churn workers (< 1 means
 	// GOMAXPROCS).
 	Workers int
+	// Clients is the number of concurrent churn issuers: the planned
+	// schedule is dealt round-robin across this many client lanes, each
+	// issuing its own ops in order and recording its own pacing lateness
+	// (< 1 falls back to the Workers default, capped at 64).
+	Clients int
 
 	// TargetRPS overrides the population spec's churn base rate by
 	// time-rescaling the planned schedule (0 keeps the spec's base_rps).
@@ -221,10 +226,13 @@ func planWindow(pop *gen.Population, rampN int, window time.Duration, targetRPS 
 	return ops, rps
 }
 
-// churn drives the paced open-loop schedule: each worker takes the next op
-// in schedule order, sleeps until its deadline, issues it, and records
+// churn drives the paced open-loop schedule: the planned ops are dealt
+// round-robin across cfg.Clients concurrent client lanes; each lane issues
+// its own ops in schedule order, sleeping until each deadline, and records
 // latency and lateness. Ops scheduled inside the warmup window are issued
-// but excluded from the statistics.
+// but excluded from the statistics. Lateness is summarized both globally
+// and per client lane, so a single stalled client is visible next to the
+// aggregate.
 func churn(ctx context.Context, cfg *Config, rep *Report) error {
 	window := cfg.Warmup + cfg.Measure
 	ops, rps := planWindow(cfg.Pop, cfg.Flows, window, cfg.TargetRPS)
@@ -232,7 +240,15 @@ func churn(ctx context.Context, cfg *Config, rep *Report) error {
 		return fmt.Errorf("load: churn plan is empty (rps %.1f over %v)", rps, window)
 	}
 	warmCount := sort.Search(len(ops), func(i int) bool { return ops[i].At >= cfg.Warmup })
-	cfg.logf("churn: %d ops over %v at %.1f rps (%d warmup)", len(ops), window, rps, warmCount)
+	lanes := cfg.Clients
+	if lanes < 1 {
+		lanes = pool.Workers(cfg.Workers, 64)
+	}
+	if lanes > len(ops) {
+		lanes = len(ops)
+	}
+	cfg.logf("churn: %d ops over %v at %.1f rps (%d warmup, %d clients)",
+		len(ops), window, rps, warmCount, lanes)
 
 	var hists map[gen.OpKind]*obs.Histogram
 	var lateHist *obs.Histogram
@@ -264,53 +280,68 @@ func churn(ctx context.Context, cfg *Config, rep *Report) error {
 
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	var issued atomic.Int64
 	t0 := time.Now()
-	err := pool.ForEach(cctx, cfg.Workers, len(ops), pool.NewMetrics(cfg.Metrics, "load-churn"), func(i int) error {
-		op := ops[i]
-		sched := t0.Add(op.At)
-		if d := time.Until(sched); d > 0 {
-			time.Sleep(d)
-		}
-		issue := time.Now()
-		var ok bool
-		var err error
-		switch op.Kind {
-		case gen.OpAdmit:
-			ok, err = cfg.Target.Admit(op.Flow)
-		case gen.OpRelease:
-			ok, err = cfg.Target.Release(op.ID)
-		case gen.OpRecheck:
-			ok, err = cfg.Target.Recheck(op.ID)
-		}
-		took := time.Since(issue)
-		lat[i] = took.Nanoseconds()
-		l := issue.Sub(sched)
-		if l < 0 {
-			l = 0
-		}
-		late[i] = l.Nanoseconds()
-		miss[i] = err == nil && !ok
-		if hists != nil {
-			hists[op.Kind].Observe(took.Seconds())
-			lateHist.Observe(l.Seconds())
-		}
-		if err != nil {
-			errs[i] = true
-			recordErr(fmt.Errorf("load: churn op %d (%s): %w", i, op.Kind, err))
-			// Individual transport errors are tolerated and counted; a
-			// drowning target (>10% failing after the first 50) aborts the
-			// phase.
-			if n := errCount.Add(1); n > 50 && n*10 > int64(i+1) {
-				cancel()
+	var wg sync.WaitGroup
+	for lane := 0; lane < lanes; lane++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			// The lane's ops (every lanes-th index) are in schedule order, so
+			// sleeping to each deadline keeps the lane open-loop on its own
+			// sub-schedule.
+			for i := lane; i < len(ops); i += lanes {
+				if cctx.Err() != nil {
+					return
+				}
+				op := ops[i]
+				sched := t0.Add(op.At)
+				if d := time.Until(sched); d > 0 {
+					time.Sleep(d)
+				}
+				issue := time.Now()
+				var ok bool
+				var err error
+				switch op.Kind {
+				case gen.OpAdmit:
+					ok, err = cfg.Target.Admit(op.Flow)
+				case gen.OpRelease:
+					ok, err = cfg.Target.Release(op.ID)
+				case gen.OpRecheck:
+					ok, err = cfg.Target.Recheck(op.ID)
+				}
+				took := time.Since(issue)
+				done := issued.Add(1)
+				lat[i] = took.Nanoseconds()
+				l := issue.Sub(sched)
+				if l < 0 {
+					l = 0
+				}
+				late[i] = l.Nanoseconds()
+				miss[i] = err == nil && !ok
+				if hists != nil {
+					hists[op.Kind].Observe(took.Seconds())
+					lateHist.Observe(l.Seconds())
+				}
+				if err != nil {
+					errs[i] = true
+					recordErr(fmt.Errorf("load: churn op %d (%s): %w", i, op.Kind, err))
+					// Individual transport errors are tolerated and counted; a
+					// drowning target (>10% failing after the first 50) aborts
+					// the phase.
+					if n := errCount.Add(1); n > 50 && n*10 > done {
+						cancel()
+					}
+				}
 			}
-		}
-		return nil
-	})
+		}(lane)
+	}
+	wg.Wait()
 	wall := time.Since(t0)
 	if ctx.Err() != nil {
 		return ctx.Err()
 	}
-	if err != nil {
+	if cctx.Err() != nil {
 		// Only our own error-rate cancel can get here.
 		return fmt.Errorf("load: churn aborted after %d op errors; first: %w", errCount.Load(), firstErr)
 	}
@@ -342,14 +373,26 @@ func churn(ctx context.Context, cfg *Config, rep *Report) error {
 	if measureWall <= 0 {
 		measureWall = cfg.Measure
 	}
+	perClient := make([]LatencyStats, lanes)
+	for lane := 0; lane < lanes; lane++ {
+		var ns []int64
+		for i := warmCount; i < len(ops); i++ {
+			if i%lanes == lane {
+				ns = append(ns, late[i])
+			}
+		}
+		perClient[lane] = summarize(ns)
+	}
 	rep.Churn = ChurnReport{
-		TargetRPS:   rps,
-		AchievedRPS: float64(measured) / measureWall.Seconds(),
-		WarmupOps:   warmCount,
-		MeasuredOps: measured,
-		Duration:    wall,
-		Ops:         opStats,
-		Lateness:    summarize(append([]int64(nil), late[warmCount:]...)),
+		TargetRPS:      rps,
+		AchievedRPS:    float64(measured) / measureWall.Seconds(),
+		WarmupOps:      warmCount,
+		MeasuredOps:    measured,
+		Clients:        lanes,
+		Duration:       wall,
+		Ops:            opStats,
+		Lateness:       summarize(append([]int64(nil), late[warmCount:]...)),
+		ClientLateness: perClient,
 	}
 	if n := errCount.Load(); n > 0 {
 		cfg.logf("churn: %d op errors; first: %v", n, firstErr)

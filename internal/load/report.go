@@ -63,13 +63,19 @@ type ChurnReport struct {
 	AchievedRPS float64       `json:"achieved_rps"`
 	WarmupOps   int           `json:"warmup_ops"`
 	MeasuredOps int           `json:"measured_ops"`
-	Duration    time.Duration `json:"duration_ns"`
+	// Clients is the number of concurrent issuer lanes the planned schedule
+	// was dealt across.
+	Clients  int           `json:"clients"`
+	Duration time.Duration `json:"duration_ns"`
 	// Ops keys are "admit", "release", "recheck".
 	Ops map[string]LatencyStats `json:"ops"`
 	// Lateness is issue-time minus scheduled-time per measured op: the
 	// open-loop pacing debt. A growing tail here means the target (or the
 	// harness host) cannot keep up with the offered rate.
 	Lateness LatencyStats `json:"lateness"`
+	// ClientLateness is each client lane's own pacing debt over the measured
+	// window — a single stalled client is visible here next to the aggregate.
+	ClientLateness []LatencyStats `json:"client_lateness,omitempty"`
 }
 
 // Report is the full run artifact, JSON-serializable for results/ and CI.
@@ -106,9 +112,9 @@ func (r *Report) BenchText() string {
 			strings.ToUpper(kind[:1])+kind[1:], st.Count,
 			st.Mean.Nanoseconds(), st.P50.Nanoseconds(), st.P99.Nanoseconds(), st.Max.Nanoseconds())
 	}
-	fmt.Fprintf(&b, "BenchmarkNcloadPacing %d %.1f target-rps %.1f achieved-rps %d lateness-p99-ns %d final-flows\n",
+	fmt.Fprintf(&b, "BenchmarkNcloadPacing %d %.1f target-rps %.1f achieved-rps %d lateness-p99-ns %d final-flows %d clients %d commit-conflicts\n",
 		maxInt(r.Churn.MeasuredOps, 1), r.Churn.TargetRPS, r.Churn.AchievedRPS,
-		r.Churn.Lateness.P99.Nanoseconds(), r.Final.Flows)
+		r.Churn.Lateness.P99.Nanoseconds(), r.Final.Flows, r.Churn.Clients, r.Final.CommitConflicts)
 	return b.String()
 }
 

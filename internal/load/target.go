@@ -34,6 +34,13 @@ type TargetStats struct {
 	Epoch     uint64 `json:"epoch"`
 	HeapAlloc uint64 `json:"heap_alloc_bytes"`
 	HeapSys   uint64 `json:"heap_sys_bytes"`
+	// EpochMax and EpochDistinctNodes summarize the per-node modification
+	// epochs; CommitConflicts counts failed optimistic validate-and-commit
+	// sections (zero when concurrent traffic never overlapped). Older
+	// ncadmitd builds omit these healthz fields; they default to zero.
+	EpochMax           uint64 `json:"epoch_max"`
+	EpochDistinctNodes int    `json:"epoch_distinct_nodes"`
+	CommitConflicts    uint64 `json:"commit_conflicts"`
 }
 
 // Target abstracts where the load lands: the in-process controller or a
@@ -86,12 +93,16 @@ func (t InProc) Recheck(id string) (bool, error) {
 func (t InProc) Stats() (TargetStats, error) {
 	var m runtime.MemStats
 	runtime.ReadMemStats(&m)
+	emax, edistinct := t.C.EpochStats()
 	return TargetStats{
-		Flows:     t.C.FlowCount(),
-		Classes:   t.C.ClassCount(),
-		Epoch:     t.C.Epoch(),
-		HeapAlloc: m.HeapAlloc,
-		HeapSys:   m.HeapSys,
+		Flows:              t.C.FlowCount(),
+		Classes:            t.C.ClassCount(),
+		Epoch:              t.C.Epoch(),
+		HeapAlloc:          m.HeapAlloc,
+		HeapSys:            m.HeapSys,
+		EpochMax:           emax,
+		EpochDistinctNodes: edistinct,
+		CommitConflicts:    t.C.CommitConflicts(),
 	}, nil
 }
 
@@ -220,11 +231,14 @@ func (t *HTTP) Stats() (TargetStats, error) {
 		return TargetStats{}, fmt.Errorf("GET /healthz: unexpected status %d", status)
 	}
 	var h struct {
-		Flows     int    `json:"flows"`
-		Classes   int    `json:"classes"`
-		Epoch     uint64 `json:"epoch"`
-		HeapAlloc uint64 `json:"heap_alloc_bytes"`
-		HeapSys   uint64 `json:"heap_sys_bytes"`
+		Flows              int    `json:"flows"`
+		Classes            int    `json:"classes"`
+		Epoch              uint64 `json:"epoch"`
+		HeapAlloc          uint64 `json:"heap_alloc_bytes"`
+		HeapSys            uint64 `json:"heap_sys_bytes"`
+		EpochMax           uint64 `json:"epoch_max"`
+		EpochDistinctNodes int    `json:"epoch_distinct_nodes"`
+		CommitConflicts    uint64 `json:"commit_conflicts"`
 	}
 	if err := json.Unmarshal(out, &h); err != nil {
 		return TargetStats{}, fmt.Errorf("GET /healthz: %w", err)
