@@ -25,9 +25,15 @@
 //	                               its current residual service, fanned across a
 //	                               worker pool (?workers=N, default GOMAXPROCS);
 //	                               409 when any bound or SLO is violated
-//	GET    /healthz                liveness, platform epoch, cache/memo hit rates
+//	GET    /healthz                liveness, platform epoch, uptime, decision
+//	                               rate, cache/memo hit rates
 //	GET    /metrics                Prometheus text metrics (?format=json for JSON),
 //	                               including per-flow bound-tightness gauges
+//	GET    /debug/decisions        flight recorder: the last N admission
+//	                               decisions with per-phase latency breakdowns
+//	                               (?n= limits; -decisions sizes the ring)
+//	GET    /debug/decisions/trace  the same decisions as a Chrome trace_event
+//	                               timeline (open in chrome://tracing or Perfetto)
 //
 // Every admission decision and release is audited as a structured log line
 // on stderr (disable with -audit=false). With -pprof the net/http/pprof
@@ -63,6 +69,10 @@ func main() {
 		example      = flag.Bool("example", false, "print a sample platform and exit")
 		exampleTr    = flag.Bool("example-trace", false, "print a sample trace and exit")
 		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+		nodeMetrics  = flag.Bool("node-metrics", false, "export per-node gauges on /metrics (one series per node per family; unbounded cardinality on large platforms)")
+		decisions    = flag.Int("decisions", 1024, "flight-recorder depth: retain the last N admission decisions on /debug/decisions (0 disables)")
+		sloObjective = flag.Duration("slo", 100*time.Millisecond, "decision-latency objective for the SLO burn-rate instruments")
+		sloBudget    = flag.Float64("slo-budget", 0.01, "tolerated slow-decision fraction the SLO burn-rate gauge normalizes against")
 	)
 	flag.Parse()
 
@@ -99,7 +109,14 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
-	c.EnableObs(reg)
+	c.EnableObsOpts(reg, admit.ObsOptions{
+		PerNodeMetrics: *nodeMetrics,
+		SLOObjective:   *sloObjective,
+		SLOBudget:      *sloBudget,
+	})
+	if *decisions > 0 {
+		c.EnableFlightRecorder(*decisions)
+	}
 	if *audit {
 		c.SetAudit(slog.New(slog.NewTextHandler(os.Stderr, nil)))
 	}
@@ -111,6 +128,7 @@ func main() {
 		pprof:   *pprofOn,
 		metrics: reg,
 		replay:  admit.ReplayOptions{Total: tt, Seed: *seed},
+		start:   time.Now(),
 	})
 
 	fmt.Printf("ncadmitd: platform %q (%d nodes), listening on %s\n",

@@ -105,6 +105,9 @@ type serverOptions struct {
 	metrics *obs.Registry
 	// replay tunes the tightness replay (input volume per flow, seed).
 	replay admit.ReplayOptions
+	// start is the process start time behind /healthz uptime_seconds (zero
+	// hides the field — tests construct servers without one).
+	start time.Time
 }
 
 // newServer wires the admission API onto a Go 1.22 pattern mux.
@@ -262,7 +265,7 @@ func newServer(c *admit.Controller, opt serverOptions) http.Handler {
 		// epoch_distinct_nodes summarize the per-node modification epochs in
 		// one O(nodes) pass (the epoch vector itself is on /metrics as
 		// nc_node_epoch).
-		writeJSON(w, http.StatusOK, map[string]any{
+		health := map[string]any{
 			"ok":                   true,
 			"platform":             c.Name(),
 			"epoch":                c.Epoch(),
@@ -296,7 +299,59 @@ func newServer(c *admit.Controller, opt serverOptions) http.Handler {
 					"hit_rate": st.CurveOps.HitRate(),
 				},
 			},
+		}
+		// Liveness extras stay O(1): uptime is a clock read, the decision
+		// rate is a fixed-size window sum, and recorder depth is one mutex.
+		if !opt.start.IsZero() {
+			health["uptime_seconds"] = time.Since(opt.start).Seconds()
+		}
+		health["decisions_per_second"] = c.DecisionRate()
+		if rec := c.Recorder(); rec != nil {
+			health["recorder"] = map[string]any{
+				"depth": rec.Depth(),
+				"cap":   rec.Cap(),
+				"seq":   rec.Seq(),
+			}
+		}
+		writeJSON(w, http.StatusOK, health)
+	})
+
+	// Flight recorder: the last N finished decisions, newest first. 404 when
+	// the recorder is disabled (-decisions 0) so probes can distinguish
+	// "off" from "empty".
+	mux.HandleFunc("GET /debug/decisions", func(w http.ResponseWriter, r *http.Request) {
+		rec := c.Recorder()
+		if rec == nil {
+			httpError(w, http.StatusNotFound, fmt.Errorf("flight recorder disabled (-decisions 0)"))
+			return
+		}
+		limit, err := decisionLimit(r)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		records := rec.Snapshot(limit)
+		writeJSON(w, http.StatusOK, map[string]any{
+			"depth":   rec.Depth(),
+			"cap":     rec.Cap(),
+			"seq":     rec.Seq(),
+			"records": records,
 		})
+	})
+
+	mux.HandleFunc("GET /debug/decisions/trace", func(w http.ResponseWriter, r *http.Request) {
+		rec := c.Recorder()
+		if rec == nil {
+			httpError(w, http.StatusNotFound, fmt.Errorf("flight recorder disabled (-decisions 0)"))
+			return
+		}
+		limit, err := decisionLimit(r)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		rec.Trace(limit).WriteJSON(w)
 	})
 
 	if opt.metrics != nil {
@@ -313,6 +368,19 @@ func newServer(c *admit.Controller, opt serverOptions) http.Handler {
 	}
 
 	return mux
+}
+
+// decisionLimit parses the ?n= record limit (0 = all retained).
+func decisionLimit(r *http.Request) (int, error) {
+	q := r.URL.Query().Get("n")
+	if q == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(q)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad n %q", q)
+	}
+	return n, nil
 }
 
 // parseFlowBody decodes a wire flow and converts it to the controller type.

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"streamcalc/internal/admit"
 	"streamcalc/internal/curve"
@@ -45,11 +46,13 @@ func metricsServer(t *testing.T) *httptest.Server {
 		t.Fatal(err)
 	}
 	reg := obs.NewRegistry()
-	c.EnableObs(reg)
+	c.EnableObsOpts(reg, admit.ObsOptions{PerNodeMetrics: true})
+	c.EnableFlightRecorder(256)
 	defer curve.SetOpTimer(nil)
 	ts := httptest.NewServer(newServer(c, serverOptions{
 		metrics: reg,
 		replay:  admit.ReplayOptions{Total: 512 * units.KiB, Seed: 1},
+		start:   time.Now(),
 	}))
 	t.Cleanup(ts.Close)
 	return ts
@@ -361,6 +364,131 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if len(snap) == 0 {
 		t.Error("JSON snapshot is empty")
+	}
+}
+
+func TestDecisionsEndpoint(t *testing.T) {
+	ts := metricsServer(t)
+
+	if resp, v := postAdmit(t, ts, flowBody("cam-1", "10 MiB/s")); !v.Admitted {
+		t.Fatalf("cam-1: status %d, %s", resp.StatusCode, v.Reason)
+	}
+	postAdmit(t, ts, flowBody("hog", "400 MiB/s"))
+
+	var body struct {
+		Depth   int                    `json:"depth"`
+		Cap     int                    `json:"cap"`
+		Seq     uint64                 `json:"seq"`
+		Records []admit.DecisionRecord `json:"records"`
+	}
+	if code := getJSON(t, ts, "/debug/decisions", &body); code != http.StatusOK {
+		t.Fatalf("decisions: status %d", code)
+	}
+	if body.Depth != 2 || body.Cap != 256 || len(body.Records) != 2 {
+		t.Fatalf("depth/cap/records = %d/%d/%d, want 2/256/2", body.Depth, body.Cap, len(body.Records))
+	}
+	// Newest first: the hog rejection, then the cam-1 admission.
+	var cam *admit.DecisionRecord
+	for i := range body.Records {
+		if body.Records[i].FlowID == "cam-1" {
+			cam = &body.Records[i]
+		}
+	}
+	if cam == nil {
+		t.Fatalf("no record for cam-1 in %+v", body.Records)
+	}
+	if cam.Kind != "admit" || !cam.Admitted || cam.Seq == 0 {
+		t.Errorf("cam-1 record: %+v", *cam)
+	}
+	if len(cam.Phases) == 0 || len(cam.Nodes) == 0 {
+		t.Errorf("cam-1 record lacks phases/nodes: %+v", *cam)
+	}
+
+	// ?n= caps the slice; bad values are 400.
+	if code := getJSON(t, ts, "/debug/decisions?n=1", &body); code != http.StatusOK || len(body.Records) != 1 {
+		t.Errorf("n=1: status %d, %d records", code, len(body.Records))
+	}
+	resp, err := http.Get(ts.URL + "/debug/decisions?n=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("n=bogus: status %d, want 400", resp.StatusCode)
+	}
+
+	// The Chrome trace export validates.
+	tresp, err := http.Get(ts.URL + "/debug/decisions/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traw, err := io.ReadAll(tresp.Body)
+	tresp.Body.Close()
+	if err != nil || tresp.StatusCode != http.StatusOK {
+		t.Fatalf("trace: status %d, err %v", tresp.StatusCode, err)
+	}
+	if err := obs.ValidateTraceBytes(traw); err != nil {
+		t.Errorf("trace validation: %v", err)
+	}
+
+	// The metrics scrape passes the in-repo exposition linter and carries a
+	// decision exemplar in the JSON rendering.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mraw, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := obs.LintExposition(mraw); len(errs) > 0 {
+		t.Errorf("metrics lint: %v", errs)
+	}
+	jresp, err := http.Get(ts.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jraw, err := io.ReadAll(jresp.Body)
+	jresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(jraw), `"decision_seq"`) {
+		t.Error("JSON metrics carry no decision_seq exemplar")
+	}
+
+	// Healthz grows uptime, decision rate, and recorder occupancy.
+	var h struct {
+		Uptime   float64  `json:"uptime_seconds"`
+		Rate     *float64 `json:"decisions_per_second"`
+		Recorder struct {
+			Depth int    `json:"depth"`
+			Cap   int    `json:"cap"`
+			Seq   uint64 `json:"seq"`
+		} `json:"recorder"`
+	}
+	if code := getJSON(t, ts, "/healthz", &h); code != http.StatusOK {
+		t.Fatalf("healthz: status %d", code)
+	}
+	if h.Uptime <= 0 || h.Rate == nil || h.Recorder.Depth != 2 || h.Recorder.Cap != 256 {
+		t.Errorf("healthz observability fields: %+v", h)
+	}
+}
+
+// Without a recorder the debug endpoints 404 so probes can tell "off" from
+// "empty".
+func TestDecisionsDisabled(t *testing.T) {
+	ts := testServer(t)
+	for _, path := range []string{"/debug/decisions", "/debug/decisions/trace"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: status %d, want 404", path, resp.StatusCode)
+		}
 	}
 }
 

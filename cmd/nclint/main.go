@@ -1,0 +1,68 @@
+// Command nclint validates the repo's observability wire formats offline —
+// the CI gate behind the /metrics and /debug/decisions/trace endpoints.
+//
+// Usage:
+//
+//	curl -s localhost:8080/metrics | nclint
+//	nclint metrics.txt
+//	curl -s localhost:8080/debug/decisions/trace | nclint -trace
+//
+// Without -trace the input is linted as Prometheus 0.0.4 text exposition
+// (obs.LintExposition: TYPE/HELP structure, nc_ naming conventions, label
+// escaping, histogram bucket monotonicity). With -trace it is validated as a
+// Chrome trace_event JSON document (obs.ValidateTraceBytes). Exit status is
+// 1 when any problem is found, with one line per problem on stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"streamcalc/internal/obs"
+)
+
+func main() {
+	trace := flag.Bool("trace", false, "validate a Chrome trace_event JSON document instead of Prometheus text")
+	flag.Parse()
+
+	data, name, err := readInput(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nclint:", err)
+		os.Exit(1)
+	}
+
+	if *trace {
+		if err := obs.ValidateTraceBytes(data); err != nil {
+			fmt.Fprintf(os.Stderr, "nclint: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("nclint: %s: valid trace\n", name)
+		return
+	}
+
+	errs := obs.LintExposition(data)
+	for _, e := range errs {
+		fmt.Fprintf(os.Stderr, "nclint: %s: %v\n", name, e)
+	}
+	if len(errs) > 0 {
+		fmt.Fprintf(os.Stderr, "nclint: %s: %d problem(s)\n", name, len(errs))
+		os.Exit(1)
+	}
+	fmt.Printf("nclint: %s: clean exposition\n", name)
+}
+
+// readInput returns the bytes of the single file argument, or stdin when no
+// argument is given.
+func readInput(args []string) ([]byte, string, error) {
+	switch len(args) {
+	case 0:
+		data, err := io.ReadAll(os.Stdin)
+		return data, "stdin", err
+	case 1:
+		data, err := os.ReadFile(args[0])
+		return data, args[0], err
+	}
+	return nil, "", fmt.Errorf("at most one input file (got %d args)", len(args))
+}

@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"streamcalc/internal/admit"
 	"streamcalc/internal/gen"
 	"streamcalc/internal/load"
 	"streamcalc/internal/obs"
@@ -55,6 +56,7 @@ func main() {
 		seed         = flag.Uint64("seed", 1, "population seed (same spec+seed+flows = same request sequence)")
 		out          = flag.String("out", "", "write the JSON report to this file (default stdout)")
 		benchOut     = flag.String("bench", "", "write Go-benchmark lines to this file (benchjson input)")
+		decisions    = flag.Int("decisions", 1<<16, "flight-recorder depth on the in-process controller: retains the last N decisions for the per-phase breakdown (0 disables; ignored in -mode http)")
 		quiet        = flag.Bool("q", false, "suppress progress lines on stderr")
 		exampleSpec  = flag.Bool("example-spec", false, "print the built-in population spec and exit")
 		examplePlat  = flag.Bool("example-platform", false, "print the built-in platform (sized for -flows) and exit")
@@ -98,6 +100,7 @@ func main() {
 	var target load.Target
 	switch *mode {
 	case "inproc":
+		var c *admit.Controller
 		if *platformPath != "" {
 			data, err := os.ReadFile(*platformPath)
 			if err != nil {
@@ -107,19 +110,23 @@ func main() {
 			if err != nil {
 				fail(err)
 			}
-			c, err := pl.Controller()
-			if err != nil {
+			if c, err = pl.Controller(); err != nil {
 				fail(err)
 			}
-			target = load.InProc{C: c}
 			scenarioName = pl.Name
 		} else {
-			c, err := sc.Controller()
-			if err != nil {
+			var err error
+			if c, err = sc.Controller(); err != nil {
 				fail(err)
 			}
-			target = load.InProc{C: c}
 		}
+		if *decisions > 0 {
+			// Recorder only (no metrics registry on the controller): the
+			// per-phase breakdown costs one span per decision and one ring
+			// push, keeping bench overhead minimal.
+			c.EnableFlightRecorder(*decisions)
+		}
+		target = load.InProc{C: c}
 	case "http":
 		target = &load.HTTP{Base: *addr, Client: &http.Client{Timeout: 30 * time.Second}}
 	default:

@@ -355,10 +355,12 @@ type Controller struct {
 	resMu    sync.Mutex
 	resCache map[verdictKey]map[string]core.Bucket
 
-	// Telemetry sinks (nil when detached): metric handles from EnableObs and
-	// the structured audit logger from SetAudit (obs.go).
+	// Telemetry sinks (nil when detached): metric handles from EnableObs,
+	// the structured audit logger from SetAudit (obs.go), and the decision
+	// flight recorder from EnableFlightRecorder (trace.go).
 	obsm  *ctrlObs
 	audit *slog.Logger
+	rec   *FlightRecorder
 }
 
 // New builds a controller for a platform of uniquely named nodes. Node
@@ -469,34 +471,36 @@ func (c *Controller) ClassCount() int {
 // attached (EnableObs/SetAudit) every decision is counted, its latency
 // recorded, and an audit line emitted.
 func (c *Controller) Admit(f Flow) Verdict {
-	if !c.instrumented() {
-		return c.admit(f)
+	tr := c.newTrace(KindAdmit)
+	v := c.admit(f, tr)
+	if tr != nil {
+		c.observeAdmit(v, tr)
 	}
-	start := time.Now()
-	v := c.admit(f)
-	c.observeAdmit(v, time.Since(start))
 	return v
 }
 
-func (c *Controller) admit(f Flow) Verdict {
+func (c *Controller) admit(f Flow, tr *decTrace) Verdict {
 	epoch := c.epoch.Load()
 	// Spec and identity checks run before the cache probe: the verdict cache
 	// is keyed on curves, not IDs, so ID problems (and arrivals too malformed
 	// to build a curve from) must never reach it.
 	if v, bad := c.precheck(f, epoch); bad {
+		tr.mark(PhasePrecheck)
 		return v
 	}
 	key := c.keyFor(f)
 	if v, ok := c.cachedVerdict(key); ok {
 		// The cached verdict is ID-independent; stamp the asking flow's ID.
 		v.FlowID = f.ID
+		tr.mark(PhasePrecheck)
 		return v
 	}
+	tr.mark(PhasePrecheck)
 	// Hand the decision to the group-commit combiner (group.go): an
 	// uncontended caller becomes the leader and decides immediately via the
 	// optimistic read-locked path; under concurrency, queued admissions are
 	// analyzed together so one victim sweep serves the whole group.
-	return c.submit(&ticket{kind: tkAdmit, f: f, key: key}).v
+	return c.submit(&ticket{kind: tkAdmit, f: f, key: key, tr: tr}).v
 }
 
 // commit registers flow f (already decided admissible) under class key and
@@ -582,12 +586,16 @@ func (c *Controller) keyFor(f Flow) verdictKey {
 // the snapshot against the per-node epochs. Precheck must have passed.
 // Rejection reasons never mention the candidate's ID: they are cached and
 // replayed for any flow with the same curves, path, and SLO.
-func (c *Controller) decide(f Flow, epoch uint64, sw *sweep) (Verdict, map[string]core.Bucket) {
+func (c *Controller) decide(f Flow, epoch uint64, sw *sweep, tr *decTrace) (Verdict, map[string]core.Bucket) {
 	v := Verdict{FlowID: f.ID, Epoch: epoch}
+	// phase is what a rejection return attributes the elapsed time to; it
+	// flips to the victim-sweep phase when the victim loop starts.
+	phase := PhaseAnalysis
 	reject := func(binding, format string, args ...any) (Verdict, map[string]core.Bucket) {
 		v.Admitted = false
 		v.Binding = binding
 		v.Reason = "rejected: " + fmt.Sprintf(format, args...)
+		tr.mark(phase)
 		return v, nil
 	}
 
@@ -625,14 +633,18 @@ func (c *Controller) decide(f Flow, epoch uint64, sw *sweep) (Verdict, map[strin
 	// conflict retry, classes whose node epochs are unchanged since the
 	// previous attempt analyzed them are reused without re-analysis: the
 	// sweep is scoped to the classes whose aggregates actually changed.
+	tr.mark(PhaseAnalysis)
+	phase = PhaseVictimSweep
 	for _, k := range c.sortedClassKeys() {
 		cs := c.classes[k]
 		if !sharesNode(cs.path, f.Path) {
 			continue
 		}
 		if sw.victimOK(c, k, cs.path) {
+			tr.noteReuse()
 			continue
 		}
+		tr.noteVictim()
 		p := c.buildPipeline(cs.arrival, cs.path, k, 1, contrib)
 		ga, err := core.AnalyzeMemo(p, c.memo)
 		if err != nil {
@@ -645,6 +657,7 @@ func (c *Controller) decide(f Flow, epoch uint64, sw *sweep) (Verdict, map[strin
 		}
 		sw.recordVictim(c, k, cs.path)
 	}
+	tr.mark(PhaseVictimSweep)
 
 	// Admitted: promised bounds, bottleneck, and residual headroom with
 	// the candidate's own reservation counted.
@@ -883,21 +896,21 @@ func (c *Controller) sortedFlowIDs() []string {
 // Release removes an admitted flow, freeing its reservations. It reports
 // whether the flow was present.
 func (c *Controller) Release(id string) bool {
-	if !c.instrumented() {
-		return c.release(id)
+	tr := c.newTrace(KindRelease)
+	ok := c.release(id, tr)
+	if tr != nil {
+		c.observeRelease(id, ok, tr)
 	}
-	start := time.Now()
-	ok := c.release(id)
-	c.observeRelease(id, ok, time.Since(start))
 	return ok
 }
 
-func (c *Controller) release(id string) bool {
+func (c *Controller) release(id string, tr *decTrace) bool {
 	// Releases ride the same combiner as admissions: while a leader is
 	// mid-sweep, pending releases queue instead of mutating node state
 	// underneath the analysis, and each drain cycle commits them first so
 	// admissions are decided against the freshest state.
-	return c.submit(&ticket{kind: tkRelease, id: id}).ok
+	tr.mark(PhasePrecheck)
+	return c.submit(&ticket{kind: tkRelease, id: id, tr: tr}).ok
 }
 
 // releaseLocked removes an admitted flow, freeing its reservations and

@@ -2,7 +2,6 @@ package admit
 
 import (
 	"sort"
-	"time"
 
 	"streamcalc/internal/core"
 	"streamcalc/internal/units"
@@ -54,7 +53,7 @@ type feasResult struct {
 // fully write-locked path below, which re-analyzes at a state that cannot
 // move — conflicted analyses are never committed.
 func (c *Controller) AdmitBatch(flows []Flow) []Verdict {
-	start := time.Now()
+	tr := c.newTrace(KindBatch)
 	out := make([]Verdict, len(flows))
 
 	// Phase 1, outside the registry lock: spec prechecks and intra-batch
@@ -75,13 +74,20 @@ func (c *Controller) AdmitBatch(flows []Flow) []Verdict {
 		seen[f.ID] = struct{}{}
 		cands = append(cands, batchCand{idx: i, f: f, key: c.keyFor(f)})
 	}
+	tr.mark(PhasePrecheck)
 
 	// Optimistic fast path: analyze under the read lock, validate the
 	// observed per-node epochs under the write lock, commit.
-	if c.admitBatchOptimistic(cands, out) {
-		c.observeBatch(out, time.Since(start))
+	if c.admitBatchOptimistic(cands, out, tr) {
+		tr.mark(PhaseValidateCommit)
+		c.observeBatch(out, tr)
 		return out
 	}
+	// A conflict (or an infeasible batch) sends the whole transaction to the
+	// classic write-locked path; the unattributed validation window counts
+	// as retry, the classic decision as fallback.
+	tr.mark(PhaseRetry)
+	tr.noteFallback()
 
 	c.mu.Lock()
 	// Phase 2, under the lock: re-check against flows committed since the
@@ -105,7 +111,7 @@ func (c *Controller) AdmitBatch(flows []Flow) []Verdict {
 
 	// Phase 3: transactional feasibility, largest-verified-prefix fallback.
 	for len(rem) > 0 {
-		res := c.feasibleAt(rem, nil)
+		res := c.feasibleAt(rem, nil, tr)
 		if res.ok {
 			c.commitBatch(rem, res, out)
 			break
@@ -116,7 +122,7 @@ func (c *Controller) AdmitBatch(flows []Flow) []Verdict {
 		var good feasResult
 		for lo+1 < hi {
 			mid := (lo + hi) / 2
-			if r := c.feasibleAt(rem[:mid], nil); r.ok {
+			if r := c.feasibleAt(rem[:mid], nil, tr); r.ok {
 				lo, good = mid, r
 			} else {
 				hi = mid
@@ -130,7 +136,7 @@ func (c *Controller) AdmitBatch(flows []Flow) []Verdict {
 		// non-monotone corners, admits after all).
 		bd := rem[lo]
 		ep := c.epoch.Load()
-		v, contrib := c.decide(bd.f, ep, nil)
+		v, contrib := c.decide(bd.f, ep, nil, tr)
 		if v.Admitted {
 			c.commit(bd.key, bd.f, contrib, v)
 			c.epoch.Add(1)
@@ -155,7 +161,8 @@ func (c *Controller) AdmitBatch(flows []Flow) []Verdict {
 	}
 	c.mu.Unlock()
 
-	c.observeBatch(out, time.Since(start))
+	tr.mark(PhaseFallback)
+	c.observeBatch(out, tr)
 	return out
 }
 
@@ -167,7 +174,7 @@ func (c *Controller) AdmitBatch(flows []Flow) []Verdict {
 // when the batch must take the classic write-locked path instead: on a
 // validation conflict, or when the batch is infeasible as a whole (the
 // prefix search wants the write lock anyway).
-func (c *Controller) admitBatchOptimistic(cands []batchCand, out []Verdict) bool {
+func (c *Controller) admitBatchOptimistic(cands []batchCand, out []Verdict, tr *decTrace) bool {
 	type dupRej struct {
 		idx int
 		id  string
@@ -195,11 +202,12 @@ func (c *Controller) admitBatchOptimistic(cands []batchCand, out []Verdict) bool
 		cd.contrib = contrib
 		rem = append(rem, cd)
 	}
+	tr.mark(PhaseAnalysis)
 	var res feasResult
 	sw := newSweep()
 	sw.begin()
 	if len(rem) > 0 {
-		res = c.feasibleAt(rem, sw)
+		res = c.feasibleAt(rem, sw, tr)
 	}
 	c.mu.RUnlock()
 	if len(rem) > 0 && !res.ok {
@@ -242,8 +250,9 @@ func (c *Controller) admitBatchOptimistic(cands []batchCand, out []Verdict) bool
 // cross traffic, as in sequential admission). The registry lock must be
 // held in either mode — shard state only mutates under the write lock. A
 // non-nil sw records the per-node epochs the analysis depended on, for
-// optimistic validate-and-commit.
-func (c *Controller) feasibleAt(cands []batchCand, sw *sweep) feasResult {
+// optimistic validate-and-commit. A non-nil tr accrues the victim-sweep and
+// candidate-analysis phases plus victim counts onto the decision trace.
+func (c *Controller) feasibleAt(cands []batchCand, sw *sweep, tr *decTrace) feasResult {
 	// Added-class roster: member counts, a representative spec per class,
 	// and the set of touched nodes.
 	addN := make(map[verdictKey]int)
@@ -303,10 +312,13 @@ func (c *Controller) feasibleAt(cands []batchCand, sw *sweep) feasResult {
 		if !touched {
 			continue
 		}
+		tr.noteVictim()
 		if _, _, ok := check(cs.arrival, cs.path, cs.slo, k); !ok {
+			tr.mark(PhaseVictimSweep)
 			return feasResult{}
 		}
 	}
+	tr.mark(PhaseVictimSweep)
 
 	// Added classes must meet their own SLOs at the final state; their
 	// analyses become the admitted verdict templates.
@@ -314,6 +326,7 @@ func (c *Controller) feasibleAt(cands []batchCand, sw *sweep) feasResult {
 		rep := addRep[k]
 		a, b, ok := check(rep.f.Arrival, rep.f.Path, rep.f.SLO, k)
 		if !ok {
+			tr.mark(PhaseAnalysis)
 			return feasResult{}
 		}
 		v := Verdict{Admitted: true, Epoch: epoch}
@@ -330,6 +343,7 @@ func (c *Controller) feasibleAt(cands []batchCand, sw *sweep) feasResult {
 			"; bottleneck " + bn
 		res.verdicts[k] = v
 	}
+	tr.mark(PhaseAnalysis)
 	res.ok = true
 	return res
 }
@@ -393,12 +407,15 @@ func (c *Controller) commitBatch(cands []batchCand, res feasResult, out []Verdic
 }
 
 // observeBatch records one batch transaction on the attached telemetry
-// sinks: per-verdict counters, a batch counter, and a single audit line
-// (per-flow audit at bulk-ramp rates would swamp the log).
-func (c *Controller) observeBatch(out []Verdict, took time.Duration) {
-	if !c.instrumented() {
+// sinks: per-verdict counters, a batch counter, a flight-recorder record,
+// and a single audit line (per-flow audit at bulk-ramp rates would swamp
+// the log).
+func (c *Controller) observeBatch(out []Verdict, tr *decTrace) {
+	if tr == nil {
 		return
 	}
+	tr.mark(PhaseHandoff)
+	took := tr.span.Total()
 	admitted, rejected := 0, 0
 	for i := range out {
 		if out[i].Admitted {
@@ -407,11 +424,17 @@ func (c *Controller) observeBatch(out []Verdict, took time.Duration) {
 			rejected++
 		}
 	}
+	tr.batchN, tr.batchAdm = len(out), admitted
+
+	rec := tr.record(took)
+	rec.Admitted = admitted > 0
+	seq := c.pushRecord(rec)
+
 	if m := c.obsm; m != nil {
 		m.admitted.Add(uint64(admitted))
 		m.rejected.Add(uint64(rejected))
 		m.reg.Counter("nc_admit_batches_total", "batch admission transactions").Inc()
-		m.decision.Observe(took.Seconds())
+		m.observeDecisionLatency(took, seq, "")
 	}
 	if c.audit != nil {
 		c.audit.Info("admit.batch",

@@ -36,7 +36,7 @@ const maxCommitRetries = 3
 // the per-victim dependency snapshots that allow conflict-scoped retries.
 // A nil *sweep disables tracking (the classic write-locked paths).
 type sweep struct {
-	deps    map[int]uint64          // shard idx -> epoch observed this attempt
+	deps    map[int]uint64           // shard idx -> epoch observed this attempt
 	victims map[verdictKey][]nodeDep // passing victim class -> its path's epochs
 }
 
@@ -145,12 +145,16 @@ const (
 	tkRelease
 )
 
-// ticket is one queued Admit or Release awaiting the combiner.
+// ticket is one queued Admit or Release awaiting the combiner. tr (nil when
+// uninstrumented) is written by the submitter before enqueue, by the leader
+// while the ticket is being decided, and by the submitter again after the
+// done receive — each handoff channel- or mutex-synchronized.
 type ticket struct {
 	kind int
 	f    Flow       // tkAdmit
 	key  verdictKey // tkAdmit
 	id   string     // tkRelease
+	tr   *decTrace
 	done chan ticketResult
 }
 
@@ -205,6 +209,10 @@ func (c *Controller) drain() {
 func (c *Controller) processGroup(q []*ticket) {
 	var rel, adm []*ticket
 	for _, t := range q {
+		// The leader owns every drained ticket's trace from here until the
+		// done send; everything since the submitter's last mark is combiner
+		// queue wait.
+		t.tr.mark(PhaseQueueWait)
 		if t.kind == tkRelease {
 			rel = append(rel, t)
 		} else {
@@ -214,17 +222,26 @@ func (c *Controller) processGroup(q []*ticket) {
 	if len(rel) > 0 {
 		c.mu.Lock()
 		for _, t := range rel {
-			t.done <- ticketResult{ok: c.releaseLocked(t.id)}
+			ok := c.releaseLocked(t.id)
+			t.tr.mark(PhaseValidateCommit)
+			t.done <- ticketResult{ok: ok}
 		}
 		c.mu.Unlock()
+		// Admissions waited for the release drain; charge them that window.
+		for _, t := range adm {
+			t.tr.mark(PhaseDrain)
+		}
 	}
 	if m := c.obsm; m != nil && len(adm) > 0 {
 		m.groupSize.Observe(float64(len(adm)))
 	}
+	for _, t := range adm {
+		t.tr.noteGroup(len(adm))
+	}
 	switch {
 	case len(adm) == 1:
 		t := adm[0]
-		t.done <- ticketResult{v: c.admitOne(t.f, t.key)}
+		t.done <- ticketResult{v: c.admitOne(t.f, t.key, t.tr)}
 	case len(adm) > 1:
 		c.admitGroup(adm)
 	}
@@ -238,13 +255,13 @@ func (c *Controller) processGroup(q []*ticket) {
 // maxCommitRetries the decision falls back to the write-locked classic
 // path. Semantics (verdict text, epoch accounting) are identical to the
 // historical write-locked decide.
-func (c *Controller) admitOne(f Flow, key verdictKey) Verdict {
+func (c *Controller) admitOne(f Flow, key verdictKey, tr *decTrace) Verdict {
 	sw := newSweep()
 	for attempt := 0; attempt <= maxCommitRetries; attempt++ {
 		c.mu.RLock()
 		epoch := c.epoch.Load()
 		sw.begin()
-		v, contrib := c.decide(f, epoch, sw)
+		v, contrib := c.decide(f, epoch, sw, tr)
 		c.mu.RUnlock()
 		if !v.Admitted {
 			// Rejections commit nothing; the verdict was computed at a
@@ -252,12 +269,14 @@ func (c *Controller) admitOne(f Flow, key verdictKey) Verdict {
 			// epochs that snapshot pinned.
 			c.storeVerdict(key, sw.depList(), v)
 			v.FlowID = f.ID
+			tr.setDeps(c, sw)
 			return v
 		}
 		waitStart := time.Now()
 		c.mu.Lock()
 		if _, dup := c.flows[f.ID]; dup {
 			c.mu.Unlock()
+			tr.mark(PhaseValidateCommit)
 			return Verdict{FlowID: f.ID, Epoch: c.epoch.Load(), Binding: "spec",
 				Reason: fmt.Sprintf("rejected: flow %q is already admitted", f.ID)}
 		}
@@ -266,25 +285,32 @@ func (c *Controller) admitOne(f Flow, key verdictKey) Verdict {
 			c.epoch.Add(1)
 			c.mu.Unlock()
 			c.observeCommitWait(time.Since(waitStart))
+			tr.mark(PhaseValidateCommit)
+			tr.setDeps(c, sw)
 			return v
 		}
 		c.mu.Unlock()
 		c.noteConflict()
+		tr.mark(PhaseRetry)
+		tr.noteRetry()
 	}
 
 	// Retries exhausted: decide under the write lock, where state cannot
 	// move between analysis and commit.
+	tr.noteFallback()
 	waitStart := time.Now()
 	c.mu.Lock()
 	epoch := c.epoch.Load()
 	sw.begin()
-	v, contrib := c.decide(f, epoch, sw)
+	v, contrib := c.decide(f, epoch, sw, tr)
 	if v.Admitted {
 		c.commit(key, f, contrib, v)
 		c.epoch.Add(1)
 	}
 	c.mu.Unlock()
 	c.observeCommitWait(time.Since(waitStart))
+	tr.mark(PhaseFallback)
+	tr.setDeps(c, sw)
 	if !v.Admitted {
 		c.storeVerdict(key, sw.depList(), v)
 		v.FlowID = f.ID
@@ -318,11 +344,15 @@ func (c *Controller) admitGroup(ts []*ticket) {
 
 	sequential := func(ts []*ticket) {
 		for _, t := range ts {
-			t.done <- ticketResult{v: c.admitOne(t.f, t.key)}
+			t.done <- ticketResult{v: c.admitOne(t.f, t.key, t.tr)}
 		}
 	}
 
 	for attempt := 0; attempt < 2; attempt++ {
+		// The leader's shared work (one sweep serving every ticket) is
+		// recorded on a group trace and folded into each ticket's own trace
+		// at delivery, so per-decision records carry the real phase costs.
+		gtr := c.newTrace(KindAdmit)
 		c.mu.RLock()
 		epoch := c.epoch.Load()
 		cands := make([]batchCand, 0, len(uniq))
@@ -341,14 +371,19 @@ func (c *Controller) admitGroup(ts []*ticket) {
 			}
 			cands = append(cands, batchCand{idx: len(cands), f: t.f, key: t.key, contrib: contrib})
 		}
+		gtr.mark(PhaseAnalysis)
 		sw := newSweep()
 		sw.begin()
-		res := c.feasibleAt(cands, sw)
+		res := c.feasibleAt(cands, sw, gtr)
 		c.mu.RUnlock()
 		if !res.ok {
 			// Someone in the group doesn't fit at the final state: decide
 			// everyone sequentially so rejections carry exact per-flow
-			// verdicts and admissible members still get in.
+			// verdicts and admissible members still get in. The shared
+			// analysis cost lands on every ticket before it re-decides.
+			for _, t := range uniq {
+				t.tr.absorb(gtr)
+			}
 			sequential(uniq)
 			sequential(dups)
 			return
@@ -366,9 +401,12 @@ func (c *Controller) admitGroup(ts []*ticket) {
 		}
 		if valid {
 			live := uniq[:0]
+			deliver := make([]ticketResult, 0, len(uniq))
+			order := make([]*ticket, 0, len(uniq))
 			for _, t := range uniq {
 				if v, ok := rejected[t]; ok {
-					t.done <- ticketResult{v: v}
+					deliver = append(deliver, ticketResult{v: v})
+					order = append(order, t)
 					continue
 				}
 				live = append(live, t)
@@ -378,16 +416,32 @@ func (c *Controller) admitGroup(ts []*ticket) {
 				v := res.verdicts[cd.key]
 				v.FlowID = cd.f.ID
 				c.commit(cd.key, cd.f, cd.contrib, v)
-				live[cd.idx].done <- ticketResult{v: v}
+				deliver = append(deliver, ticketResult{v: v})
+				order = append(order, live[cd.idx])
 			}
 			c.epoch.Add(1)
 			c.mu.Unlock()
 			c.observeCommitWait(time.Since(waitStart))
+			// Finish the group trace and deliver outside the lock: each
+			// ticket absorbs the shared phases, then its own setDeps/send.
+			gtr.mark(PhaseValidateCommit)
+			for i, t := range order {
+				t.tr.absorb(gtr)
+				if deliver[i].v.Admitted {
+					t.tr.setDeps(c, sw)
+				}
+				t.done <- deliver[i]
+			}
 			sequential(dups)
 			return
 		}
 		c.mu.Unlock()
 		c.noteConflict()
+		gtr.mark(PhaseRetry)
+		for _, t := range uniq {
+			t.tr.absorb(gtr)
+			t.tr.noteRetry()
+		}
 	}
 	sequential(uniq)
 	sequential(dups)

@@ -2,6 +2,7 @@ package admit
 
 import (
 	"log/slog"
+	"sync"
 	"time"
 
 	"streamcalc/internal/core"
@@ -21,9 +22,30 @@ var OpBuckets = obs.ExponentialBuckets(1e-7, 4, 12)
 // (tickets decided per group commit).
 var GroupSizeBuckets = obs.ExponentialBuckets(1, 2, 8)
 
+// ObsOptions tunes EnableObsOpts. The zero value is the recommended
+// production default.
+type ObsOptions struct {
+	// PerNodeMetrics opts into the per-node gauge families (nc_node_epoch,
+	// nc_node_utilization, ...): one series per platform node per family,
+	// unbounded cardinality at 10k+ nodes. Off by default; the aggregate
+	// nc_admit_epoch_max/_distinct_nodes gauges are always exported.
+	PerNodeMetrics bool
+	// SLOObjective is the decision-latency objective: decisions at or under
+	// it count as "fast" for the SLO instruments. Default 100ms.
+	SLOObjective time.Duration
+	// SLOBudget is the tolerated slow fraction (error budget) the burn-rate
+	// gauge normalizes against: burn = slow_fraction / budget, so burn > 1
+	// means the budget is being spent faster than allowed. Default 0.01.
+	SLOBudget float64
+	// WindowSeconds sizes the sliding window behind the burn-rate gauge and
+	// the decisions-per-second figure. Default 60.
+	WindowSeconds int
+}
+
 // ctrlObs bundles the controller's metric handles.
 type ctrlObs struct {
 	reg        *obs.Registry
+	opts       ObsOptions
 	admitted   *obs.Counter
 	rejected   *obs.Counter
 	cached     *obs.Counter
@@ -32,24 +54,64 @@ type ctrlObs struct {
 	conflicts  *obs.Counter
 	commitWait *obs.Histogram
 	groupSize  *obs.Histogram
+	sloFast    *obs.Counter
+
+	// Sliding windows: every decision, and the slow (objective-violating)
+	// ones, for the burn-rate gauge and /healthz decisions-per-second.
+	decWin  *obs.Window
+	slowWin *obs.Window
+
+	// st is the per-scrape Stats snapshot: the collector refreshes it once
+	// per render, and the CounterFunc/GaugeFunc closures read it — so one
+	// scrape sees one consistent snapshot and cache counters can be typed
+	// as counters without re-snapshotting per family.
+	stMu sync.Mutex
+	st   Stats
 }
 
-// EnableObs wires the controller onto reg:
+func (m *ctrlObs) snapshot() Stats {
+	m.stMu.Lock()
+	defer m.stMu.Unlock()
+	return m.st
+}
+
+// EnableObs wires the controller onto reg with default options — see
+// EnableObsOpts. Call once, before serving traffic.
+func (c *Controller) EnableObs(reg *obs.Registry) {
+	c.EnableObsOpts(reg, ObsOptions{})
+}
+
+// EnableObsOpts wires the controller onto reg:
 //
 //   - verdict counters (nc_admit_verdicts_total by result, nc_admit_cached_total,
-//     nc_admit_releases_total) and a decision-latency histogram;
-//   - scrape-time gauges for admitted flows, platform epoch, per-node
-//     reservation utilization, and every cache layer's hits/misses/entries
-//     (verdict cache, analysis memo, reservation cache, curve-op memo);
+//     nc_admit_releases_total) and a decision-latency histogram whose buckets
+//     carry exemplars pointing at flight-recorder sequence numbers;
+//   - SLO instruments against opts.SLOObjective: nc_admit_slo_fast_total,
+//     nc_admit_slo_objective_seconds, and the windowed burn-rate gauge
+//     nc_admit_slo_budget_burn;
+//   - scrape-time gauges for admitted flows, platform epoch, and every cache
+//     layer's hits/misses/entries (verdict cache, analysis memo, reservation
+//     cache, curve-op memo); per-node reservation gauges only with
+//     opts.PerNodeMetrics (unbounded cardinality on large platforms);
 //   - process-wide per-operation timing: curve.SetOpTimer and
 //     core.SetAnalysisTimer feed nc_curve_op_seconds{op=...} and
 //     nc_analysis_seconds histograms (global hooks — the daemon runs one
 //     controller; a second EnableObs call rebinds them).
 //
 // Call once, before serving traffic.
-func (c *Controller) EnableObs(reg *obs.Registry) {
+func (c *Controller) EnableObsOpts(reg *obs.Registry, opts ObsOptions) {
+	if opts.SLOObjective <= 0 {
+		opts.SLOObjective = 100 * time.Millisecond
+	}
+	if opts.SLOBudget <= 0 {
+		opts.SLOBudget = 0.01
+	}
+	if opts.WindowSeconds <= 0 {
+		opts.WindowSeconds = 60
+	}
 	m := &ctrlObs{
 		reg:      reg,
+		opts:     opts,
 		admitted: reg.Counter("nc_admit_verdicts_total", "admission decisions by result", obs.Label{Key: "result", Value: "admitted"}),
 		rejected: reg.Counter("nc_admit_verdicts_total", "admission decisions by result", obs.Label{Key: "result", Value: "rejected"}),
 		cached:   reg.Counter("nc_admit_cached_total", "verdicts served from the epoch cache"),
@@ -61,8 +123,40 @@ func (c *Controller) EnableObs(reg *obs.Registry) {
 			"time spent in the write-locked validate-and-commit section per committed decision", DecisionBuckets),
 		groupSize: reg.Histogram("nc_admit_group_size",
 			"admissions decided together per combiner group commit", GroupSizeBuckets),
+		sloFast: reg.Counter("nc_admit_slo_fast_total",
+			"decisions completing within the latency objective"),
+		decWin:  obs.NewWindow(opts.WindowSeconds),
+		slowWin: obs.NewWindow(opts.WindowSeconds),
 	}
 	c.obsm = m
+
+	reg.Gauge("nc_admit_slo_objective_seconds",
+		"decision-latency objective the SLO instruments measure against").Set(opts.SLOObjective.Seconds())
+	reg.GaugeFunc("nc_admit_slo_budget_burn",
+		"windowed slow-decision fraction over the error budget (>1 means burning faster than allowed)",
+		func() float64 {
+			total := m.decWin.Sum()
+			if total == 0 {
+				return 0
+			}
+			return (float64(m.slowWin.Sum()) / float64(total)) / opts.SLOBudget
+		})
+
+	// Cache effectiveness, typed honestly: the hit/miss tallies are
+	// monotone, so they render as counters reading from the per-scrape
+	// snapshot the collector refreshes.
+	for _, layer := range []string{"verdict", "analysis", "reservation", "curve_ops"} {
+		l := obs.Label{Key: "cache", Value: layer}
+		layer := layer
+		reg.CounterFunc("nc_cache_hits_total", "cache hits by layer",
+			func() float64 { h, _, _ := m.snapshot().cacheLayer(layer); return float64(h) }, l)
+		reg.CounterFunc("nc_cache_misses_total", "cache misses by layer",
+			func() float64 { _, mi, _ := m.snapshot().cacheLayer(layer); return float64(mi) }, l)
+		reg.GaugeFunc("nc_cache_entries", "cache entries by layer",
+			func() float64 { _, _, e := m.snapshot().cacheLayer(layer); return float64(e) }, l)
+		reg.GaugeFunc("nc_cache_hit_rate", "hits/(hits+misses) by layer",
+			func() float64 { h, mi, _ := m.snapshot().cacheLayer(layer); return obs.HitRate(h, mi) }, l)
+	}
 
 	// Pre-register the timing families so they exist (at zero) from startup:
 	// the timers below only fire on memo *misses*, and a warm process-global
@@ -85,38 +179,50 @@ func (c *Controller) EnableObs(reg *obs.Registry) {
 	reg.AddCollector(func(r *obs.Registry) { c.collect(r) })
 }
 
+// cacheLayer maps a layer name onto the snapshot's counters.
+func (s Stats) cacheLayer(layer string) (hits, misses uint64, entries int) {
+	switch layer {
+	case "verdict":
+		return s.VerdictHits, s.VerdictMisses, s.VerdictEntries
+	case "analysis":
+		return s.AnalysisHits, s.AnalysisMisses, s.AnalysisEntries
+	case "reservation":
+		return 0, 0, s.ReservationEntries
+	case "curve_ops":
+		return s.CurveOps.Hits, s.CurveOps.Misses, s.CurveOps.Entries
+	}
+	return 0, 0, 0
+}
+
 // collect snapshots registry-independent controller state into gauges; runs
-// at scrape time.
+// at scrape time (before family rendering, so the CounterFunc closures read
+// the fresh snapshot).
 func (c *Controller) collect(r *obs.Registry) {
+	m := c.obsm
 	st := c.Stats()
+	m.stMu.Lock()
+	m.st = st
+	m.stMu.Unlock()
+
 	set := func(name, help string, v float64, labels ...obs.Label) {
 		r.Gauge(name, help, labels...).Set(v)
 	}
 	set("nc_admit_epoch", "platform epoch (bumps on every commit/release)", float64(c.Epoch()))
-	emax, edistinct := c.EpochStats()
-	set("nc_admit_epoch_max", "highest per-node epoch (modification counter of the busiest node)", float64(emax))
-	set("nc_admit_epoch_distinct_nodes", "number of distinct per-node epoch values across the platform", float64(edistinct))
+	set("nc_admit_epoch_max", "highest per-node epoch (modification counter of the busiest node)", float64(st.EpochMax))
+	set("nc_admit_epoch_distinct_nodes", "number of distinct per-node epoch values across the platform", float64(st.EpochDistinctNode))
+	set("nc_admit_flows", "currently admitted flows", float64(st.Flows))
+	set("nc_admit_classes", "distinct admitted flow classes (shared curves+path+SLO)", float64(st.Classes))
 
-	c.mu.RLock()
-	set("nc_admit_flows", "currently admitted flows", float64(len(c.flows)))
-	set("nc_admit_classes", "distinct admitted flow classes (shared curves+path+SLO)", float64(len(c.classes)))
-	c.mu.RUnlock()
-
-	cache := func(layer string, hits, misses uint64, entries int) {
-		l := obs.Label{Key: "cache", Value: layer}
-		set("nc_cache_hits_total", "cache hits by layer", float64(hits), l)
-		set("nc_cache_misses_total", "cache misses by layer", float64(misses), l)
-		set("nc_cache_entries", "cache entries by layer", float64(entries), l)
-		set("nc_cache_hit_rate", "hits/(hits+misses) by layer", obs.HitRate(hits, misses), l)
+	if rec := c.rec; rec != nil {
+		set("nc_admit_recorder_depth", "decisions retained in the flight recorder", float64(rec.Depth()))
 	}
-	cache("verdict", st.VerdictHits, st.VerdictMisses, st.VerdictEntries)
-	cache("analysis", st.AnalysisHits, st.AnalysisMisses, st.AnalysisEntries)
-	cache("reservation", 0, 0, st.ReservationEntries)
-	cache("curve_ops", st.CurveOps.Hits, st.CurveOps.Misses, st.CurveOps.Entries)
 
+	if !m.opts.PerNodeMetrics {
+		return
+	}
 	// Per-node reservation pressure: reserved rate (tenants + static
 	// background) over the node's service rate — the live utilization figure
-	// behind every verdict.
+	// behind every verdict. Opt-in: one series per node per family.
 	for _, name := range c.order {
 		sh := c.shards[name]
 		sh.mu.RLock()
@@ -145,8 +251,61 @@ func (c *Controller) collect(r *obs.Registry) {
 // promised bounds, and decision latency. Nil detaches (the default).
 func (c *Controller) SetAudit(l *slog.Logger) { c.audit = l }
 
-// observeAdmit records one decision on the attached metrics/audit sinks.
-func (c *Controller) observeAdmit(v Verdict, took time.Duration) {
+// DecisionRate returns decisions per second averaged over the metrics
+// window (0 without EnableObs). O(window seconds); safe for /healthz.
+func (c *Controller) DecisionRate() float64 {
+	if m := c.obsm; m != nil {
+		return m.decWin.Rate()
+	}
+	return 0
+}
+
+// noteDecision feeds the SLO instruments and the decisions-per-second
+// window (all decision kinds: admissions, batches, releases).
+func (m *ctrlObs) noteDecision(took time.Duration) {
+	m.decWin.Add(1)
+	if took <= m.opts.SLOObjective {
+		m.sloFast.Inc()
+	} else {
+		m.slowWin.Add(1)
+	}
+}
+
+// observeDecisionLatency records one admission-decision latency on the
+// histogram (with a flight-recorder exemplar when seq != 0) and the SLO
+// instruments.
+func (m *ctrlObs) observeDecisionLatency(took time.Duration, seq uint64, flowID string) {
+	secs := took.Seconds()
+	if seq != 0 {
+		labels := []obs.Label{{Key: "decision_seq", Value: itoa(seq)}}
+		if flowID != "" {
+			labels = append(labels, obs.Label{Key: "flow_id", Value: flowID})
+		}
+		m.decision.ObserveEx(secs, &obs.Exemplar{
+			Labels: labels,
+			Value:  secs,
+			Ts:     float64(time.Now().UnixNano()) / 1e9,
+		})
+	} else {
+		m.decision.Observe(secs)
+	}
+	m.noteDecision(took)
+}
+
+// observeAdmit finalizes one decision trace and records it on the attached
+// metrics/recorder/audit sinks.
+func (c *Controller) observeAdmit(v Verdict, tr *decTrace) {
+	tr.mark(PhaseHandoff)
+	took := tr.span.Total()
+
+	rec := tr.record(took)
+	rec.FlowID = v.FlowID
+	rec.Admitted = v.Admitted
+	rec.Cached = v.Cached
+	rec.Binding = v.Binding
+	rec.Epoch = v.Epoch
+	seq := c.pushRecord(rec)
+
 	if m := c.obsm; m != nil {
 		if v.Admitted {
 			m.admitted.Inc()
@@ -156,7 +315,7 @@ func (c *Controller) observeAdmit(v Verdict, took time.Duration) {
 		if v.Cached {
 			m.cached.Inc()
 		}
-		m.decision.Observe(took.Seconds())
+		m.observeDecisionLatency(took, seq, v.FlowID)
 	}
 	if c.audit != nil {
 		attrs := []any{
@@ -199,10 +358,24 @@ func (c *Controller) observeCommitWait(d time.Duration) {
 	}
 }
 
-// observeRelease records one release on the attached sinks.
-func (c *Controller) observeRelease(id string, ok bool, took time.Duration) {
-	if m := c.obsm; m != nil && ok {
-		m.releases.Inc()
+// observeRelease finalizes one release trace and records it on the
+// attached sinks.
+func (c *Controller) observeRelease(id string, ok bool, tr *decTrace) {
+	tr.mark(PhaseHandoff)
+	took := tr.span.Total()
+
+	rec := tr.record(took)
+	rec.FlowID = id
+	rec.Released = ok
+	c.pushRecord(rec)
+
+	if m := c.obsm; m != nil {
+		if ok {
+			m.releases.Inc()
+		}
+		// Releases feed the decision-rate window and SLO accounting but not
+		// the admission-latency histogram (it measures admissions only).
+		m.noteDecision(took)
 	}
 	if c.audit != nil {
 		c.audit.Info("admit.release", "flow_id", id, "released", ok,
@@ -211,4 +384,6 @@ func (c *Controller) observeRelease(id string, ok bool, took time.Duration) {
 }
 
 // instrumented reports whether any decision sink is attached.
-func (c *Controller) instrumented() bool { return c.obsm != nil || c.audit != nil }
+func (c *Controller) instrumented() bool {
+	return c.obsm != nil || c.audit != nil || c.rec != nil
+}

@@ -24,7 +24,7 @@ func TestEnableObsMetrics(t *testing.T) {
 	defer curve.SetOpTimer(nil)
 	c := testPlatform(t)
 	reg := obs.NewRegistry()
-	c.EnableObs(reg)
+	c.EnableObsOpts(reg, ObsOptions{PerNodeMetrics: true})
 
 	if v := c.Admit(tenant("t1", 10*units.MiBPerSec)); !v.Admitted {
 		t.Fatalf("expected admission: %s", v.Reason)
@@ -47,14 +47,42 @@ func TestEnableObsMetrics(t *testing.T) {
 		"nc_admit_releases_total 1",
 		"nc_admit_decision_seconds_count 3",
 		`nc_cache_hit_rate{cache="verdict"}`,
+		"# TYPE nc_cache_hits_total counter",
 		`nc_node_utilization{node="encrypt"}`,
 		"nc_admit_epoch",
 		"nc_admit_flows 0",
 		"nc_curve_op_seconds_bucket",
 		"nc_analysis_seconds_count",
+		// 3 admissions + 1 release, all far under the 100ms objective.
+		"nc_admit_slo_fast_total 4",
+		"nc_admit_slo_objective_seconds 0.1",
+		"nc_admit_slo_budget_burn 0",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("scrape missing %q", want)
+		}
+	}
+	if errs := obs.LintExposition([]byte(text)); len(errs) > 0 {
+		t.Errorf("exposition lint: %v", errs)
+	}
+}
+
+// TestObsPerNodeDefaultOff: without the PerNodeMetrics opt-in, a scrape
+// carries the aggregate epoch gauges but no per-node series.
+func TestObsPerNodeDefaultOff(t *testing.T) {
+	defer curve.SetOpTimer(nil)
+	c := testPlatform(t)
+	reg := obs.NewRegistry()
+	c.EnableObs(reg)
+	c.Admit(tenant("t1", 10*units.MiBPerSec))
+
+	text := scrape(t, reg)
+	if strings.Contains(text, "nc_node_") {
+		t.Error("per-node series exported without opt-in")
+	}
+	for _, want := range []string{"nc_admit_epoch_max", "nc_admit_epoch_distinct_nodes"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing aggregate gauge %q", want)
 		}
 	}
 }

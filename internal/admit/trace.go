@@ -1,0 +1,299 @@
+package admit
+
+import (
+	"sort"
+	"time"
+
+	"streamcalc/internal/obs"
+)
+
+// This file is the decision flight recorder: every Admit/Release/AdmitBatch
+// call carries a decTrace through the combiner and the optimistic engine,
+// recording a contiguous phase breakdown (queue wait, leader drain,
+// analysis, victim sweep, validate-and-commit, retries, fallback) plus the
+// outcome metadata a postmortem needs — verdict, retry count, victim
+// counts, and the per-node epochs the analysis pinned. Finished decisions
+// land in a ring buffer exposed by ncadmitd as GET /debug/decisions (JSON)
+// and /debug/decisions/trace (Chrome trace_event), and each one stamps its
+// sequence number onto the latency histogram as an exemplar, so a p99
+// bucket on /metrics links to the concrete decision that landed there.
+//
+// Ownership rule: a decTrace is written by exactly one goroutine at a time
+// — the submitter before enqueue and after the done-channel receive, the
+// combiner leader in between. Both handoffs are channel/mutex synchronized,
+// so no span access races (the -race combiner test exercises this).
+
+// Phase names recorded on decision spans.
+const (
+	PhasePrecheck       = "precheck"        // spec checks + verdict-cache probe
+	PhaseQueueWait      = "queue_wait"      // combiner queue, waiting for a leader
+	PhaseDrain          = "drain"           // leader committing queued releases first
+	PhaseAnalysis       = "analysis"        // candidate reservation + pipeline analysis
+	PhaseVictimSweep    = "victim_sweep"    // re-checking co-resident classes
+	PhaseValidateCommit = "validate_commit" // write-locked epoch validation + commit
+	PhaseRetry          = "retry"           // post-conflict bookkeeping before re-analysis
+	PhaseFallback       = "fallback"        // write-locked classic decision after retries
+	PhaseHandoff        = "handoff"         // result delivery back to the caller
+)
+
+// Decision kinds.
+const (
+	KindAdmit   = "admit"
+	KindRelease = "release"
+	KindBatch   = "batch"
+)
+
+// decTrace accumulates one decision's phase span and outcome metadata while
+// the decision is in flight. All methods are nil-receiver safe so
+// uninstrumented controllers pass nil and pay one branch per call site.
+type decTrace struct {
+	span     *obs.Span
+	kind     string
+	group    int // combiner group size this decision rode in (0 = none)
+	retries  int
+	fellBack bool
+	victims  int // victim classes analyzed
+	reused   int // victim classes reused from a previous attempt's sweep
+	deps     []NodeEpoch
+	batchN   int // batch decisions: flows offered
+	batchAdm int // batch decisions: flows admitted
+}
+
+// newTrace starts a decision trace, or returns nil when no sink is
+// attached (the uninstrumented fast path allocates nothing).
+func (c *Controller) newTrace(kind string) *decTrace {
+	if !c.instrumented() {
+		return nil
+	}
+	return &decTrace{span: obs.StartSpan(), kind: kind}
+}
+
+func (tr *decTrace) mark(phase string) {
+	if tr != nil {
+		tr.span.Mark(phase)
+	}
+}
+
+func (tr *decTrace) noteRetry() {
+	if tr != nil {
+		tr.retries++
+	}
+}
+
+func (tr *decTrace) noteFallback() {
+	if tr != nil {
+		tr.fellBack = true
+	}
+}
+
+func (tr *decTrace) noteVictim() {
+	if tr != nil {
+		tr.victims++
+	}
+}
+
+func (tr *decTrace) noteReuse() {
+	if tr != nil {
+		tr.reused++
+	}
+}
+
+func (tr *decTrace) noteGroup(n int) {
+	if tr != nil {
+		tr.group = n
+	}
+}
+
+// absorb folds a leader's shared group trace (its span phases and victim
+// counters) into this ticket's trace. Called by the leader before the
+// done-channel handoff.
+func (tr *decTrace) absorb(g *decTrace) {
+	if tr == nil || g == nil {
+		return
+	}
+	tr.span.Absorb(g.span)
+	tr.victims += g.victims
+	tr.reused += g.reused
+}
+
+// setDeps snapshots the sweep's dependency set as (node name, epoch) pairs,
+// sorted by name. Callers need no lock: shard names and indices are
+// immutable after New.
+func (tr *decTrace) setDeps(c *Controller, sw *sweep) {
+	if tr == nil || sw == nil || len(sw.deps) == 0 {
+		return
+	}
+	out := make([]NodeEpoch, 0, len(sw.deps))
+	for idx, e := range sw.deps {
+		out = append(out, NodeEpoch{Node: c.byIdx[idx].node.Name, Epoch: e})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	tr.deps = out
+}
+
+// NodeEpoch is one node the decision's analysis read, with the epoch it
+// observed (the dependency the validate-and-commit section checked).
+type NodeEpoch struct {
+	Node  string `json:"node"`
+	Epoch uint64 `json:"epoch"`
+}
+
+// DecisionRecord is one finished decision in the flight recorder, fully
+// detached from controller state and JSON-serializable.
+type DecisionRecord struct {
+	Seq  uint64 `json:"seq"`
+	Kind string `json:"kind"` // "admit", "release", "batch"
+
+	FlowID   string `json:"flow_id,omitempty"`
+	Admitted bool   `json:"admitted"`
+	Released bool   `json:"released,omitempty"` // release decisions
+	Cached   bool   `json:"cached,omitempty"`
+	Binding  string `json:"binding,omitempty"`
+	Epoch    uint64 `json:"epoch,omitempty"`
+
+	Start  time.Time      `json:"start"`
+	Total  time.Duration  `json:"total_ns"`
+	Phases []obs.PhaseDur `json:"phases,omitempty"`
+
+	Retries   int  `json:"retries,omitempty"`
+	Fallback  bool `json:"fallback,omitempty"`
+	GroupSize int  `json:"group_size,omitempty"`
+
+	VictimsChecked int         `json:"victims_checked,omitempty"`
+	VictimsReused  int         `json:"victims_reused,omitempty"`
+	Nodes          []NodeEpoch `json:"nodes,omitempty"`
+
+	BatchFlows    int `json:"batch_flows,omitempty"`
+	BatchAdmitted int `json:"batch_admitted,omitempty"`
+}
+
+// record materializes the finished trace into a detached DecisionRecord
+// (Seq is assigned by the recorder at push time). The caller must have
+// marked the final phase already, so Total covers every recorded phase.
+func (tr *decTrace) record(total time.Duration) DecisionRecord {
+	return DecisionRecord{
+		Kind:           tr.kind,
+		Start:          tr.span.Start(),
+		Total:          total,
+		Phases:         tr.span.Phases(),
+		Retries:        tr.retries,
+		Fallback:       tr.fellBack,
+		GroupSize:      tr.group,
+		VictimsChecked: tr.victims,
+		VictimsReused:  tr.reused,
+		Nodes:          tr.deps,
+		BatchFlows:     tr.batchN,
+		BatchAdmitted:  tr.batchAdm,
+	}
+}
+
+// --- Flight recorder --------------------------------------------------------
+
+// FlightRecorder retains the last N finished decisions in a ring buffer.
+// Push cost is one short mutex plus a struct copy, cheap relative to any
+// decision; snapshots copy out under the same mutex.
+type FlightRecorder struct {
+	ring *obs.Ring[DecisionRecord]
+}
+
+// EnableFlightRecorder attaches a flight recorder keeping the last depth
+// decisions and returns it. Call once, before serving traffic; enabling the
+// recorder alone (without EnableObs) also turns on decision tracing.
+func (c *Controller) EnableFlightRecorder(depth int) *FlightRecorder {
+	r := &FlightRecorder{ring: obs.NewRing[DecisionRecord](depth)}
+	c.rec = r
+	return r
+}
+
+// Recorder returns the attached flight recorder (nil when disabled).
+func (c *Controller) Recorder() *FlightRecorder { return c.rec }
+
+// push stores a finished record, assigning and returning its sequence
+// number (0 when no recorder is attached).
+func (c *Controller) pushRecord(rec DecisionRecord) uint64 {
+	if c.rec == nil {
+		return 0
+	}
+	return c.rec.ring.PushSeq(func(seq uint64) DecisionRecord {
+		rec.Seq = seq
+		return rec
+	})
+}
+
+// Depth returns the number of retained decisions.
+func (r *FlightRecorder) Depth() int { return r.ring.Len() }
+
+// Cap returns the recorder capacity.
+func (r *FlightRecorder) Cap() int { return r.ring.Cap() }
+
+// Seq returns the sequence number of the most recent decision (0 when
+// empty).
+func (r *FlightRecorder) Seq() uint64 { return r.ring.Seq() }
+
+// Snapshot returns up to limit decisions, newest first (limit <= 0 means
+// all retained).
+func (r *FlightRecorder) Snapshot(limit int) []DecisionRecord {
+	return r.ring.Snapshot(limit)
+}
+
+// Trace exports up to limit retained decisions as a Chrome trace_event
+// timeline: one viewer thread per decision (named by kind, seq, and flow
+// ID), its phases laid out contiguously as complete events, timestamps
+// relative to the oldest exported decision.
+func (r *FlightRecorder) Trace(limit int) *obs.Trace {
+	recs := r.ring.Snapshot(limit)
+	t := obs.NewTrace()
+	if len(recs) == 0 {
+		return t
+	}
+	base := recs[0].Start
+	for _, rec := range recs {
+		if rec.Start.Before(base) {
+			base = rec.Start
+		}
+	}
+	for _, rec := range recs {
+		tid := int64(rec.Seq)
+		name := rec.Kind + " #" + itoa(rec.Seq)
+		if rec.FlowID != "" {
+			name += " " + rec.FlowID
+		}
+		t.ThreadName(tid, name)
+		at := rec.Start.Sub(base).Seconds()
+		for _, p := range rec.Phases {
+			d := p.Dur.Seconds()
+			if d < 0 {
+				d = 0
+			}
+			t.Complete(p.Phase, "phase", tid, at, d, nil)
+			at += d
+		}
+		t.Complete("decision", "decision", tid, rec.Start.Sub(base).Seconds(),
+			rec.Total.Seconds(), map[string]any{
+				"kind":     rec.Kind,
+				"flow_id":  rec.FlowID,
+				"admitted": rec.Admitted,
+				"binding":  rec.Binding,
+				"retries":  rec.Retries,
+				"fallback": rec.Fallback,
+				"group":    rec.GroupSize,
+				"victims":  rec.VictimsChecked,
+			})
+	}
+	return t
+}
+
+// itoa avoids strconv for the one uint64 the trace namer needs.
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

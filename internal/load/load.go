@@ -116,6 +116,18 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 
+	// Phase breakdown: whatever admission decisions the target's flight
+	// recorder still retains (best effort — a missing recorder or an old
+	// daemon just omits the section).
+	if recs, err := cfg.Target.Decisions(0); err != nil {
+		cfg.logf("decisions fetch failed: %v", err)
+	} else if ph := PhaseStats(recs); ph != nil {
+		rep.Churn.Phases = ph
+		if st, ok := ph["analysis"]; ok {
+			cfg.logf("phases: analysis p50 %v p99 %v over %d decisions", st.P50, st.P99, st.Count)
+		}
+	}
+
 	final, err := cfg.Target.Stats()
 	if err != nil {
 		return nil, fmt.Errorf("load: final snapshot: %w", err)

@@ -41,6 +41,7 @@ func TestHarnessInProc(t *testing.T) {
 	cfg, _ := smallConfig(t)
 	reg := obs.NewRegistry()
 	cfg.Metrics = reg
+	cfg.Target.(InProc).C.EnableFlightRecorder(1 << 14)
 	rep, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -67,12 +68,24 @@ func TestHarnessInProc(t *testing.T) {
 		t.Fatalf("achieved %.1f rps vs target %.1f", rep.Churn.AchievedRPS, rep.Churn.TargetRPS)
 	}
 
+	// The target's flight recorder feeds a per-phase breakdown: single-flow
+	// admissions always pass precheck and the combiner queue.
+	if len(rep.Churn.Phases) == 0 {
+		t.Fatal("no phase breakdown despite an enabled flight recorder")
+	}
+	for _, phase := range []string{"precheck", "queue_wait"} {
+		st, ok := rep.Churn.Phases[phase]
+		if !ok || st.Count == 0 || st.P99 <= 0 {
+			t.Errorf("phase %q stats missing/empty: %+v", phase, st)
+		}
+	}
+
 	// The report round-trips as JSON and renders benchjson-parseable lines.
 	if _, err := json.Marshal(rep); err != nil {
 		t.Fatal(err)
 	}
 	bench := rep.BenchText()
-	for _, want := range []string{"BenchmarkNcloadRamp ", "BenchmarkNcloadChurnAdmit ", "BenchmarkNcloadPacing "} {
+	for _, want := range []string{"BenchmarkNcloadRamp ", "BenchmarkNcloadChurnAdmit ", "BenchmarkNcloadPacing ", "BenchmarkNcloadPhaseQueueWait "} {
 		if !strings.Contains(bench, want) {
 			t.Fatalf("bench text missing %q:\n%s", want, bench)
 		}

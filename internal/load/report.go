@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"streamcalc/internal/admit"
 )
 
 // LatencyStats summarizes one op kind's measured latencies (exact
@@ -59,10 +61,10 @@ type RampReport struct {
 
 // ChurnReport covers the paced warmup+measure churn phase.
 type ChurnReport struct {
-	TargetRPS   float64       `json:"target_rps"`
-	AchievedRPS float64       `json:"achieved_rps"`
-	WarmupOps   int           `json:"warmup_ops"`
-	MeasuredOps int           `json:"measured_ops"`
+	TargetRPS   float64 `json:"target_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	WarmupOps   int     `json:"warmup_ops"`
+	MeasuredOps int     `json:"measured_ops"`
 	// Clients is the number of concurrent issuer lanes the planned schedule
 	// was dealt across.
 	Clients  int           `json:"clients"`
@@ -76,6 +78,11 @@ type ChurnReport struct {
 	// ClientLateness is each client lane's own pacing debt over the measured
 	// window — a single stalled client is visible here next to the aggregate.
 	ClientLateness []LatencyStats `json:"client_lateness,omitempty"`
+	// Phases summarizes the target's flight-recorder phase breakdown over the
+	// admission decisions it retained at the end of the run (keys are the
+	// admit phase names: queue_wait, analysis, victim_sweep, ...). Absent
+	// when the target has no recorder.
+	Phases map[string]LatencyStats `json:"phases,omitempty"`
 }
 
 // Report is the full run artifact, JSON-serializable for results/ and CI.
@@ -115,6 +122,63 @@ func (r *Report) BenchText() string {
 	fmt.Fprintf(&b, "BenchmarkNcloadPacing %d %.1f target-rps %.1f achieved-rps %d lateness-p99-ns %d final-flows %d clients %d commit-conflicts\n",
 		maxInt(r.Churn.MeasuredOps, 1), r.Churn.TargetRPS, r.Churn.AchievedRPS,
 		r.Churn.Lateness.P99.Nanoseconds(), r.Final.Flows, r.Churn.Clients, r.Final.CommitConflicts)
+	phases := make([]string, 0, len(r.Churn.Phases))
+	for p := range r.Churn.Phases {
+		phases = append(phases, p)
+	}
+	sort.Strings(phases)
+	for _, p := range phases {
+		st := r.Churn.Phases[p]
+		if st.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "BenchmarkNcloadPhase%s %d %d ns/op %d p50-ns %d p99-ns %d max-ns\n",
+			camelPhase(p), st.Count,
+			st.Mean.Nanoseconds(), st.P50.Nanoseconds(), st.P99.Nanoseconds(), st.Max.Nanoseconds())
+	}
+	return b.String()
+}
+
+// PhaseStats aggregates flight-recorder records into per-phase latency
+// summaries. Only single-flow admission decisions contribute: batch ramp
+// traffic and releases have different phase shapes and would skew the churn
+// breakdown.
+func PhaseStats(recs []admit.DecisionRecord) map[string]LatencyStats {
+	byPhase := map[string][]int64{}
+	for _, rec := range recs {
+		if rec.Kind != admit.KindAdmit {
+			continue
+		}
+		for _, p := range rec.Phases {
+			byPhase[p.Phase] = append(byPhase[p.Phase], int64(p.Dur))
+		}
+	}
+	if len(byPhase) == 0 {
+		return nil
+	}
+	out := make(map[string]LatencyStats, len(byPhase))
+	for p, ns := range byPhase {
+		out[p] = summarize(ns)
+	}
+	return out
+}
+
+// camelPhase turns a snake_case phase name into the CamelCase suffix of its
+// benchmark line ("queue_wait" -> "QueueWait").
+func camelPhase(p string) string {
+	var b strings.Builder
+	up := true
+	for _, r := range p {
+		if r == '_' {
+			up = true
+			continue
+		}
+		if up && 'a' <= r && r <= 'z' {
+			r -= 'a' - 'A'
+		}
+		up = false
+		b.WriteRune(r)
+	}
 	return b.String()
 }
 

@@ -60,6 +60,10 @@ type Target interface {
 	Recheck(id string) (ok bool, err error)
 	// Stats snapshots the registry and heap.
 	Stats() (TargetStats, error)
+	// Decisions returns up to limit flight-recorder records, newest first
+	// (limit <= 0 means all retained). Targets without a recorder return
+	// (nil, nil); the harness then simply omits the phase breakdown.
+	Decisions(limit int) ([]admit.DecisionRecord, error)
 }
 
 // --- In-process target ------------------------------------------------------
@@ -88,6 +92,14 @@ func (t InProc) Recheck(id string) (bool, error) {
 		return false, nil // not admitted: a schedule miss
 	}
 	return v.Admitted, nil
+}
+
+func (t InProc) Decisions(limit int) ([]admit.DecisionRecord, error) {
+	rec := t.C.Recorder()
+	if rec == nil {
+		return nil, nil
+	}
+	return rec.Snapshot(limit), nil
 }
 
 func (t InProc) Stats() (TargetStats, error) {
@@ -220,6 +232,31 @@ func (t *HTTP) Recheck(id string) (bool, error) {
 		return false, nil
 	}
 	return false, fmt.Errorf("GET /flows/%s/recheck: unexpected status %d", id, status)
+}
+
+func (t *HTTP) Decisions(limit int) ([]admit.DecisionRecord, error) {
+	path := "/debug/decisions"
+	if limit > 0 {
+		path += fmt.Sprintf("?n=%d", limit)
+	}
+	status, out, err := t.do(http.MethodGet, path, nil)
+	if err != nil {
+		return nil, err
+	}
+	if status == http.StatusNotFound {
+		// Recorder disabled (or an older daemon): no phase breakdown.
+		return nil, nil
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("GET /debug/decisions: unexpected status %d", status)
+	}
+	var body struct {
+		Records []admit.DecisionRecord `json:"records"`
+	}
+	if err := json.Unmarshal(out, &body); err != nil {
+		return nil, fmt.Errorf("GET /debug/decisions: %w", err)
+	}
+	return body.Records, nil
 }
 
 func (t *HTTP) Stats() (TargetStats, error) {

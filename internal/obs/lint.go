@@ -1,0 +1,387 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// LintExposition validates a Prometheus text-exposition (0.0.4) payload:
+// structural rules first (TYPE before samples, parseable sample lines,
+// no duplicate series), then the repository's own conventions (nc_ prefix
+// on owned families, counters end in _total, gauges and histograms do
+// not). It returns every problem found, nil for a clean payload. The CI
+// load-smoke job pipes live /metrics scrapes through it via cmd/nclint,
+// and obs's own tests run rendered registries through it as a self-check.
+func LintExposition(data []byte) []error {
+	l := &expoLint{
+		types:  make(map[string]string),
+		series: make(map[string]int),
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		l.line(line, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		l.errf(line, "read: %v", err)
+	}
+	l.finish()
+	return l.errs
+}
+
+type expoLint struct {
+	errs   []error
+	types  map[string]string // family -> declared TYPE
+	series map[string]int    // family+labels -> first line seen
+	// histogram bookkeeping: per family+labels (sans le), the running
+	// cumulative-bucket state and observed _count value.
+	hist map[string]*histLint
+}
+
+type histLint struct {
+	line    int
+	lastLe  float64
+	lastCum float64
+	haveInf bool
+	infVal  float64
+	count   float64
+	hasCnt  bool
+}
+
+func (l *expoLint) errf(line int, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+}
+
+func (l *expoLint) line(n int, s string) {
+	if strings.TrimSpace(s) == "" {
+		return
+	}
+	if strings.HasPrefix(s, "#") {
+		l.comment(n, s)
+		return
+	}
+	l.sample(n, s)
+}
+
+func (l *expoLint) comment(n int, s string) {
+	fields := strings.SplitN(s, " ", 4)
+	if len(fields) < 2 {
+		return // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			l.errf(n, "malformed TYPE line: %q", s)
+			return
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		if !validName(name) {
+			l.errf(n, "TYPE for invalid metric name %q", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			l.errf(n, "unknown TYPE %q for %s", typ, name)
+		}
+		if prev, ok := l.types[name]; ok {
+			l.errf(n, "duplicate TYPE for %s (already %s)", name, prev)
+			return
+		}
+		l.types[name] = typ
+		l.lintName(n, name, typ)
+	case "HELP":
+		if len(fields) < 3 {
+			l.errf(n, "malformed HELP line: %q", s)
+		}
+	}
+}
+
+// lintName enforces the repo naming conventions on nc_-owned families.
+func (l *expoLint) lintName(n int, name, typ string) {
+	if !strings.HasPrefix(name, "nc_") {
+		return // foreign family (e.g. go_ runtime metrics) — structural rules only
+	}
+	switch typ {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			l.errf(n, "counter %s must end in _total", name)
+		}
+	case "gauge", "histogram":
+		for _, suffix := range []string{"_total", "_bucket"} {
+			if strings.HasSuffix(name, suffix) {
+				l.errf(n, "%s %s must not end in %s (reserved for counters/histogram series)", typ, name, suffix)
+			}
+		}
+	}
+}
+
+// sample parses one "name{labels} value [timestamp]" line.
+func (l *expoLint) sample(n int, s string) {
+	name, rest, labels, ok := splitSample(s)
+	if !ok {
+		l.errf(n, "unparseable sample line: %q", s)
+		return
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		l.errf(n, "sample %s: want 'value [timestamp]', got %q", name, rest)
+		return
+	}
+	val, err := parseValue(fields[0])
+	if err != nil {
+		l.errf(n, "sample %s: bad value %q", name, fields[0])
+		return
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			l.errf(n, "sample %s: bad timestamp %q", name, fields[1])
+		}
+	}
+	if !validName(name) {
+		l.errf(n, "invalid metric name %q", name)
+		return
+	}
+
+	family, suffix := familyOf(name, l.types)
+	typ, declared := l.types[family]
+	if !declared {
+		l.errf(n, "sample %s before (or without) its TYPE declaration", name)
+		typ = "untyped"
+	}
+	if typ == "histogram" && suffix == "" {
+		l.errf(n, "histogram family %s has a bare sample %s (want _bucket/_sum/_count)", family, name)
+	}
+
+	le, labelsNoLe, lerr := extractLe(labels)
+	if lerr != nil {
+		l.errf(n, "sample %s: %v", name, lerr)
+		return
+	}
+
+	key := name + "{" + labelsNoLe + "}"
+	if suffix == "_bucket" {
+		l.bucket(n, family+"{"+labelsNoLe+"}", le, val, labels)
+		key += "|le=" + strconv.FormatFloat(le, 'g', -1, 64)
+	} else if typ == "histogram" && suffix == "_count" {
+		h := l.histFor(family + "{" + labelsNoLe + "}")
+		h.count, h.hasCnt = val, true
+	}
+	if prev, dup := l.series[key]; dup {
+		l.errf(n, "duplicate series %s (first at line %d)", key, prev)
+	} else {
+		l.series[key] = n
+	}
+
+	if typ == "counter" && (val < 0 || math.IsNaN(val)) {
+		l.errf(n, "counter %s has non-monotonic value %v", name, val)
+	}
+}
+
+func (l *expoLint) histFor(key string) *histLint {
+	if l.hist == nil {
+		l.hist = make(map[string]*histLint)
+	}
+	h := l.hist[key]
+	if h == nil {
+		h = &histLint{lastLe: math.Inf(-1)}
+		l.hist[key] = h
+	}
+	return h
+}
+
+// bucket checks one _bucket sample: le parses, cumulative counts are
+// non-decreasing in le order (the renderer emits ascending le).
+func (l *expoLint) bucket(n int, key string, le, cum float64, rawLabels string) {
+	if !strings.Contains(rawLabels, "le=") {
+		l.errf(n, "bucket of %s missing le label", key)
+		return
+	}
+	h := l.histFor(key)
+	h.line = n
+	if le <= h.lastLe {
+		l.errf(n, "bucket of %s: le %v out of order (after %v)", key, le, h.lastLe)
+	}
+	if cum < h.lastCum {
+		l.errf(n, "bucket of %s: cumulative count decreased (%v after %v)", key, cum, h.lastCum)
+	}
+	h.lastLe, h.lastCum = le, cum
+	if math.IsInf(le, 1) {
+		h.haveInf, h.infVal = true, cum
+	}
+}
+
+// finish runs whole-payload checks once every line is consumed.
+func (l *expoLint) finish() {
+	for key, h := range l.hist {
+		if !h.haveInf {
+			l.errf(h.line, "histogram %s missing +Inf bucket", key)
+			continue
+		}
+		if h.hasCnt && h.count != h.infVal {
+			l.errf(h.line, "histogram %s: _count %v != +Inf bucket %v", key, h.count, h.infVal)
+		}
+	}
+}
+
+// familyOf strips a histogram sample suffix when the base family is
+// declared as a histogram.
+func familyOf(name string, types map[string]string) (family, suffix string) {
+	for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, sfx); ok {
+			if t, declared := types[base]; declared && t == "histogram" {
+				return base, sfx
+			}
+		}
+	}
+	return name, ""
+}
+
+// splitSample separates "name{labels} rest" respecting quoted label values.
+func splitSample(s string) (name, rest, labels string, ok bool) {
+	brace := strings.IndexByte(s, '{')
+	sp := strings.IndexByte(s, ' ')
+	if brace == -1 || (sp != -1 && sp < brace) {
+		if sp == -1 {
+			return "", "", "", false
+		}
+		return s[:sp], s[sp+1:], "", true
+	}
+	// scan for the closing brace outside quotes
+	inQuote, esc := false, false
+	for i := brace + 1; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case esc:
+			esc = false
+		case c == '\\':
+			esc = true
+		case c == '"':
+			inQuote = !inQuote
+		case c == '}' && !inQuote:
+			if i+1 >= len(s) || s[i+1] != ' ' {
+				return "", "", "", false
+			}
+			if err := lintLabels(s[brace+1 : i]); err != nil {
+				return "", "", "", false
+			}
+			return s[:brace], s[i+2:], s[brace+1 : i], true
+		}
+	}
+	return "", "", "", false
+}
+
+// lintLabels validates a label block body: k="v" pairs, comma separated,
+// values with legal escapes only.
+func lintLabels(body string) error {
+	for _, kv := range splitLabelPairs(body) {
+		eq := strings.IndexByte(kv, '=')
+		if eq == -1 {
+			return fmt.Errorf("label pair %q missing '='", kv)
+		}
+		k, v := kv[:eq], kv[eq+1:]
+		if !validName(k) {
+			return fmt.Errorf("invalid label name %q", k)
+		}
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return fmt.Errorf("label %s value %q not quoted", k, v)
+		}
+		if _, err := unescapeLabel(v[1 : len(v)-1]); err != nil {
+			return fmt.Errorf("label %s: %v", k, err)
+		}
+	}
+	return nil
+}
+
+// splitLabelPairs splits on commas outside quotes.
+func splitLabelPairs(body string) []string {
+	var out []string
+	start, inQuote, esc := 0, false, false
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		switch {
+		case esc:
+			esc = false
+		case c == '\\':
+			esc = true
+		case c == '"':
+			inQuote = !inQuote
+		case c == ',' && !inQuote:
+			out = append(out, body[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(body) {
+		out = append(out, body[start:])
+	}
+	return out
+}
+
+// unescapeLabel reverses escapeLabel, rejecting unknown escapes.
+func unescapeLabel(v string) (string, error) {
+	if !strings.ContainsRune(v, '\\') {
+		return v, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		if v[i] != '\\' {
+			b.WriteByte(v[i])
+			continue
+		}
+		i++
+		if i >= len(v) {
+			return "", fmt.Errorf("trailing backslash in label value %q", v)
+		}
+		switch v[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		case 'n':
+			b.WriteByte('\n')
+		default:
+			return "", fmt.Errorf("invalid escape \\%c in label value %q", v[i], v)
+		}
+	}
+	return b.String(), nil
+}
+
+// extractLe pulls the le label out of a rendered label block, returning the
+// remaining pairs re-joined (sorted order is preserved) for series keying.
+func extractLe(labels string) (le float64, rest string, err error) {
+	if labels == "" {
+		return 0, "", nil
+	}
+	var kept []string
+	for _, kv := range splitLabelPairs(labels) {
+		if !strings.HasPrefix(kv, "le=") {
+			kept = append(kept, kv)
+			continue
+		}
+		raw := strings.Trim(kv[len("le="):], `"`)
+		le, err = parseValue(raw)
+		if err != nil {
+			return 0, "", fmt.Errorf("bad le value %q", raw)
+		}
+	}
+	return le, strings.Join(kept, ","), nil
+}
+
+// parseValue parses a sample value, accepting the Prometheus spellings of
+// the non-finite floats.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

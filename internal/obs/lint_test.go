@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintErrs(t *testing.T, text string) []error {
+	t.Helper()
+	return LintExposition([]byte(text))
+}
+
+func wantLint(t *testing.T, text, fragment string) {
+	t.Helper()
+	errs := lintErrs(t, text)
+	for _, e := range errs {
+		if strings.Contains(e.Error(), fragment) {
+			return
+		}
+	}
+	t.Errorf("no lint error containing %q in %v", fragment, errs)
+}
+
+func TestLintCleanExposition(t *testing.T) {
+	text := `# HELP nc_req_total requests
+# TYPE nc_req_total counter
+nc_req_total{code="200"} 7
+nc_req_total{code="500"} 0
+# TYPE nc_up gauge
+nc_up 1
+# TYPE nc_lat_seconds histogram
+nc_lat_seconds_bucket{le="0.1"} 1
+nc_lat_seconds_bucket{le="1"} 2
+nc_lat_seconds_bucket{le="+Inf"} 3
+nc_lat_seconds_sum 4.2
+nc_lat_seconds_count 3
+`
+	if errs := lintErrs(t, text); len(errs) != 0 {
+		t.Errorf("clean exposition flagged: %v", errs)
+	}
+}
+
+func TestLintNamingConventions(t *testing.T) {
+	wantLint(t, "# TYPE nc_requests counter\nnc_requests 1\n", "must end in _total")
+	wantLint(t, "# TYPE nc_flows_total gauge\nnc_flows_total 1\n", "must not end in _total")
+	wantLint(t, "# TYPE nc_lat_bucket gauge\nnc_lat_bucket 1\n", "must not end in _bucket")
+	// Foreign families are exempt from nc_ conventions.
+	if errs := lintErrs(t, "# TYPE go_goroutines gauge\ngo_goroutines 12\n"); len(errs) != 0 {
+		t.Errorf("foreign family flagged: %v", errs)
+	}
+}
+
+func TestLintStructural(t *testing.T) {
+	wantLint(t, "nc_orphan_total 1\n", "before (or without) its TYPE")
+	wantLint(t, "# TYPE nc_x_total counter\n# TYPE nc_x_total counter\n", "duplicate TYPE")
+	wantLint(t, "# TYPE nc_x_total bogus\n", "unknown TYPE")
+	wantLint(t, "# TYPE nc_x_total counter\nnc_x_total 1\nnc_x_total 2\n", "duplicate series")
+	wantLint(t, "# TYPE nc_x_total counter\nnc_x_total notanumber\n", "bad value")
+	wantLint(t, "# TYPE nc_x_total counter\nnc_x_total -1\n", "non-monotonic")
+	wantLint(t, "# TYPE nc_x_total counter\nnc_x_total NaN\n", "non-monotonic")
+	wantLint(t, `# TYPE nc_x_total counter`+"\n"+`nc_x_total{k="v} 1`+"\n", "unparseable")
+	wantLint(t, `# TYPE nc_x_total counter`+"\n"+`nc_x_total{k="a\z"} 1`+"\n", "unparseable")
+}
+
+func TestLintHistogramRules(t *testing.T) {
+	// Missing +Inf bucket.
+	wantLint(t, `# TYPE nc_h_seconds histogram
+nc_h_seconds_bucket{le="1"} 2
+nc_h_seconds_sum 1
+nc_h_seconds_count 2
+`, "missing +Inf")
+	// Non-monotone cumulative counts.
+	wantLint(t, `# TYPE nc_h_seconds histogram
+nc_h_seconds_bucket{le="1"} 5
+nc_h_seconds_bucket{le="2"} 3
+nc_h_seconds_bucket{le="+Inf"} 5
+nc_h_seconds_count 5
+`, "cumulative count decreased")
+	// le values out of order.
+	wantLint(t, `# TYPE nc_h_seconds histogram
+nc_h_seconds_bucket{le="2"} 1
+nc_h_seconds_bucket{le="1"} 2
+nc_h_seconds_bucket{le="+Inf"} 2
+`, "out of order")
+	// _count disagreeing with the +Inf bucket.
+	wantLint(t, `# TYPE nc_h_seconds histogram
+nc_h_seconds_bucket{le="+Inf"} 3
+nc_h_seconds_count 4
+`, "_count 4 != +Inf bucket 3")
+	// A bare sample under a histogram family.
+	wantLint(t, `# TYPE nc_h_seconds histogram
+nc_h_seconds 3
+`, "bare sample")
+	// Labelled histograms are tracked per label set.
+	text := `# TYPE nc_h_seconds histogram
+nc_h_seconds_bucket{op="a",le="1"} 1
+nc_h_seconds_bucket{op="a",le="+Inf"} 1
+nc_h_seconds_bucket{op="b",le="1"} 0
+nc_h_seconds_bucket{op="b",le="+Inf"} 2
+nc_h_seconds_count{op="a"} 1
+nc_h_seconds_count{op="b"} 2
+`
+	if errs := lintErrs(t, text); len(errs) != 0 {
+		t.Errorf("labelled histogram flagged: %v", errs)
+	}
+}
+
+func TestLintGaugeNonFinite(t *testing.T) {
+	// Gauges may carry NaN and the infinities; counters may not.
+	text := `# TYPE nc_ratio gauge
+nc_ratio{k="nan"} NaN
+nc_ratio{k="pinf"} +Inf
+nc_ratio{k="ninf"} -Inf
+`
+	if errs := lintErrs(t, text); len(errs) != 0 {
+		t.Errorf("non-finite gauges flagged: %v", errs)
+	}
+}

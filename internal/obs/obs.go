@@ -70,7 +70,18 @@ type Histogram struct {
 	bounds []float64       // sorted, strictly increasing upper bounds
 	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
 	count  atomic.Uint64
-	sum    Gauge // atomic float accumulation
+	sum    Gauge                      // atomic float accumulation
+	ex     []atomic.Pointer[Exemplar] // len(bounds)+1; latest exemplar per bucket
+}
+
+// Exemplar links one histogram bucket back to the concrete event that most
+// recently landed there — typically a decision sequence number resolvable
+// against the flight recorder. Stored per bucket, last-writer-wins.
+type Exemplar struct {
+	Labels []Label `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+	// Ts is seconds since the Unix epoch at observation time.
+	Ts float64 `json:"ts,omitempty"`
 }
 
 // Observe records one observation.
@@ -80,6 +91,22 @@ func (h *Histogram) Observe(v float64) {
 	h.count.Add(1)
 	h.sum.Add(v)
 }
+
+// ObserveEx records one observation and attaches e as the bucket's exemplar
+// (replacing any previous one). e must not be mutated after the call.
+func (h *Histogram) ObserveEx(v float64, e *Exemplar) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	if e != nil {
+		h.ex[i].Store(e)
+	}
+}
+
+// BucketExemplar returns the latest exemplar of bucket i (nil if none),
+// where i == len(Bounds()) addresses the +Inf bucket.
+func (h *Histogram) BucketExemplar(i int) *Exemplar { return h.ex[i].Load() }
 
 // Count returns the total number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
@@ -143,7 +170,10 @@ func (k metricKind) String() string {
 }
 
 // Label is one name/value dimension of a metric series.
-type Label struct{ Key, Value string }
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
 
 // series is one labelled instance within a family.
 type series struct {
@@ -151,7 +181,7 @@ type series struct {
 	c      *Counter
 	g      *Gauge
 	h      *Histogram
-	fn     func() float64 // pull-style gauge; wins over g when set
+	fn     func() float64 // pull-style reading; wins over c/g when set
 }
 
 // family groups all series sharing one metric name.
@@ -280,6 +310,7 @@ func (r *Registry) lookup(name, help string, kind metricKind, bounds []float64, 
 			s.h = &Histogram{
 				bounds: append([]float64(nil), f.bounds...),
 				counts: make([]atomic.Uint64, len(f.bounds)+1),
+				ex:     make([]atomic.Pointer[Exemplar], len(f.bounds)+1),
 			}
 		}
 		f.series[key] = s
@@ -305,6 +336,17 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 // GaugeFunc registers a pull-style gauge: fn is evaluated at render time.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
 	s := r.lookup(name, help, kindGauge, nil, labels)
+	r.mu.Lock()
+	s.fn = fn
+	r.mu.Unlock()
+}
+
+// CounterFunc registers a pull-style counter: fn is evaluated at render
+// time and must be monotonically non-decreasing. Use it to export counters
+// whose source of truth lives elsewhere (cache hit tallies, controller
+// stats) under proper counter typing instead of mirroring them as gauges.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	s := r.lookup(name, help, kindCounter, nil, labels)
 	r.mu.Lock()
 	s.fn = fn
 	r.mu.Unlock()

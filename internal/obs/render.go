@@ -39,7 +39,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			s := f.series[key]
 			switch f.kind {
 			case kindCounter:
-				writeSample(bw, f.name, "", key, float64(s.c.Value()))
+				v := float64(s.c.Value())
+				if s.fn != nil {
+					v = s.fn()
+				}
+				writeSample(bw, f.name, "", key, v)
 			case kindGauge:
 				v := 0.0
 				if s.fn != nil {
@@ -105,10 +109,14 @@ func formatValue(v float64) string {
 // --- JSON snapshot ----------------------------------------------------------
 
 // BucketSnapshot is one histogram bucket in a snapshot: the upper bound
-// (inclusive; +Inf for the overflow bucket) and its non-cumulative count.
+// (inclusive; +Inf for the overflow bucket), its non-cumulative count, and
+// the latest exemplar to land in it (if any). Exemplars appear only in the
+// JSON rendering — the text exposition stays plain 0.0.4 format, which has
+// no exemplar syntax.
 type BucketSnapshot struct {
-	UpperBound float64 `json:"le"`
-	Count      uint64  `json:"count"`
+	UpperBound float64   `json:"le"`
+	Count      uint64    `json:"count"`
+	Exemplar   *Exemplar `json:"exemplar,omitempty"`
 }
 
 // SeriesSnapshot is one labelled series in a snapshot.
@@ -155,7 +163,11 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 			}
 			switch f.kind {
 			case kindCounter:
-				ss.Value = float64(s.c.Value())
+				if s.fn != nil {
+					ss.Value = s.fn()
+				} else {
+					ss.Value = float64(s.c.Value())
+				}
 			case kindGauge:
 				if s.fn != nil {
 					ss.Value = s.fn()
@@ -165,10 +177,14 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 			case kindHistogram:
 				h := s.h
 				for i, bound := range h.bounds {
-					ss.Buckets = append(ss.Buckets, BucketSnapshot{UpperBound: bound, Count: h.counts[i].Load()})
+					ss.Buckets = append(ss.Buckets, BucketSnapshot{
+						UpperBound: bound, Count: h.counts[i].Load(), Exemplar: h.ex[i].Load(),
+					})
 				}
 				ss.Buckets = append(ss.Buckets, BucketSnapshot{
-					UpperBound: math.Inf(1), Count: h.counts[len(h.bounds)].Load(),
+					UpperBound: math.Inf(1),
+					Count:      h.counts[len(h.bounds)].Load(),
+					Exemplar:   h.ex[len(h.bounds)].Load(),
 				})
 				ss.Sum = h.Sum()
 				ss.Count = h.Count()
@@ -185,8 +201,9 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 func (r *Registry) WriteJSON(w io.Writer) error {
 	snap := r.Snapshot()
 	type bucketJSON struct {
-		UpperBound any    `json:"le"`
-		Count      uint64 `json:"count"`
+		UpperBound any       `json:"le"`
+		Count      uint64    `json:"count"`
+		Exemplar   *Exemplar `json:"exemplar,omitempty"`
 	}
 	type seriesJSON struct {
 		Labels  map[string]string `json:"labels,omitempty"`
@@ -211,7 +228,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 				if math.IsInf(b.UpperBound, 1) {
 					le = "+Inf"
 				}
-				sj.Buckets = append(sj.Buckets, bucketJSON{UpperBound: le, Count: b.Count})
+				sj.Buckets = append(sj.Buckets, bucketJSON{UpperBound: le, Count: b.Count, Exemplar: b.Exemplar})
 			}
 			fj.Series = append(fj.Series, sj)
 		}

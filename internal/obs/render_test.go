@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func renderText(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestRenderLabelEscapingRoundTrip: backslash, quote, and newline in label
+// values render escaped and survive the exposition linter's unescape.
+func TestRenderLabelEscapingRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("nc_esc_total", "escapes", Label{"path", `C:\tmp`}).Inc()
+	r.Counter("nc_esc_total", "escapes", Label{"path", `say "hi"`}).Inc()
+	r.Counter("nc_esc_total", "escapes", Label{"path", "two\nlines"}).Inc()
+
+	out := renderText(t, r)
+	for _, want := range []string{
+		`nc_esc_total{path="C:\\tmp"} 1`,
+		`nc_esc_total{path="say \"hi\""} 1`,
+		`nc_esc_total{path="two\nlines"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if errs := LintExposition([]byte(out)); len(errs) != 0 {
+		t.Errorf("escaped exposition flagged: %v", errs)
+	}
+}
+
+// TestRenderEmptyHistogramFamily: a histogram family with no series is
+// omitted entirely, and one with a series but no observations renders a
+// consistent all-zero bucket ladder.
+func TestRenderEmptyHistogramFamily(t *testing.T) {
+	r := NewRegistry()
+	// Force an empty family by registering and resetting it.
+	r.Histogram("nc_gone_seconds", "vanishes", []float64{1})
+	r.ResetFamily("nc_gone_seconds")
+	r.Histogram("nc_idle_seconds", "zero observations", []float64{0.1, 1})
+
+	out := renderText(t, r)
+	if strings.Contains(out, "nc_gone_seconds") {
+		t.Errorf("empty family rendered:\n%s", out)
+	}
+	for _, want := range []string{
+		`nc_idle_seconds_bucket{le="+Inf"} 0`,
+		"nc_idle_seconds_sum 0",
+		"nc_idle_seconds_count 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if errs := LintExposition([]byte(out)); len(errs) != 0 {
+		t.Errorf("zero-observation histogram flagged: %v", errs)
+	}
+
+	snap := r.Snapshot()
+	for _, f := range snap {
+		if f.Name == "nc_gone_seconds" {
+			t.Error("empty family present in snapshot")
+		}
+	}
+}
+
+// TestRenderNonFiniteGauges: NaN and the infinities render in their
+// Prometheus spellings and pass the linter (on gauges).
+func TestRenderNonFiniteGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("nc_odd", "odd values", Label{"v", "nan"}).Set(math.NaN())
+	r.Gauge("nc_odd", "odd values", Label{"v", "pinf"}).Set(math.Inf(1))
+	r.Gauge("nc_odd", "odd values", Label{"v", "ninf"}).Set(math.Inf(-1))
+	r.GaugeFunc("nc_odd_fn", "pull-style NaN", func() float64 { return math.NaN() })
+
+	out := renderText(t, r)
+	for _, want := range []string{
+		`nc_odd{v="nan"} NaN`,
+		`nc_odd{v="pinf"} +Inf`,
+		`nc_odd{v="ninf"} -Inf`,
+		"nc_odd_fn NaN",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if errs := LintExposition([]byte(out)); len(errs) != 0 {
+		t.Errorf("non-finite gauges flagged: %v", errs)
+	}
+}
+
+// TestCounterFuncRendering: pull-style counters render under a counter TYPE
+// in both text and snapshot form.
+func TestCounterFuncRendering(t *testing.T) {
+	r := NewRegistry()
+	n := 41.0
+	r.CounterFunc("nc_pull_total", "pull-style counter", func() float64 { n++; return n })
+
+	out := renderText(t, r)
+	if !strings.Contains(out, "# TYPE nc_pull_total counter") || !strings.Contains(out, "nc_pull_total 42") {
+		t.Errorf("CounterFunc rendering wrong:\n%s", out)
+	}
+	snap := r.Snapshot()
+	found := false
+	for _, f := range snap {
+		if f.Name == "nc_pull_total" {
+			found = true
+			if f.Type != "counter" || f.Series[0].Value != 43 {
+				t.Errorf("snapshot family %+v", f)
+			}
+		}
+	}
+	if !found {
+		t.Error("nc_pull_total missing from snapshot")
+	}
+	if errs := LintExposition([]byte(out)); len(errs) != 0 {
+		t.Errorf("CounterFunc exposition flagged: %v", errs)
+	}
+}
+
+// TestHistogramExemplars: ObserveEx pins the latest exemplar to the bucket
+// the value lands in; exemplars surface in the JSON snapshot only — the text
+// exposition stays plain 0.0.4.
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("nc_lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.ObserveEx(0.5, &Exemplar{
+		Labels: []Label{{Key: "decision_seq", Value: "7"}},
+		Value:  0.5, Ts: 1700000000,
+	})
+	h.ObserveEx(2.5, &Exemplar{
+		Labels: []Label{{Key: "decision_seq", Value: "8"}},
+		Value:  2.5, Ts: 1700000001,
+	})
+
+	if ex := h.BucketExemplar(0); ex != nil {
+		t.Errorf("bucket 0 has unexpected exemplar %+v", ex)
+	}
+	ex := h.BucketExemplar(1)
+	if ex == nil || ex.Labels[0].Value != "7" {
+		t.Fatalf("bucket 1 exemplar = %+v", ex)
+	}
+	if ex := h.BucketExemplar(2); ex == nil || ex.Value != 2.5 {
+		t.Fatalf("+Inf bucket exemplar = %+v", ex)
+	}
+
+	// Text exposition: plain 0.0.4, no exemplar syntax, lint-clean.
+	out := renderText(t, r)
+	if strings.Contains(out, "decision_seq") || strings.Contains(out, "#"+" {") {
+		t.Errorf("exemplar leaked into text exposition:\n%s", out)
+	}
+	if errs := LintExposition([]byte(out)); len(errs) != 0 {
+		t.Errorf("exposition flagged: %v", errs)
+	}
+
+	// Snapshot carries them per bucket.
+	snap := r.Snapshot()
+	var buckets []BucketSnapshot
+	for _, f := range snap {
+		if f.Name == "nc_lat_seconds" {
+			buckets = f.Series[0].Buckets
+		}
+	}
+	if len(buckets) != 3 || buckets[0].Exemplar != nil || buckets[1].Exemplar == nil || buckets[2].Exemplar == nil {
+		t.Fatalf("snapshot buckets = %+v", buckets)
+	}
+	if buckets[1].Exemplar.Labels[0].Value != "7" {
+		t.Errorf("bucket 1 exemplar = %+v", buckets[1].Exemplar)
+	}
+}

@@ -1,0 +1,87 @@
+package obs
+
+import "sync"
+
+// Ring is a fixed-capacity overwrite-oldest buffer with a monotonic
+// sequence number — the storage behind the admission flight recorder. A
+// single short mutex guards pushes and snapshots; at recorder depth in the
+// thousands the copy under lock is microseconds, far below decision cost.
+type Ring[T any] struct {
+	mu   sync.Mutex
+	buf  []T
+	n    int    // filled entries, <= len(buf)
+	next int    // index the next push lands at
+	seq  uint64 // total pushes ever (1-based seq of the latest entry)
+}
+
+// NewRing returns a ring holding the last n entries (n < 1 is clamped to 1).
+func NewRing[T any](n int) *Ring[T] {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring[T]{buf: make([]T, n)}
+}
+
+// Push appends v, overwriting the oldest entry when full, and returns the
+// monotonic sequence number (1-based) assigned to v.
+func (r *Ring[T]) Push(v T) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next] = v
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.seq++
+	return r.seq
+}
+
+// PushSeq appends the entry produced by fn, which receives the sequence
+// number being assigned — for entry types that embed their own sequence
+// number. Runs under the ring mutex; fn must be cheap and non-blocking.
+func (r *Ring[T]) PushSeq(fn func(seq uint64) T) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	r.buf[r.next] = fn(r.seq)
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	return r.seq
+}
+
+// Snapshot returns up to limit entries, newest first (limit <= 0 means all
+// retained entries).
+func (r *Ring[T]) Snapshot(limit int) []T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.n
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]T, n)
+	for i := 0; i < n; i++ {
+		// newest entry sits just before next, walking backwards
+		idx := (r.next - 1 - i + len(r.buf)*2) % len(r.buf)
+		out[i] = r.buf[idx]
+	}
+	return out
+}
+
+// Len returns the number of retained entries.
+func (r *Ring[T]) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Cap returns the ring capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Seq returns the sequence number of the most recent push (0 when empty).
+func (r *Ring[T]) Seq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}

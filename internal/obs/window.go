@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Window counts events over a sliding window of whole seconds, for cheap
+// rate and burn-rate figures without a timeseries store. Writers pay one
+// short mutex; readers sum len(slots) counters. Slots older than the
+// window are lazily zeroed on access, so an idle window decays to zero.
+type Window struct {
+	mu    sync.Mutex
+	slots []windowSlot
+}
+
+type windowSlot struct {
+	sec int64 // unix second this slot currently represents
+	n   uint64
+}
+
+// NewWindow returns a window spanning the given number of seconds
+// (clamped to at least 1).
+func NewWindow(seconds int) *Window {
+	if seconds < 1 {
+		seconds = 1
+	}
+	return &Window{slots: make([]windowSlot, seconds)}
+}
+
+// Add records n events at the current time.
+func (w *Window) Add(n uint64) {
+	sec := time.Now().Unix()
+	w.mu.Lock()
+	s := &w.slots[sec%int64(len(w.slots))]
+	if s.sec != sec {
+		s.sec = sec
+		s.n = 0
+	}
+	s.n += n
+	w.mu.Unlock()
+}
+
+// Sum returns the number of events recorded within the window.
+func (w *Window) Sum() uint64 {
+	sec := time.Now().Unix()
+	oldest := sec - int64(len(w.slots)) + 1
+	w.mu.Lock()
+	var total uint64
+	for i := range w.slots {
+		if w.slots[i].sec >= oldest && w.slots[i].sec <= sec {
+			total += w.slots[i].n
+		}
+	}
+	w.mu.Unlock()
+	return total
+}
+
+// Rate returns events per second averaged over the window span.
+func (w *Window) Rate() float64 {
+	return float64(w.Sum()) / float64(len(w.slots))
+}
+
+// Seconds returns the window span.
+func (w *Window) Seconds() int { return len(w.slots) }
