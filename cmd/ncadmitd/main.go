@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ncadmitd -platform platform.json [-addr :8080]
+//	ncadmitd -platform platform.json [-addr :8080] [-rung blind|fifo|tight]
 //	ncadmitd -platform platform.json -validate trace.json [-simtotal total] [-seed n]
 //	ncadmitd -example > platform.json
 //	ncadmitd -example-trace > trace.json
@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"streamcalc/internal/admit"
+	"streamcalc/internal/core"
 	"streamcalc/internal/obs"
 	"streamcalc/internal/spec"
 	"streamcalc/internal/units"
@@ -65,6 +66,7 @@ func main() {
 		simTotal     = flag.String("simtotal", "8 MiB", "input volume per simulated flow in -validate mode")
 		seed         = flag.Uint64("seed", 1, "simulation seed (-validate replay and /metrics tightness replay)")
 		tightTotal   = flag.String("tightness-total", "1 MiB", "input volume per flow for the /metrics bound-tightness replay")
+		rungFlag     = flag.String("rung", "", "default analysis tightness rung: blind, fifo or tight (overrides the platform's \"rung\" field; a flow's own \"rung\" overrides both)")
 		audit        = flag.Bool("audit", true, "log every admission decision and release as a structured line on stderr")
 		example      = flag.Bool("example", false, "print a sample platform and exit")
 		exampleTr    = flag.Bool("example-trace", false, "print a sample trace and exit")
@@ -99,6 +101,13 @@ func main() {
 	c, err := pl.Controller()
 	if err != nil {
 		fail(err)
+	}
+	if *rungFlag != "" {
+		r, err := core.ParseRung(*rungFlag)
+		if err != nil {
+			fail(err)
+		}
+		c.SetRung(r)
 	}
 
 	if *validate != "" {

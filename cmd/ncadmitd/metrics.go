@@ -64,6 +64,7 @@ func (p *tightnessProbe) collect(r *obs.Registry) {
 		Set(0)
 	epoch := p.c.Epoch()
 	live := make(map[string]bool)
+	capped := 0
 	for _, af := range p.c.Flows() {
 		id := af.Flow.ID
 		live[id] = true
@@ -85,15 +86,25 @@ func (p *tightnessProbe) collect(r *obs.Registry) {
 		}
 
 		fl := obs.Label{Key: "flow", Value: id}
-		dim := func(d string) []obs.Label {
-			return []obs.Label{fl, {Key: "dimension", Value: d}}
+		if e.t.Capped {
+			// The replay hit its event cap: the observed maxima cover only a
+			// prefix of the run, so the bound-over-observed ratios would read
+			// as slack that was never verified. Publish the raw bound/sim
+			// gauges below, but withhold the tightness ratios and count the
+			// flow as capped instead.
+			capped++
+		} else {
+			dim := func(d string) []obs.Label {
+				return []obs.Label{fl, {Key: "dimension", Value: d},
+					{Key: "rung", Value: e.t.Rung}}
+			}
+			r.Gauge("nc_bound_tightness",
+				"analytic bound over sim-observed max (>= 1 means the promise held)",
+				dim("delay")...).Set(e.t.DelayTightness)
+			r.Gauge("nc_bound_tightness",
+				"analytic bound over sim-observed max (>= 1 means the promise held)",
+				dim("backlog")...).Set(e.t.BacklogTightness)
 		}
-		r.Gauge("nc_bound_tightness",
-			"analytic bound over sim-observed max (>= 1 means the promise held)",
-			dim("delay")...).Set(e.t.DelayTightness)
-		r.Gauge("nc_bound_tightness",
-			"analytic bound over sim-observed max (>= 1 means the promise held)",
-			dim("backlog")...).Set(e.t.BacklogTightness)
 
 		r.Gauge("nc_bound_delay_seconds", "analytic end-to-end delay bound", fl).
 			Set(e.t.DelayBound.Seconds())
@@ -112,6 +123,9 @@ func (p *tightnessProbe) collect(r *obs.Registry) {
 		r.Gauge("nc_sim_backlog_bytes", "sim-replayed peak backlog", fl).
 			Set(float64(e.t.SimBacklogMax))
 	}
+	r.Gauge("nc_tightness_capped_flows",
+		"flows whose replay hit the event cap; their tightness ratios are withheld").
+		Set(float64(capped))
 
 	// Drop cache entries for flows that are gone.
 	p.mu.Lock()

@@ -28,6 +28,7 @@ type verdictJSON struct {
 	Throughput   units.Rate  `json:"throughput,omitempty"`
 	Bottleneck   string      `json:"bottleneck,omitempty"`
 	HeadroomRate units.Rate  `json:"headroom_rate,omitempty"`
+	Rung         string      `json:"rung,omitempty"`
 	Epoch        uint64      `json:"epoch"`
 	Cached       bool        `json:"cached,omitempty"`
 }
@@ -38,6 +39,7 @@ func toVerdictJSON(v admit.Verdict) verdictJSON {
 		Admitted: v.Admitted,
 		Reason:   v.Reason,
 		Binding:  v.Binding,
+		Rung:     v.Rung,
 		Epoch:    v.Epoch,
 		Cached:   v.Cached,
 	}

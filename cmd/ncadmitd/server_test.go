@@ -319,7 +319,7 @@ func TestMetricsEndpoint(t *testing.T) {
 
 	// Acceptance: the admitted flow exposes a bound-tightness gauge and the
 	// analytic bound dominates the observed max sojourn (ratio >= 1).
-	re := regexp.MustCompile(`nc_bound_tightness\{dimension="(delay|backlog)",flow="cam-1"\} (\S+)`)
+	re := regexp.MustCompile(`nc_bound_tightness\{dimension="(delay|backlog)",flow="cam-1",rung="blind"\} (\S+)`)
 	ms := re.FindAllStringSubmatch(text, -1)
 	if len(ms) != 2 {
 		t.Fatalf("want 2 nc_bound_tightness series for cam-1, got %d in:\n%s", len(ms), text)

@@ -7,6 +7,7 @@
 //
 //	ncload -flows 1000000 -measure 30s -out results/loadtest_1m.json -bench bench.txt
 //	ncload -mode http -addr http://127.0.0.1:8080 -flows 50000 -rps 400
+//	ncload -rungsweep -out results/rung_sweep.json -bench bench_fifo.txt
 //	ncload -example-spec > population.json
 //	ncload -example-platform > platform.json
 //
@@ -58,10 +59,18 @@ func main() {
 		benchOut     = flag.String("bench", "", "write Go-benchmark lines to this file (benchjson input)")
 		decisions    = flag.Int("decisions", 1<<16, "flight-recorder depth on the in-process controller: retains the last N decisions for the per-phase breakdown (0 disables; ignored in -mode http)")
 		quiet        = flag.Bool("q", false, "suppress progress lines on stderr")
+		rungSweep    = flag.Bool("rungsweep", false, "run the FIFO-ladder comparison sweep instead of the load (fills a shared node at each analysis rung, asserts tight admits strictly more than blind with zero replay violations)")
 		exampleSpec  = flag.Bool("example-spec", false, "print the built-in population spec and exit")
 		examplePlat  = flag.Bool("example-platform", false, "print the built-in platform (sized for -flows) and exit")
 	)
 	flag.Parse()
+
+	if *rungSweep {
+		if err := runRungSweep(*seed, *out, *benchOut, *quiet); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	sc := load.DefaultScenario(*flows)
 	scenarioName := sc.Name
@@ -186,6 +195,43 @@ func main() {
 			rep.Final.Flows, rep.Final.Classes, rep.Churn.Ops["admit"].P99,
 			rep.Churn.AchievedRPS, rep.Churn.TargetRPS, float64(rep.Final.HeapAlloc)/(1<<20))
 	}
+}
+
+// runRungSweep runs the FIFO-ladder comparison sweep (load.RungSweep) and
+// writes the results/rung_sweep.json artifact plus BENCH_fifo benchmark
+// lines. It exits non-zero when the ladder acceptance invariants fail —
+// tight must admit strictly more flows than blind at identical SLAs, with
+// every rung's replay free of bound violations — which is what the CI
+// load-smoke job gates on.
+func runRungSweep(seed uint64, out, benchOut string, quiet bool) error {
+	cfg := load.RungSweepConfig{Replay: admit.ReplayOptions{Seed: seed}}
+	if !quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "ncload: "+format+"\n", args...)
+		}
+	}
+	rep, err := load.RungSweep(cfg)
+	if err != nil {
+		return err
+	}
+	body, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	body = append(body, '\n')
+	if out != "" {
+		if err := os.WriteFile(out, body, 0o644); err != nil {
+			return err
+		}
+	} else {
+		os.Stdout.Write(body)
+	}
+	if benchOut != "" {
+		if err := os.WriteFile(benchOut, []byte(rep.BenchText()), 0o644); err != nil {
+			return err
+		}
+	}
+	return rep.Check()
 }
 
 // wirePlatform renders a scenario's node set in the ncadmitd platform JSON

@@ -14,8 +14,10 @@
 //     node's local units — a deterministic function of the flow and the
 //     platform, so bookkeeping is independent of admission order);
 //   - a node's residual service curve is its rate-latency curve minus the
-//     aggregate cross traffic of the flows it hosts, via
-//     curve.ResidualService (blind multiplexing);
+//     aggregate cross traffic of the flows it hosts — blind multiplexing
+//     ([beta - cross]⁺) by default, or a tighter member of the FIFO
+//     left-over family when the flow's analysis rung asks for one (see
+//     core.Rung: the controller carries a default, each flow may override);
 //   - a candidate is checked by running core.Analyze on its path with the
 //     co-resident contributions as cross traffic, and every co-resident
 //     flow sharing a node is re-checked with the candidate's contributions
@@ -59,13 +61,13 @@
 // throughput even on one core.
 //
 // Verdict rejections are cached keyed by (arrival-envelope digest, path,
-// SLO) — curve digests rather than spec hashes, so two specs with
-// identical curves share one cache entry regardless of flow ID — and each
-// entry pins the node epochs its analysis observed, so a commit on a
+// SLO, analysis rung) — curve digests rather than spec hashes, so two specs
+// with identical curves share one cache entry regardless of flow ID — and
+// each entry pins the node epochs its analysis observed, so a commit on a
 // disjoint path invalidates nothing. Reservations are likewise cached on
-// (envelope digest, path), and all analyses run through a controller-wide
-// core.Memo so candidate and victim re-checks never recompute an identical
-// pipeline.
+// (envelope digest, path, rung), and all analyses run through a
+// controller-wide core.Memo so candidate and victim re-checks never
+// recompute an identical pipeline.
 package admit
 
 import (
@@ -106,6 +108,11 @@ type Flow struct {
 	Path []string
 	// SLO is what the tenant asks the platform to guarantee.
 	SLO SLO
+	// Rung selects the multi-flow analysis tightness for this flow
+	// (core.RungBlind/RungFIFO/RungTight); core.RungDefault defers to the
+	// controller's default (SetRung). Tighter rungs cost more analysis per
+	// decision but admit strictly more load at identical SLOs.
+	Rung core.Rung
 }
 
 // Verdict is the outcome of an admission check, with the explanation the
@@ -131,6 +138,11 @@ type Verdict struct {
 	// (local units) after this flow's reservation.
 	HeadroomRate units.Rate
 
+	// Rung is the analysis tightness rung the decision ran at ("blind",
+	// "fifo" or "tight") — the flow's own override, or the controller
+	// default when unset.
+	Rung string
+
 	// Epoch is the platform epoch the verdict was computed at; Cached
 	// reports a verdict served from the cache.
 	Epoch  uint64
@@ -139,14 +151,17 @@ type Verdict struct {
 
 // verdictKey identifies an admission question independently of the flow ID:
 // the structural digest of the arrival envelope (curve.Curve.Digest), the
-// arrival packetizer size, the path, and the SLO. Two specs with identical
-// curves map to the same key; the key doubles as the registry's flow-class
-// identity and (with a zero SLO) the reservation-cache key.
+// arrival packetizer size, the path, the SLO, and the resolved analysis
+// rung (two flows analyzed at different tightness are different admission
+// questions with different reservations and verdicts). Two specs with
+// identical curves map to the same key; the key doubles as the registry's
+// flow-class identity and (with a zero SLO) the reservation-cache key.
 type verdictKey struct {
 	alpha uint64 // arrival envelope digest
 	lmax  units.Bytes
 	path  string // node names joined with NUL
 	slo   SLO
+	rung  core.Rung // resolved, never RungDefault
 }
 
 // keyLess is a total order over class keys, fixing the summation order of
@@ -168,7 +183,10 @@ func keyLess(a, b verdictKey) bool {
 	if a.slo.MaxBacklog != b.slo.MaxBacklog {
 		return a.slo.MaxBacklog < b.slo.MaxBacklog
 	}
-	return a.slo.MinThroughput < b.slo.MinThroughput
+	if a.slo.MinThroughput != b.slo.MinThroughput {
+		return a.slo.MinThroughput < b.slo.MinThroughput
+	}
+	return a.rung < b.rung
 }
 
 // shardEntry is one class's footprint on one node: the per-member reserved
@@ -270,9 +288,11 @@ type classState struct {
 	minValid bool
 }
 
-// flowFor reconstructs the admit.Flow of member id.
+// flowFor reconstructs the admit.Flow of member id. The rung is the
+// resolved one the class was admitted at, pinned explicitly so later
+// SetRung calls never silently re-ladder admitted classes.
 func (cs *classState) flowFor(id string) Flow {
-	return Flow{ID: id, Arrival: cs.arrival, Path: cs.path, SLO: cs.slo}
+	return Flow{ID: id, Arrival: cs.arrival, Path: cs.path, SLO: cs.slo, Rung: cs.key.rung}
 }
 
 func (cs *classState) addID(id string) {
@@ -317,6 +337,11 @@ type Controller struct {
 	shards map[string]*shard
 	order  []string // node names in platform order, for stable reports
 	byIdx  []*shard // shards addressed by shard.idx (platform order)
+
+	// rung is the default analysis tightness for flows that do not carry
+	// their own (SetRung; zero value resolves to blind). Set before serving
+	// traffic, immutable afterwards.
+	rung core.Rung
 
 	mu      sync.RWMutex // guards flows/classes and commit/release transactions
 	flows   map[string]*classState
@@ -404,6 +429,24 @@ func New(name string, nodes []core.Node) (*Controller, error) {
 
 // Name returns the platform name.
 func (c *Controller) Name() string { return c.name }
+
+// SetRung sets the controller's default analysis tightness rung, applied to
+// every flow whose own Rung is core.RungDefault. Call before serving
+// traffic: the field is read without synchronization on the decision path,
+// and admitted classes keep the rung they were admitted at regardless.
+func (c *Controller) SetRung(r core.Rung) { c.rung = r }
+
+// DefaultRung returns the controller's resolved default rung.
+func (c *Controller) DefaultRung() core.Rung { return c.rung.Resolved() }
+
+// rungFor resolves the analysis rung for f: the flow's own override when
+// set, the controller default otherwise. Never returns RungDefault.
+func (c *Controller) rungFor(f Flow) core.Rung {
+	if f.Rung != core.RungDefault {
+		return f.Rung.Resolved()
+	}
+	return c.rung.Resolved()
+}
 
 // Epoch returns the current platform epoch; it increments on every
 // successful admit or release (once per batch transaction). It is a coarse
@@ -574,6 +617,7 @@ func (c *Controller) keyFor(f Flow) verdictKey {
 		lmax:  f.Arrival.MaxPacket,
 		path:  strings.Join(f.Path, "\x00"),
 		slo:   f.SLO,
+		rung:  c.rungFor(f),
 	}
 }
 
@@ -587,7 +631,7 @@ func (c *Controller) keyFor(f Flow) verdictKey {
 // Rejection reasons never mention the candidate's ID: they are cached and
 // replayed for any flow with the same curves, path, and SLO.
 func (c *Controller) decide(f Flow, epoch uint64, sw *sweep, tr *decTrace) (Verdict, map[string]core.Bucket) {
-	v := Verdict{FlowID: f.ID, Epoch: epoch}
+	v := Verdict{FlowID: f.ID, Epoch: epoch, Rung: c.rungFor(f).String()}
 	// phase is what a rejection return attributes the elapsed time to; it
 	// flips to the victim-sweep phase when the victim loop starts.
 	phase := PhaseAnalysis
@@ -645,7 +689,10 @@ func (c *Controller) decide(f Flow, epoch uint64, sw *sweep, tr *decTrace) (Verd
 			continue
 		}
 		tr.noteVictim()
-		p := c.buildPipeline(cs.arrival, cs.path, k, 1, contrib)
+		// Victims are re-analyzed at their own admitted rung, not the
+		// candidate's: a tight-rung candidate must not loosen (or tighten)
+		// the promises already made to blind-rung classes.
+		p := c.buildPipeline(cs.arrival, cs.path, k.rung, k, 1, contrib)
 		ga, err := core.AnalyzeMemo(p, c.memo)
 		if err != nil {
 			return reject("victim:"+cs.representative(),
@@ -713,15 +760,18 @@ func reservationFrom(f Flow, a *core.Analysis) map[string]core.Bucket {
 }
 
 // reservationFor returns f's standalone per-node reservation, cached on
-// (envelope digest, path) — flow-ID- and epoch-independent, since the
-// standalone propagation only sees the pristine platform. The returned map
-// is shared across cache hits and must be treated as read-only (all callers
-// are).
+// (envelope digest, path, rung) — flow-ID- and epoch-independent, since the
+// standalone propagation only sees the pristine platform. The rung matters
+// when nodes carry static background cross traffic: a tighter rung yields a
+// tighter (still sound) propagated bound, hence a smaller downstream
+// reservation. The returned map is shared across cache hits and must be
+// treated as read-only (all callers are).
 func (c *Controller) reservationFor(f Flow) (map[string]core.Bucket, error) {
 	key := verdictKey{
 		alpha: f.Arrival.Envelope().Digest(),
 		lmax:  f.Arrival.MaxPacket,
 		path:  strings.Join(f.Path, "\x00"),
+		rung:  c.rungFor(f),
 	}
 	c.resMu.Lock()
 	contrib, ok := c.resCache[key]
@@ -748,20 +798,21 @@ func (c *Controller) reservationFor(f Flow) (map[string]core.Bucket, error) {
 // pipeline name is ID-independent so the analysis memo can share results
 // across flows with identical curves and paths.
 func (c *Controller) standalonePipeline(f Flow) core.Pipeline {
-	p := core.Pipeline{Name: c.name + "/standalone", Arrival: f.Arrival}
+	p := core.Pipeline{Name: c.name + "/standalone", Arrival: f.Arrival, Rung: c.rungFor(f)}
 	for _, name := range f.Path {
 		p.Nodes = append(p.Nodes, c.shards[name].node)
 	}
 	return p
 }
 
-// buildPipeline builds a pipeline for (arrival, path) over the platform,
-// with cross traffic at each node = the node's static background + the
-// hosted reservations minus excludeN members of class exclude + extra (a
-// candidate's reservation during victim checks). The name is ID-independent
-// (see standalonePipeline). Callers must hold the registry lock.
-func (c *Controller) buildPipeline(arrival core.Arrival, path []string, exclude verdictKey, excludeN int, extra map[string]core.Bucket) core.Pipeline {
-	p := core.Pipeline{Name: c.name + "/shared", Arrival: arrival}
+// buildPipeline builds a pipeline for (arrival, path) over the platform at
+// the given analysis rung, with cross traffic at each node = the node's
+// static background + the hosted reservations minus excludeN members of
+// class exclude + extra (a candidate's reservation during victim checks).
+// The name is ID-independent (see standalonePipeline). Callers must hold
+// the registry lock.
+func (c *Controller) buildPipeline(arrival core.Arrival, path []string, rung core.Rung, exclude verdictKey, excludeN int, extra map[string]core.Bucket) core.Pipeline {
+	p := core.Pipeline{Name: c.name + "/shared", Arrival: arrival, Rung: rung}
 	for _, name := range path {
 		sh := c.shards[name]
 		n := sh.node
@@ -789,7 +840,7 @@ func (c *Controller) pipelineFor(f Flow, extra map[string]core.Bucket) core.Pipe
 	if cs, ok := c.flows[f.ID]; ok {
 		exclude, excludeN = cs.key, 1
 	}
-	return c.buildPipeline(f.Arrival, f.Path, exclude, excludeN, extra)
+	return c.buildPipeline(f.Arrival, f.Path, c.rungFor(f), exclude, excludeN, extra)
 }
 
 // bounds are the end-to-end figures admission checks and verdicts promise.
@@ -979,10 +1030,10 @@ func (c *Controller) Recheck(id string) (Verdict, error) {
 	epoch := c.epoch.Load()
 	c.mu.RUnlock()
 	if err != nil {
-		return Verdict{FlowID: id, Epoch: epoch, Binding: "saturation",
+		return Verdict{FlowID: id, Epoch: epoch, Binding: "saturation", Rung: f.Rung.String(),
 			Reason: fmt.Sprintf("recheck: %v", err)}, nil
 	}
-	v := Verdict{FlowID: id, Epoch: epoch}
+	v := Verdict{FlowID: id, Epoch: epoch, Rung: f.Rung.String()}
 	b := boundsOf(a)
 	v.Delay, v.Backlog, v.Throughput = b.delay, b.backlog, b.throughput
 	if bad := sloViolation(f.SLO, a, b); bad != nil {

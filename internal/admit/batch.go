@@ -279,7 +279,10 @@ func (c *Controller) feasibleAt(cands []batchCand, sw *sweep, tr *decTrace) feas
 
 	check := func(arrival core.Arrival, path []string, slo SLO, self verdictKey) (*core.Analysis, bounds, bool) {
 		sw.addPath(c, path)
-		p := core.Pipeline{Name: c.name + "/shared", Arrival: arrival}
+		// self is the analyzed class's own key, so every class — existing
+		// victim or batch addition — is checked at the rung it is (being)
+		// admitted at.
+		p := core.Pipeline{Name: c.name + "/shared", Arrival: arrival, Rung: self.rung}
 		for _, name := range path {
 			sh := c.shards[name]
 			n := sh.node
@@ -329,7 +332,7 @@ func (c *Controller) feasibleAt(cands []batchCand, sw *sweep, tr *decTrace) feas
 			tr.mark(PhaseAnalysis)
 			return feasResult{}
 		}
-		v := Verdict{Admitted: true, Epoch: epoch}
+		v := Verdict{Admitted: true, Epoch: epoch, Rung: k.rung.String()}
 		v.Delay, v.Backlog, v.Throughput = b.delay, b.backlog, b.throughput
 		bn := rep.f.Path[a.BottleneckIndex]
 		v.Bottleneck = bn

@@ -303,6 +303,7 @@ func (c *Controller) observeAdmit(v Verdict, tr *decTrace) {
 	rec.Admitted = v.Admitted
 	rec.Cached = v.Cached
 	rec.Binding = v.Binding
+	rec.Rung = v.Rung
 	rec.Epoch = v.Epoch
 	seq := c.pushRecord(rec)
 
@@ -322,6 +323,7 @@ func (c *Controller) observeAdmit(v Verdict, tr *decTrace) {
 			"flow_id", v.FlowID,
 			"admitted", v.Admitted,
 			"binding", v.Binding,
+			"rung", v.Rung,
 			"epoch", v.Epoch,
 			"cached", v.Cached,
 			"decision_us", took.Microseconds(),

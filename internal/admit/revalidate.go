@@ -147,7 +147,7 @@ func (c *Controller) sharedPipelineSnapshot(f Flow) core.Pipeline {
 	if cs, ok := c.flows[f.ID]; ok {
 		exclude, excludeN = cs.key, 1
 	}
-	p := core.Pipeline{Name: c.name + "/shared", Arrival: f.Arrival}
+	p := core.Pipeline{Name: c.name + "/shared", Arrival: f.Arrival, Rung: c.rungFor(f)}
 	for _, name := range f.Path {
 		sh := c.shards[name]
 		sh.mu.RLock()

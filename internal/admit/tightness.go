@@ -16,6 +16,9 @@ import (
 // tightness ratio below 1 means the network-calculus promise was violated.
 type Tightness struct {
 	FlowID string
+	// Rung is the analysis tightness rung the bounds were computed at (the
+	// rung the flow was admitted with).
+	Rung string
 	// Epoch is the global platform epoch (the coarse per-commit counter, not
 	// a per-node epoch) the comparison was taken at. The analytic bounds are
 	// recomputed at this epoch (under the co-resident reservations of the
@@ -80,6 +83,7 @@ func (c *Controller) Tightness(id string, opt ReplayOptions) (Tightness, error) 
 
 	t := Tightness{
 		FlowID: id,
+		Rung:   a.Rung.String(),
 		Epoch:  c.Epoch(),
 
 		DelayBound:  b.delay,

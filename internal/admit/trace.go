@@ -149,6 +149,7 @@ type DecisionRecord struct {
 	Released bool   `json:"released,omitempty"` // release decisions
 	Cached   bool   `json:"cached,omitempty"`
 	Binding  string `json:"binding,omitempty"`
+	Rung     string `json:"rung,omitempty"` // analysis tightness rung decided at
 	Epoch    uint64 `json:"epoch,omitempty"`
 
 	Start  time.Time      `json:"start"`

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"time"
 
+	"streamcalc/internal/core"
+	"streamcalc/internal/curve"
 	"streamcalc/internal/sim"
 	"streamcalc/internal/units"
 )
@@ -188,11 +190,15 @@ func (c *Controller) replaySim(f Flow, opt ReplayOptions) (*sim.Pipeline, error)
 }
 
 // residualStages builds the simulator stages for f's path: each node serves
-// deterministically at its residual sustained rate under the co-resident
-// reservations (excluding f's own), with the residual latency
-// (b_cross + R·T)/(R - r) — the rate-latency form of [beta - cross]⁺ for
-// leaky-bucket cross traffic — as a one-time startup. It also returns the
-// first node's job size as the default source packet.
+// deterministically at the sustained rate of the residual service curve the
+// flow's analysis rung assumed under the co-resident reservations
+// (excluding f's own), with a one-time startup latency. At the blind rung
+// the residual is the rate-latency curve [beta - cross]⁺, replayed exactly;
+// at the FIFO rungs the chosen theta-shifted member is not expressible as a
+// (rate, startup) stage, so the stage serves its minimal rate-latency
+// majorant — at least the service the analysis assumed everywhere, so the
+// analytic bounds must still dominate every replay observation. It also
+// returns the first node's job size as the default source packet.
 func (c *Controller) residualStages(f Flow) ([]sim.StageConfig, units.Bytes, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -201,8 +207,22 @@ func (c *Controller) residualStages(f Flow) ([]sim.StageConfig, units.Bytes, err
 	if cs, ok := c.flows[f.ID]; ok {
 		exclude, excludeN = cs.key, 1
 	}
+	rung := c.rungFor(f)
+	var thetas []float64
+	if rung != core.RungBlind {
+		// The per-node thetas the flow's analysis committed to. Analysis
+		// errors (saturation) surface as replay errors, as before.
+		a, err := core.AnalyzeMemo(c.pipelineFor(f, nil), c.memo)
+		if err != nil {
+			return nil, 0, err
+		}
+		thetas = make([]float64, len(a.Nodes))
+		for i, na := range a.Nodes {
+			thetas[i] = na.FIFOTheta
+		}
+	}
 	var out []sim.StageConfig
-	for _, name := range f.Path {
+	for i, name := range f.Path {
 		sh := c.shards[name]
 		sh.mu.RLock()
 		node := sh.node
@@ -210,15 +230,60 @@ func (c *Controller) residualStages(f Flow) ([]sim.StageConfig, units.Bytes, err
 		sh.mu.RUnlock()
 
 		crossRate := node.CrossRate + agg.Rate
-		residRate := node.Rate - crossRate
+		crossBurst := node.CrossBurst + agg.Burst
+		// Theta is a time quantity, so the input-referred value from the
+		// analysis carries over to the node-local curves unchanged.
+		full := curve.RateLatency(float64(node.Rate), node.Latency.Seconds())
+		var resid curve.Curve
+		ok := true
+		switch {
+		case crossRate <= 0:
+			resid = full
+		case thetas != nil && thetas[i] > 0:
+			resid, ok = curve.FIFOResidual(full, curve.Affine(float64(crossRate), float64(crossBurst)), thetas[i])
+		default:
+			resid, ok = curve.ResidualService(full, curve.Affine(float64(crossRate), float64(crossBurst)))
+		}
+		if !ok {
+			return nil, 0, fmt.Errorf("node %s: reservations starve the node", node.Name)
+		}
+		residRate := units.Rate(resid.UltimateSlope())
 		if residRate <= 0 {
 			return nil, 0, fmt.Errorf("node %s: reservations starve the node", node.Name)
 		}
 		cfg := sim.StageFromRate(node.Name, residRate, residRate, node.JobIn, node.JobOut)
-		crossBurst := node.CrossBurst + agg.Burst
-		latency := (float64(crossBurst) + float64(node.Rate)*node.Latency.Seconds()) / float64(residRate)
-		cfg.Startup = time.Duration(latency * float64(time.Second))
+		cfg.Startup = time.Duration(majorantLatency(resid) * float64(time.Second))
 		out = append(out, cfg)
 	}
 	return out, c.shards[f.Path[0]].node.JobIn, nil
+}
+
+// majorantLatency returns the latency L of the minimal rate-latency curve
+// (at the residual's own sustained rate s) dominating resid: the largest L
+// with s·(t-L) >= resid(t) everywhere, i.e. inf over t of t - resid(t)/s.
+// Every slope of a residual curve is at most its ultimate slope, so t -
+// resid(t)/s is non-decreasing between breakpoints and the infimum sits on
+// a breakpoint (right limit, catching upward jumps). For a rate-latency
+// resid — the blind rung — this is exactly its own latency.
+func majorantLatency(resid curve.Curve) float64 {
+	s := resid.UltimateSlope()
+	if s <= 0 {
+		return 0
+	}
+	lat := resid.Latency()
+	best := lat
+	for _, x := range resid.Breakpoints() {
+		// Before the latency point the curve is zero and the majorant
+		// constraint is vacuous.
+		if x < lat {
+			continue
+		}
+		if l := x - resid.Value(x)/s; l < best {
+			best = l
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
 }

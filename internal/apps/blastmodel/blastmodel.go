@@ -73,10 +73,17 @@ func Pipeline() core.Pipeline {
 			{
 				// DIBS fa2bit on the FPGA: 4 bases -> 1 byte, matching the
 				// arrival rate (the R_alpha = R_beta scenario at this node).
+				// The FPGA DMA engine releases packed output in the same
+				// large blocks decompose consumes (MaxPacket is in local
+				// input units: 6 MiB of bases = 1536 KiB packed), so
+				// decompose receives whole blocks and adds no aggregation
+				// latency of its own — the burst term already carries the
+				// FPGA block boundary.
 				Name: "fa2bit", Kind: core.Compute,
 				Rate: 704 * units.MiBPerSec, MaxRate: 1024 * units.MiBPerSec,
 				Latency: 300 * time.Microsecond,
 				JobIn:   4, JobOut: 1,
+				MaxPacket: 6 * units.MiB,
 			},
 			{
 				// Node D: decompose large FPGA blocks into network packets.

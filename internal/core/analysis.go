@@ -35,6 +35,11 @@ type NodeAnalysis struct {
 	// T_n^tot = T_{n-1}^tot + b_n/R_alpha,n-1 + T_n.
 	CumulativeLatency time.Duration
 
+	// FIFOTheta is the chosen theta of the FIFO left-over family at this
+	// node (meaningful only when the node carries cross traffic and the
+	// analysis ran above the blind rung; 0 means the blind residual).
+	FIFOTheta float64
+
 	// ArrivalRate is the long-run rate of the flow arriving at this node
 	// (input-referred): the arrival rate clipped by upstream bottlenecks.
 	ArrivalRate units.Rate
@@ -63,6 +68,9 @@ type NodeAnalysis struct {
 type Analysis struct {
 	Pipeline Pipeline
 	Nodes    []NodeAnalysis
+
+	// Rung is the resolved analysis rung the bounds were computed at.
+	Rung Rung
 
 	// Alpha is the offered arrival curve; AlphaPrime adds the packetizer
 	// burst l_max.
@@ -146,7 +154,21 @@ func analyze(p Pipeline) (*Analysis, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	a := &Analysis{Pipeline: p}
+	if p.Rung.Resolved() == RungTight {
+		return analyzeTight(p)
+	}
+	return analyzeWith(p, nil)
+}
+
+// analyzeWith runs one analysis pass. A non-nil thetas slice (indexed by
+// node) pins the FIFO left-over theta at every cross-traffic node — the
+// tight rung's joint enumeration drives this; entries at nodes without
+// cross traffic are ignored. With thetas nil the residual at a cross node
+// follows the pipeline's rung: the blind residual, or the per-node greedy
+// FIFO member for RungFIFO.
+func analyzeWith(p Pipeline, thetas []float64) (*Analysis, error) {
+	rung := p.Rung.Resolved()
+	a := &Analysis{Pipeline: p, Rung: rung}
 
 	// Arrival curves (input-referred by definition). Extra buckets tighten
 	// the envelope to a concave piecewise-linear minimum.
@@ -169,6 +191,27 @@ func analyze(p Pipeline) (*Analysis, error) {
 	minRate := units.Rate(math.Inf(1))
 	minMaxRate := units.Rate(math.Inf(1))
 	a.BottleneckIndex = 0
+
+	// grain is the delivery granularity of the upstream element in the local
+	// bytes of the current node's input: the source packet size for the first
+	// node; for later nodes whatever the upstream stage releases at once —
+	// its emitted job, or its output packetizer block when that is larger.
+	// A node aggregates whenever its JobIn exceeds this grain. The previous
+	// condition compared JobIn against the arrival-envelope burst instead,
+	// but the burst is an upper bound on what the flow MAY deliver at once,
+	// not a guarantee: a compliant flow trickling packets at its sustained
+	// rate fills the job buffer in b_n / R_alpha,n-1, and a bound that
+	// skipped the charge was measurably violated by simulation (the
+	// experiments/crossval sub-packet slack filed in PR 3 was the backlog
+	// shadow of this, with delay overshoots up to 30% on other seeds).
+	// An unpacketized arrival (MaxPacket = 0) declares no delivery grain;
+	// the model follows the paper and charges no head-node aggregation for
+	// it (no simulatable source is grain-free — sim sources require a
+	// packet size — so the soundness cross-validation is unaffected).
+	grain := math.Inf(1)
+	if p.Arrival.MaxPacket > 0 {
+		grain = float64(p.Arrival.MaxPacket)
+	}
 
 	for i, n := range p.Nodes {
 		na := NodeAnalysis{Node: n, GainBefore: gain}
@@ -196,7 +239,23 @@ func analyze(p Pipeline) (*Analysis, error) {
 		var beta curve.Curve
 		if crossRate > 0 {
 			full := curve.RateLatency(float64(n.Rate.Mul(1/gain)), secs(n.Latency))
-			resid, ok := curve.ResidualService(full, curve.Affine(float64(crossRate), float64(crossBurst)))
+			crossC := curve.Affine(float64(crossRate), float64(crossBurst))
+			var resid curve.Curve
+			var ok bool
+			switch {
+			case thetas != nil:
+				// Tight rung: theta pinned by the joint enumeration.
+				na.FIFOTheta = thetas[i]
+				resid, ok = curve.FIFOResidual(full, crossC, thetas[i])
+			case rung == RungFIFO:
+				// Greedy rung: best member against this node's propagated
+				// arrival. Candidates are dominance-safe (theta = 0, the
+				// blind residual, included), so the node — and by pointwise
+				// dominance the whole chain — never does worse than blind.
+				resid, na.FIFOTheta, ok = curve.FIFOResidualBest(alphaIn, full, crossC)
+			default:
+				resid, ok = curve.ResidualService(full, crossC)
+			}
 			if !ok {
 				return nil, fmt.Errorf("core: node %d (%s): cross traffic starves the node", i, n.Name)
 			}
@@ -207,10 +266,11 @@ func analyze(p Pipeline) (*Analysis, error) {
 		}
 
 		// Aggregation: the node collects JobIn before dispatching; if that
-		// exceeds the burst the upstream flow can deliver at once (the
-		// paper's b_n > b*_{n-1}, where b* is the burst of the propagated
-		// output bound), collecting a job costs b_n / R_alpha,n-1.
-		if float64(na.JobIn) > alphaIn.Burst()*(1+1e-12) {
+		// exceeds the grain the upstream element delivers (the paper's
+		// b_n > b_{n-1} with b_0 the source packet), collecting a job costs
+		// b_n / R_alpha,n-1. The comparison is in this node's local bytes on
+		// both sides.
+		if float64(n.JobIn) > grain*(1+1e-12) {
 			na.Aggregates = true
 			na.AggregationDelay = na.JobIn.Time(arrRate)
 		}
@@ -262,6 +322,11 @@ func analyze(p Pipeline) (*Analysis, error) {
 		}
 		gain *= n.Gain()
 		gainBest *= n.bestGainOrGain()
+		// The next node receives blocks of whatever this node releases at
+		// once: its emitted job, or its packetizer block when larger
+		// (MaxPacket is in local input units; ×Gain converts to the emitted
+		// stream's units, matching the next node's JobIn).
+		grain = math.Max(float64(n.JobOut), float64(n.MaxPacket)*n.Gain())
 		a.Nodes = append(a.Nodes, na)
 	}
 

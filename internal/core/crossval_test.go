@@ -53,24 +53,30 @@ func randomConfig(rng *rand.Rand) cfg {
 }
 
 // chainBound computes the conservative end-to-end delay and backlog bounds
-// from the per-node analysis: concatenate the packetized per-node service
-// curves and add the aggregation delays as pure-delay elements.
+// from the per-node analysis: the concatenated packetized service curves
+// with the aggregation delays inserted as pure-delay elements — exactly
+// ConcatenatedBeta, the curve that backs admission promises. No
+// discretization slack is added on top: AlphaPrime already dominates the
+// source's packet staircase, and the job-fill hold-back lives in the chain
+// curve via the grain-based aggregation charge.
 func chainBound(t *testing.T, a *core.Analysis) (delay float64, backlog float64) {
 	t.Helper()
-	betas := make([]curve.Curve, 0, len(a.Nodes))
-	agg := 0.0
-	for _, na := range a.Nodes {
-		betas = append(betas, na.Beta)
-		agg += na.AggregationDelay.Seconds()
-	}
-	chain := curve.ConvolveAll(betas)
-	delay = curve.HDev(a.AlphaPrime, chain) + agg
-	backlog = curve.VDev(a.AlphaPrime, chain) + float64(a.Pipeline.Arrival.Rate)*agg
+	chain := a.ConcatenatedBeta()
+	delay = curve.HDev(a.AlphaPrime, chain)
+	backlog = curve.VDev(a.AlphaPrime, chain)
 	return delay, backlog
 }
 
 func TestCrossValidationSimWithinBounds(t *testing.T) {
-	rng := rand.New(rand.NewSource(1234))
+	// Several independent draw sequences: the bounds must hold for any
+	// generated family, not one frozen math/rand stream.
+	for _, src := range []int64{1234, 99, 20260807} {
+		rng := rand.New(rand.NewSource(src))
+		testCrossValidationSimWithinBounds(t, rng)
+	}
+}
+
+func testCrossValidationSimWithinBounds(t *testing.T, rng *rand.Rand) {
 	for trial := 0; trial < 60; trial++ {
 		c := randomConfig(rng)
 		p := core.Pipeline{Name: "xval", Arrival: c.arrival, Nodes: c.nodes}
@@ -100,14 +106,14 @@ func TestCrossValidationSimWithinBounds(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got := res.DelayMax.Seconds(); got > delayBound+1e-9 {
+		// Tolerance is float rounding only (relative 1e-9): both sides are
+		// exact curve algebra and event arithmetic, so a sound model needs
+		// no packet or byte of structural headroom.
+		if got := res.DelayMax.Seconds(); got > delayBound*(1+1e-9) {
 			t.Errorf("trial %d: sim delay %.4fs exceeds chain bound %.4fs\narrival %+v nodes %+v",
 				trial, got, delayBound, c.arrival, c.nodes)
 		}
-		// One source packet of slack: the simulator books a packet in full
-		// at its emission instant, while the fluid envelope spreads it over
-		// the packet's serialization interval.
-		if got := float64(res.MaxBacklog); got > backlogBound+float64(c.arrival.MaxPacket)+1e-6 {
+		if got := float64(res.MaxBacklog); got > backlogBound*(1+1e-9) {
 			t.Errorf("trial %d: sim backlog %.1f exceeds chain bound %.1f", trial, got, backlogBound)
 		}
 		// Throughput sanity: the pipeline is stable, so everything drains

@@ -100,6 +100,9 @@ func (p Pipeline) digest() uint64 {
 		h.f64(float64(n.CrossRate))
 		h.f64(float64(n.CrossBurst))
 	}
+	// The resolved rung, so RungDefault and an explicit RungBlind share a
+	// cached analysis while the other rungs get their own entries.
+	h.u64(uint64(p.Rung.Resolved()))
 	return h.sum()
 }
 

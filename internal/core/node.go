@@ -235,6 +235,10 @@ type Pipeline struct {
 	Name    string
 	Arrival Arrival
 	Nodes   []Node
+	// Rung selects the multi-flow analysis tightness (the FIFO ladder) for
+	// nodes carrying cross traffic. The zero value resolves to RungBlind,
+	// the pre-ladder behavior.
+	Rung Rung
 }
 
 // Validate checks the pipeline description for structural errors.

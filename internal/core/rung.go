@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"streamcalc/internal/curve"
+	"streamcalc/internal/pool"
+)
+
+// Rung selects the multi-flow analysis tightness for nodes that carry cross
+// traffic — the accuracy/tractability knob of the FIFO ladder. Every rung
+// produces sound bounds; climbing the ladder only tightens them:
+//
+//	blind  — arbitrary-order multiplexing residual [beta - alpha_cross]⁺.
+//	         No FIFO assumption, cheapest, loosest.
+//	fifo   — per-node greedy member of the theta-parameterized FIFO
+//	         left-over family, theta chosen to minimize that node's delay
+//	         bound against its propagated arrival. Each chosen member
+//	         dominates the blind residual pointwise, so the end-to-end
+//	         bound never regresses.
+//	tight  — joint enumeration of the per-node theta grids (the exact
+//	         small-topology formulation): every dominance-safe theta vector
+//	         is analyzed and the end-to-end delay bound minimized, fanned
+//	         over the worker pool. Cost grows with the product of per-node
+//	         grid sizes; intended for bounded node counts.
+type Rung uint8
+
+const (
+	// RungDefault is the zero value and resolves to RungBlind, keeping
+	// zero-valued Pipeline literals on the pre-ladder behavior.
+	RungDefault Rung = iota
+	RungBlind
+	RungFIFO
+	RungTight
+)
+
+// Resolved maps RungDefault to RungBlind and leaves other values alone.
+func (r Rung) Resolved() Rung {
+	if r == RungDefault {
+		return RungBlind
+	}
+	return r
+}
+
+// String returns the wire name of the resolved rung.
+func (r Rung) String() string {
+	switch r.Resolved() {
+	case RungBlind:
+		return "blind"
+	case RungFIFO:
+		return "fifo"
+	case RungTight:
+		return "tight"
+	default:
+		return fmt.Sprintf("Rung(%d)", uint8(r))
+	}
+}
+
+// ParseRung parses a wire name; "" and "default" resolve to RungDefault so
+// callers can distinguish "explicitly blind" from "unset".
+func ParseRung(s string) (Rung, error) {
+	switch s {
+	case "", "default":
+		return RungDefault, nil
+	case "blind":
+		return RungBlind, nil
+	case "fifo":
+		return RungFIFO, nil
+	case "tight":
+		return RungTight, nil
+	}
+	return RungDefault, fmt.Errorf("core: unknown analysis rung %q (want blind, fifo or tight)", s)
+}
+
+// Rungs lists the ladder in ascending tightness, for sweeps and flags.
+func Rungs() []Rung { return []Rung{RungBlind, RungFIFO, RungTight} }
+
+// tightMaxCombos caps the joint theta-vector enumeration; per-node grids
+// are thinned (endpoints kept) until the product fits. 2^11 keeps the top
+// rung interactive for the small topologies it targets while still
+// exhausting 3-4 cross nodes at full grid resolution.
+const tightMaxCombos = 2048
+
+// analyzeTight runs the top rung: enumerate the cartesian product of the
+// per-cross-node dominance-safe theta grids, analyze every vector in
+// parallel, and keep the one minimizing the end-to-end delay bound of the
+// concatenated chain curve. Ties keep the lexicographically smallest
+// vector (theta = 0 entries first), making the result deterministic and
+// never worse than the blind rung.
+func analyzeTight(p Pipeline) (*Analysis, error) {
+	alphaPrime := p.Arrival.PacketizedEnvelope()
+	grids := make([][]float64, len(p.Nodes))
+	gain := 1.0
+	combos := 1
+	hasCross := false
+	for i, n := range p.Nodes {
+		if n.CrossRate > 0 {
+			full := curve.RateLatency(float64(n.Rate.Mul(1/gain)), secs(n.Latency))
+			cross := curve.Affine(float64(n.CrossRate.Mul(1/gain)), float64(n.CrossBurst.Mul(1/gain)))
+			g := curve.FIFOThetaCandidates(full, cross)
+			if g == nil {
+				return nil, fmt.Errorf("core: node %d (%s): cross traffic starves the node", i, n.Name)
+			}
+			// Arrival-aware candidate (see FIFOResidualBest): where the
+			// post-theta service jump just covers the cross plus source
+			// bursts. The source envelope is an over-approximation of the
+			// propagated arrival at inner nodes, which only affects grid
+			// quality, never soundness.
+			if tmax := g[len(g)-1]; tmax > 0 {
+				if th := full.InverseLower(float64(n.CrossBurst.Mul(1/gain)) + alphaPrime.Burst()); th > 0 && th < tmax && !math.IsInf(th, 1) {
+					g = append(g, th)
+					sort.Float64s(g)
+				}
+			}
+			grids[i] = g
+			combos *= len(g)
+			hasCross = true
+		}
+		gain *= n.Gain()
+	}
+	if !hasCross {
+		return analyzeWith(p, nil)
+	}
+	// Seed the search with the greedy rung's vector so the top rung never
+	// loses to the rung below it, even when grid thinning (below) drops
+	// the exact theta the greedy pass picked.
+	var greedy []float64
+	pg := p
+	pg.Rung = RungFIFO
+	if ga, err := analyzeWith(pg, nil); err == nil {
+		greedy = make([]float64, len(p.Nodes))
+		for i, na := range ga.Nodes {
+			greedy[i] = na.FIFOTheta
+		}
+	}
+	for combos > tightMaxCombos {
+		// Thin the largest grid to half, keeping its endpoints.
+		li := -1
+		for i, g := range grids {
+			if li < 0 || len(g) > len(grids[li]) {
+				if len(g) > 2 {
+					li = i
+				}
+			}
+		}
+		if li < 0 {
+			break // every grid already minimal
+		}
+		combos /= len(grids[li])
+		grids[li] = thinGrid(grids[li], (len(grids[li])+1)/2)
+		combos *= len(grids[li])
+	}
+
+	decode := func(idx int) []float64 {
+		thetas := make([]float64, len(p.Nodes))
+		for i, g := range grids {
+			if len(g) == 0 {
+				continue
+			}
+			thetas[i] = g[idx%len(g)]
+			idx /= len(g)
+		}
+		return thetas
+	}
+
+	scores := make([]float64, combos)
+	errs := make([]error, combos)
+	_ = pool.ForEach(nil, 0, combos, nil, func(idx int) error {
+		a, err := analyzeWith(p, decode(idx))
+		if err != nil {
+			errs[idx] = err
+			return nil // evaluate every vector; lowest-index error wins below
+		}
+		scores[idx] = curve.HDev(a.AlphaPrime, a.ConcatenatedBeta())
+		return nil
+	})
+	best := 0
+	for idx := 1; idx < combos; idx++ {
+		if errs[best] != nil {
+			break
+		}
+		if errs[idx] == nil && scores[idx] < scores[best]*(1-1e-12) {
+			best = idx
+		}
+	}
+	if errs[best] != nil {
+		return nil, errs[best]
+	}
+	win := decode(best)
+	if greedy != nil {
+		if ga, err := analyzeWith(p, greedy); err == nil {
+			if curve.HDev(ga.AlphaPrime, ga.ConcatenatedBeta()) < scores[best]*(1-1e-12) {
+				return ga, nil
+			}
+		}
+	}
+	return analyzeWith(p, win)
+}
+
+// thinGrid keeps k evenly spaced entries of g including both endpoints.
+func thinGrid(g []float64, k int) []float64 {
+	if k < 2 {
+		k = 2
+	}
+	if len(g) <= k {
+		return g
+	}
+	out := make([]float64, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, g[i*(len(g)-1)/(k-1)])
+	}
+	return out
+}
+
+// RungDelayBound is a convenience for sweeps: the end-to-end delay bound of
+// the concatenated chain curve at the given rung, in seconds (+Inf when
+// overloaded or starved).
+func RungDelayBound(p Pipeline, r Rung) float64 {
+	p.Rung = r
+	a, err := Analyze(p)
+	if err != nil || a.Overloaded {
+		return math.Inf(1)
+	}
+	return curve.HDev(a.AlphaPrime, a.ConcatenatedBeta())
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"streamcalc/internal/curve"
+	"streamcalc/internal/units"
+)
+
+func TestRungParseRoundTrip(t *testing.T) {
+	for _, r := range Rungs() {
+		got, err := ParseRung(r.String())
+		if err != nil || got != r {
+			t.Errorf("ParseRung(%q) = %v, %v", r.String(), got, err)
+		}
+	}
+	for _, s := range []string{"", "default"} {
+		if got, err := ParseRung(s); err != nil || got != RungDefault {
+			t.Errorf("ParseRung(%q) = %v, %v, want RungDefault", s, got, err)
+		}
+	}
+	if _, err := ParseRung("bogus"); err == nil {
+		t.Error("bogus rung accepted")
+	}
+	if RungDefault.Resolved() != RungBlind || RungDefault.String() != "blind" {
+		t.Error("zero-value rung must resolve to blind")
+	}
+}
+
+func TestPipelineDigestDistinguishesRungs(t *testing.T) {
+	p := Pipeline{
+		Arrival: Arrival{Rate: 2, Burst: 1},
+		Nodes:   []Node{{Name: "s", Rate: 10, JobIn: 1, JobOut: 1, CrossRate: 4, CrossBurst: 2}},
+	}
+	blind, fifo, tight := p, p, p
+	blind.Rung, fifo.Rung, tight.Rung = RungBlind, RungFIFO, RungTight
+	if p.digest() != blind.digest() {
+		t.Error("default and explicit blind must share a digest")
+	}
+	if p.digest() == fifo.digest() || fifo.digest() == tight.digest() {
+		t.Error("distinct rungs must not share a digest (memo poisoning)")
+	}
+}
+
+// randomCrossPipeline builds a stable 1-3 node chain where every node
+// carries cross traffic, the shape the ladder exists for.
+func randomCrossPipeline(rng *rand.Rand) Pipeline {
+	n := 1 + rng.Intn(3)
+	arrRate := units.Rate(1 + rng.Float64()*4)
+	nodes := make([]Node, n)
+	for i := range nodes {
+		rate := arrRate.Mul(2 + rng.Float64()*4)
+		cross := rate.Mul(0.2 + rng.Float64()*0.4) // residual stays above arrival
+		nodes[i] = Node{
+			Name: string(rune('a' + i)), Rate: rate,
+			Latency: time.Duration(rng.Intn(2000)) * time.Millisecond,
+			JobIn:   1, JobOut: 1,
+			CrossRate: cross, CrossBurst: units.Bytes(rng.Float64() * 10),
+		}
+	}
+	return Pipeline{
+		Name:    "rung-fuzz",
+		Arrival: Arrival{Rate: arrRate, Burst: units.Bytes(1 + rng.Float64()*5)},
+		Nodes:   nodes,
+	}
+}
+
+// The ladder property: delay bounds are monotone non-increasing up the
+// ladder, and the chain service curve of every FIFO rung dominates the
+// blind chain pointwise.
+func TestRungLadderMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		p := randomCrossPipeline(rng)
+		dBlind := RungDelayBound(p, RungBlind)
+		dFIFO := RungDelayBound(p, RungFIFO)
+		dTight := RungDelayBound(p, RungTight)
+		eps := 1e-9 * (1 + dBlind)
+		if dFIFO > dBlind+eps {
+			t.Errorf("trial %d: fifo delay %v above blind %v", trial, dFIFO, dBlind)
+		}
+		if dTight > dFIFO+eps {
+			t.Errorf("trial %d: tight delay %v above fifo %v", trial, dTight, dFIFO)
+		}
+
+		pb, pf, pt := p, p, p
+		pb.Rung, pf.Rung, pt.Rung = RungBlind, RungFIFO, RungTight
+		ab, err1 := Analyze(pb)
+		af, err2 := Analyze(pf)
+		at, err3 := Analyze(pt)
+		if err1 != nil || err2 != nil || err3 != nil {
+			t.Fatalf("trial %d: %v %v %v", trial, err1, err2, err3)
+		}
+		chainB := ab.ConcatenatedBeta()
+		for name, a := range map[string]*Analysis{"fifo": af, "tight": at} {
+			chain := a.ConcatenatedBeta()
+			xs := append(chainB.Breakpoints(), chain.Breakpoints()...)
+			last := xs[0]
+			for _, x := range xs {
+				if x > last {
+					last = x
+				}
+			}
+			xs = append(xs, last+1, last*2+5)
+			for _, x := range xs {
+				want := chainB.Value(x)
+				if chain.Value(x) < want-1e-6*(1+want) {
+					t.Fatalf("trial %d: %s chain below blind at t=%v: %v < %v",
+						trial, name, x, chain.Value(x), want)
+				}
+			}
+		}
+	}
+}
+
+// A canonical shared node where the FIFO rungs are strictly tighter: blind
+// pays the cross burst and latency amplified by the residual rate; the
+// theta-shifted member pays only theta = the blind latency.
+func TestRungStrictImprovement(t *testing.T) {
+	p := Pipeline{
+		Name:    "shared",
+		Arrival: Arrival{Rate: 2, Burst: 1},
+		Nodes: []Node{{
+			Name: "s", Rate: 10, Latency: time.Second,
+			JobIn: 1, JobOut: 1,
+			CrossRate: 4, CrossBurst: 2,
+		}},
+	}
+	dBlind := RungDelayBound(p, RungBlind)
+	dFIFO := RungDelayBound(p, RungFIFO)
+	dTight := RungDelayBound(p, RungTight)
+	// Blind: residual RL(6, 2), delay 2 + 1/6. FIFO at the arrival-aware
+	// theta* = T + (b_c + b_a)/R = 1.3: the service right after theta*
+	// exactly covers both bursts, collapsing the delay bound to theta* —
+	// the exact aggregate FIFO bound for a single shared node.
+	if math.Abs(dBlind-(2+1.0/6)) > 1e-9 {
+		t.Errorf("blind delay = %v, want %v", dBlind, 2+1.0/6)
+	}
+	if math.Abs(dFIFO-1.3) > 1e-9 {
+		t.Errorf("fifo delay = %v, want 1.3", dFIFO)
+	}
+	if dFIFO >= dBlind || dTight > dFIFO+1e-12 {
+		t.Errorf("ladder not strictly improving: blind %v fifo %v tight %v", dBlind, dFIFO, dTight)
+	}
+	// The chosen theta is recorded for traces.
+	pf := p
+	pf.Rung = RungFIFO
+	af, err := Analyze(pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if af.Rung != RungFIFO || math.Abs(af.Nodes[0].FIFOTheta-1.3) > 1e-9 {
+		t.Errorf("rung/theta not recorded: rung=%v theta=%v", af.Rung, af.Nodes[0].FIFOTheta)
+	}
+}
+
+// Rungs only change cross-traffic handling: without cross nodes all three
+// produce identical bounds (and the single-flow paper goldens stay put).
+func TestRungNoCrossNoEffect(t *testing.T) {
+	p := Pipeline{
+		Arrival: Arrival{Rate: 4, Burst: 8, MaxPacket: 2},
+		Nodes: []Node{
+			{Name: "a", Rate: 10, Latency: time.Second, JobIn: 4, JobOut: 4, MaxPacket: 2},
+			{Name: "b", Rate: 9, Latency: time.Second / 2, JobIn: 4, JobOut: 4, MaxPacket: 2},
+		},
+	}
+	d := RungDelayBound(p, RungBlind)
+	for _, r := range []Rung{RungFIFO, RungTight} {
+		if got := RungDelayBound(p, r); math.Abs(got-d) > 1e-12 {
+			t.Errorf("rung %v changed a cross-free pipeline: %v vs %v", r, got, d)
+		}
+	}
+}
+
+func TestRungDelayBoundOverloaded(t *testing.T) {
+	p := Pipeline{
+		Arrival: Arrival{Rate: 5, Burst: 1},
+		Nodes:   []Node{{Name: "s", Rate: 10, JobIn: 1, JobOut: 1, CrossRate: 7, CrossBurst: 1}},
+	}
+	for _, r := range Rungs() {
+		if got := RungDelayBound(p, r); !math.IsInf(got, 1) {
+			t.Errorf("rung %v: overloaded flow must report +Inf, got %v", r, got)
+		}
+	}
+}
+
+// Analyses at different rungs must not collide in the Memo.
+func TestMemoSeparatesRungs(t *testing.T) {
+	m := NewMemo()
+	p := Pipeline{
+		Arrival: Arrival{Rate: 2, Burst: 1},
+		Nodes:   []Node{{Name: "s", Rate: 10, Latency: time.Second, JobIn: 1, JobOut: 1, CrossRate: 4, CrossBurst: 2}},
+	}
+	pf := p
+	pf.Rung = RungFIFO
+	ab, err1 := AnalyzeMemo(p, m)
+	af, err2 := AnalyzeMemo(pf, m)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if _, misses, entries := m.Stats(); misses != 2 || entries != 2 {
+		t.Errorf("rungs shared a memo entry: misses=%d entries=%d", misses, entries)
+	}
+	if curve.HDev(af.AlphaPrime, af.ConcatenatedBeta()) >= curve.HDev(ab.AlphaPrime, ab.ConcatenatedBeta()) {
+		t.Error("fifo rung not tighter through the memo path")
+	}
+}

@@ -39,17 +39,19 @@ func SetOpTimer(fn OpTimer) (prev OpTimer) {
 
 // opNames maps memo op tags to their exported metric label values.
 var opNames = [...]string{
-	opMin:        "min",
-	opMax:        "max",
-	opAdd:        "add",
-	opConv:       "convolve",
-	opDeconv:     "deconvolve",
-	opResidual:   "residual",
-	opHDev:       "hdev",
-	opVDev:       "vdev",
-	opShiftRight: "shift_right",
-	opAddBurst:   "add_burst",
-	opSubConst:   "sub_const",
+	opMin:          "min",
+	opMax:          "max",
+	opAdd:          "add",
+	opConv:         "convolve",
+	opDeconv:       "deconvolve",
+	opResidual:     "residual",
+	opHDev:         "hdev",
+	opVDev:         "vdev",
+	opShiftRight:   "shift_right",
+	opAddBurst:     "add_burst",
+	opSubConst:     "sub_const",
+	opConcaveHull:  "concave_hull",
+	opFIFOResidual: "fifo_residual",
 }
 
 // OpNames returns every metric label value a computed-operation timer can

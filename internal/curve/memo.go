@@ -38,6 +38,8 @@ const (
 	opShiftRight
 	opAddBurst
 	opSubConst
+	opConcaveHull
+	opFIFOResidual
 )
 
 // commutative reports whether the op's operands may be swapped, letting the

@@ -13,16 +13,22 @@ import "math"
 // rate-latency (R, T), cross leaky-bucket (r, b) — this reduces to the
 // textbook rate-latency (R-r, (b+RT)/(R-r)).
 //
-// beta must be convex and cross concave (their difference is then convex,
-// so the positive part is wide-sense increasing past its zero crossing and
-// stays piecewise linear).
+// beta must be convex (the usual rate-latency family). A non-concave cross
+// envelope — a packet staircase, a composite of heterogeneous flows — is
+// first replaced by its least concave majorant (ConcaveHull): a valid, if
+// looser, envelope for the same traffic, so the subtraction still
+// lower-bounds the residual. Rejecting such crosses outright used to
+// report spurious starvation for perfectly admissible flows.
 func ResidualService(beta, cross Curve) (res Curve, ok bool) {
 	return memoBinaryOK(opResidual, beta, cross, func() (Curve, bool) { return residualService(beta, cross) })
 }
 
 func residualService(beta, cross Curve) (res Curve, ok bool) {
-	if !beta.IsConvex() || !cross.IsConcave() {
+	if !beta.IsConvex() {
 		return Zero(), false
+	}
+	if !cross.IsConcave() {
+		cross = ConcaveHull(cross)
 	}
 	br, _ := beta.UltimateAffine()
 	cr, _ := cross.UltimateAffine()

@@ -93,12 +93,20 @@ func TestResidualServiceAssociative(t *testing.T) {
 }
 
 func TestResidualServiceShapeRequirements(t *testing.T) {
-	// Non-convex beta or non-concave cross are rejected.
+	// Non-convex beta is rejected.
 	if _, ok := ResidualService(Affine(5, 2), Affine(1, 1)); ok {
 		t.Error("concave beta must be rejected")
 	}
-	if _, ok := ResidualService(RateLatency(5, 1), RateLatency(1, 2)); ok {
-		t.Error("convex cross must be rejected")
+	// A non-concave cross is concavified (least concave majorant) rather
+	// than rejected: RateLatency(1, 2)'s hull is the line t (the flattest
+	// concave curve keeping the ultimate rate), so the residual is that of
+	// a slope-1 fluid cross flow.
+	res, ok := ResidualService(RateLatency(5, 1), RateLatency(1, 2))
+	if !ok {
+		t.Fatal("convex cross must be concavified, not rejected")
+	}
+	if want, _ := ResidualService(RateLatency(5, 1), Line(1)); !res.Equal(want) {
+		t.Errorf("residual = %v, want %v", res, want)
 	}
 }
 

@@ -219,3 +219,27 @@ func TestHarnessDeterministicWorkload(t *testing.T) {
 		}
 	}
 }
+
+// The rung sweep is the acceptance artifact for the FIFO tightness ladder:
+// the tight rung must admit strictly more identical-SLA tenants than blind,
+// every rung's sim replay must respect its promised bounds, and the bench
+// rendering must carry the admitted counts into BENCH_fifo.json.
+func TestRungSweepLadder(t *testing.T) {
+	rep, err := RungSweep(RungSweepConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Check(); err != nil {
+		t.Fatal(err)
+	}
+	blind, tight := rep.Result("blind"), rep.Result("tight")
+	if blind == nil || tight == nil {
+		t.Fatalf("missing rung results: %+v", rep.Rungs)
+	}
+	if tight.Admitted <= blind.Admitted {
+		t.Fatalf("tight admitted %d, blind %d — want strictly more", tight.Admitted, blind.Admitted)
+	}
+	if !strings.Contains(rep.BenchText(), "BenchmarkRungSweepTight") {
+		t.Errorf("bench text missing tight rung:\n%s", rep.BenchText())
+	}
+}

@@ -96,10 +96,15 @@ func DefaultScenario(flows int) Scenario {
 	size := func(share float64) units.Rate {
 		return units.Rate(headroom * share * meanRate * float64(flows))
 	}
+	// Stages process one MTU-sized block per activation, matching the
+	// population's packet size: a larger job block would (correctly, under
+	// the grain-based aggregation model) charge every flow a job-fill
+	// latency of JobIn/rate, which for the slowest Pareto flows dwarfs the
+	// tight SLO tiers and turns the scenario into a pure rejection test.
 	node := func(name string, rate units.Rate, lat time.Duration) core.Node {
 		return core.Node{
 			Name: name, Rate: rate, Latency: lat,
-			JobIn: 4 << 10, JobOut: 4 << 10, MaxPacket: 4 << 10,
+			JobIn: 1500, JobOut: 1500, MaxPacket: 1500,
 		}
 	}
 	return Scenario{

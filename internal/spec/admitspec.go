@@ -21,19 +21,25 @@ type SLO struct {
 }
 
 // Flow mirrors admit.Flow: an admission candidate offered to the daemon.
+// Rung optionally overrides the platform's analysis tightness for this flow
+// ("blind", "fifo" or "tight"; empty defers to the platform default).
 type Flow struct {
 	ID      string   `json:"id"`
 	Arrival Arrival  `json:"arrival"`
 	Path    []string `json:"path"`
 	SLO     SLO      `json:"slo,omitempty"`
+	Rung    string   `json:"rung,omitempty"`
 }
 
 // Platform describes an admission-controller platform: named nodes using
 // the pipeline Node schema (latency strings, optional background cross
-// traffic). Simulation hints are ignored by the controller.
+// traffic), plus an optional default analysis tightness rung ("blind",
+// "fifo" or "tight") applied to flows that do not carry their own.
+// Simulation hints are ignored by the controller.
 type Platform struct {
 	Name  string `json:"name"`
 	Nodes []Node `json:"nodes"`
+	Rung  string `json:"rung,omitempty"`
 }
 
 // TraceOp is one wire-format step of an admitted-flow trace.
@@ -83,6 +89,9 @@ func FromAdmit(f admit.Flow) Flow {
 	}
 	out.SLO.MaxBacklog = f.SLO.MaxBacklog
 	out.SLO.MinThroughput = f.SLO.MinThroughput
+	if f.Rung != core.RungDefault {
+		out.Rung = f.Rung.String()
+	}
 	return out
 }
 
@@ -127,6 +136,11 @@ func (f *Flow) Admit() (admit.Flow, error) {
 	}
 	out.SLO.MaxBacklog = f.SLO.MaxBacklog
 	out.SLO.MinThroughput = f.SLO.MinThroughput
+	r, err := core.ParseRung(f.Rung)
+	if err != nil {
+		return admit.Flow{}, fmt.Errorf("spec: flow %q: %w", f.ID, err)
+	}
+	out.Rung = r
 	return out, nil
 }
 
@@ -143,13 +157,23 @@ func (p *Platform) Core() ([]core.Node, error) {
 	return out, nil
 }
 
-// Controller builds an admission controller from the platform description.
+// Controller builds an admission controller from the platform description,
+// applying the platform's default analysis rung when one is declared.
 func (p *Platform) Controller() (*admit.Controller, error) {
 	nodes, err := p.Core()
 	if err != nil {
 		return nil, err
 	}
-	return admit.New(p.Name, nodes)
+	c, err := admit.New(p.Name, nodes)
+	if err != nil {
+		return nil, err
+	}
+	r, err := core.ParseRung(p.Rung)
+	if err != nil {
+		return nil, fmt.Errorf("spec: platform %q: %w", p.Name, err)
+	}
+	c.SetRung(r)
+	return c, nil
 }
 
 // TraceOps converts a wire trace to controller trace operations.
