@@ -8,6 +8,7 @@
 //	ncload -flows 1000000 -measure 30s -out results/loadtest_1m.json -bench bench.txt
 //	ncload -mode http -addr http://127.0.0.1:8080 -flows 50000 -rps 400
 //	ncload -rungsweep -out results/rung_sweep.json -bench bench_fifo.txt
+//	ncload -rungbench -out results/rung_scaling.json -bench bench_rung.txt
 //	ncload -example-spec > population.json
 //	ncload -example-platform > platform.json
 //
@@ -60,6 +61,7 @@ func main() {
 		decisions    = flag.Int("decisions", 1<<16, "flight-recorder depth on the in-process controller: retains the last N decisions for the per-phase breakdown (0 disables; ignored in -mode http)")
 		quiet        = flag.Bool("q", false, "suppress progress lines on stderr")
 		rungSweep    = flag.Bool("rungsweep", false, "run the FIFO-ladder comparison sweep instead of the load (fills a shared node at each analysis rung, asserts tight admits strictly more than blind with zero replay violations)")
+		rungBench    = flag.Bool("rungbench", false, "run the tight-rung lattice cost benchmark instead of the load (times the prefix-sharing search against the exhaustive reference at matched combo budgets, asserts bit-identical winners and the speedup floor)")
 		exampleSpec  = flag.Bool("example-spec", false, "print the built-in population spec and exit")
 		examplePlat  = flag.Bool("example-platform", false, "print the built-in platform (sized for -flows) and exit")
 	)
@@ -67,6 +69,12 @@ func main() {
 
 	if *rungSweep {
 		if err := runRungSweep(*seed, *out, *benchOut, *quiet); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *rungBench {
+		if err := runRungBench(*out, *benchOut, *quiet); err != nil {
 			fail(err)
 		}
 		return
@@ -211,6 +219,42 @@ func runRungSweep(seed uint64, out, benchOut string, quiet bool) error {
 		}
 	}
 	rep, err := load.RungSweep(cfg)
+	if err != nil {
+		return err
+	}
+	body, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	body = append(body, '\n')
+	if out != "" {
+		if err := os.WriteFile(out, body, 0o644); err != nil {
+			return err
+		}
+	} else {
+		os.Stdout.Write(body)
+	}
+	if benchOut != "" {
+		if err := os.WriteFile(benchOut, []byte(rep.BenchText()), 0o644); err != nil {
+			return err
+		}
+	}
+	return rep.Check()
+}
+
+// runRungBench runs the tight-rung lattice cost benchmark (load.RungBench)
+// and writes the results/rung_scaling.json artifact plus BENCH_rung
+// benchmark lines. It exits non-zero when a matched case's winners diverge
+// or the large matched budgets miss the speedup floor — the CI rung-cost
+// gate.
+func runRungBench(out, benchOut string, quiet bool) error {
+	var cfg load.RungBenchConfig
+	if !quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "ncload: "+format+"\n", args...)
+		}
+	}
+	rep, err := load.RungBench(cfg)
 	if err != nil {
 		return err
 	}

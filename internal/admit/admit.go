@@ -666,6 +666,7 @@ func (c *Controller) decide(f Flow, epoch uint64, sw *sweep, tr *decTrace) (Verd
 	if err != nil {
 		return reject("saturation", "%v", err)
 	}
+	tr.noteRungSearch(a.TightCombos, a.TightPruned)
 	b := boundsOf(a)
 	if bad := sloViolation(f.SLO, a, b); bad != nil {
 		return reject(bad.binding, "%s", bad.detail)
@@ -698,6 +699,7 @@ func (c *Controller) decide(f Flow, epoch uint64, sw *sweep, tr *decTrace) (Verd
 			return reject("victim:"+cs.representative(),
 				"admitting this flow would starve flow %q: %v", cs.representative(), err)
 		}
+		tr.noteRungSearch(ga.TightCombos, ga.TightPruned)
 		if bad := sloViolation(cs.slo, ga, boundsOf(ga)); bad != nil {
 			return reject("victim:"+cs.representative(),
 				"admitting this flow would break flow %q: %s", cs.representative(), bad.detail)

@@ -158,6 +158,27 @@ func (c *Controller) EnableObsOpts(reg *obs.Registry, opts ObsOptions) {
 			func() float64 { h, mi, _ := m.snapshot().cacheLayer(layer); return obs.HitRate(h, mi) }, l)
 	}
 
+	// Tight-rung lattice search effort, process-wide: θ-vectors actually
+	// scored vs skipped by branch-and-bound. The prune-ratio gauge is the
+	// live health figure for the search — a ratio near 0 on a tight-rung
+	// workload means the bound is not cutting and decide latency scales
+	// with the full lattice.
+	reg.CounterFunc("nc_rung_combos_total",
+		"tight-rung θ-vectors scored by the lattice search",
+		func() float64 { combos, _ := core.RungSearchStats(); return float64(combos) })
+	reg.CounterFunc("nc_rung_pruned_total",
+		"tight-rung θ-vectors skipped by branch-and-bound pruning",
+		func() float64 { _, pruned := core.RungSearchStats(); return float64(pruned) })
+	reg.GaugeFunc("nc_rung_prune_ratio",
+		"pruned/(scored+pruned) across all tight-rung searches since process start",
+		func() float64 {
+			combos, pruned := core.RungSearchStats()
+			if combos+pruned == 0 {
+				return 0
+			}
+			return float64(pruned) / float64(combos+pruned)
+		})
+
 	// Pre-register the timing families so they exist (at zero) from startup:
 	// the timers below only fire on memo *misses*, and a warm process-global
 	// op memo would otherwise keep the families off /metrics indefinitely.

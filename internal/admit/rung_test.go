@@ -230,3 +230,29 @@ func TestRungVictimCheckedAtOwnRung(t *testing.T) {
 		t.Errorf("binding = %q, want victim:resident", v.Binding)
 	}
 }
+
+// The flight recorder must surface the tight rung's lattice-search effort on
+// the decision record: nonzero scored combos for a tight admission, zero for
+// a blind one.
+func TestRungSearchEffortOnDecisionRecord(t *testing.T) {
+	c := sharedNodePlatform(t)
+	rec := c.EnableFlightRecorder(16)
+	if v := c.Admit(rungTenant("b", core.RungBlind, 0)); !v.Admitted {
+		t.Fatal(v.Reason)
+	}
+	if v := c.Admit(rungTenant("t", core.RungTight, 0)); !v.Admitted {
+		t.Fatal(v.Reason)
+	}
+	recs := rec.Snapshot(0)
+	if len(recs) != 2 {
+		t.Fatalf("recorder depth = %d, want 2", len(recs))
+	}
+	// Newest first: recs[1] is the blind admission (no tight analyses
+	// anywhere yet), recs[0] the tight one.
+	if recs[1].RungCombos != 0 || recs[1].RungPruned != 0 {
+		t.Errorf("blind decision reported search effort: %d/%d", recs[1].RungCombos, recs[1].RungPruned)
+	}
+	if recs[0].RungCombos <= 0 {
+		t.Errorf("tight decision reported no scored combos: %+v", recs[0])
+	}
+}

@@ -57,6 +57,9 @@ type decTrace struct {
 	deps     []NodeEpoch
 	batchN   int // batch decisions: flows offered
 	batchAdm int // batch decisions: flows admitted
+
+	rungCombos int // tight-rung θ-vectors scored across this decision's analyses
+	rungPruned int // tight-rung θ-vectors skipped by branch-and-bound
 }
 
 // newTrace starts a decision trace, or returns nil when no sink is
@@ -104,6 +107,16 @@ func (tr *decTrace) noteGroup(n int) {
 	}
 }
 
+// noteRungSearch accumulates a tight-rung analysis's lattice-search effort
+// (scored and pruned θ-vectors) onto the decision; analyses below RungTight
+// report zeros and the call is a no-op.
+func (tr *decTrace) noteRungSearch(combos, pruned int) {
+	if tr != nil {
+		tr.rungCombos += combos
+		tr.rungPruned += pruned
+	}
+}
+
 // absorb folds a leader's shared group trace (its span phases and victim
 // counters) into this ticket's trace. Called by the leader before the
 // done-channel handoff.
@@ -114,6 +127,8 @@ func (tr *decTrace) absorb(g *decTrace) {
 	tr.span.Absorb(g.span)
 	tr.victims += g.victims
 	tr.reused += g.reused
+	tr.rungCombos += g.rungCombos
+	tr.rungPruned += g.rungPruned
 }
 
 // setDeps snapshots the sweep's dependency set as (node name, epoch) pairs,
@@ -164,6 +179,14 @@ type DecisionRecord struct {
 	VictimsReused  int         `json:"victims_reused,omitempty"`
 	Nodes          []NodeEpoch `json:"nodes,omitempty"`
 
+	// RungCombos/RungPruned are the tight rung's θ-lattice search effort
+	// summed over every analysis this decision consulted (candidate plus
+	// victim sweeps); zero below RungTight. A memoized analysis contributes
+	// the effort of its original computation — the cost the decision would
+	// have paid without the memo.
+	RungCombos int `json:"rung_combos,omitempty"`
+	RungPruned int `json:"rung_pruned,omitempty"`
+
 	BatchFlows    int `json:"batch_flows,omitempty"`
 	BatchAdmitted int `json:"batch_admitted,omitempty"`
 }
@@ -183,6 +206,8 @@ func (tr *decTrace) record(total time.Duration) DecisionRecord {
 		VictimsChecked: tr.victims,
 		VictimsReused:  tr.reused,
 		Nodes:          tr.deps,
+		RungCombos:     tr.rungCombos,
+		RungPruned:     tr.rungPruned,
 		BatchFlows:     tr.batchN,
 		BatchAdmitted:  tr.batchAdm,
 	}

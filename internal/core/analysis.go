@@ -120,6 +120,12 @@ type Analysis struct {
 	// BottleneckIndex is the node with the smallest input-referred
 	// sustained rate.
 	BottleneckIndex int
+
+	// TightCombos and TightPruned report the tight rung's θ-lattice search
+	// effort for this analysis: vectors scored and vectors skipped by
+	// branch-and-bound pruning (both zero below RungTight). Their sum is
+	// the full lattice size after grid thinning.
+	TightCombos, TightPruned int
 }
 
 // secs converts a time.Duration to float64 seconds (curve x-axis unit).

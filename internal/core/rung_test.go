@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -206,5 +207,168 @@ func TestMemoSeparatesRungs(t *testing.T) {
 	}
 	if curve.HDev(af.AlphaPrime, af.ConcatenatedBeta()) >= curve.HDev(ab.AlphaPrime, ab.ConcatenatedBeta()) {
 		t.Error("fifo rung not tighter through the memo path")
+	}
+}
+
+// randomMixedPipeline builds a 2-4 node chain mixing cross and cross-free
+// nodes, packetizers, and job aggregation — the general shape the
+// prefix-sharing search must reproduce exactly.
+func randomMixedPipeline(rng *rand.Rand) Pipeline {
+	n := 2 + rng.Intn(3)
+	arrRate := units.Rate(1 + rng.Float64()*4)
+	nodes := make([]Node, n)
+	for i := range nodes {
+		rate := arrRate.Mul(2 + rng.Float64()*4)
+		nodes[i] = Node{
+			Name: string(rune('a' + i)), Rate: rate,
+			Latency: time.Duration(rng.Intn(2000)) * time.Millisecond,
+			JobIn:   1, JobOut: 1,
+		}
+		if rng.Float64() < 0.75 {
+			nodes[i].CrossRate = rate.Mul(0.2 + rng.Float64()*0.4)
+			nodes[i].CrossBurst = units.Bytes(rng.Float64() * 10)
+		}
+		if rng.Float64() < 0.5 {
+			nodes[i].MaxPacket = units.Bytes(1 + rng.Float64())
+		}
+		if rng.Float64() < 0.3 {
+			nodes[i].JobIn, nodes[i].JobOut = 4, 4
+		}
+	}
+	return Pipeline{
+		Name:    "rung-mix",
+		Arrival: Arrival{Rate: arrRate, Burst: units.Bytes(1 + rng.Float64()*5), MaxPacket: 1},
+		Nodes:   nodes,
+	}
+}
+
+// The tentpole differential: at matched budgets the prefix-sharing search
+// must return a bit-identical winning θ-vector and delay bound to the
+// pre-DP exhaustive enumeration, and its scored+pruned counters must cover
+// the whole thinned lattice.
+func TestTightMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		p := randomMixedPipeline(rng)
+		for _, budget := range []int{16, 128} {
+			dp, err1 := AnalyzeTightBudget(p, budget)
+			ex, err2 := AnalyzeTightExhaustive(p, budget)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("trial %d budget %d: error mismatch: %v vs %v", trial, budget, err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			for i := range dp.Nodes {
+				if dp.Nodes[i].FIFOTheta != ex.Nodes[i].FIFOTheta {
+					t.Fatalf("trial %d budget %d node %d: θ %v (dp) != %v (exhaustive)",
+						trial, budget, i, dp.Nodes[i].FIFOTheta, ex.Nodes[i].FIFOTheta)
+				}
+			}
+			if dp.DelayBound != ex.DelayBound || dp.DelayBoundInfinite != ex.DelayBoundInfinite {
+				t.Fatalf("trial %d budget %d: delay %v/%v != %v/%v", trial, budget,
+					dp.DelayBound, dp.DelayBoundInfinite, ex.DelayBound, ex.DelayBoundInfinite)
+			}
+			if dp.TightCombos+dp.TightPruned != ex.TightCombos {
+				t.Fatalf("trial %d budget %d: lattice coverage %d+%d != %d",
+					trial, budget, dp.TightCombos, dp.TightPruned, ex.TightCombos)
+			}
+		}
+	}
+}
+
+// The ladder property on the mixed-shape pipelines: tight <= fifo <= blind.
+func TestRungLadderMonotoneMixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		p := randomMixedPipeline(rng)
+		dBlind := RungDelayBound(p, RungBlind)
+		dFIFO := RungDelayBound(p, RungFIFO)
+		dTight := RungDelayBound(p, RungTight)
+		eps := 1e-9 * (1 + dBlind)
+		if dFIFO > dBlind+eps || dTight > dFIFO+eps {
+			t.Errorf("trial %d: ladder not monotone: blind %v fifo %v tight %v",
+				trial, dBlind, dFIFO, dTight)
+		}
+	}
+}
+
+// Regression for the best-selection bug: an errored vector must be skipped,
+// not abort the sweep; only an all-errored sweep fails.
+func TestBestIndexSkipsErrors(t *testing.T) {
+	boom := errors.New("boom")
+	if got := bestIndex([]float64{0, 5, 3, 4}, []error{boom, nil, nil, nil}); got != 2 {
+		t.Errorf("bestIndex = %d, want 2 (errored index 0 must be skipped, not returned)", got)
+	}
+	if got := bestIndex([]float64{1, 2}, []error{boom, boom}); got != -1 {
+		t.Errorf("bestIndex = %d, want -1 when every vector errored", got)
+	}
+	if got := bestIndex([]float64{7, 3, 3}, make([]error, 3)); got != 1 {
+		t.Errorf("bestIndex = %d, want 1 (ties keep the lowest index)", got)
+	}
+}
+
+// Regression for the duplicate-θ grid bug: after the arrival-aware insert
+// every grid must stay strictly increasing (no near-equal duplicates
+// silently multiplying the combo budget), and the reported combo count must
+// match the grid product.
+func TestTightGridsStrictlyIncreasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		grids, combos, _, err := tightGrids(randomMixedPipeline(rng), 0)
+		if err != nil {
+			continue
+		}
+		prod := 1
+		for i, g := range grids {
+			for j := 1; j < len(g); j++ {
+				if g[j] <= g[j-1] {
+					t.Fatalf("trial %d node %d: grid not strictly increasing at %d: %v", trial, i, j, g)
+				}
+			}
+			if len(g) > 0 {
+				prod *= len(g)
+			}
+		}
+		if prod != combos {
+			t.Fatalf("trial %d: combos %d != grid product %d", trial, combos, prod)
+		}
+	}
+}
+
+// The search-effort counters feed telemetry: a tight analysis must stamp
+// TightCombos/TightPruned and bump the process-wide totals.
+func TestTightSearchCounters(t *testing.T) {
+	p := Pipeline{
+		Arrival: Arrival{Rate: 2, Burst: 1},
+		Nodes: []Node{
+			{Name: "a", Rate: 10, Latency: time.Second, JobIn: 1, JobOut: 1, CrossRate: 4, CrossBurst: 2},
+			{Name: "b", Rate: 12, Latency: time.Second / 2, JobIn: 1, JobOut: 1, CrossRate: 3, CrossBurst: 1},
+		},
+	}
+	c0, p0 := RungSearchStats()
+	a, err := AnalyzeTightBudget(p, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, combos, _, err := tightGrids(p, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TightCombos <= 0 || a.TightCombos+a.TightPruned != combos {
+		t.Errorf("TightCombos=%d TightPruned=%d, want sum %d", a.TightCombos, a.TightPruned, combos)
+	}
+	c1, p1 := RungSearchStats()
+	if c1-c0 != uint64(a.TightCombos) || p1-p0 != uint64(a.TightPruned) {
+		t.Errorf("global counters moved by %d/%d, want %d/%d", c1-c0, p1-p0, a.TightCombos, a.TightPruned)
+	}
+	pb := p
+	pb.Rung = RungBlind
+	ab, err := Analyze(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.TightCombos != 0 || ab.TightPruned != 0 {
+		t.Errorf("blind analysis reported search effort: %d/%d", ab.TightCombos, ab.TightPruned)
 	}
 }

@@ -188,6 +188,26 @@ func FIFOThetaCandidates(beta, cross Curve) []float64 {
 	return out
 }
 
+// FIFOThetaInsert inserts th into the sorted theta grid g, keeping it sorted
+// and free of near-equal duplicates: when th is within absEps of an existing
+// candidate the grid is returned unchanged. A duplicate theta would not be
+// unsound — every member of the family is a valid residual — but in the
+// joint tight-rung enumeration it silently multiplies the combo budget by a
+// redundant slice of the lattice, so every grid insert routes through here.
+func FIFOThetaInsert(g []float64, th float64) []float64 {
+	i := sort.SearchFloat64s(g, th)
+	if i < len(g) && g[i]-th <= absEps(th) {
+		return g
+	}
+	if i > 0 && th-g[i-1] <= absEps(th) {
+		return g
+	}
+	g = append(g, 0)
+	copy(g[i+1:], g[i:])
+	g[i] = th
+	return g
+}
+
 // FIFOResidualBest searches the dominance-safe theta grid for the family
 // member minimizing the delay bound HDev(alpha, beta_theta) against the
 // flow's arrival envelope alpha. Ties keep the smaller theta (theta = 0 is
@@ -204,8 +224,7 @@ func FIFOResidualBest(alpha, beta, cross Curve) (res Curve, theta float64, ok bo
 		// bottoms out between the structural breakpoints.
 		tmax := cands[n-1]
 		if th := beta.InverseLower(cross.Burst() + alpha.Burst()); th > 0 && th < tmax && !math.IsInf(th, 1) {
-			cands = append(cands, th)
-			sort.Float64s(cands)
+			cands = FIFOThetaInsert(cands, th)
 		}
 	}
 	bestD := math.Inf(1)

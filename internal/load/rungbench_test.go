@@ -1,0 +1,65 @@
+package load
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Check's gates on synthetic reports: counter coverage, winner identity, and
+// the speedup floor on large matched lattices (small ones exempt).
+func TestRungBenchCheck(t *testing.T) {
+	good := &RungBenchReport{
+		MinSpeedup: 3,
+		Cases: []RungBenchCase{
+			{Nodes: 2, Budget: 64, Combos: 9, Scored: 9, DPNanos: 100,
+				ExhaustiveNanos: 120, Speedup: 1.2, Match: true},
+			{Nodes: 6, Budget: 65536, Combos: 2304, Scored: 100, Pruned: 2204,
+				DPNanos: 100, ExhaustiveNanos: 2000, Speedup: 20, Match: true},
+			{Nodes: 8, Budget: 65536, Combos: 36864, Scored: 200, Pruned: 36664, DPNanos: 500},
+		},
+	}
+	if err := good.Check(); err != nil {
+		t.Fatalf("good report rejected: %v", err)
+	}
+
+	bad := *good
+	bad.Cases = append([]RungBenchCase(nil), good.Cases...)
+	bad.Cases[1].Match = false
+	if err := bad.Check(); err == nil || !strings.Contains(err.Error(), "winners differ") {
+		t.Errorf("diverging winners not caught: %v", err)
+	}
+
+	slow := *good
+	slow.Cases = append([]RungBenchCase(nil), good.Cases...)
+	slow.Cases[1].Speedup = 2
+	if err := slow.Check(); err == nil || !strings.Contains(err.Error(), "speedup") {
+		t.Errorf("speedup floor not enforced: %v", err)
+	}
+
+	uncovered := *good
+	uncovered.Cases = append([]RungBenchCase(nil), good.Cases...)
+	uncovered.Cases[2].Pruned = 0
+	if err := uncovered.Check(); err == nil || !strings.Contains(err.Error(), "cover") {
+		t.Errorf("counter coverage not enforced: %v", err)
+	}
+}
+
+// A single small matched case end to end: the DP and exhaustive timings are
+// real, winners must match, and the bench rendering carries the case into
+// BENCH_rung.json via the benchjson bridge format.
+func TestRungBenchSmoke(t *testing.T) {
+	p := rungBenchPipeline(3)
+	if len(p.Nodes) != 3 || p.Nodes[0].CrossRate <= 0 {
+		t.Fatalf("bench pipeline malformed: %+v", p.Nodes)
+	}
+	rep := &RungBenchReport{Cases: []RungBenchCase{{
+		Nodes: 3, Budget: 64, Combos: 36, Scored: 28, Pruned: 8,
+		DPNanos: 1000, ExhaustiveNanos: 5000, Speedup: 5, Match: true,
+		DelayBound: 100 * time.Millisecond,
+	}}}
+	txt := rep.BenchText()
+	if !strings.Contains(txt, "BenchmarkRungLatticeN3C64 1 1000 ns/op 36 combos 8 pruned 5000 exhaustive-ns 5.0 speedup") {
+		t.Errorf("bench text format drifted:\n%s", txt)
+	}
+}
